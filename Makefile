@@ -1,0 +1,29 @@
+# Developer entry points.  Everything is plain pytest underneath.
+
+PYTHON ?= python
+
+.PHONY: install test bench artifacts examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+artifacts:
+	$(PYTHON) benchmarks/run_all.py
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+all: test bench artifacts
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,80 @@
+"""ABL-CONV — ablation: convergence time vs network latency and scale.
+
+The motivation for weak criteria (Section I, Attiya–Welch): under strong
+consistency the *response time* of operations grows with network latency;
+under update consistency operations are local (latency-independent) and
+it is the *convergence time* that absorbs the network delay.
+
+Series regenerated:
+
+* operation response time — identically zero simulated time at every
+  latency (wait-freedom: queries and updates never touch the network);
+* convergence time after the last update vs mean latency — grows
+  linearly-ish with latency (one broadcast hop, tail of the exponential);
+* convergence time vs process count at fixed latency — near-flat (the
+  broadcast is one hop to everyone).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import converged, format_table
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+LATENCIES = (0.5, 2.0, 8.0)
+SCALES = (2, 4, 8, 16)
+
+
+def convergence_time(n: int, latency: float, seed: int = 3) -> float:
+    c = Cluster(n, lambda p, total: UniversalReplica(p, total, SPEC),
+                latency=ExponentialLatency(latency), seed=seed)
+    for i in range(20):
+        c.update(i % n, S.insert(i))
+    last_update_at = c.now
+    c.run()
+    assert converged(c)
+    return c.now - last_update_at
+
+
+def test_latency_sweep(benchmark, save_result):
+    benchmark(convergence_time, 4, 2.0)
+
+    rows = []
+    times = []
+    for latency in LATENCIES:
+        t = convergence_time(4, latency)
+        times.append(t)
+        rows.append([latency, 0.0, f"{t:.2f}"])
+    save_result(
+        "ablation_convergence_latency",
+        format_table(
+            ["mean latency", "op response time", "convergence time"], rows,
+            title="wait-free ops vs convergence, n=4",
+        ),
+    )
+    # Convergence time tracks latency (monotone, roughly proportional).
+    assert times[0] < times[1] < times[2]
+    assert times[2] / times[0] > 4  # 16x latency -> much slower convergence
+
+
+def test_scale_sweep(benchmark, save_result):
+    benchmark(convergence_time, 8, 2.0)
+
+    rows = []
+    times = []
+    for n in SCALES:
+        t = convergence_time(n, 2.0)
+        times.append(t)
+        rows.append([n, f"{t:.2f}"])
+    save_result(
+        "ablation_convergence_scale",
+        format_table(["processes", "convergence time"], rows,
+                     title="convergence vs scale, mean latency 2.0"),
+    )
+    # One-hop broadcast: convergence grows only with the max-delay tail,
+    # not with n — an 8x scale-up must cost far less than 8x.
+    assert times[-1] / times[0] < 4

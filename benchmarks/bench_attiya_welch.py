@@ -1,0 +1,115 @@
+"""AW — the introduction's motivating cost claim, measured.
+
+"Attiya and Welch proved that using strong consistency criteria such as
+atomicity is costly as each operation may need an execution time linear
+with the latency of the communication network" — while the paper's
+wait-free constructions answer from local state in zero network time,
+paying instead with convergence lag and the impossibility results.
+
+Series regenerated: operation response time vs mean network latency for
+
+* the ABD majority-quorum atomic register (reference [3]) — two quorum
+  round-trips per operation, so response ∝ latency;
+* Algorithm 2's update-consistent memory — response identically 0.
+
+Plus the availability contrast: operations attempted from the minority
+side of a partition (ABD: blocked; Algorithm 2: served).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.memory import MemoryReplica
+from repro.objects.quorum import ABDClient, ABDReplica, Unavailable
+from repro.sim import Cluster
+from repro.sim.network import FixedLatency
+from repro.specs import register as R
+
+N = 5
+LATENCIES = (0.5, 2.0, 8.0)
+OPS = 10
+
+
+def abd_mean_response(latency: float) -> float:
+    c = Cluster(N, lambda p, total: ABDReplica(p, total),
+                latency=FixedLatency(latency))
+    clients = [ABDClient(c, pid) for pid in range(N)]
+    total = 0.0
+    for i in range(OPS):
+        _, elapsed = clients[i % N].write(i)
+        total += elapsed
+        _, elapsed = clients[(i + 1) % N].read()
+        total += elapsed
+    return total / (2 * OPS)
+
+
+def uc_mean_response(latency: float) -> float:
+    c = Cluster(N, lambda p, total: MemoryReplica(p, total),
+                latency=FixedLatency(latency))
+    total = 0.0
+    for i in range(OPS):
+        before = c.now
+        c.update(i % N, R.mem_write("r", i))
+        total += c.now - before
+        before = c.now
+        c.query((i + 1) % N, "read", ("r",))
+        total += c.now - before
+        c.run()  # let the broadcast land between operations
+    return total / (2 * OPS)
+
+
+def test_response_time_vs_latency(benchmark, save_result):
+    benchmark(abd_mean_response, 2.0)
+
+    rows = []
+    abd_times = []
+    for latency in LATENCIES:
+        abd_t = abd_mean_response(latency)
+        uc_t = uc_mean_response(latency)
+        abd_times.append(abd_t)
+        rows.append([latency, f"{abd_t:.2f}", f"{uc_t:.2f}"])
+        assert uc_t == 0.0  # wait-free: never touches the network
+        assert abd_t >= 2 * latency  # at least one quorum round-trip/phase
+
+    save_result(
+        "attiya_welch",
+        format_table(
+            ["mean latency", "ABD response", "UC-memory response"],
+            rows,
+            title="operation response time: atomic register vs Algorithm 2",
+        ),
+    )
+    # Linear growth: 16x the latency, ~16x the response.
+    assert abd_times[2] / abd_times[0] == pytest.approx(16.0, rel=0.05)
+
+
+def test_availability_under_partition(benchmark, save_result):
+    def attempt():
+        abd = Cluster(N, lambda p, total: ABDReplica(p, total))
+        abd.partition([[0, 1], [2, 3, 4]])
+        client = ABDClient(abd, 0)
+        blocked = False
+        try:
+            client.write("x")
+        except Unavailable:
+            blocked = True
+
+        uc = Cluster(N, lambda p, total: MemoryReplica(p, total))
+        uc.partition([[0, 1], [2, 3, 4]])
+        uc.update(0, R.mem_write("r", "x"))
+        served = uc.query(0, "read", ("r",)) == "x"
+        return blocked, served
+
+    blocked, served = benchmark(attempt)
+    assert blocked and served
+    save_result(
+        "attiya_welch_availability",
+        format_table(
+            ["system", "minority-side write"],
+            [["ABD atomic register", "BLOCKED (Unavailable)"],
+             ["UC memory (Alg. 2)", "served locally"]],
+            title="availability during a partition",
+        ),
+    )

@@ -1,0 +1,142 @@
+"""SEC6 — the Section VI case study over the full set zoo.
+
+"All these sets, and the eventually consistent objects in general, have a
+different behavior when they are used in distributed programs."
+
+The corpus has two parts, run under identical adversarial schedules for
+every implementation:
+
+* random conflict-heavy workloads (tiny support, hot insert/delete races);
+* Fig.-1b *templates*: each process inserts its own element then deletes
+  another's (the paper's own worst case — every update linearization ends
+  with a deletion).
+
+Per system we report:
+
+* ``converged``      — runs ending with all replicas agreeing;
+* ``linearizable``   — runs whose converged state equals the final state
+  of SOME linearization of the updates (computed exactly; this is the
+  update-consistency acid test);
+* ``ops lost``       — operations the implementation silently dropped
+  (the C-Set's conditional sends).
+
+Shape asserted: the universal construction and the LWW set are always
+converged + linearizable; the OR-set converges to the non-linearizable
+{1,2} on every Fig.-1b template; the tombstone (2P) and counter (PN) sets
+regularly land on non-linearizable states; the C-Set converges (its
+deltas commute) but silently loses operations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.adt import _canonical
+from repro.core.linearization import update_linearization_states
+from repro.core.universal import UniversalReplica
+from repro.crdt import SET_CRDTS
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.sim.workload import conflict_heavy_set_workload, run_workload
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+RANDOM_RUNS = 20
+TEMPLATE_RUNS = 5
+RUNS = RANDOM_RUNS + TEMPLATE_RUNS
+OPS = 8  # small enough for exact linearization enumeration
+N = 3
+
+SYSTEMS = {"UC-Set": lambda p, n: UniversalReplica(p, n, SPEC)}
+SYSTEMS.update(
+    {name: (lambda cls: lambda p, n: cls(p, n))(cls)
+     for name, cls in SET_CRDTS.items() if name != "G-Set"}
+)
+
+
+def template_ops(seed: int):
+    """Fig. 1b generalized to N processes: p_i inserts i, deletes i+1."""
+    ops = []
+    for pid in range(N):
+        ops.append((pid, S.insert(pid)))
+        ops.append((pid, S.delete((pid + seed % (N - 1) + 1) % N)))
+    return ops
+
+
+def run_one(factory, seed: int):
+    if seed < RANDOM_RUNS:
+        wl = [w for w in conflict_heavy_set_workload(N, OPS, support=2, seed=seed)
+              if w.is_update]
+        c = Cluster(N, factory, latency=ExponentialLatency(20.0), seed=seed)
+        run_workload(c, wl)
+    else:
+        c = Cluster(N, factory, seed=seed)
+        c.partition([[pid] for pid in range(N)])
+        for pid, op in template_ops(seed):
+            c.update(pid, op)
+        c.heal()
+        c.run()
+    return c
+
+
+def run_corpus():
+    results = {
+        name: {"converged": 0, "linearizable": 0, "lost": 0} for name in SYSTEMS
+    }
+    for seed in range(RUNS):
+        reference = run_one(SYSTEMS["UC-Set"], seed)
+        history = reference.trace.to_history()
+        allowed = update_linearization_states(
+            history.restrict(history.updates), SPEC
+        )
+        for name, factory in SYSTEMS.items():
+            c = run_one(factory, seed)
+            states = {_canonical(s) for s in c.states().values()}
+            if len(states) == 1:
+                results[name]["converged"] += 1
+                if next(iter(states)) in allowed:
+                    results[name]["linearizable"] += 1
+            results[name]["lost"] += sum(
+                getattr(r, "suppressed", 0) for r in c.replicas
+            )
+    return results
+
+
+def test_case_study(benchmark, save_result):
+    results = benchmark(run_corpus)
+
+    rows = [
+        [name, f"{r['converged']}/{RUNS}", f"{r['linearizable']}/{RUNS}", r["lost"]]
+        for name, r in results.items()
+    ]
+    save_result(
+        "crdt_case_study",
+        format_table(
+            ["system", "converged", "state explained by a linearization",
+             "ops silently lost"],
+            rows,
+            title=(
+                f"set case study — {RANDOM_RUNS} random conflict workloads "
+                f"+ {TEMPLATE_RUNS} Fig.1b templates"
+            ),
+        ),
+    )
+
+    # The universal construction: always converged, always linearizable.
+    assert results["UC-Set"]["converged"] == RUNS
+    assert results["UC-Set"]["linearizable"] == RUNS
+    # LWW-Set orders by the same kind of stamps: also always linearizable.
+    assert results["LWW-Set"]["converged"] == RUNS
+    assert results["LWW-Set"]["linearizable"] == RUNS
+    # Insert-wins keeps concurrently re-inserted elements alive: on every
+    # Fig.-1b template its state is not explainable by any linearization.
+    assert results["OR-Set"]["converged"] == RUNS
+    assert results["OR-Set"]["linearizable"] <= RUNS - TEMPLATE_RUNS
+    # Tombstones and counters also stray from the sequential spec.
+    for name in ("2P-Set", "PN-Set"):
+        assert results[name]["converged"] == RUNS
+        assert results[name]["linearizable"] < RUNS, name
+    # The C-Set converges (its deltas commute) but silently drops
+    # operations whose local precondition failed.
+    assert results["C-Set"]["converged"] == RUNS
+    assert results["C-Set"]["lost"] > 0

@@ -1,0 +1,33 @@
+"""FIG1 — regenerate the Figure 1 criterion matrix.
+
+The paper's Fig. 1 caption classifies four histories of the shared integer
+set under EC / SEC / UC / SUC (we add PC, discussed in the text for 1d):
+
+    1a: EC only          1b: EC + SEC
+    1c: EC + SEC + UC    1d: EC + SEC + UC + SUC (but not PC)
+
+This bench reruns the exact checkers and prints/saves the same matrix;
+the timing target is the full 4-history x 5-criterion classification.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import classification_matrix
+from repro.paper import FIG1_BUILDERS, FIG1_EXPECTED
+from repro.specs import SetSpec
+
+SPEC = SetSpec()
+
+
+def classify_all():
+    return classification_matrix(
+        {name: builder() for name, builder in FIG1_BUILDERS.items()}, SPEC
+    )
+
+
+def test_fig1_matrix(benchmark, save_result):
+    table, raw = benchmark(classify_all)
+    save_result("fig1_classification", table)
+    for name, expected in FIG1_EXPECTED.items():
+        for criterion, value in expected.items():
+            assert raw[name][criterion] == value, (name, criterion)

@@ -1,0 +1,78 @@
+"""PROP1 — Proposition 1's impossibility, demonstrated on implementations.
+
+The paper proves pipelined convergence (PC + EC) is not wait-free
+implementable via the Fig. 2 program under message isolation: wait-freedom
+forces the first reads to be {1,3} and {2}; pipelined consistency then
+pins each process's future forever, so they can never agree.
+
+We run the gadget against both sides of the dichotomy:
+
+* ``fifo`` (pipelined consistent): first reads as predicted, permanent
+  divergence — converged? no;
+* ``universal`` (update consistent): same first reads (the wait-free
+  indistinguishability), convergence after healing — PC violated instead.
+
+Shape asserted: exactly that dichotomy.  Timing target: one full gadget
+run per implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.universal import UniversalReplica
+from repro.objects.pipelined import FifoApplyReplica
+from repro.sim import Cluster
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+def run_gadget(kind: str):
+    if kind == "fifo":
+        c = Cluster(2, lambda pid, n: FifoApplyReplica(pid, n, SPEC), fifo=True)
+    else:
+        c = Cluster(2, lambda pid, n: UniversalReplica(pid, n, SPEC))
+    c.network.hold(0, 1)
+    c.network.hold(1, 0)
+    c.update(0, S.insert(1))
+    c.update(0, S.insert(3))
+    c.update(1, S.insert(2))
+    c.update(1, S.delete(3))
+    first = (c.query(0, "read"), c.query(1, "read"))
+    c.network.release(0, 1, c.now)
+    c.network.release(1, 0, c.now)
+    c.run()
+    final = (c.query(0, "read"), c.query(1, "read"))
+    return first, final
+
+
+@pytest.mark.parametrize("kind", ["fifo", "universal"])
+def test_prop1_gadget(benchmark, save_result, kind):
+    first, final = benchmark(run_gadget, kind)
+
+    # Wait-freedom: isolated first reads are forced for ANY implementation.
+    assert first == (frozenset({1, 3}), frozenset({2}))
+
+    converged = final[0] == final[1]
+    if kind == "fifo":
+        assert not converged, "the PC implementation must diverge forever"
+        assert final == (frozenset({1, 2}), frozenset({1, 2, 3}))
+    else:
+        assert converged, "the UC implementation must converge"
+        assert final[0] == frozenset({1, 2})
+
+    rows = [
+        ["first read p0", first[0]],
+        ["first read p1", first[1]],
+        ["final read p0", final[0]],
+        ["final read p1", final[1]],
+        ["converged", converged],
+    ]
+    save_result(
+        f"prop1_{kind}",
+        format_table(["observable", "value"], rows,
+                     title=f"Proposition 1 gadget — {kind} implementation"),
+    )

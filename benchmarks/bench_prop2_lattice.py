@@ -1,0 +1,78 @@
+"""PROP2 — the criterion lattice, measured over randomized histories.
+
+Proposition 2: SUC ⇒ SEC ∧ UC, UC ⇒ EC; the paper's figures witness the
+incomparabilities (UC vs SEC, PC vs EC).  This bench classifies a corpus
+of deterministic pseudo-random small histories, counts each criterion
+combination and asserts zero implication violations — the empirical
+version of the proposition over the whole corpus.
+
+Timing target: classification of the full corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.criteria.lattice import check_implications, classify
+from repro.core.history import History
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+CORPUS_SIZE = 80
+_SUBSETS = [frozenset(), frozenset({1}), frozenset({2}), frozenset({1, 2})]
+
+
+def random_history(rng: np.random.Generator) -> History:
+    processes = []
+    for _ in range(int(rng.integers(1, 3))):
+        ops = []
+        length = int(rng.integers(0, 4))
+        for i in range(length):
+            kind = rng.integers(3)
+            if kind == 0:
+                ops.append(S.insert(int(rng.integers(1, 3))))
+            elif kind == 1:
+                ops.append(S.delete(int(rng.integers(1, 3))))
+            else:
+                q = S.read(_SUBSETS[int(rng.integers(4))])
+                if i == length - 1 and rng.random() < 0.5:
+                    ops.append((q, True))
+                else:
+                    ops.append(q)
+        processes.append(ops)
+    return History.from_processes(processes)
+
+
+def classify_corpus(seed: int = 2015):
+    rng = np.random.default_rng(seed)
+    combos: dict[tuple, int] = {}
+    violations = 0
+    for _ in range(CORPUS_SIZE):
+        h = random_history(rng)
+        results = classify(h, SPEC)
+        violations += len(check_implications(results))
+        key = tuple(name for name in ("EC", "SEC", "UC", "SUC", "PC") if results[name])
+        combos[key] = combos.get(key, 0) + 1
+    return combos, violations
+
+
+def test_prop2_lattice(benchmark, save_result):
+    combos, violations = benchmark(classify_corpus)
+    assert violations == 0
+
+    rows = [
+        ["+".join(key) if key else "(none)", count]
+        for key, count in sorted(combos.items(), key=lambda kv: -kv[1])
+    ]
+    table = format_table(
+        ["criteria satisfied", "histories"], rows,
+        title=f"Proposition 2 — {CORPUS_SIZE} random histories, 0 implication violations",
+    )
+    save_result("prop2_lattice", table)
+
+    # The corpus must actually exercise the lattice's strict structure:
+    # some EC-not-UC history and some SEC-not-SUC history must appear.
+    assert any("EC" in k and "UC" not in k for k in combos)
+    assert any("SEC" in k and "SUC" not in k for k in combos)

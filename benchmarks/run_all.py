@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact without the timing harness.
+
+Imports each bench module, runs its core computation once, and prints the
+tables to stdout (they are also saved under ``benchmarks/results/``).
+
+Run: ``python benchmarks/run_all.py``
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+RESULTS = HERE / "results"
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(name, HERE / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def save(name: str, text: str) -> None:
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / f"{name}.txt").write_text(text + "\n")
+    print(text)
+    print()
+
+
+def main() -> None:
+    from repro.analysis import format_table
+
+    print("=" * 72)
+    print("FIG1 — criterion matrix")
+    print("=" * 72)
+    m = load("bench_fig1_classification")
+    table, _ = m.classify_all()
+    save("fig1_classification", table)
+
+    print("=" * 72)
+    print("FIG2 — PC but not EC")
+    print("=" * 72)
+    m = load("bench_fig2_pc_not_ec")
+    h, pc, ec = m.classify_fig2()
+    rows = [["PC", bool(pc)], ["EC", bool(ec)]]
+    lines = [format_table(["criterion", "holds"], rows, title="Fig. 2 gadget")]
+    for chain, lin in pc.witness["chain_linearizations"].items():
+        pid = chain[0].pid
+        lines.append(
+            f"w{pid + 1} = " + " . ".join(str(e.label) for e in lin) + " . (ω suffix)"
+        )
+    save("fig2_pc_not_ec", "\n".join(lines))
+
+    print("=" * 72)
+    print("PROP1 — the wait-free dichotomy")
+    print("=" * 72)
+    m = load("bench_prop1_impossibility")
+    for kind in ("fifo", "universal"):
+        first, final = m.run_gadget(kind)
+        rows = [
+            ["first read p0", first[0]], ["first read p1", first[1]],
+            ["final read p0", final[0]], ["final read p1", final[1]],
+            ["converged", final[0] == final[1]],
+        ]
+        save(f"prop1_{kind}", format_table(
+            ["observable", "value"], rows,
+            title=f"Proposition 1 gadget — {kind} implementation"))
+
+    print("=" * 72)
+    print("PROP2 — the lattice over random histories")
+    print("=" * 72)
+    m = load("bench_prop2_lattice")
+    combos, violations = m.classify_corpus()
+    rows = [["+".join(k) if k else "(none)", c]
+            for k, c in sorted(combos.items(), key=lambda kv: -kv[1])]
+    save("prop2_lattice", format_table(
+        ["criteria satisfied", "histories"], rows,
+        title=f"{m.CORPUS_SIZE} random histories, {violations} implication violations"))
+
+    print("=" * 72)
+    print("PROP3 — OR-set vs UC-set on the Fig. 1b conflict")
+    print("=" * 72)
+    m = load("bench_prop3_insert_wins")
+    for kind in ("or-set", "uc-set"):
+        reads, uc, iw, cc = m.run_case(kind)
+        rows = [["converged state", reads[0]],
+                ["update consistent", bool(uc)],
+                ["insert-wins SEC", bool(iw)],
+                ["cache consistent", bool(cc)]]
+        save(f"prop3_{kind}", format_table(
+            ["property", "value"], rows, title=f"Fig. 1b scenario — {kind}"))
+
+    print("=" * 72)
+    print("PROP4 — Algorithm 1 witnesses verify")
+    print("=" * 72)
+    m = load("bench_prop4_alg1_suc")
+    for n in (2, 4, 8):
+        h, result = m.run_and_verify(n)
+        rows = [["processes", n], ["events", len(h.events)],
+                ["witness verified", bool(result)]]
+        save(f"prop4_n{n}", format_table(
+            ["metric", "value"], rows, title=f"Proposition 4, n={n}"))
+
+    print("=" * 72)
+    print("ALG1-PERF — replay cost per query")
+    print("=" * 72)
+    m = load("bench_alg1_replay_cost")
+    for kind in m.FACTORIES:
+        rows = [[size, m.replay_cost(kind, size)] for size in m.SIZES]
+        save(f"alg1_replay_{kind}", format_table(
+            ["log length", "updates replayed by one query"], rows,
+            title=f"query replay cost — {kind}"))
+
+    print("=" * 72)
+    print("ALG2-PERF — O(1) memory vs the generic construction")
+    print("=" * 72)
+    m = load("bench_alg2_memory")
+    for kind in ("alg1", "alg2"):
+        rows = []
+        for size in m.SIZES:
+            c = m.build(kind, size)
+            r0 = c.replicas[0]
+            before = getattr(r0, "replayed_updates", 0)
+            c.query(0, "read", (0,))
+            replayed = getattr(r0, "replayed_updates", 0) - before
+            resident = r0.register_count if kind == "alg2" else len(r0.updates)
+            rows.append([size, replayed, resident])
+        save(f"alg2_memory_{kind}", format_table(
+            ["writes", "replayed per read", "resident entries"], rows,
+            title=f"shared memory — {kind}"))
+
+    print("=" * 72)
+    print("MSG — message complexity")
+    print("=" * 72)
+    m = load("bench_message_complexity")
+    import math
+    rows = []
+    for n, ops in m.SWEEP:
+        st = m.measure(n, ops)
+        bound = math.log2(max(st.updates * n, 2)) + math.log2(n) + 2
+        rows.append([n, ops, st.messages_sent, f"{st.sends_per_update:.0f}",
+                     st.max_timestamp_bits, f"{bound:.1f}"])
+    save("message_complexity", format_table(
+        ["n", "updates", "msgs sent", "sends/update", "max ts bits", "log bound"],
+        rows, title="one broadcast per update; timestamps grow logarithmically"))
+
+    print("=" * 72)
+    print("SEC6 — the CRDT case study")
+    print("=" * 72)
+    m = load("bench_crdt_case_study")
+    results = m.run_corpus()
+    rows = [[name, f"{r['converged']}/{m.RUNS}", f"{r['linearizable']}/{m.RUNS}",
+             r["lost"]] for name, r in results.items()]
+    save("crdt_case_study", format_table(
+        ["system", "converged", "linearizable state", "ops silently lost"],
+        rows, title="set case study"))
+
+    print("=" * 72)
+    print("AW — the cost of atomicity (ABD vs Algorithm 2)")
+    print("=" * 72)
+    m = load("bench_attiya_welch")
+    rows = []
+    for latency in m.LATENCIES:
+        rows.append([latency, f"{m.abd_mean_response(latency):.2f}",
+                     f"{m.uc_mean_response(latency):.2f}"])
+    save("attiya_welch", format_table(
+        ["mean latency", "ABD response", "UC-memory response"], rows,
+        title="operation response time: atomic register vs Algorithm 2"))
+
+    print("=" * 72)
+    print("ABL-GC / ABL-CONV / ABL-GOSSIP / ABL-BATCH — ablations")
+    print("=" * 72)
+    m = load("bench_ablation_gc")
+    _, gc_series = m.run_with_log_series("gc")
+    _, naive_series = m.run_with_log_series("naive")
+    rows = [[ops, nl, gl] for (ops, nl), (_, gl) in zip(naive_series, gc_series)]
+    save("ablation_gc", format_table(
+        ["updates issued", "naive log", "gc log"], rows,
+        title="stable-prefix GC bounds the update log"))
+
+    m = load("bench_ablation_convergence")
+    rows = [[lat, 0.0, f"{m.convergence_time(4, lat):.2f}"] for lat in m.LATENCIES]
+    save("ablation_convergence_latency", format_table(
+        ["mean latency", "op response time", "convergence time"], rows,
+        title="wait-free ops vs convergence, n=4"))
+    rows = [[n, f"{m.convergence_time(n, 2.0):.2f}"] for n in m.SCALES]
+    save("ablation_convergence_scale", format_table(
+        ["processes", "convergence time"], rows,
+        title="convergence vs scale, mean latency 2.0"))
+
+    m = load("bench_ablation_gossip")
+    _, bits_op, stale_op = m.run_op_based()
+    rows = [["op-based (1 bcast/update)", len(bits_op), sum(bits_op) // 8,
+             f"{sum(stale_op) / len(stale_op):.1f}"]]
+    for period in m.PERIODS:
+        _, bits_sb, stale_sb = m.run_state_based(period)
+        rows.append([f"state-based, gossip every {period}", len(bits_sb),
+                     sum(bits_sb) // 8, f"{sum(stale_sb) / len(stale_sb):.1f}"])
+    save("ablation_gossip", format_table(
+        ["system", "messages", "total bytes", "avg staleness"], rows,
+        title="op-based vs state-based replication"))
+
+    import time as _time
+
+    m = load("bench_ablation_batch")
+    for name in m.SPECS:
+        spec = m.SPECS[name]()
+        updates = m.make_updates(name)
+        t0 = _time.perf_counter()
+        m.loop_fold(spec, updates)
+        loop_s = _time.perf_counter() - t0
+        t0 = _time.perf_counter()
+        spec.apply_batch(spec.initial_state(), updates)
+        batch_s = _time.perf_counter() - t0
+        save(f"ablation_batch_{name}", format_table(
+            ["fold", "seconds"],
+            [["per-update apply", f"{loop_s:.4f}"],
+             ["apply_batch", f"{batch_s:.4f}"],
+             ["speedup", f"{loop_s / batch_s:.1f}x" if batch_s else "inf"]],
+            title=f"replay fold, {m.LOG_LEN} updates — {name}"))
+
+    print("all artifacts regenerated under benchmarks/results/")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Consistency auditing: classify histories against the criterion lattice.
+
+The library's checkers decide, for any small distributed history, which
+of the paper's criteria admit it (Definitions 5-9).  This example:
+
+1. reclassifies the paper's own Figure 1 and Figure 2 histories and
+   prints the matrix from the caption;
+2. audits a history captured from a live simulated run (the trace of a
+   deliberately misbehaving implementation) and shows the checkers
+   catching the violation;
+3. shows the polynomial witness path used for big traces.
+
+Run: ``python examples/consistency_audit.py``
+"""
+
+from repro.analysis import classification_matrix
+from repro.core.criteria import classify
+from repro.core.criteria.witness import verify_suc_witness
+from repro.core.history import History
+from repro.core.universal import UniversalReplica
+from repro.paper import FIG1_BUILDERS, fig_2
+from repro.sim import Cluster
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+def audit_buggy_implementation() -> History:
+    """A 'replica' that drops remote deletions — build its history."""
+    # p0 inserts and deletes 7; p1 receives only the insert and reads {7}
+    # forever: classify what its users observe.
+    return History.from_processes(
+        [
+            [S.insert(7), S.delete(7), (S.read(set()), True)],
+            [(S.read({7}), True)],
+        ]
+    )
+
+
+def main() -> None:
+    print("== 1. the paper's Figure 1 and Figure 2 ==")
+    table, _ = classification_matrix(
+        {name: b() for name, b in FIG1_BUILDERS.items()} | {"fig2": fig_2()},
+        SPEC,
+    )
+    print(table)
+    print()
+
+    print("== 2. auditing a buggy implementation ==")
+    history = audit_buggy_implementation()
+    print(history.pretty())
+    results = classify(history, SPEC)
+    for name, res in results.items():
+        verdict = "OK" if res else f"VIOLATED ({res.reason})"
+        print(f"  {name:4s}: {verdict}")
+    print("  diagnosis: the histories are not even eventually consistent —")
+    print("  dropping the delete left the replicas on different states.\n")
+
+    print("== 3. the witness path for real traces ==")
+    c = Cluster(3, lambda p, n: UniversalReplica(p, n, SPEC), seed=3)
+    for i in range(30):
+        c.update(i % 3, S.insert(i % 5) if i % 2 else S.delete(i % 5))
+        if i % 7 == 0:
+            c.query((i + 1) % 3, "read")
+    c.run()
+    c.query(0, "read")
+    trace_history = c.trace.to_history()
+    witness = c.trace.suc_witness(trace_history)
+    res = verify_suc_witness(trace_history, SPEC, witness)
+    print(f"  {len(trace_history)} events; exhaustive SUC search would be")
+    print("  astronomically large — the witness check is polynomial:")
+    print(f"  verify_suc_witness -> {'PASS' if res else 'FAIL: ' + res.reason}")
+
+
+if __name__ == "__main__":
+    main()

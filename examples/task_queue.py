@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""A replicated task queue — and why the paper splits pop in two.
+
+The UQ-ADT class excludes operations that both mutate and return (a
+classical ``dequeue``): "such operations can always be separated into a
+query and an update ... which is not a problem as, in weak consistency
+models, it is impossible to ensure atomicity anyway."
+
+This example makes that remark concrete.  Workers on three sites pull
+jobs from a replicated FIFO queue using the split protocol
+(``front`` query + ``pop`` update):
+
+* while messages are in flight, two workers can ``front`` the SAME job —
+  the split turns would-be atomicity violations into *visible* duplicate
+  claims (at-least-once execution), the standard contract of distributed
+  queues;
+* after convergence, everyone agrees on exactly which jobs are left —
+  update consistency makes the duplication transient and quantifiable.
+
+We count duplicate claims at several network latencies: the worse the
+network, the more duplicates — an atomic dequeue would instead have had
+to *block* for a round-trip (the Attiya–Welch cost the paper refuses).
+
+Run: ``python examples/task_queue.py``
+"""
+
+from repro.analysis import format_table, update_consistent_convergence
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.specs import QueueSpec
+from repro.specs import queue_spec as Q
+
+N_WORKERS = 3
+N_JOBS = 12
+SPEC = QueueSpec()
+
+
+def run_shift(mean_latency: float, seed: int = 1):
+    cluster = Cluster(
+        N_WORKERS, lambda p, n: UniversalReplica(p, n, SPEC),
+        latency=ExponentialLatency(mean_latency), seed=seed,
+    )
+    # The dispatcher (worker 0) enqueues the backlog.
+    for j in range(N_JOBS):
+        cluster.update(0, Q.enqueue(f"job-{j}"))
+    cluster.run()
+
+    claims: list[tuple[int, str]] = []
+    # Workers take turns: look at the front, claim it, pop it.  Between
+    # turns the network gets a fixed slice of real time to propagate pops
+    # — how much of a pop arrives in that slice depends on the latency.
+    for round_ in range(2 * N_JOBS):
+        worker = round_ % N_WORKERS
+        job = cluster.query(worker, "front")
+        if job != Q.EMPTY:
+            claims.append((worker, job))
+            cluster.update(worker, Q.pop())
+        cluster.run_until(cluster.now + 1.0)
+    cluster.run()
+
+    executed = [job for _, job in claims]
+    duplicates = len(executed) - len(set(executed))
+    lost = N_JOBS - len(set(executed))
+    ok, final, _ = update_consistent_convergence(cluster, SPEC)
+    return duplicates, len(set(executed)), lost, ok, final
+
+
+def main() -> None:
+    print(f"{N_JOBS} jobs, {N_WORKERS} workers, split front/pop protocol\n")
+    rows = []
+    for latency in (0.01, 2.0, 8.0):
+        duplicates, distinct, lost, ok, final = run_shift(latency)
+        rows.append([latency, distinct, duplicates, lost, ok, len(final)])
+    print(format_table(
+        ["mean latency", "distinct jobs run", "duplicate claims",
+         "jobs lost", "queue converged", "jobs left"],
+        rows,
+    ))
+    print()
+    print("reading the table:")
+    print(" * on a fast network the split protocol behaves like a real")
+    print("   queue: every job runs exactly once;")
+    print(" * as latency grows, workers front the same job before each")
+    print("   other's pop arrives (duplicate claims), and blind pops land")
+    print("   on jobs nobody looked at (lost jobs) — the atomicity the")
+    print("   split gave up, made visible and measurable;")
+    print(" * the queue itself always converges to the agreed state: the")
+    print("   anomalies are client-visible, not replica divergence.")
+    print()
+    print("an atomic dequeue would need consensus-grade synchrony — the")
+    print("paper's whole point is that wait-free systems cannot have it,")
+    print("so the API must make the weakness explicit.")
+
+
+if __name__ == "__main__":
+    main()

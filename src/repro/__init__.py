@@ -1,0 +1,35 @@
+"""repro — update consistency for wait-free concurrent objects.
+
+A production-quality reproduction of Perrin, Mostéfaoui & Jard,
+*Update Consistency for Wait-free Concurrent Objects*, IEEE IPDPS 2015.
+
+Packages
+--------
+``repro.core``
+    The formalism (UQ-ADTs, histories, linearizations), the consistency
+    criteria EC/SEC/PC/UC/SUC/SC with exact and witness-based checkers,
+    Algorithm 1 (universal SUC construction), Algorithm 2 (UC memory) and
+    the Section VII-C optimizations.
+``repro.specs``
+    Concrete sequential specifications: set, registers/memory, counter,
+    queue, stack, log, map, max-register, flag.
+``repro.sim``
+    Deterministic discrete-event simulator of an asynchronous crash-prone
+    message-passing system (the wait-free system model of Section VII-A).
+``repro.crdt``
+    The Section VI baselines: G-Set, 2P-Set, PN-Set, C-Set, OR-Set,
+    LWW-element-Set, counters and registers.
+``repro.objects``
+    Ready-to-run replicated objects over Algorithm 1 plus the pipelined
+    (FIFO) and causal baselines used by the Proposition 1 experiments.
+``repro.analysis``
+    Convergence detection, message/byte accounting, history
+    classification reports.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.adt import Query, UQADT, Update
+from repro.core.history import Event, History
+
+__all__ = ["UQADT", "Update", "Query", "Event", "History", "__version__"]

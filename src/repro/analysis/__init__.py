@@ -1,0 +1,51 @@
+"""Analysis layer: convergence, complexity accounting, classification reports.
+
+* :mod:`repro.analysis.convergence` — have the replicas converged, and to
+  a state a linearization of the updates explains (the UC test on real
+  traces)?
+* :mod:`repro.analysis.metrics` — message counts and encoded sizes
+  (Section VII-C: one broadcast per update; timestamps grow
+  logarithmically).
+* :mod:`repro.analysis.classify` — run the exact criterion checkers over
+  a history and render the Fig. 1-style matrix.
+* :mod:`repro.analysis.report` — plain-text table rendering shared by the
+  benchmark harness.
+"""
+
+from repro.analysis.convergence import (
+    agreed_state,
+    converged,
+    divergence_degree,
+    expected_final_state,
+    update_consistent_convergence,
+)
+from repro.analysis.metrics import (
+    MessageStats,
+    collect_message_stats,
+    payload_size_bits,
+    timestamp_growth,
+)
+from repro.analysis.classify import classification_matrix
+from repro.analysis.report import format_table
+from repro.analysis.staleness import (
+    StalenessReport,
+    inclusion_latencies,
+    staleness_report,
+)
+
+__all__ = [
+    "converged",
+    "agreed_state",
+    "divergence_degree",
+    "expected_final_state",
+    "update_consistent_convergence",
+    "MessageStats",
+    "collect_message_stats",
+    "payload_size_bits",
+    "timestamp_growth",
+    "classification_matrix",
+    "format_table",
+    "StalenessReport",
+    "staleness_report",
+    "inclusion_latencies",
+]

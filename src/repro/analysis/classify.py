@@ -1,0 +1,32 @@
+"""History classification reports — the Fig. 1 matrix as a function.
+
+``classification_matrix`` runs the exact criterion checkers over a set of
+named histories and renders the same rows/columns as the paper's Fig. 1
+caption: one row per history, one column per criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.adt import UQADT
+from repro.core.history import History
+from repro.core.criteria.lattice import classify
+from repro.analysis.report import format_table
+
+
+def classification_matrix(
+    histories: Mapping[str, History | Callable[[], History]],
+    spec: UQADT,
+    criteria: Sequence[str] = ("EC", "SEC", "UC", "SUC", "PC"),
+) -> tuple[str, dict[str, dict[str, bool]]]:
+    """Classify each history; return (rendered table, raw results)."""
+    raw: dict[str, dict[str, bool]] = {}
+    rows = []
+    for name, item in histories.items():
+        history = item() if callable(item) else item
+        results = classify(history, spec, criteria=tuple(criteria))
+        raw[name] = {c: bool(results[c]) for c in criteria}
+        rows.append([name] + [raw[name][c] for c in criteria])
+    table = format_table(["history"] + list(criteria), rows, title="criterion matrix")
+    return table, raw

@@ -1,0 +1,80 @@
+"""Convergence analysis of simulator runs.
+
+Eventual consistency on a finite trace means: once the network is
+quiescent, every correct replica holds the same state.  Update consistency
+additionally requires that the common state be *explained by a
+linearization of the updates* containing the program order.  For traces of
+Algorithm-1-family replicas we do not search for that linearization — the
+timestamps in the trace metadata define it (the agreed arbitration), so
+the check is a single replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.adt import UQADT, _canonical
+from repro.sim.cluster import Cluster, Trace
+
+
+def converged(cluster: Cluster) -> bool:
+    """True iff every correct replica holds the same local state.
+
+    Meaningful once ``cluster.quiescent()``; before that it just reports
+    momentary agreement.
+    """
+    states = [_canonical(s) for s in cluster.states().values()]
+    return len(set(states)) <= 1
+
+
+def divergence_degree(cluster: Cluster) -> int:
+    """Number of distinct local states among correct replicas (1 = agreed)."""
+    states = [_canonical(s) for s in cluster.states().values()]
+    return len(set(states))
+
+
+def agreed_state(cluster: Cluster) -> Any:
+    """The common state; raises if the replicas disagree."""
+    states = cluster.states()
+    canon = {_canonical(s) for s in states.values()}
+    if len(canon) > 1:
+        raise ValueError(f"replicas diverge: {states}")
+    return next(iter(states.values()))
+
+
+def expected_final_state(trace: Trace, spec: UQADT) -> Any:
+    """Replay the trace's updates in timestamp order — the converged state
+    Algorithm 1 commits to (the agreed linearization's final state).
+
+    Requires update records to carry ``"timestamp"`` metadata.
+    """
+    stamped = []
+    for record in trace.updates():
+        ts = record.meta.get("timestamp")
+        if ts is None:
+            raise ValueError(
+                f"update record {record.eid} lacks a timestamp; this trace "
+                f"did not come from a timestamp-ordering replica"
+            )
+        stamped.append((tuple(ts), record.label))
+    stamped.sort(key=lambda x: x[0])
+    state = spec.initial_state()
+    for _, update in stamped:
+        state = spec.apply(state, update)
+    return state
+
+
+def update_consistent_convergence(
+    cluster: Cluster, spec: UQADT
+) -> tuple[bool, Any, dict[int, Any]]:
+    """The full UC convergence check for a quiescent run.
+
+    Returns ``(ok, expected_state, per_replica_states)``: ``ok`` iff every
+    correct replica's state equals the replay of all updates in the agreed
+    timestamp order.
+    """
+    expected = expected_final_state(cluster.trace, spec)
+    expected_c = _canonical(expected)
+    states = cluster.states()
+    ok = all(_canonical(s) == expected_c for s in states.values())
+    return ok, expected, states

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series the paper reports (or that its claims
+imply); this module keeps the formatting in one place so the outputs are
+uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if isinstance(value, frozenset):
+        return "{" + ", ".join(sorted(map(repr, value))) + "}"
+    return str(value)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[Any, Any]], *, x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render a (x, y) series as the two columns a plot would use."""
+    rows = [(x, y) for x, y in points]
+    return format_table([x_label, y_label], rows, title=name)

@@ -1,0 +1,229 @@
+"""Update-query abstract data types (Definition 1 of the paper).
+
+A UQ-ADT is a transition system ``(U, Qi, Qo, S, s0, T, G)``:
+
+* ``U`` — update operations: side-effecting, no return value;
+* ``Qi × Qo`` — query operations ``qi/qo`` (input ``qi`` returns ``qo``);
+* ``T : S × U -> S`` — transition function;
+* ``G : S × Qi -> Qo`` — output function.
+
+A sequential history (a word over ``U ∪ Q``) is *recognized* when replaying
+it from ``s0`` makes every query output match ``G`` of the current state.
+``L(O)`` — the recognized language — is the sequential specification that
+every consistency criterion in :mod:`repro.core.criteria` refers to.
+
+Concrete data types live in :mod:`repro.specs`; they subclass
+:class:`UQADT` and implement ``apply`` (= ``T``) and ``observe`` (= ``G``).
+Operations themselves are *symbolic* (:class:`Update`, :class:`Query`
+dataclasses) so the same history object can be checked against different
+specifications and shipped through the simulator as plain messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """A symbolic update operation ``name(*args)``.
+
+    Updates have a side effect and no return value (they label transitions
+    of the UQ-ADT).  Equality is structural, so the same update issued twice
+    compares equal — histories distinguish the two *events* carrying it.
+    """
+
+    name: str
+    args: tuple[Hashable, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A symbolic query ``qi/qo``: input ``name(*args)`` observed to return
+    ``output``.
+
+    In the paper a query operation is the *pair* (input, output); a history
+    records what each read actually returned, and the criteria decide
+    whether those returns are explainable.
+    """
+
+    name: str
+    args: tuple[Hashable, ...] = ()
+    output: Any = None
+
+    @property
+    def input_part(self) -> tuple[str, tuple[Hashable, ...]]:
+        """The ``qi`` component (used to evaluate ``G`` against a state)."""
+        return (self.name, self.args)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})/{self.output!r}"
+
+
+Operation = Update | Query
+
+#: Sentinel distinguishing "no state supplied" from a legitimate ``None`` state.
+_NO_STATE = object()
+
+
+class UQADT:
+    """Base class for sequential specifications.
+
+    Subclasses provide:
+
+    * :attr:`name` — human-readable type name;
+    * :meth:`initial_state` — ``s0`` (must be a fresh or immutable value);
+    * :meth:`apply` — the transition function ``T`` (must *not* mutate the
+      input state; return a new state);
+    * :meth:`observe` — the output function ``G``;
+    * optionally :meth:`solve_state` — given query constraints, produce a
+      state satisfying all of them (used by the eventual-consistency
+      checkers, where the consistent state is *any* element of ``S``, not
+      necessarily reachable);
+    * optionally :meth:`canonical` — hashable canonical form of a state
+      (defaults to the state itself), used to compare states for equality
+      across replicas.
+    """
+
+    name: str = "uq-adt"
+    #: True when every pair of updates commutes (pure CRDT in the sense of
+    #: Section VII-C); enables the commutative fast path.
+    commutative_updates: bool = False
+    #: True when every update ``u`` has an inverse with
+    #: ``T(T(s, u), u⁻¹) = s`` for *all* states — the precondition of the
+    #: Karsenty–Beaudouin-Lafon undo optimization (:mod:`repro.core.undo`).
+    #: Implementations must then provide :meth:`unapply`.
+    invertible_updates: bool = False
+
+    # -- the transition system -------------------------------------------------
+
+    def initial_state(self) -> Any:
+        """The initial state ``s0`` (a fresh or immutable value)."""
+        raise NotImplementedError
+
+    def apply(self, state: Any, update: Update) -> Any:
+        """Transition function ``T``.  Must be pure (no mutation)."""
+        raise NotImplementedError
+
+    def observe(self, state: Any, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        """Output function ``G``."""
+        raise NotImplementedError
+
+    def unapply(self, state: Any, update: Update) -> Any:
+        """Inverse transition: ``unapply(apply(s, u), u) == s`` for all s.
+
+        Only meaningful when :attr:`invertible_updates` is True; the undo
+        optimization uses it to re-position late updates without a full
+        replay (Section VII-C's discussion of [Karsenty & Beaudouin-Lafon]).
+        """
+        raise NotImplementedError(f"{self.name} updates are not invertible")
+
+    def apply_batch(self, state: Any, updates: Sequence[Update]) -> Any:
+        """Fold a whole update sequence into the state.
+
+        Semantically always equal to ``functools.reduce(self.apply, ...)``
+        (property-tested); the point is performance: specs override it
+        with vectorized or single-pass implementations (numpy delta sums
+        for the counter, one concatenation for the log, a reverse
+        membership pass for the set), which the replay-based replicas use
+        for their hot loop.  "Vectorizing for loops" and "in-place-style
+        batch work" are the standard scientific-Python levers — measured
+        in ``benchmarks/bench_ablation_batch.py``.
+        """
+        for update in updates:
+            state = self.apply(state, update)
+        return state
+
+    # -- derived machinery -----------------------------------------------------
+
+    def evaluate(self, state: Any, query: Query) -> Any:
+        """``G`` applied to a symbolic query's input part."""
+        return self.observe(state, query.name, query.args)
+
+    def satisfies(self, state: Any, query: Query) -> bool:
+        """True iff ``G(state, qi) == qo`` for the recorded pair ``qi/qo``."""
+        return self.evaluate(state, query) == query.output
+
+    def replay(self, operations: Iterable[Operation], state: Any = _NO_STATE) -> Any:
+        """Final state after applying the updates of ``operations`` in order.
+
+        Queries in the sequence are ignored (they do not change the state);
+        use :meth:`recognizes` to additionally validate their outputs.
+        Passing ``state`` replays from that state instead of ``s0`` (``None``
+        is a legal state for e.g. registers, hence the private sentinel).
+        """
+        s = self.initial_state() if state is _NO_STATE else state
+        for op in operations:
+            if isinstance(op, Update):
+                s = self.apply(s, op)
+        return s
+
+    def recognizes(self, word: Sequence[Operation]) -> bool:
+        """Membership in ``L(O)``: replay ``word`` checking every query."""
+        state = self.initial_state()
+        for op in word:
+            if isinstance(op, Update):
+                state = self.apply(state, op)
+            elif isinstance(op, Query):
+                if not self.satisfies(state, op):
+                    return False
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"not an operation: {op!r}")
+        return True
+
+    def first_violation(self, word: Sequence[Operation]) -> int | None:
+        """Index of the first query whose output contradicts the replay,
+        or ``None`` if the word is recognized (diagnostics helper)."""
+        state = self.initial_state()
+        for i, op in enumerate(word):
+            if isinstance(op, Update):
+                state = self.apply(state, op)
+            elif not self.satisfies(state, op):
+                return i
+        return None
+
+    # -- hooks for the criteria checkers ----------------------------------------
+
+    def solve_state(self, constraints: Sequence[Query]) -> Any | None:
+        """A state satisfying every ``qi/qo`` constraint, or ``None``.
+
+        The eventual-consistency criteria quantify existentially over *all*
+        states of ``S`` (not only reachable ones).  Concrete specs override
+        this with an exact solver; the default conservatively returns
+        ``None`` when constraints are non-empty and cannot be discharged,
+        which makes the checkers *sound but incomplete* for exotic specs.
+        """
+        if not constraints:
+            return self.initial_state()
+        state = self.initial_state()
+        if all(self.satisfies(state, q) for q in constraints):
+            return state
+        return None
+
+    def canonical(self, state: Any) -> Hashable:
+        """Hashable canonical form for state comparison across replicas."""
+        return _canonical(state)
+
+    def states_equal(self, a: Any, b: Any) -> bool:
+        """Structural state equality via :meth:`canonical`."""
+        return self.canonical(a) == self.canonical(b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _canonical(state: Any) -> Hashable:
+    """Best-effort hashable canonicalization of common state shapes."""
+    if isinstance(state, (set, frozenset)):
+        return frozenset(_canonical(x) for x in state)
+    if isinstance(state, dict):
+        return tuple(sorted((k, _canonical(v)) for k, v in state.items()))
+    if isinstance(state, list):
+        return tuple(_canonical(x) for x in state)
+    if isinstance(state, tuple):
+        return tuple(_canonical(x) for x in state)
+    return state

@@ -1,0 +1,236 @@
+"""Section VII-C optimization: cached intermediate states + stable-prefix GC.
+
+Algorithm 1 replays the whole update log on every query.  The paper notes
+that "in an effective implementation, a process can keep intermediate
+states [which] are re-computed only if very late messages arrive" and that
+"after some time old messages can be garbage collected".  Both ideas are
+implemented here.
+
+:class:`CheckpointedReplica`
+    Keeps the state of an already-replayed prefix plus periodic
+    checkpoints.  A query only folds in the updates that arrived since the
+    last one (amortized O(new updates)).  A *late* message — one whose
+    timestamp sorts before already-replayed updates — rolls back to the
+    nearest checkpoint at or before its insertion point.
+
+:class:`GarbageCollectedReplica`
+    Additionally tracks, per peer, the highest Lamport clock heard from it.
+    An update stamped below every peer's heard-clock can never be preceded
+    by a yet-unknown update (Lamport clocks are monotone along messages),
+    so the prefix of such updates is *stable*: it is folded into a base
+    state and dropped from the log.  Idle processes keep the frontier
+    moving with heartbeats (clock-only messages).
+
+    Stability relies on per-sender delivery order: run it over FIFO
+    channels (``Cluster(..., fifo=True)``).  With arbitrary reordering an
+    in-flight message could be stamped below an already-heard clock and
+    sort under the collected prefix — the replica detects that and raises
+    :class:`StabilityViolation` rather than silently diverging.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import UQADT
+from repro.core.universal import Stamped, UniversalReplica
+
+
+class CheckpointedReplica(UniversalReplica):
+    """Algorithm 1 with cached replay prefix and periodic checkpoints."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        spec: UQADT,
+        *,
+        checkpoint_interval: int = 64,
+        track_witness: bool = True,
+    ) -> None:
+        super().__init__(pid, n, spec, track_witness=track_witness)
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.checkpoint_interval = checkpoint_interval
+        self._state: Any = spec.initial_state()
+        self._applied = 0  # updates[:applied] are folded into _state
+        #: (index, state) pairs, ascending; index 0 is the base state.
+        self._checkpoints: list[tuple[int, Any]] = [(0, self._state)]
+        self.rollbacks = 0  # late-message rollbacks (bench metric)
+
+    # The base state replay starts from (overridden by the GC subclass).
+    def _base_state(self) -> Any:
+        return self.spec.initial_state()
+
+    def _insert(self, stamped: Stamped) -> None:
+        key = (stamped[0], stamped[1])
+        pos = bisect.bisect_left(self.updates, key, key=lambda s: (s[0], s[1]))
+        self.updates.insert(pos, stamped)
+        if pos < self._applied:
+            # Late message: the cached state replayed updates that sort
+            # after it.  Roll back to the nearest checkpoint not past pos.
+            self.rollbacks += 1
+            while self._checkpoints and self._checkpoints[-1][0] > pos:
+                self._checkpoints.pop()
+            if self._checkpoints:
+                self._applied, self._state = self._checkpoints[-1]
+            else:  # pragma: no cover - base checkpoint is never popped
+                self._applied, self._state = 0, self._base_state()
+
+    def _replay_state(self) -> Any:
+        state = self._state
+        i = self._applied
+        log = self.updates
+        interval = self.checkpoint_interval
+        while i < len(log):
+            state = self.spec.apply(state, log[i][2])
+            i += 1
+            if i % interval == 0:
+                self._checkpoints.append((i, state))
+        self.replayed_updates += i - self._applied
+        self._applied, self._state = i, state
+        return state
+
+
+class StabilityViolation(RuntimeError):
+    """A message arrived below the garbage-collected frontier (the network
+    reordered per-sender traffic; stable-prefix GC needs FIFO channels)."""
+
+
+class GarbageCollectedReplica(CheckpointedReplica):
+    """Checkpointing plus stable-prefix garbage collection.
+
+    The wire format grows a heartbeat variant: updates travel as
+    ``(clock, pid, update)`` like the base class; heartbeats as
+    ``("hb", clock, pid)``.  GC folds the stable prefix into the base
+    state; :attr:`collected` counts discarded log entries.
+    """
+
+    HEARTBEAT = "hb"
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        spec: UQADT,
+        *,
+        checkpoint_interval: int = 64,
+        gc_interval: int = 128,
+        track_witness: bool = False,
+        relay: bool = False,
+    ) -> None:
+        if relay:
+            raise ValueError(
+                "stable-prefix GC cannot run with epidemic relay: a "
+                "relayed duplicate stamped under the collected frontier is "
+                "indistinguishable from a stability violation"
+            )
+        super().__init__(
+            pid, n, spec,
+            checkpoint_interval=checkpoint_interval,
+            track_witness=track_witness,
+        )
+        if gc_interval <= 0:
+            raise ValueError("gc interval must be positive")
+        self.gc_interval = gc_interval
+        #: highest clock heard from each peer (own entry tracks own clock).
+        self.heard: list[int] = [0] * n
+        self._base: Any = spec.initial_state()
+        self._stable_uids: list[tuple[int, int]] = []
+        self.collected = 0
+        self._since_gc = 0
+        #: largest (clock, pid) folded into the base state.
+        self._gc_frontier: tuple[int, int] | None = None
+
+    def _base_state(self) -> Any:
+        return self._base
+
+    def on_update(self, update) -> Sequence[Any]:
+        out = super().on_update(update)
+        self.heard[self.pid] = self.clock.value
+        self._maybe_gc()
+        return out
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        if isinstance(payload, tuple) and payload and payload[0] == self.HEARTBEAT:
+            _, cl, j = payload
+            self.clock.merge(cl)
+            self.heard[j] = max(self.heard[j], cl)
+            self._maybe_gc()
+            return ()
+        cl, j, _u = payload
+        if self._gc_frontier is not None and (cl, j) <= self._gc_frontier:
+            raise StabilityViolation(
+                f"update stamped {(cl, j)} arrived under the collected "
+                f"frontier {self._gc_frontier}; use FIFO channels with GC"
+            )
+        self.heard[j] = max(self.heard[j], cl)
+        out = super().on_message(src, payload)
+        self._maybe_gc()
+        return out
+
+    def heartbeat(self) -> tuple:
+        """A clock-only payload keeping the stability frontier moving.
+
+        Callers broadcast it via the cluster's network; it carries no
+        update, so it does not appear in the distributed history.
+        """
+        self.heard[self.pid] = self.clock.value
+        return (self.HEARTBEAT, self.clock.value, self.pid)
+
+    def _maybe_gc(self) -> None:
+        self._since_gc += 1
+        if self._since_gc >= self.gc_interval:
+            self._since_gc = 0
+            self.collect_garbage()
+
+    def collect_garbage(self) -> int:
+        """Fold the stable prefix into the base state; return entries freed.
+
+        An update ``(cl, j)`` is stable when ``cl <= min(heard)``: over FIFO
+        channels every not-yet-received message from process ``k`` was sent
+        after the one stamped ``heard[k]``, so it carries a clock of at
+        least ``heard[k] + 1 > cl`` (Lamport monotonicity) and can never
+        sort into or before the prefix.
+        """
+        frontier = min(self.heard)
+        cut = bisect.bisect_left(
+            self.updates, (frontier + 1,), key=lambda s: (s[0], s[1])
+        )
+        if cut == 0:
+            return 0
+        # Fold the prefix into the base state.
+        state = self._base
+        for cl, j, update in self.updates[:cut]:
+            state = self.spec.apply(state, update)
+            if self.track_witness:
+                self._stable_uids.append((cl, j))
+            self._gc_frontier = (cl, j)
+        self._base = state
+        del self.updates[:cut]
+        # Shift cached replay structures left by `cut`.
+        self._applied = max(0, self._applied - cut)
+        shifted = [(i - cut, s) for i, s in self._checkpoints if i - cut >= 0]
+        self._checkpoints = shifted if shifted else [(0, self._base)]
+        if not any(i == 0 for i, _ in self._checkpoints):
+            self._checkpoints.insert(0, (0, self._base))
+        # The cached state may predate the fold; recompute conservatively.
+        self._applied, self._state = self._checkpoints[0]
+        for i, s in self._checkpoints:
+            if i <= len(self.updates):
+                self._applied, self._state = i, s
+        self.collected += cut
+        return cut
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        out = super().on_query(name, args)
+        if self.track_witness and self._last_meta:
+            visible = set(self._last_meta.get("visible", frozenset()))
+            visible.update(self._stable_uids)
+            self._last_meta["visible"] = frozenset(visible)
+        return out
+
+    @property
+    def live_log_length(self) -> int:
+        return len(self.updates)

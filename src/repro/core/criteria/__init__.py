@@ -1,0 +1,79 @@
+"""Consistency criteria (Definitions 4-10 of the paper).
+
+A criterion maps a UQ-ADT to the set of distributed histories it allows
+(Definition 4).  Each checker here decides membership for a finitely
+encoded history (ω-flags standing for infinite suffixes — see
+:mod:`repro.core.history`):
+
+====================  =============================================  ========
+criterion             definition                                     checker
+====================  =============================================  ========
+eventual (EC)         Def. 5 — replicas eventually agree on *some*   exact
+                      state
+strong eventual (SEC) Def. 6 — same visible updates ⇒ same state     exact search
+pipelined (PC)        Def. 7 — PRAM generalized to UQ-ADTs           exact
+update (UC)           Def. 8 — converged state explained by a        exact
+                      linearization of the updates
+strong update (SUC)   Def. 9 — visibility + arbitration total order  exact search
+sequential (SC)       lin(H) ∩ L(O) ≠ ∅ keeping all queries          exact
+insert-wins SEC       Def. 10 — concurrent spec of the OR-set        exact search
+====================  =============================================  ========
+
+The exact checkers are exponential and intended for the paper's example
+histories and bounded random histories in property tests.  Simulator
+traces are instead validated in polynomial time against the witness
+relations the algorithms construct (:mod:`repro.core.criteria.witness`,
+mirroring the proof of Proposition 4).
+"""
+
+from repro.core.criteria.base import CheckResult, Criterion
+from repro.core.criteria.eventual import EventualConsistency, StrongEventualConsistency
+from repro.core.criteria.insert_wins import InsertWinsSEC
+from repro.core.criteria.pipelined import PipelinedConsistency, PipelinedConvergence
+from repro.core.criteria.sequential import SequentialConsistency
+from repro.core.criteria.update import StrongUpdateConsistency, UpdateConsistency
+from repro.core.criteria.witness import SUCWitness, verify_suc_witness
+from repro.core.criteria.lattice import classify, CRITERIA, implication_pairs
+from repro.core.criteria.realtime import (
+    TimedOperation,
+    check_linearizable,
+    trace_linearizable,
+)
+from repro.core.criteria.sessions import check_all_sessions
+from repro.core.criteria.cache import CacheConsistency
+
+EC = EventualConsistency()
+SEC = StrongEventualConsistency()
+PC = PipelinedConsistency()
+UC = UpdateConsistency()
+SUC = StrongUpdateConsistency()
+SC = SequentialConsistency()
+
+__all__ = [
+    "CheckResult",
+    "Criterion",
+    "EventualConsistency",
+    "StrongEventualConsistency",
+    "PipelinedConsistency",
+    "PipelinedConvergence",
+    "UpdateConsistency",
+    "StrongUpdateConsistency",
+    "SequentialConsistency",
+    "InsertWinsSEC",
+    "SUCWitness",
+    "verify_suc_witness",
+    "classify",
+    "CRITERIA",
+    "implication_pairs",
+    "EC",
+    "SEC",
+    "PC",
+    "UC",
+    "SUC",
+    "SC",
+    "TimedOperation",
+    "check_linearizable",
+    "trace_linearizable",
+    "check_all_sessions",
+    "CacheConsistency",
+]

@@ -1,0 +1,174 @@
+"""Criterion interface and shared visibility-search machinery.
+
+Definition 4: a consistency criterion ``C`` maps each UQ-ADT ``O`` to the
+set ``C(O)`` of allowed histories; an object is C-consistent when all its
+histories lie in ``C(O)``.  Checkers answer ``H ∈ C(O)?`` and, when the
+answer is positive, return the witness structures the definition
+existentially quantifies over (a consistent state, a visibility relation,
+an arbitration order, a linearization, ...).
+
+The visibility search used by SEC/SUC/insert-wins enumerates assignments
+``Vis : queries -> 2^updates`` under the constraints shared by
+Definitions 6 and 9:
+
+* containment of program order — every update that program-order-precedes
+  an event is visible to it (reflexivity + growth make this mandatory, as
+  the paper argues for Fig. 1a);
+* growth — visibility is monotone along the program order;
+* eventual delivery — every update is visible to every ω-event (an
+  ω-event stands for a cofinite suffix);
+* acyclicity — an update program-order-after a query cannot be visible to
+  it.
+
+Only update→event visibility edges are enumerated: edges out of queries
+never influence any definition's conclusions (queries have no effect and
+``vis(q, ·)`` in Def. 10 only collects updates), and extra update→update
+edges are handled separately by the insert-wins checker, which is the only
+criterion whose semantics reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.core.adt import UQADT
+from repro.core.history import Event, History
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """Outcome of a criterion check.
+
+    ``witness`` carries whatever the criterion's definition existentially
+    quantifies over (documented per checker); ``reason`` is a short
+    human-readable explanation, mainly for negative results.
+    """
+
+    holds: bool
+    criterion: str
+    witness: Mapping[str, Any] | None = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "holds" if self.holds else "fails"
+        extra = f" ({self.reason})" if self.reason else ""
+        return f"<{self.criterion}: {status}{extra}>"
+
+
+class Criterion:
+    """Base class: a named checker deciding ``H ∈ C(O)``."""
+
+    name: str = "criterion"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        """Decide ``history ∈ C(spec)``; see each criterion's docstring."""
+        raise NotImplementedError
+
+    def holds(self, history: History, spec: UQADT) -> bool:
+        """Boolean shorthand for :meth:`check`."""
+        return bool(self.check(history, spec))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<criterion {self.name}>"
+
+
+@dataclass(slots=True)
+class VisibilityProblem:
+    """Pre-computed structure for the visibility-assignment search."""
+
+    history: History
+    updates: tuple[Event, ...] = ()
+    queries: tuple[Event, ...] = ()
+    #: mandatory visible updates per query (program-order ancestors).
+    mandatory: dict[Event, frozenset[Event]] = field(default_factory=dict)
+    #: updates that may NOT be visible (program-order descendants).
+    forbidden: dict[Event, frozenset[Event]] = field(default_factory=dict)
+    #: query -> query program-order predecessors (monotonicity coupling).
+    query_preds: dict[Event, tuple[Event, ...]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(history: History) -> "VisibilityProblem":
+        """Precompute mandatory/forbidden visibility sets for ``history``."""
+        if history.has_infinite_updates:
+            raise NotImplementedError(
+                "visibility search over ω-updates is not supported; "
+                "EC and UC special-case infinite update sets per their definitions"
+            )
+        updates = history.updates
+        queries = history.queries
+        problem = VisibilityProblem(history, updates, queries)
+        update_set = set(updates)
+        for q in queries:
+            ancestors = {u for u in updates if history.precedes(u, q)}
+            descendants = {u for u in updates if history.precedes(q, u)}
+            if q.omega:
+                # Eventual delivery: the infinite suffix sees every update.
+                ancestors = set(update_set)
+            problem.mandatory[q] = frozenset(ancestors)
+            problem.forbidden[q] = frozenset(descendants)
+            problem.query_preds[q] = tuple(
+                p for p in queries if p is not q and history.precedes(p, q)
+            )
+        return problem
+
+    def topological_queries(self) -> tuple[Event, ...]:
+        """Queries sorted so program-order predecessors come first."""
+        return tuple(
+            sorted(self.queries, key=lambda q: len(self.query_preds[q]))
+        )
+
+    def assignments(
+        self,
+        *,
+        admissible: Callable[[Event, frozenset[Event], dict], bool] | None = None,
+    ) -> Iterator[dict[Event, frozenset[Event]]]:
+        """Enumerate all visibility assignments satisfying the structural
+        constraints, optionally pruned by a per-query ``admissible`` test.
+
+        ``admissible(q, vis_set, partial_assignment)`` is called as soon as
+        ``q``'s set is chosen (the partial assignment covers the queries
+        placed so far, not yet including ``q``); returning ``False`` prunes
+        the whole subtree, which is what makes the search practical (e.g.
+        SUC's per-query replay check, SEC's group co-satisfiability).
+        """
+        order = self.topological_queries()
+        assignment: dict[Event, frozenset[Event]] = {}
+
+        def optional_updates(q: Event) -> list[Event]:
+            base = self.mandatory[q]
+            out = [
+                u
+                for u in self.updates
+                if u not in base and u not in self.forbidden[q]
+            ]
+            return out
+
+        def backtrack(i: int) -> Iterator[dict[Event, frozenset[Event]]]:
+            if i == len(order):
+                yield dict(assignment)
+                return
+            q = order[i]
+            lower = set(self.mandatory[q])
+            for p in self.query_preds[q]:
+                lower |= assignment[p]
+            if lower & self.forbidden[q]:
+                return  # monotonicity forces a forbidden update: dead end
+            candidates = [u for u in optional_updates(q) if u not in lower]
+            # Enumerate supersets of `lower` within candidates, smallest first.
+            for mask in range(1 << len(candidates)):
+                vis = frozenset(lower) | frozenset(
+                    u for bit, u in enumerate(candidates) if mask >> bit & 1
+                )
+                if q.omega and vis != frozenset(self.updates):
+                    continue
+                if admissible is not None and not admissible(q, vis, assignment):
+                    continue
+                assignment[q] = vis
+                yield from backtrack(i + 1)
+                del assignment[q]
+
+        yield from backtrack(0)

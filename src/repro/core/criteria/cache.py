@@ -1,0 +1,111 @@
+"""Cache consistency for the set — the paper's reading of the OR-set.
+
+Section VI closes with: the OR-set "can be seen as a cache consistent set
+[21] that, in some cases may have a better space complexity than update
+consistency".  Goodman's cache consistency [21] requires sequential
+consistency *per memory location*, with no ordering across locations.
+
+For the set object the natural reading of "location" is the element: the
+history restricted to any single value ``v`` — its insertions, deletions
+and what each read said about ``v``'s membership — must be sequentially
+consistent, while different elements may be explained by incompatible
+orders.  A read ``R/s`` is, for element ``v``, the observation
+``contains(v)/(v ∈ s)``; that projection is exactly how a per-location
+criterion sees a multi-location query.
+
+This is weaker than update consistency (no agreement across elements is
+required: Fig. 1b's OR-set outcome {1,2} is cache consistent but not UC)
+and incomparable with pipelined consistency.  The checker decides each
+per-element projection with the exact SC machinery; cost is per-element
+exponential, fine for the case-study histories.
+"""
+
+from __future__ import annotations
+
+from repro.core.adt import Query, UQADT, Update
+from repro.core.history import Event, History
+from repro.core.linearization import sequential_membership
+from repro.core.criteria.base import CheckResult, Criterion
+from repro.util import ordering
+
+
+class CacheConsistency(Criterion):
+    """Per-element sequential consistency for set histories.
+
+    Witness: one recognized linearization per element (key
+    ``"element_linearizations"``: value -> event tuple of the projection).
+    Only meaningful for histories over the set vocabulary
+    (``insert``/``delete`` updates, ``read``/``contains`` queries).
+    """
+
+    name = "CC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        if history.has_infinite_updates:
+            raise NotImplementedError(
+                "CC over ω-updates is undecidable on the finite encoding"
+            )
+        values = self._touched_values(history)
+        witness: dict = {}
+        for v in sorted(values, key=repr):
+            projection = self._project(history, v)
+            ok, lin = sequential_membership(projection, spec, return_witness=True)
+            if not ok:
+                return CheckResult(
+                    False,
+                    self.name,
+                    reason=f"element {v!r} admits no sequential explanation",
+                )
+            witness[v] = lin
+        return CheckResult(
+            True, self.name, witness={"element_linearizations": witness}
+        )
+
+    @staticmethod
+    def _touched_values(history: History) -> set:
+        values: set = set()
+        for e in history.events:
+            label = e.label
+            if label.name in ("insert", "delete", "contains"):
+                values.add(label.args[0])
+            elif label.name == "read":
+                values |= set(label.output)
+            else:
+                raise ValueError(
+                    f"cache consistency is defined for set histories; "
+                    f"found {label.name!r}"
+                )
+        return values
+
+    @staticmethod
+    def _project(history: History, v) -> History:
+        """The per-element sub-history: updates on ``v`` plus, for every
+        query, its membership observation of ``v``."""
+        events: list[Event] = []
+        mapping: dict[Event, Event] = {}
+        for e in history.events:
+            label = e.label
+            if isinstance(label, Update):
+                if label.args == (v,):
+                    new = e
+                else:
+                    continue
+            elif label.name == "contains":
+                if label.args != (v,):
+                    continue
+                new = e
+            else:  # a read observes every element's membership
+                new = Event(
+                    e.eid,
+                    Query("contains", (v,), v in label.output),
+                    e.pid,
+                    e.omega,
+                )
+            mapping[e] = new
+            events.append(new)
+        po = ordering.empty_relation(events)
+        for a in mapping:
+            for b in mapping:
+                if a is not b and history.precedes(a, b):
+                    ordering.add_edge(po, mapping[a], mapping[b])
+        return History(events, po)

@@ -1,0 +1,89 @@
+"""Eventual consistency (Definition 5) and strong eventual consistency
+(Definition 6).
+
+EC: the history has infinitely many updates, or there exists a state ``s``
+such that only finitely many queries are inconsistent with ``s``.  On the
+finite encoding this becomes: some ω-update exists, or the spec admits a
+single state satisfying every ω-query (finite queries are a finite set by
+construction, so they never constrain EC).  Note the state need not be
+*reachable* — EC ignores the sequential specification's transitions, which
+is exactly the weakness update consistency repairs (Fig. 1a is EC with
+consistent state ∅ even though ∅ is unreachable after I(1)·I(2)).
+
+SEC: there exists an acyclic reflexive visibility relation containing the
+program order, satisfying eventual delivery and growth, such that queries
+seeing the same set of updates can be explained by a common state (strong
+convergence).  The checker searches visibility assignments
+(:class:`repro.core.criteria.base.VisibilityProblem`) and discharges each
+same-visibility group with the spec's ``solve_state``.  Pruning: as soon
+as a query's visibility set is chosen, its group-so-far must remain
+co-satisfiable.
+"""
+
+from __future__ import annotations
+
+from repro.core.adt import UQADT
+from repro.core.history import History
+from repro.core.criteria.base import CheckResult, Criterion, VisibilityProblem
+
+
+class EventualConsistency(Criterion):
+    """Definition 5.  Witness: the consistent state (key ``"state"``)."""
+
+    name = "EC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        if history.has_infinite_updates:
+            return CheckResult(True, self.name, reason="infinitely many updates")
+        omega_queries = [e.label for e in history.omega_events if e.is_query]
+        state = spec.solve_state(omega_queries)
+        if state is None:
+            return CheckResult(
+                False,
+                self.name,
+                reason=(
+                    "no single state satisfies all ω-queries: "
+                    + ", ".join(str(q) for q in omega_queries)
+                ),
+            )
+        return CheckResult(True, self.name, witness={"state": state})
+
+
+class StrongEventualConsistency(Criterion):
+    """Definition 6.  Witness: the visibility assignment (``"visibility"``:
+    query event -> frozenset of visible update events) and the per-group
+    consistent states (``"group_states"``: frozenset -> state)."""
+
+    name = "SEC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        problem = VisibilityProblem.build(history)
+
+        def admissible(q, vis, partial) -> bool:
+            constraints = [p.label for p, pv in partial.items() if pv == vis]
+            constraints.append(q.label)
+            return spec.solve_state(constraints) is not None
+
+        for assignment in problem.assignments(admissible=admissible):
+            groups: dict[frozenset, list] = {}
+            for q, vis in assignment.items():
+                groups.setdefault(vis, []).append(q.label)
+            states = {}
+            ok = True
+            for vis, constraints in groups.items():
+                s = spec.solve_state(constraints)
+                if s is None:  # pragma: no cover - pruning makes this rare
+                    ok = False
+                    break
+                states[vis] = s
+            if ok:
+                return CheckResult(
+                    True,
+                    self.name,
+                    witness={"visibility": assignment, "group_states": states},
+                )
+        return CheckResult(
+            False,
+            self.name,
+            reason="no visibility relation yields strongly convergent query groups",
+        )

@@ -1,0 +1,172 @@
+"""Strong eventual consistency for the Insert-wins set (Definition 10).
+
+The Insert-wins set is the concurrent specification of the OR-set: an
+element is present in a read iff some visible insertion of it is not
+vis-before any visible deletion of it.  Formally, for every value ``x`` and
+query ``q`` labelled ``R/s``::
+
+    x ∈ s  ⟺  ∃u ∈ vis(q, I(x)) . ∀u' ∈ vis(q, D(x)) . u ̸→ᵛⁱˢ u'
+
+Unlike the other criteria, this one *reads the visibility relation between
+updates*, so the search enumerates, in addition to the query visibility
+sets, an orientation (``→``, ``←`` or concurrent) for every same-element
+insert/delete pair not already ordered by the program order, closing the
+result under growth and checking acyclicity.
+
+Proposition 3 states every history SUC for the set is SEC for the
+Insert-wins set — property-tested in ``tests/core/criteria``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.adt import UQADT
+from repro.core.history import Event, History
+from repro.core.criteria.base import CheckResult, Criterion, VisibilityProblem
+
+
+class InsertWinsSEC(Criterion):
+    """Definition 10.  Witness: query visibility (``"visibility"``), the
+    update-update visibility closure (``"update_vis"``: set of event pairs)
+    and per-group states (``"group_states"``)."""
+
+    name = "IW-SEC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        problem = VisibilityProblem.build(history)
+        updates = history.updates
+
+        po = history.program_order_closure
+        base_pairs = {
+            (a, b) for a in updates for b in updates if a is not b and history.precedes(a, b)
+        }
+
+        # Same-element insert/delete pairs not ordered by the program order:
+        # their vis orientation is a free choice of the witness.
+        free_pairs: list[tuple[Event, Event]] = []
+        for a, b in itertools.combinations(updates, 2):
+            if history.precedes(a, b) or history.precedes(b, a):
+                continue
+            la, lb = a.label, b.label
+            if la.args != lb.args:
+                continue
+            if {la.name, lb.name} == {"insert", "delete"}:
+                free_pairs.append((a, b))
+
+        for choice in itertools.product((0, 1, 2), repeat=len(free_pairs)):
+            pairs = set(base_pairs)
+            for (a, b), c in zip(free_pairs, choice):
+                if c == 1:
+                    pairs.add((a, b))
+                elif c == 2:
+                    pairs.add((b, a))
+            update_vis = _growth_close(pairs, updates, po)
+            if update_vis is None:
+                continue  # cyclic
+
+            result = self._search_queries(history, spec, problem, update_vis)
+            if result is not None:
+                visibility, states = result
+                return CheckResult(
+                    True,
+                    self.name,
+                    witness={
+                        "visibility": visibility,
+                        "update_vis": update_vis,
+                        "group_states": states,
+                    },
+                )
+        return CheckResult(
+            False,
+            self.name,
+            reason="no visibility relation satisfies strong convergence plus insert-wins",
+        )
+
+    def _search_queries(self, history, spec, problem, update_vis):
+        # When u →ᵛⁱˢ u' and u' ↦⁺ q, growth forces u ∈ Vis(q).
+        extra_mandatory: dict[Event, set[Event]] = {q: set() for q in problem.queries}
+        for u, u2 in update_vis:
+            for q in problem.queries:
+                if history.precedes(u2, q):
+                    extra_mandatory[q].add(u)
+
+        def admissible(q, vis, partial) -> bool:
+            if not extra_mandatory[q] <= vis:
+                return False
+            if not _insert_wins_ok(q, vis, update_vis):
+                return False
+            constraints = [p.label for p, pv in partial.items() if pv == vis]
+            constraints.append(q.label)
+            return spec.solve_state(constraints) is not None
+
+        for assignment in problem.assignments(admissible=admissible):
+            groups: dict[frozenset, list] = {}
+            for q, vis in assignment.items():
+                groups.setdefault(vis, []).append(q.label)
+            states = {}
+            ok = True
+            for vis, constraints in groups.items():
+                s = spec.solve_state(constraints)
+                if s is None:  # pragma: no cover - pruned earlier
+                    ok = False
+                    break
+                states[vis] = s
+            if ok:
+                return assignment, states
+        return None
+
+
+def _growth_close(
+    pairs: set[tuple[Event, Event]],
+    updates: tuple[Event, ...],
+    po_closure,
+) -> set[tuple[Event, Event]] | None:
+    """Close update-update vis under growth; return ``None`` if cyclic.
+
+    Growth: ``u →ᵛⁱˢ u' ∧ u' ↦ u'' ⇒ u →ᵛⁱˢ u''`` (for update targets).
+    """
+    vis = set(pairs)
+    changed = True
+    while changed:
+        changed = False
+        for u, u2 in list(vis):
+            for u3 in po_closure.get(u2, ()):
+                if isinstance(u3, Event) and u3.is_update and (u, u3) not in vis and u is not u3:
+                    vis.add((u, u3))
+                    changed = True
+    # Acyclicity (vis is not required to be transitive, so walk the digraph).
+    adjacency: dict[Event, set[Event]] = {u: set() for u in updates}
+    for a, b in vis:
+        adjacency[a].add(b)
+    from repro.util.ordering import is_acyclic
+
+    if not is_acyclic(adjacency):
+        return None
+    return vis
+
+
+def _insert_wins_ok(q: Event, vis: frozenset[Event], update_vis) -> bool:
+    """Check Definition 10's presence condition for a read query."""
+    label = q.label
+    if label.name != "read":
+        # contains(v)/b is checked against the single value v.
+        if label.name == "contains":
+            (x,) = label.args
+            return _present(x, vis, update_vis) == label.output
+        return True
+    observed = set(label.output)
+    values = {u.label.args[0] for u in vis if u.label.name in ("insert", "delete")}
+    for x in values | observed:
+        if _present(x, vis, update_vis) != (x in observed):
+            return False
+    return True
+
+
+def _present(x, vis: frozenset[Event], update_vis) -> bool:
+    inserts = [u for u in vis if u.label.name == "insert" and u.label.args == (x,)]
+    deletes = [u for u in vis if u.label.name == "delete" and u.label.args == (x,)]
+    for u in inserts:
+        if all((u, u2) not in update_vis for u2 in deletes):
+            return True
+    return False

@@ -1,0 +1,92 @@
+"""The criterion lattice (Proposition 2) and whole-history classification.
+
+Implications proved in the paper (and property-tested in this repo):
+
+* SUC ⇒ SEC and SUC ⇒ UC (Proposition 2);
+* UC ⇒ EC (Proposition 2);
+* SC ⇒ SUC and SC ⇒ PC (folklore; SC's witness linearization serves as
+  both arbitration and visibility).
+
+Incomparabilities exhibited by the paper's figures:
+
+* UC vs SEC (Fig. 1a is neither; Fig. 1b is SEC not UC; exact UC-not-SEC
+  witnesses exist among random histories);
+* PC vs EC (Fig. 2 is PC not EC; Fig. 1d is EC — indeed SUC — but not PC).
+"""
+
+from __future__ import annotations
+
+from repro.core.adt import UQADT
+from repro.core.history import History
+from repro.core.criteria.base import CheckResult
+from repro.core.criteria.eventual import EventualConsistency, StrongEventualConsistency
+from repro.core.criteria.pipelined import PipelinedConsistency
+from repro.core.criteria.sequential import SequentialConsistency
+from repro.core.criteria.update import StrongUpdateConsistency, UpdateConsistency
+
+#: Checker instances in presentation order (matches the Fig. 1 caption).
+#: "IW" (Def. 10) and "CC" (the [Goodman 1991] reading) are set-specific:
+#: they participate in :func:`classify` on request but not in the generic
+#: implication lattice.
+CRITERIA = {
+    "EC": EventualConsistency(),
+    "SEC": StrongEventualConsistency(),
+    "UC": UpdateConsistency(),
+    "SUC": StrongUpdateConsistency(),
+    "PC": PipelinedConsistency(),
+    "SC": SequentialConsistency(),
+}
+
+
+def _register_set_specific() -> None:
+    from repro.core.criteria.cache import CacheConsistency
+    from repro.core.criteria.insert_wins import InsertWinsSEC
+
+    CRITERIA["IW"] = InsertWinsSEC()
+    CRITERIA["CC"] = CacheConsistency()
+
+
+_register_set_specific()
+
+#: (stronger, weaker) pairs: whenever the stronger criterion holds, the
+#: weaker must hold.  Used by the lattice property tests and the Prop. 2
+#: bench.
+IMPLICATIONS = (
+    ("SUC", "SEC"),
+    ("SUC", "UC"),
+    ("UC", "EC"),
+    ("SEC", "EC"),
+    ("SC", "SUC"),
+    ("SC", "PC"),
+)
+
+
+def implication_pairs() -> tuple[tuple[str, str], ...]:
+    """The (stronger, weaker) implication pairs (see ``IMPLICATIONS``)."""
+    return IMPLICATIONS
+
+
+def classify(
+    history: History,
+    spec: UQADT,
+    criteria: tuple[str, ...] = ("EC", "SEC", "UC", "SUC", "PC"),
+) -> dict[str, CheckResult]:
+    """Run the selected checkers on one history (the Fig. 1 matrix rows)."""
+    out: dict[str, CheckResult] = {}
+    for name in criteria:
+        checker = CRITERIA[name]
+        try:
+            out[name] = checker.check(history, spec)
+        except NotImplementedError as exc:
+            out[name] = CheckResult(False, name, reason=f"not decidable: {exc}")
+    return out
+
+
+def check_implications(results: dict[str, CheckResult]) -> list[tuple[str, str]]:
+    """Return the implication pairs *violated* by a classification."""
+    violated = []
+    for strong, weak in IMPLICATIONS:
+        if strong in results and weak in results:
+            if results[strong].holds and not results[weak].holds:
+                violated.append((strong, weak))
+    return violated

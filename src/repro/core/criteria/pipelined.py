@@ -1,0 +1,73 @@
+"""Pipelined consistency (Definition 7) and pipelined convergence
+(Proposition 1's impossible combination).
+
+PC extends PRAM [Lipton & Sandberg] from memory to all UQ-ADTs: every
+maximal chain ``p`` of the program order (for sequential processes, each
+process's own event sequence) must admit a linearization of *all the
+updates of the history* together with ``p``'s events that the sequential
+specification recognizes.  Different chains may order concurrent updates
+differently — that is why PC alone does not imply convergence (Fig. 2).
+
+Pipelined convergence = PC ∧ EC.  Proposition 1 shows it is not wait-free
+implementable; :mod:`benchmarks.bench_prop1_impossibility` replays the
+paper's gadget against the repo's implementations.
+"""
+
+from __future__ import annotations
+
+from repro.core.adt import UQADT
+from repro.core.history import History
+from repro.core.linearization import sequential_membership
+from repro.core.criteria.base import CheckResult, Criterion
+from repro.core.criteria.eventual import EventualConsistency
+
+
+class PipelinedConsistency(Criterion):
+    """Definition 7.  Witness: one linearization per maximal chain
+    (key ``"chain_linearizations"``: chain tuple -> event tuple)."""
+
+    name = "PC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        if history.has_infinite_updates:
+            raise NotImplementedError(
+                "PC over ω-updates is undecidable on the finite encoding"
+            )
+        updates = set(history.updates)
+        witness: dict = {}
+        for chain in history.maximal_chains():
+            sub = history.restrict(updates | set(chain))
+            ok, lin = sequential_membership(sub, spec, return_witness=True)
+            if not ok:
+                pid = chain[0].pid if chain else None
+                return CheckResult(
+                    False,
+                    self.name,
+                    reason=(
+                        f"chain of process {pid} admits no linearization with "
+                        f"all updates: {' . '.join(str(e.label) for e in chain)}"
+                    ),
+                )
+            witness[chain] = lin
+        return CheckResult(True, self.name, witness={"chain_linearizations": witness})
+
+
+class PipelinedConvergence(Criterion):
+    """PC ∧ EC — the combination Proposition 1 proves non-wait-free."""
+
+    name = "PC+EC"
+
+    def __init__(self) -> None:
+        self._pc = PipelinedConsistency()
+        self._ec = EventualConsistency()
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        pc = self._pc.check(history, spec)
+        if not pc:
+            return CheckResult(False, self.name, reason=f"PC fails: {pc.reason}")
+        ec = self._ec.check(history, spec)
+        if not ec:
+            return CheckResult(False, self.name, reason=f"EC fails: {ec.reason}")
+        witness = dict(pc.witness or {})
+        witness.update(ec.witness or {})
+        return CheckResult(True, self.name, witness=witness)

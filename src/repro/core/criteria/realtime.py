@@ -1,0 +1,140 @@
+"""Real-time criteria: linearizability (atomicity) over timed operations.
+
+The paper's introduction positions update consistency against
+*linearizability* [Herlihy] / atomicity, whose wait-free implementations
+must pay a network round-trip per operation (Attiya & Welch).  The
+criteria of the paper deliberately ignore real time; this module restores
+it so experiments can show the *gap*: Algorithm 1's runs converge but are
+not linearizable (stale reads violate the real-time order), while a
+hypothetical synchronous run is.
+
+A :class:`TimedOperation` carries invocation and response instants; two
+operations are real-time ordered when one responds before the other is
+invoked, and overlapping operations may linearize either way.  The
+checker is the classic Wing–Gong search with memoization on
+(remaining-operations, canonical state): exponential worst case, fine for
+the bounded traces used in tests and benches.
+
+Simulator operations are instantaneous (wait-free local calls), so a
+trace converts to zero-width intervals — optionally widened by
+``duration`` to model client round-trip time, which *relaxes* real-time
+constraints, exactly as in real systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.adt import Operation, Query, UQADT, Update
+from repro.core.criteria.base import CheckResult
+
+if TYPE_CHECKING:  # pragma: no cover - the sim layer imports criteria, so
+    # importing it back at runtime would be circular; Trace is annotation-only.
+    from repro.sim.cluster import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TimedOperation:
+    """An operation with its real-time interval ``[invoked, responded]``."""
+
+    label: Operation
+    invoked: float
+    responded: float
+    pid: int | None = None
+    uid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.responded < self.invoked:
+            raise ValueError("response cannot precede invocation")
+
+    def precedes(self, other: "TimedOperation") -> bool:
+        """Strict real-time precedence: responded before the other began."""
+        return self.responded < other.invoked
+
+
+def from_trace(trace: "Trace", *, duration: float = 0.0) -> list[TimedOperation]:
+    """Convert a simulator trace to timed operations.
+
+    ``duration`` widens each (instantaneous) operation into an interval
+    ``[t, t + duration]``, modelling client-observed latency; larger
+    durations create more overlap and hence weaker real-time constraints.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    return [
+        TimedOperation(
+            label=r.label, invoked=r.time, responded=r.time + duration,
+            pid=r.pid, uid=r.eid,
+        )
+        for r in trace.records
+    ]
+
+
+def check_linearizable(
+    operations: Sequence[TimedOperation],
+    spec: UQADT,
+) -> CheckResult:
+    """Wing–Gong linearizability search.
+
+    Witness (key ``"linearization"``): a sequence of the operations, in a
+    legal order extending real-time precedence, recognized by the spec.
+    """
+    name = "LIN"
+    ops = list(operations)
+    uids = [op.uid for op in ops]
+    if len(set(uids)) != len(uids):
+        raise ValueError("timed operations need distinct uids")
+    by_uid = {op.uid: op for op in ops}
+
+    # Precompute the strict precedence edges.
+    preceded_by: dict[int, set[int]] = {op.uid: set() for op in ops}
+    for a in ops:
+        for b in ops:
+            if a.uid != b.uid and a.precedes(b):
+                preceded_by[b.uid].add(a.uid)
+
+    seen_states: set[tuple] = set()
+    order: list[TimedOperation] = []
+
+    def search(remaining: frozenset, state) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, spec.canonical(state))
+        if key in seen_states:
+            return False
+        seen_states.add(key)
+        for uid in sorted(remaining):
+            if preceded_by[uid] & remaining:
+                continue  # something must linearize before it
+            op = by_uid[uid]
+            label = op.label
+            if isinstance(label, Update):
+                next_state = spec.apply(state, label)
+            elif isinstance(label, Query):
+                if not spec.satisfies(state, label):
+                    continue
+                next_state = state
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"not an operation: {label!r}")
+            order.append(op)
+            if search(remaining - {uid}, next_state):
+                return True
+            order.pop()
+        return False
+
+    if search(frozenset(uids), spec.initial_state()):
+        return CheckResult(
+            True, name, witness={"linearization": tuple(order)}
+        )
+    return CheckResult(
+        False, name,
+        reason="no linearization extends the real-time order",
+    )
+
+
+def trace_linearizable(
+    trace: "Trace", spec: UQADT, *, duration: float = 0.0
+) -> CheckResult:
+    """Convenience: linearizability of a simulator trace."""
+    return check_linearizable(from_trace(trace, duration=duration), spec)

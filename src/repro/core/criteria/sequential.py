@@ -1,0 +1,33 @@
+"""Sequential consistency: ``lin(H) ∩ L(O) ≠ ∅`` with *every* query kept.
+
+The strongest criterion the paper situates update consistency below
+("stronger than eventual consistency and weaker than sequential
+consistency").  Attiya & Welch's lower bound (cited in the introduction)
+is why the paper abandons it for wait-free systems: reads or writes must
+take time proportional to network latency.
+"""
+
+from __future__ import annotations
+
+from repro.core.adt import UQADT
+from repro.core.history import History
+from repro.core.linearization import sequential_membership
+from repro.core.criteria.base import CheckResult, Criterion
+
+
+class SequentialConsistency(Criterion):
+    """Witness: a recognized linearization (key ``"linearization"``)."""
+
+    name = "SC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        if history.has_infinite_updates:
+            raise NotImplementedError(
+                "SC over ω-updates is undecidable on the finite encoding"
+            )
+        ok, lin = sequential_membership(history, spec, return_witness=True)
+        if not ok:
+            return CheckResult(
+                False, self.name, reason="no linearization recognized by the spec"
+            )
+        return CheckResult(True, self.name, witness={"linearization": lin})

@@ -1,0 +1,86 @@
+"""Update consistency (Definition 8) and strong update consistency
+(Definition 9) — the paper's new criteria.
+
+UC: the update set is infinite, or a finite set of queries can be removed
+so that the remaining history linearizes into the sequential
+specification.  Since removing queries only helps, on the finite encoding
+UC reduces to: some linearization of (updates ∪ ω-queries) is recognized —
+i.e. the converged state must be *explained by a linearization of all
+updates containing the program order* (this is the difference with EC,
+whose consistent state may be unreachable).
+
+SUC: strengthens both UC and SEC — there must exist a visibility relation
+(as in SEC) *and* a total arbitration order ``≤`` containing it, such that
+every query is the result of replaying exactly its visible updates in
+``≤`` order.  The checker enumerates candidate arbitrations (topological
+sorts of the program order) and, for each, searches visibility assignments
+pruned by the per-query replay test.
+"""
+
+from __future__ import annotations
+
+from repro.core.adt import UQADT, Update
+from repro.core.history import History
+from repro.core.linearization import sequential_membership
+from repro.util.ordering import topological_sorts
+from repro.core.criteria.base import CheckResult, Criterion, VisibilityProblem
+
+
+class UpdateConsistency(Criterion):
+    """Definition 8.  Witness: the update linearization (``"linearization"``,
+    an event tuple) and the converged state (``"state"``)."""
+
+    name = "UC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        if history.has_infinite_updates:
+            return CheckResult(True, self.name, reason="infinitely many updates")
+        kept = set(history.updates) | {e for e in history.omega_events if e.is_query}
+        sub = history.restrict(kept)
+        ok, lin = sequential_membership(sub, spec, return_witness=True)
+        if not ok:
+            return CheckResult(
+                False,
+                self.name,
+                reason=(
+                    "no linearization of the updates explains the ω-queries: "
+                    + ", ".join(str(e.label) for e in history.omega_events if e.is_query)
+                ),
+            )
+        state = spec.replay(e.label for e in lin)
+        return CheckResult(
+            True, self.name, witness={"linearization": lin, "state": state}
+        )
+
+
+class StrongUpdateConsistency(Criterion):
+    """Definition 9.  Witness: the arbitration (``"order"``: event tuple,
+    a linear extension of the program order) and the visibility assignment
+    (``"visibility"``: query event -> frozenset of update events)."""
+
+    name = "SUC"
+
+    def check(self, history: History, spec: UQADT) -> CheckResult:
+        problem = VisibilityProblem.build(history)
+
+        for seq in topological_sorts(history.program_order):
+            pos = {e: i for i, e in enumerate(seq)}
+
+            def admissible(q, vis, partial, pos=pos) -> bool:
+                if any(pos[u] > pos[q] for u in vis):
+                    return False  # vis must be contained in ≤
+                word: list = [u.label for u in sorted(vis, key=pos.__getitem__)]
+                word.append(q.label)
+                return spec.recognizes(word)
+
+            for assignment in problem.assignments(admissible=admissible):
+                return CheckResult(
+                    True,
+                    self.name,
+                    witness={"order": tuple(seq), "visibility": assignment},
+                )
+        return CheckResult(
+            False,
+            self.name,
+            reason="no arbitration/visibility pair satisfies strong sequential convergence",
+        )

@@ -1,0 +1,294 @@
+"""Distributed histories (Definition 2 of the paper).
+
+A history ``H = (U, Q, E, Λ, ↦)`` is a countable set of events, each
+labelled with an update or query operation, partially ordered by the
+*program order* ``↦``.  For communicating sequential processes the program
+order is the disjoint union of per-process total orders; the model also
+admits richer orders (thread creation, peer churn) — :class:`History`
+accepts an arbitrary acyclic relation.
+
+Infinite histories and ω-semantics
+----------------------------------
+
+The paper's criteria are stated on infinite histories: a query repeated an
+infinite number of times is written with an ``ω`` superscript (e.g.
+``R/∅^ω``).  We encode such a history finitely: an :class:`Event` carries an
+``omega`` flag meaning *this event stands for an infinite suffix of
+identical events*.  The encoding is faithful because every criterion in the
+paper only uses the ω-suffix through two facts:
+
+* the event cannot belong to any "finite set of queries" that a criterion
+  is allowed to discard (Definitions 5 and 8), and
+* by eventual delivery, every update is eventually visible to the suffix,
+  so the consistent/converged state must satisfy the query (Definitions 6
+  and 9), and in any linearization cofinitely many copies sit after every
+  update (Definition 7).
+
+ω-events are required to be maximal in the program order (nothing can
+follow an infinite suffix on its process).  Updates may also be flagged
+``omega`` to encode "the participants never stop updating", which makes
+EC/UC vacuously true per Definitions 5 and 8.
+
+The two projections of the paper are provided: event-set restriction
+``H_F`` (:meth:`History.restrict`) and order substitution ``H^→``
+(:meth:`History.with_order`); they commute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.adt import Operation, Query, Update
+from repro.util import ordering
+from repro.util.ordering import Relation
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single event of a distributed history.
+
+    ``eid`` identifies the event (two events carrying equal labels are still
+    distinct); ``pid`` records the issuing process when the history comes
+    from sequential processes (``None`` for free-form program orders);
+    ``omega`` marks an infinite suffix of identical events.
+    """
+
+    eid: int
+    label: Operation
+    pid: int | None = None
+    omega: bool = False
+
+    @property
+    def is_update(self) -> bool:
+        return isinstance(self.label, Update)
+
+    @property
+    def is_query(self) -> bool:
+        return isinstance(self.label, Query)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = "^ω" if self.omega else ""
+        where = f"@p{self.pid}" if self.pid is not None else ""
+        return f"e{self.eid}:{self.label}{suffix}{where}"
+
+
+class History:
+    """A distributed history: events plus an acyclic program order.
+
+    The program order is stored as a *strict* relation (edge ``a -> b``
+    means ``a ↦ b``, ``a ≠ b``); queries against it go through the
+    transitive closure, so callers may supply either covering edges or the
+    full order.
+    """
+
+    __slots__ = ("_events", "_po", "_po_closure", "_by_eid")
+
+    def __init__(self, events: Iterable[Event], program_order: Relation | None = None) -> None:
+        self._events: tuple[Event, ...] = tuple(events)
+        eids = [e.eid for e in self._events]
+        if len(set(eids)) != len(eids):
+            raise ValueError("duplicate event ids in history")
+        self._by_eid = {e.eid: e for e in self._events}
+        if program_order is None:
+            program_order = ordering.empty_relation(self._events)
+        po = {e: set() for e in self._events}
+        for a, succs in program_order.items():
+            if a not in po:
+                raise ValueError(f"program order mentions unknown event {a}")
+            for b in succs:
+                if b not in po:
+                    raise ValueError(f"program order mentions unknown event {b}")
+                if a is not b and a != b:
+                    po[a].add(b)
+        if not ordering.is_acyclic(po):
+            raise ValueError("program order must be acyclic")
+        self._po = po
+        self._po_closure = ordering.relation_closure(po)
+        self._validate_omega()
+
+    def _validate_omega(self) -> None:
+        for e in self._events:
+            if e.omega and self._po_closure[e]:
+                raise ValueError(
+                    f"omega event {e} must be maximal in program order "
+                    f"(an infinite suffix admits no successor)"
+                )
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def from_processes(
+        processes: Sequence[Sequence[Operation | tuple[Operation, bool]]],
+    ) -> "History":
+        """Build a history from per-process operation sequences.
+
+        Each element is an operation or a ``(operation, omega)`` pair.  The
+        program order is the union of the per-process total orders — the
+        classic communicating-sequential-processes shape used throughout
+        the paper's figures.
+        """
+        events: list[Event] = []
+        eid = 0
+        chains: list[list[Event]] = []
+        for pid, ops in enumerate(processes):
+            chain: list[Event] = []
+            for item in ops:
+                op, omega = item if isinstance(item, tuple) and len(item) == 2 and isinstance(
+                    item[1], bool
+                ) else (item, False)
+                ev = Event(eid=eid, label=op, pid=pid, omega=omega)
+                eid += 1
+                chain.append(ev)
+                events.append(ev)
+            chains.append(chain)
+        po = ordering.empty_relation(events)
+        for chain in chains:
+            for a, b in zip(chain, chain[1:]):
+                ordering.add_edge(po, a, b)
+        return History(events, po)
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return self._events
+
+    @property
+    def program_order(self) -> Relation:
+        """The stored strict program order (covering edges as supplied)."""
+        return {a: set(b) for a, b in self._po.items()}
+
+    @property
+    def program_order_closure(self) -> Relation:
+        return {a: set(b) for a, b in self._po_closure.items()}
+
+    def event(self, eid: int) -> Event:
+        return self._by_eid[eid]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __contains__(self, e: Event) -> bool:
+        # Events are value objects (frozen dataclasses): equal events from
+        # two builds of the same trace are the same event.
+        return self._by_eid.get(e.eid) == e
+
+    @property
+    def updates(self) -> tuple[Event, ...]:
+        """``U_H`` — the update events."""
+        return tuple(e for e in self._events if e.is_update)
+
+    @property
+    def queries(self) -> tuple[Event, ...]:
+        """``Q_H`` — the query events."""
+        return tuple(e for e in self._events if e.is_query)
+
+    @property
+    def omega_events(self) -> tuple[Event, ...]:
+        return tuple(e for e in self._events if e.omega)
+
+    @property
+    def has_infinite_updates(self) -> bool:
+        """True iff ``U_H`` is infinite (some update flagged ω)."""
+        return any(e.omega for e in self.updates)
+
+    def precedes(self, a: Event, b: Event) -> bool:
+        """``a ↦ b`` in the transitive closure of the program order."""
+        return b in self._po_closure[a]
+
+    def predecessors(self, e: Event) -> set[Event]:
+        """``{e' : e' ↦ e}`` (always finite per Definition 2)."""
+        return {a for a in self._events if e in self._po_closure[a]}
+
+    def successors(self, e: Event) -> set[Event]:
+        return set(self._po_closure[e])
+
+    # -- projections (Definition 2) ----------------------------------------------
+
+    def restrict(self, keep: Iterable[Event]) -> "History":
+        """``H_F`` — the sub-history induced on ``F ⊆ E``."""
+        keep_set = set(keep)
+        for e in keep_set:
+            if e not in self:
+                raise ValueError(f"event {e} not in history")
+        events = tuple(e for e in self._events if e in keep_set)
+        # Restrict the *closure*: two kept events ordered through a removed
+        # intermediary must stay ordered (H_F keeps ↦ ∩ (F × F) where ↦ is
+        # the full partial order, not merely its covering edges).
+        po = ordering.restrict(self._po_closure, keep_set)
+        return History(events, po)
+
+    def without(self, drop: Iterable[Event]) -> "History":
+        """``H_{E \\ F}`` — convenience complement of :meth:`restrict`."""
+        drop_set = set(drop)
+        return self.restrict(e for e in self._events if e not in drop_set)
+
+    def with_order(self, order: Relation) -> "History":
+        """``H^→`` — substitute the order (restricted to ``E × E``)."""
+        universe = set(self._events)
+        po = {e: set() for e in self._events}
+        for a, succs in order.items():
+            if a in universe:
+                po[a] |= {b for b in succs if b in universe and b != a}
+        return History(self._events, po)
+
+    # -- structure -----------------------------------------------------------------
+
+    def maximal_chains(self) -> list[tuple[Event, ...]]:
+        """All maximal chains of the program order (Definition 7 input).
+
+        For per-process histories these are exactly the process sequences.
+        """
+        if not self._events:
+            return []
+        return ordering.maximal_chains(self._po)
+
+    def process_events(self, pid: int) -> tuple[Event, ...]:
+        """Events of process ``pid`` in program order."""
+        chain = [e for e in self._events if e.pid == pid]
+        chain.sort(key=lambda e: sum(1 for a in chain if self.precedes(a, e)))
+        return tuple(chain)
+
+    @property
+    def pids(self) -> tuple[int, ...]:
+        return tuple(sorted({e.pid for e in self._events if e.pid is not None}))
+
+    def map_labels(self, fn: Callable[[Operation], Operation]) -> "History":
+        """A history with every label rewritten by ``fn`` (same structure)."""
+        mapping = {e: replace(e, label=fn(e.label)) for e in self._events}
+        po = {mapping[a]: {mapping[b] for b in succs} for a, succs in self._po.items()}
+        return History(tuple(mapping[e] for e in self._events), po)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"History({len(self._events)} events, {len(self.pids)} processes)"
+
+    def pretty(self) -> str:
+        """Multi-line rendering grouped by process (diagnostics)."""
+        lines = []
+        for pid in self.pids:
+            ops = " . ".join(
+                f"{e.label}{'^ω' if e.omega else ''}" for e in self.process_events(pid)
+            )
+            lines.append(f"p{pid}: {ops}")
+        orphans = [e for e in self._events if e.pid is None]
+        if orphans:
+            lines.append("free: " + " . ".join(str(e) for e in orphans))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class TimedEvent:
+    """An event with invocation/response instants, for real-time criteria.
+
+    The core criteria of the paper ignore real time; simulator traces attach
+    it so that convergence *times* can be measured and linearizability could
+    be checked on small traces.
+    """
+
+    event: Event
+    invoked_at: float
+    responded_at: float = field(default=float("nan"))

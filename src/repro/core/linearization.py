@@ -1,0 +1,123 @@
+"""Linearizations of distributed histories (Definition 3) and membership in
+a sequential specification ``L(O)``.
+
+A linearization of ``H`` is a word over the event labels containing every
+event exactly once, in an order consistent with the program order.  The
+consistency criteria all reduce to questions of the form
+``lin(H') ∩ L(O) ≠ ∅`` for various projections ``H'`` of ``H``; this module
+implements that test, including the ω-semantics described in
+:mod:`repro.core.history`:
+
+* every non-ω event is placed exactly once, respecting program order;
+* an ω-query stands for infinitely many copies — since the history has
+  finitely many updates, cofinitely many copies follow the last update, so
+  the test requires the *final* state (after all updates of the projection)
+  to satisfy every ω-query.  Placing all copies after every finite event is
+  always consistent with program order because ω-events are maximal;
+* ω-updates make the update set infinite; the membership question is then
+  ill-posed for a finite encoding and callers (the criteria) must
+  special-case it — we raise to surface misuse.
+
+The enumeration is exact and exponential; it is meant for the paper's small
+example histories and for property tests on randomly generated histories of
+bounded size.  Simulator traces are never checked this way — they are
+checked against the *witness* order that the algorithms construct (see
+:mod:`repro.core.criteria.witness`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.adt import Operation, Query, UQADT, Update
+from repro.core.history import Event, History
+from repro.util import ordering
+
+
+class OmegaUpdateError(ValueError):
+    """Raised when a finite-linearization question is asked of a history
+    with ω-updates (an infinite update set)."""
+
+
+def linearizations(history: History) -> Iterator[tuple[Event, ...]]:
+    """Enumerate the linearizations of ``history`` as event tuples.
+
+    ω-events are emitted once, at a position consistent with the program
+    order; interpret them as "the suffix starts here".  Use
+    :func:`sequential_membership` for ``L(O)`` questions, which applies the
+    correct ω state semantics.
+    """
+    yield from ordering.topological_sorts(history.program_order)
+
+
+def is_linearization(history: History, seq: Sequence[Event]) -> bool:
+    """True iff ``seq`` enumerates ``history``'s events respecting ↦."""
+    return ordering.sequence_respects(history.program_order, seq)
+
+
+def labels(seq: Sequence[Event]) -> tuple[Operation, ...]:
+    """Project an event sequence to its operation labels (``Λ``)."""
+    return tuple(e.label for e in seq)
+
+
+def sequential_membership(
+    history: History,
+    spec: UQADT,
+    *,
+    return_witness: bool = False,
+) -> bool | tuple[bool, tuple[Event, ...] | None]:
+    """Decide ``lin(H) ∩ L(O) ≠ ∅`` under ω-semantics.
+
+    With ``return_witness=True`` also returns a witness linearization of the
+    finite events (or ``None``); the full infinite word is that witness
+    followed by the ω-suffix.
+    """
+    if history.has_infinite_updates:
+        raise OmegaUpdateError(
+            "membership in L(O) is not decidable on a finite encoding with "
+            "ω-updates; the criteria special-case infinite update sets"
+        )
+    omega_queries = [e.label for e in history.omega_events if e.is_query]
+    finite = history.without(history.omega_events)
+
+    for seq in ordering.topological_sorts(finite.program_order):
+        state = spec.initial_state()
+        ok = True
+        for ev in seq:
+            op = ev.label
+            if isinstance(op, Update):
+                state = spec.apply(state, op)
+            elif isinstance(op, Query):
+                if not spec.satisfies(state, op):
+                    ok = False
+                    break
+        if ok and all(spec.satisfies(state, q) for q in omega_queries):
+            if return_witness:
+                return True, tuple(seq)
+            return True
+    if return_witness:
+        return False, None
+    return False
+
+
+def update_linearization_states(history: History, spec: UQADT) -> set:
+    """Canonical final states over all linearizations of ``H``'s updates.
+
+    This is the set of states an update-consistent implementation may
+    converge to (the paper enumerates them for Fig. 1b: ∅, {1} and {2}).
+    """
+    if history.has_infinite_updates:
+        raise OmegaUpdateError("infinite update set has no final state")
+    updates_only = history.restrict(history.updates)
+    states = set()
+    for seq in ordering.topological_sorts(updates_only.program_order):
+        state = spec.initial_state()
+        for ev in seq:
+            state = spec.apply(state, ev.label)
+        states.add(spec.canonical(state))
+    return states
+
+
+def count_linearizations(history: History, limit: int = 1_000_000) -> int:
+    """Number of linearizations, capped at ``limit`` (diagnostics)."""
+    return ordering.linear_extension_count(history.program_order, limit)

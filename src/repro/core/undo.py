@@ -1,0 +1,73 @@
+"""Section VII-C optimization: undo/redo re-positioning of late updates.
+
+The paper compares Algorithm 1 with Karsenty & Beaudouin-Lafon's groupware
+algorithm [ICDCS 1993], which assumes every update ``u`` has an inverse
+``u⁻¹`` with ``T(T(s, u), u⁻¹) = s`` and "uses the undo operations to
+position newly known updates at their correct place, which saves
+computation time".
+
+:class:`UndoReplica` implements that strategy on top of the same
+timestamped log: the replica maintains the fully-applied current state at
+all times.  When a message arrives whose timestamp sorts before already
+applied updates, it *undoes* the displaced suffix (in reverse order),
+applies the newcomer, and *redoes* the suffix — O(displacement) work
+instead of O(log) replay.  Queries are then O(1): they observe the
+maintained state.
+
+Only specifications flagged ``invertible_updates`` (e.g. the counter and
+the append-only log) qualify; the constructor refuses others.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import UQADT
+from repro.core.universal import Stamped, UniversalReplica
+
+
+class UndoReplica(UniversalReplica):
+    """Algorithm 1 with Karsenty–Beaudouin-Lafon undo/redo maintenance."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        spec: UQADT,
+        *,
+        track_witness: bool = True,
+    ) -> None:
+        if not spec.invertible_updates:
+            raise ValueError(
+                f"{spec.name!r} updates are not invertible; the undo "
+                f"optimization requires T(T(s,u),u⁻¹)=s for all s"
+            )
+        super().__init__(pid, n, spec, track_witness=track_witness)
+        self._state: Any = spec.initial_state()
+        self.undone_redone = 0  # total undo+redo steps (bench metric)
+
+    def _insert(self, stamped: Stamped) -> None:
+        key = (stamped[0], stamped[1])
+        pos = bisect.bisect_left(self.updates, key, key=lambda s: (s[0], s[1]))
+        displaced = self.updates[pos:]
+        # Undo the displaced suffix, newest first.
+        state = self._state
+        for _, _, u in reversed(displaced):
+            state = self.spec.unapply(state, u)
+        state = self.spec.apply(state, stamped[2])
+        for _, _, u in displaced:
+            state = self.spec.apply(state, u)
+        self.undone_redone += 2 * len(displaced) + 1
+        self.updates.insert(pos, stamped)
+        self._state = state
+
+    def _replay_state(self) -> Any:
+        # The state is maintained incrementally; queries cost O(1).
+        return self._state
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        return super().on_query(name, args)
+
+    def local_state(self) -> Any:
+        return self._state

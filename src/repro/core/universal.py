@@ -1,0 +1,144 @@
+"""Algorithm 1 — the universal strong-update-consistent construction.
+
+Every UQ-ADT has a wait-free SUC implementation (Proposition 4).  Each
+replica keeps:
+
+* ``clock`` — a Lamport clock (line 2);
+* ``updates`` — every timestamped update it has heard of, kept sorted by
+  the ``(clock, pid)`` lexicographic order (line 3).
+
+``update(u)`` ticks the clock and broadcasts ``(clock, pid, u)`` (lines
+4-7); the replica applies its own message immediately (the proof's
+"messages are received instantaneously by the sender").  ``query(q)``
+ticks the clock, replays *all* known updates in timestamp order from the
+initial state, and evaluates the query on the result (lines 12-19).  No
+operation ever waits on the network: this is wait-freedom, and it is why
+the construction only achieves update consistency — a query may replay an
+update log missing concurrent remote updates, returning an out-dated
+value, but all replicas converge to the state of the agreed linearization.
+
+The replica also records the Definition 9 witness as it runs (timestamps
+= the arbitration ``≤``; the set of received updates at query time = the
+visibility relation), which is exactly how Proposition 4's proof certifies
+correctness.  Witness tracking is optional (``track_witness=False``) for
+performance benchmarking of the algorithm proper.
+
+Subclasses implement the Section VII-C optimizations:
+:class:`repro.core.checkpoint.CheckpointedReplica` (cached intermediate
+states, recomputed only when a late message arrives) and
+:class:`repro.core.undo.UndoReplica` (Karsenty–Beaudouin-Lafon undo/redo).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import UQADT, Update
+from repro.sim.replica import Replica
+from repro.util.clocks import LamportClock
+
+#: A timestamped update as shipped on the wire: ``(clock, pid, update)``.
+Stamped = tuple[int, int, Update]
+
+
+class UniversalReplica(Replica):
+    """One process's state of Algorithm 1 for an arbitrary UQ-ADT."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        spec: UQADT,
+        *,
+        track_witness: bool = True,
+        relay: bool = False,
+        batch_replay: bool = True,
+    ) -> None:
+        super().__init__(pid, n)
+        self.spec = spec
+        #: fold the log with :meth:`UQADT.apply_batch` (vectorized /
+        #: single-pass per spec) instead of one ``apply`` call per update.
+        self.batch_replay = batch_replay
+        self.clock = LamportClock(pid)
+        self.updates: list[Stamped] = []
+        self.track_witness = track_witness
+        #: epidemic relay: re-broadcast first-seen updates.  Algorithm 1
+        #: assumes *reliable* broadcast — all-or-nothing delivery even when
+        #: the sender crashes mid-broadcast.  Point-to-point channels only
+        #: give that for correct senders; flooding upgrades them to uniform
+        #: reliable broadcast at the cost of O(n) messages per update per
+        #: replica.  Needed only under crash-with-message-loss adversaries.
+        self.relay = relay
+        self._known: set[tuple[int, int]] = set()
+        self._last_meta: dict[str, Any] = {}
+        #: replay effort accounting for the complexity benches.
+        self.replayed_updates = 0
+
+    # -- Algorithm 1 ---------------------------------------------------------------
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        ts = self.clock.tick()  # line 5
+        stamped: Stamped = (ts.clock, ts.pid, update)
+        self._known.add((ts.clock, ts.pid))
+        self._insert(stamped)  # instantaneous self-delivery
+        if self.track_witness:
+            self._last_meta = {"timestamp": (ts.clock, ts.pid)}
+        return [stamped]  # line 6: broadcast
+
+    def on_message(self, src: int, payload: Stamped) -> Sequence[Any]:
+        cl, j, update = payload
+        if (cl, j) in self._known:
+            return ()  # relayed duplicate
+        self._known.add((cl, j))
+        self.clock.merge(cl)  # line 9
+        self._insert((cl, j, update))  # line 10
+        return [payload] if self.relay else ()
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        ts = self.clock.tick()  # line 13
+        state = self._replay_state()  # lines 14-17
+        if self.track_witness:
+            self._last_meta = {
+                "timestamp": (ts.clock, ts.pid),
+                "visible": frozenset((cl, j) for cl, j, _ in self.updates),
+            }
+        return self.spec.observe(state, name, args)  # line 18
+
+    # -- internals -----------------------------------------------------------------
+
+    def _insert(self, stamped: Stamped) -> None:
+        """Insert keeping the ``(clock, pid)`` sort (line 15's order).
+
+        ``(clock, pid)`` pairs are unique across updates, so the comparison
+        never reaches the (orderless) update payload.
+        """
+        bisect.insort(self.updates, stamped, key=lambda s: (s[0], s[1]))
+
+    def _replay_state(self) -> Any:
+        """Full replay — lines 14-17 (optionally batch-folded)."""
+        self.replayed_updates += len(self.updates)
+        if self.batch_replay:
+            return self.spec.apply_batch(
+                self.spec.initial_state(), [u for _, _, u in self.updates]
+            )
+        state = self.spec.initial_state()
+        for _, _, update in self.updates:
+            state = self.spec.apply(state, update)
+        return state
+
+    # -- introspection --------------------------------------------------------------
+
+    def local_state(self) -> Any:
+        return self._replay_state()
+
+    def witness_meta(self) -> dict[str, Any]:
+        meta, self._last_meta = self._last_meta, {}
+        return meta
+
+    @property
+    def log_length(self) -> int:
+        return len(self.updates)
+
+    def known_timestamps(self) -> list[tuple[int, int]]:
+        return [(cl, j) for cl, j, _ in self.updates]

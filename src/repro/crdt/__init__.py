@@ -1,0 +1,68 @@
+"""The Section VI baselines: eventually consistent replicated data types.
+
+These are the set implementations the paper's case study surveys —
+G-Set, 2P-Set (U-Set), PN-Set, C-Set, OR-Set (the Insert-wins set) and the
+LWW-element-Set — plus the classic counters and registers, all as
+:class:`repro.sim.replica.Replica` implementations runnable on the same
+simulated cluster as the universal construction.
+
+Each type documents its conflict-resolution policy and the behavioural
+difference from the update-consistent set: they all converge (except the
+C-Set, whose clamping anomaly is reproduced faithfully), but to states the
+*sequential* specification may not be able to explain — e.g. the OR-Set
+converges to {1, 2} on the Fig. 1b scenario even though every
+linearization of the four updates ends with a deletion.
+"""
+
+from repro.crdt.base import OpBasedReplica, tag_sort_key
+from repro.crdt.gset import GSetReplica
+from repro.crdt.two_phase_set import TwoPhaseSetReplica
+from repro.crdt.pn_set import PNSetReplica
+from repro.crdt.c_set import CSetReplica
+from repro.crdt.or_set import ORSetReplica
+from repro.crdt.lww_set import LWWSetReplica
+from repro.crdt.counters import GCounterReplica, PNCounterReplica
+from repro.crdt.lww_register import LWWRegisterReplica
+from repro.crdt.mv_register import MVRegisterReplica
+from repro.crdt.state_based import (
+    GSetLattice,
+    JoinSemilattice,
+    LWWMapLattice,
+    PNCounterLattice,
+    StateBasedReplica,
+    TwoPhaseSetLattice,
+    gossip_round,
+)
+
+#: All set CRDTs, keyed by their Section VI names (bench table rows).
+SET_CRDTS = {
+    "G-Set": GSetReplica,
+    "2P-Set": TwoPhaseSetReplica,
+    "PN-Set": PNSetReplica,
+    "C-Set": CSetReplica,
+    "OR-Set": ORSetReplica,
+    "LWW-Set": LWWSetReplica,
+}
+
+__all__ = [
+    "OpBasedReplica",
+    "tag_sort_key",
+    "GSetReplica",
+    "TwoPhaseSetReplica",
+    "PNSetReplica",
+    "CSetReplica",
+    "ORSetReplica",
+    "LWWSetReplica",
+    "GCounterReplica",
+    "PNCounterReplica",
+    "LWWRegisterReplica",
+    "MVRegisterReplica",
+    "SET_CRDTS",
+    "JoinSemilattice",
+    "StateBasedReplica",
+    "GSetLattice",
+    "TwoPhaseSetLattice",
+    "PNCounterLattice",
+    "LWWMapLattice",
+    "gossip_round",
+]

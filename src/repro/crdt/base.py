@@ -1,0 +1,75 @@
+"""Shared machinery for operation-based CRDT replicas.
+
+All the Section VI types are implemented operation-based: the issuing
+replica applies the operation locally, stamps it with its Lamport clock
+(giving a deterministic, seed-reproducible notion of "last writer" — no
+wall clocks anywhere in the repo) and broadcasts one payload; receivers
+apply it commutatively.  The simulator's reliable exactly-once channels
+are precisely the delivery guarantee op-based CRDTs assume.
+
+Set replicas answer the same query vocabulary as
+:class:`repro.specs.set_spec.SetSpec` (``read``, ``contains``) so one
+workload runs unchanged against every implementation and against the
+universal construction — the comparison the case-study bench prints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import Update
+from repro.sim.replica import Replica
+from repro.util.clocks import LamportClock, Timestamp
+
+
+def tag_sort_key(tag: tuple[int, int]) -> tuple[int, int]:
+    """Sorting key for ``(clock, pid)`` tags (total, deterministic)."""
+    return tag
+
+
+class OpBasedReplica(Replica):
+    """Base class: Lamport stamping + witness metadata plumbing."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.clock = LamportClock(pid)
+        self._last_meta: dict[str, Any] = {}
+
+    def _stamp(self) -> Timestamp:
+        ts = self.clock.tick()
+        self._last_meta = {"timestamp": (ts.clock, ts.pid)}
+        return ts
+
+    def _merge(self, clock_value: int) -> None:
+        self.clock.merge(clock_value)
+
+    def witness_meta(self) -> dict[str, Any]:
+        meta, self._last_meta = self._last_meta, {}
+        return meta
+
+    # -- set query vocabulary (shared by all set CRDTs) --------------------------
+
+    def value(self) -> frozenset:
+        """The set value; set subclasses implement this one method."""
+        raise NotImplementedError
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        self._stamp()
+        if name == "read":
+            return self.value()
+        if name == "contains":
+            (v,) = args
+            return v in self.value()
+        raise ValueError(f"unknown set query {name!r}")
+
+    def local_state(self) -> frozenset:
+        return self.value()
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _expect(update: Update, *names: str) -> None:
+        if update.name not in names:
+            raise ValueError(
+                f"unsupported update {update.name!r}; expected one of {names}"
+            )

@@ -1,0 +1,61 @@
+"""C-Set [Aslan et al., RED 2011] — counters with locally clamped deletes.
+
+Like the PN-Set, each element carries a counter, but an operation is only
+issued when it locally changes membership: an insert is broadcast with
+effect +1 only if the element is locally absent, a delete with effect -1
+only if locally present.  The intent was to avoid PN-Set's negative
+counters; the price, pointed out in later analyses (and the cited
+criticism around [Bieniusa et al. 2012]), is that the *decision* depends
+on local state at issue time.  In this delta formulation the replicas
+still converge (the committed deltas commute), but concurrent operations
+commit asymmetric effects: counters can reach 2 and then need two deletes,
+and an operation whose local precondition fails is *silently dropped* —
+the user's insert or delete simply never happened anywhere.
+
+We reproduce the type faithfully, anomalies included — the case-study
+bench counts both the non-linearizable final states of the zoo and the
+operations the C-Set silently loses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+from repro.core.adt import Update
+from repro.crdt.base import OpBasedReplica
+
+
+class CSetReplica(OpBasedReplica):
+    """Per-element counter; ops are issued conditionally on local state."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.counts: defaultdict = defaultdict(int)
+        self.suppressed = 0  # ops that had no local effect and were not sent
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self._expect(update, "insert", "delete")
+        (v,) = update.args
+        ts = self._stamp()
+        if update.name == "insert":
+            if self.counts[v] > 0:
+                self.suppressed += 1  # already present: no-op, nothing sent
+                return []
+            delta = 1
+        else:
+            if self.counts[v] <= 0:
+                self.suppressed += 1  # already absent: no-op, nothing sent
+                return []
+            delta = -1
+        self.counts[v] += delta
+        return [(ts.clock, ts.pid, v, delta)]
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        cl, _j, v, delta = payload
+        self._merge(cl)
+        self.counts[v] += delta
+        return ()
+
+    def value(self) -> frozenset:
+        return frozenset(v for v, c in self.counts.items() if c > 0)

@@ -1,0 +1,39 @@
+"""G-Set — the grow-only set [Shapiro et al. 2011], simplest CRDT.
+
+Insertions of distinct elements commute and repeated insertions are
+idempotent, so set-union on receipt converges.  There is no delete: the
+type dodges the insert/delete conflict rather than resolving it.  Per
+Section VII-C this commutative object is already update consistent under
+apply-on-receipt — tested against the exact UC checker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.adt import Update
+from repro.crdt.base import OpBasedReplica
+
+
+class GSetReplica(OpBasedReplica):
+    """Grow-only set replica: state is the union of all heard insertions."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.elements: set = set()
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self._expect(update, "insert")
+        (v,) = update.args
+        ts = self._stamp()
+        self.elements.add(v)
+        return [(ts.clock, ts.pid, v)]
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        cl, _j, v = payload
+        self._merge(cl)
+        self.elements.add(v)
+        return ()
+
+    def value(self) -> frozenset:
+        return frozenset(self.elements)

@@ -1,0 +1,56 @@
+"""LWW-register: a single register resolved by last-writer-wins stamps.
+
+This is Algorithm 2 restricted to one register — included in the zoo so
+register workloads can compare the CRDT-framed implementation with
+:class:`repro.core.memory.MemoryReplica` (they must agree operation for
+operation, which the tests assert).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import Update
+from repro.crdt.base import OpBasedReplica
+
+Stamp = tuple[int, int]
+
+
+class LWWRegisterReplica(OpBasedReplica):
+    """Single value + stamp; higher stamp overwrites."""
+
+    def __init__(self, pid: int, n: int, initial: Any = None) -> None:
+        super().__init__(pid, n)
+        self.initial = initial
+        self.stamp: Stamp = (0, -1)
+        self.current: Any = initial
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self._expect(update, "write")
+        (v,) = update.args
+        ts = self._stamp()
+        self._store((ts.clock, ts.pid), v)
+        return [(ts.clock, ts.pid, v)]
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        cl, j, v = payload
+        self._merge(cl)
+        self._store((cl, j), v)
+        return ()
+
+    def _store(self, stamp: Stamp, v: Any) -> None:
+        if stamp > self.stamp:
+            self.stamp = stamp
+            self.current = v
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        self._stamp()
+        if name == "read":
+            return self.current
+        raise ValueError(f"unknown register query {name!r}")
+
+    def local_state(self) -> Any:
+        return self.current
+
+    def value(self) -> Any:
+        return self.current

@@ -1,0 +1,76 @@
+"""MV-register (multi-value register) — keep all concurrent maxima.
+
+Where the LWW register arbitrates concurrent writes by stamp, the
+MV-register refuses to choose: it keeps every write not dominated in the
+vector-clock order, and a read returns the *set* of concurrent values
+(Dynamo's shopping-cart semantics, per the paper's [DeCandia et al.]
+citation).  It is eventually consistent but not update consistent as a
+plain register: a read returning two values is explained by no sequential
+specification of a register — the repo's negative control for the
+"eventual consistency under-specifies semantics" argument of the
+introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import Update
+from repro.crdt.base import OpBasedReplica
+from repro.util.clocks import VectorClock
+
+
+class MVRegisterReplica(OpBasedReplica):
+    """Set of (vector clock, value) pairs, dominated entries pruned."""
+
+    def __init__(self, pid: int, n: int, initial: Any = None) -> None:
+        super().__init__(pid, n)
+        self.initial = initial
+        self.vclock = VectorClock(n)
+        #: concurrent frontier: list of (VectorClock, value).
+        self.versions: list[tuple[VectorClock, Any]] = []
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self._expect(update, "write")
+        (v,) = update.args
+        ts = self._stamp()
+        self.vclock.tick(self.pid)
+        stamp = self.vclock.copy()
+        self._store(stamp, v)
+        return [(ts.clock, ts.pid, stamp.as_tuple(), v)]
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        cl, _j, vec, v = payload
+        self._merge(cl)
+        stamp = VectorClock(list(vec))
+        self.vclock.merge(stamp)
+        self._store(stamp, v)
+        return ()
+
+    def _store(self, stamp: VectorClock, v: Any) -> None:
+        # Drop versions dominated by the newcomer; drop the newcomer if
+        # dominated itself; keep mutually concurrent versions.
+        if any(stamp < other or stamp == other for other, _ in self.versions):
+            return
+        self.versions = [(o, val) for o, val in self.versions if not o < stamp]
+        self.versions.append((stamp, v))
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        self._stamp()
+        if name == "read":
+            if not self.versions:
+                return frozenset({self.initial})
+            return frozenset(v for _, v in self.versions)
+        raise ValueError(f"unknown register query {name!r}")
+
+    def local_state(self) -> frozenset:
+        if not self.versions:
+            return frozenset({self.initial})
+        return frozenset(v for _, v in self.versions)
+
+    def value(self) -> frozenset:
+        return self.local_state()
+
+    @property
+    def concurrency_degree(self) -> int:
+        return len(self.versions)

@@ -1,0 +1,44 @@
+"""PN-Set: a signed counter per element.
+
+Insert adds +1 to the element's counter, delete adds -1; the element is
+present iff its counter is strictly positive.  Counters commute, so the
+type converges — but to states with surprising semantics: two concurrent
+inserts need *two* deletes to remove the element, and a delete racing an
+insert can drive the counter negative, making a subsequent single insert
+a no-op.  These anomalies are exactly the "different behavior when used in
+distributed programs" Section VI warns about, and the case-study bench
+surfaces them next to the update-consistent set.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+from repro.core.adt import Update
+from repro.crdt.base import OpBasedReplica
+
+
+class PNSetReplica(OpBasedReplica):
+    """Element -> signed counter; present iff counter > 0."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.counts: defaultdict = defaultdict(int)
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self._expect(update, "insert", "delete")
+        (v,) = update.args
+        ts = self._stamp()
+        delta = 1 if update.name == "insert" else -1
+        self.counts[v] += delta
+        return [(ts.clock, ts.pid, v, delta)]
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        cl, _j, v, delta = payload
+        self._merge(cl)
+        self.counts[v] += delta
+        return ()
+
+    def value(self) -> frozenset:
+        return frozenset(v for v, c in self.counts.items() if c > 0)

@@ -1,0 +1,238 @@
+"""State-based (convergent) CRDTs with gossip replication.
+
+[Shapiro et al. 2011], cited by the paper, gives two sufficient conditions
+for an eventually consistent implementation: commuting updates
+(operation-based, the rest of :mod:`repro.crdt`) or **reachable states
+forming a semi-lattice** with updates inflationary and replicas merging
+by join.  This module implements the second style:
+
+* a :class:`JoinSemilattice` describes the payload: bottom element, the
+  join (``merge``), the user-facing ``value`` projection, and how each
+  update inflates the payload;
+* :class:`StateBasedReplica` holds the payload and **does not broadcast
+  on update** — anti-entropy happens in explicit gossip rounds that ship
+  the whole payload (:func:`gossip_round`).
+
+The trade-off against the operation-based universal construction is the
+point of the ``bench_ablation_gossip`` ablation: state-based replication
+sends fewer, bigger messages and converges only as fast as the gossip
+cadence, while Algorithm 1 broadcasts one small message per update and
+converges in one network hop.
+
+Idempotent joins make gossip robust to duplication and reordering — no
+reliable-broadcast assumption at all (the reason Dynamo-style systems
+love this style).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import Update
+from repro.sim.cluster import Cluster
+from repro.sim.replica import Replica
+from repro.util.clocks import LamportClock
+
+
+class JoinSemilattice:
+    """A join-semilattice payload with inflationary update application."""
+
+    def bottom(self, n: int) -> Any:
+        """The least element (``n`` = process count, for vector shapes)."""
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        """The join (least upper bound).  Commutative, associative,
+        idempotent — the properties the convergence tests check."""
+        raise NotImplementedError
+
+    def update(self, state: Any, pid: int, update: Update) -> Any:
+        """Apply a local update; must be inflationary (result ⊒ state)."""
+        raise NotImplementedError
+
+    def value(self, state: Any) -> Any:
+        """The user-facing value of a payload."""
+        raise NotImplementedError
+
+    def leq(self, a: Any, b: Any) -> bool:
+        """The lattice order (default: via the join)."""
+        return self.merge(a, b) == b
+
+
+class GSetLattice(JoinSemilattice):
+    """Grow-only set: payload = frozenset, join = union."""
+
+    def bottom(self, n: int) -> frozenset:
+        return frozenset()
+
+    def merge(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def update(self, state: frozenset, pid: int, update: Update) -> frozenset:
+        if update.name != "insert":
+            raise ValueError(f"g-set lattice supports insert only, got {update.name!r}")
+        (v,) = update.args
+        return state | {v}
+
+    def value(self, state: frozenset) -> frozenset:
+        return state
+
+
+class TwoPhaseSetLattice(JoinSemilattice):
+    """2P-Set: payload = (added, removed), join = pairwise union."""
+
+    def bottom(self, n: int) -> tuple[frozenset, frozenset]:
+        return (frozenset(), frozenset())
+
+    def merge(self, a, b):
+        return (a[0] | b[0], a[1] | b[1])
+
+    def update(self, state, pid: int, update: Update):
+        (v,) = update.args
+        added, removed = state
+        if update.name == "insert":
+            return (added | {v}, removed)
+        if update.name == "delete":
+            return (added, removed | {v})
+        raise ValueError(f"unknown 2p-set update {update.name!r}")
+
+    def value(self, state) -> frozenset:
+        added, removed = state
+        return added - removed
+
+
+class PNCounterLattice(JoinSemilattice):
+    """PN-counter: payload = (P vector, N vector), join = pointwise max."""
+
+    def bottom(self, n: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        return (tuple([0] * n), tuple([0] * n))
+
+    def merge(self, a, b):
+        return (
+            tuple(max(x, y) for x, y in zip(a[0], b[0])),
+            tuple(max(x, y) for x, y in zip(a[1], b[1])),
+        )
+
+    def update(self, state, pid: int, update: Update):
+        (k,) = update.args
+        if k < 0:
+            raise ValueError("amounts are positive; use dec to subtract")
+        pos, neg = state
+        if update.name == "inc":
+            pos = pos[:pid] + (pos[pid] + k,) + pos[pid + 1 :]
+        elif update.name == "dec":
+            neg = neg[:pid] + (neg[pid] + k,) + neg[pid + 1 :]
+        else:
+            raise ValueError(f"unknown counter update {update.name!r}")
+        return (pos, neg)
+
+    def value(self, state) -> int:
+        pos, neg = state
+        return sum(pos) - sum(neg)
+
+
+class LWWMapLattice(JoinSemilattice):
+    """LWW map: key -> (stamp, value-or-tombstone); join keeps max stamps.
+
+    The stamp is supplied by the replica's Lamport clock through the
+    update's extra args (the replica wires it in), keeping the lattice
+    itself deterministic and wall-clock-free.
+    """
+
+    TOMBSTONE = "<tombstone>"
+
+    def bottom(self, n: int) -> tuple:
+        return ()
+
+    def _as_dict(self, state: tuple) -> dict:
+        return dict(state)
+
+    def _freeze(self, d: dict) -> tuple:
+        return tuple(sorted(d.items()))
+
+    def merge(self, a: tuple, b: tuple) -> tuple:
+        out = self._as_dict(a)
+        for k, (stamp, v) in self._as_dict(b).items():
+            if k not in out or out[k][0] < stamp:
+                out[k] = (stamp, v)
+        return self._freeze(out)
+
+    def update(self, state: tuple, pid: int, update: Update) -> tuple:
+        if update.name == "put":
+            k, v, stamp = update.args
+        elif update.name == "remove":
+            k, stamp = update.args
+            v = self.TOMBSTONE
+        else:
+            raise ValueError(f"unknown map update {update.name!r}")
+        out = self._as_dict(state)
+        if k not in out or out[k][0] < tuple(stamp):
+            out[k] = (tuple(stamp), v)
+        return self._freeze(out)
+
+    def value(self, state: tuple) -> dict:
+        return {
+            k: v for k, (_, v) in self._as_dict(state).items()
+            if v != self.TOMBSTONE
+        }
+
+
+class StateBasedReplica(Replica):
+    """A replica holding a lattice payload, replicated by gossip.
+
+    ``on_update`` inflates the local payload and sends **nothing**; call
+    :meth:`gossip_payload` (or the :func:`gossip_round` driver) to ship
+    the payload; ``on_message`` joins whatever arrives, idempotently.
+    """
+
+    def __init__(self, pid: int, n: int, lattice: JoinSemilattice) -> None:
+        super().__init__(pid, n)
+        self.lattice = lattice
+        self.clock = LamportClock(pid)  # for LWW-style stamped updates
+        self.state = lattice.bottom(n)
+        self.merges = 0
+        self.noop_merges = 0  # joins that changed nothing (gossip waste)
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self.clock.tick()
+        self.state = self.lattice.update(self.state, self.pid, update)
+        return ()  # state-based: nothing on the wire per update
+
+    def stamp(self) -> tuple[int, int]:
+        """A fresh (clock, pid) stamp for LWW-style lattice updates."""
+        ts = self.clock.tick()
+        return (ts.clock, ts.pid)
+
+    def on_message(self, src: int, payload: Any) -> Sequence[Any]:
+        merged = self.lattice.merge(self.state, payload)
+        self.merges += 1
+        if merged == self.state:
+            self.noop_merges += 1
+        self.state = merged
+        return ()
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        if name == "read":
+            return self.lattice.value(self.state)
+        if name == "contains":
+            (v,) = args
+            return v in self.lattice.value(self.state)
+        raise ValueError(f"unknown state-based query {name!r}")
+
+    def gossip_payload(self) -> Any:
+        return self.state
+
+    def local_state(self) -> Any:
+        return self.lattice.value(self.state)
+
+
+def gossip_round(cluster: Cluster, *, pids: Sequence[int] | None = None) -> int:
+    """One anti-entropy round: every (selected) correct replica broadcasts
+    its full payload.  Returns the number of messages enqueued."""
+    targets = cluster.alive() if pids is None else [p for p in pids if p in cluster.alive()]
+    sent = 0
+    for pid in targets:
+        replica = cluster.replicas[pid]
+        payload = replica.gossip_payload()
+        sent += len(cluster.network.broadcast(pid, payload, cluster.now))
+    return sent

@@ -1,0 +1,52 @@
+"""2P-Set (Two-Phase Set, a.k.a. U-Set) [Wuu & Bernstein 1986].
+
+Two G-Sets: a white list ``added`` of inserted elements and a black list
+``removed`` of deleted ones (tombstones).  An element is present iff
+inserted and never deleted — so *deletion is forever*: an element whose
+tombstone exists can never be re-inserted, the type's well-known
+behavioural wart.  The case-study bench exhibits it on re-insertion
+workloads where the update-consistent set happily resurrects elements.
+
+Following the literature, a remove is accepted only for locally visible
+elements (remove of a never-seen element is a no-op precondition
+violation; we record the tombstone anyway when broadcast reaches us, as
+tombstones commute).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.adt import Update
+from repro.crdt.base import OpBasedReplica
+
+
+class TwoPhaseSetReplica(OpBasedReplica):
+    """White list + tombstone black list; delete wins forever."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.added: set = set()
+        self.removed: set = set()
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self._expect(update, "insert", "delete")
+        (v,) = update.args
+        ts = self._stamp()
+        if update.name == "insert":
+            self.added.add(v)
+        else:
+            self.removed.add(v)
+        return [(ts.clock, ts.pid, update.name, v)]
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        cl, _j, name, v = payload
+        self._merge(cl)
+        if name == "insert":
+            self.added.add(v)
+        else:
+            self.removed.add(v)
+        return ()
+
+    def value(self) -> frozenset:
+        return frozenset(self.added - self.removed)

@@ -1,0 +1,67 @@
+"""Causal apply-on-receipt — the causal-consistency baseline.
+
+Section IV's impossibility covers causal consistency too ("causal
+consistency, that is stronger than pipelined consistency, cannot be
+satisfied together with eventual consistency in a wait-free system").
+This replica implements classic vector-clock causal broadcast: a received
+update is buffered until causally ready (one step ahead of the local
+clock in the sender's component, not ahead elsewhere) and applied then;
+causally concurrent updates are applied in arrival order, so — like the
+FIFO baseline — replicas of non-commutative objects can diverge forever.
+
+It works on plain (non-FIFO) channels: the delivery buffer re-orders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import UQADT, Update
+from repro.sim.replica import Replica
+from repro.util.clocks import VectorClock
+
+
+class CausalApplyReplica(Replica):
+    """Vector-clock causal delivery, apply in causal order."""
+
+    def __init__(self, pid: int, n: int, spec: UQADT) -> None:
+        super().__init__(pid, n)
+        self.spec = spec
+        self.vclock = VectorClock(n)
+        self._state: Any = spec.initial_state()
+        #: not-yet-deliverable messages: (stamp, sender, update).
+        self.buffer: list[tuple[VectorClock, int, Update]] = []
+        self.applied_log: list[tuple[int, Update]] = []
+        self.max_buffered = 0
+
+    def on_update(self, update: Update) -> Sequence[Any]:
+        self.vclock.tick(self.pid)
+        self._state = self.spec.apply(self._state, update)
+        self.applied_log.append((self.pid, update))
+        return [(self.vclock.as_tuple(), self.pid, update)]
+
+    def on_message(self, src: int, payload) -> Sequence[Any]:
+        vec, j, update = payload
+        self.buffer.append((VectorClock(list(vec)), j, update))
+        self.max_buffered = max(self.max_buffered, len(self.buffer))
+        self._drain()
+        return ()
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, (stamp, j, update) in enumerate(self.buffer):
+                if stamp.causally_ready(j, self.vclock):
+                    self.vclock.merge(stamp)
+                    self._state = self.spec.apply(self._state, update)
+                    self.applied_log.append((j, update))
+                    del self.buffer[i]
+                    progressed = True
+                    break
+
+    def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        return self.spec.observe(self._state, name, args)
+
+    def local_state(self) -> Any:
+        return self._state

@@ -1,0 +1,234 @@
+"""Typed per-process handles over a replicated object.
+
+A handle binds ``(cluster, pid)`` and exposes the object's natural API;
+every method is one wait-free operation recorded in the cluster trace.
+Example::
+
+    cluster, replicas = make_replicated(SetSpec(), n=3, seed=7)
+    alice, bob, carol = replicas
+    alice.insert("x")          # completes locally, broadcasts
+    bob.read()                 # may not see "x" yet — that's the model
+    cluster.run()              # adversary delivers everything
+    assert alice.read() == bob.read() == carol.read()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.adt import Update
+from repro.sim.cluster import Cluster
+from repro.specs import (
+    counter as _counter_mod,
+)
+from repro.specs import log_spec as _log_mod
+from repro.specs import map_spec as _map_mod
+from repro.specs import queue_spec as _queue_mod
+from repro.specs import set_spec as _set_mod
+from repro.specs import stack_spec as _stack_mod
+
+
+class ObjectHandle:
+    """Base: one process's view of a replicated object."""
+
+    def __init__(self, cluster: Cluster, pid: int) -> None:
+        self.cluster = cluster
+        self.pid = pid
+
+    def _update(self, update: Update) -> None:
+        self.cluster.update(self.pid, update)
+
+    def _query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        return self.cluster.query(self.pid, name, args)
+
+    @property
+    def replica(self):
+        return self.cluster.replicas[self.pid]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} p{self.pid}>"
+
+
+class SetHandle(ObjectHandle):
+    """The replicated set of Example 1."""
+
+    def insert(self, v: Hashable) -> None:
+        """Insert ``v`` into the set (wait-free update)."""
+        self._update(_set_mod.insert(v))
+
+    def delete(self, v: Hashable) -> None:
+        """Delete ``v`` from the set (wait-free update)."""
+        self._update(_set_mod.delete(v))
+
+    def read(self) -> frozenset:
+        return self._query("read")
+
+    def contains(self, v: Hashable) -> bool:
+        """Membership of ``v`` in this replica's current view."""
+        return self._query("contains", (v,))
+
+
+class MapHandle(ObjectHandle):
+    """The replicated dictionary (Dynamo-style KV store)."""
+
+    def put(self, k: Hashable, v: Any) -> None:
+        """Bind key ``k`` to ``v``."""
+        self._update(_map_mod.put(k, v))
+
+    def remove(self, k: Hashable) -> None:
+        """Remove key ``k`` (no-op if absent)."""
+        self._update(_map_mod.remove(k))
+
+    def get(self, k: Hashable) -> Any:
+        """Value bound to ``k``, or the ABSENT marker."""
+        return self._query("get", (k,))
+
+    def keys(self) -> frozenset:
+        """The key set of this replica's current view."""
+        return self._query("keys")
+
+    def snapshot(self) -> tuple:
+        return self._query("snapshot")
+
+
+class RegisterHandle(ObjectHandle):
+    """A single read/write register."""
+
+    def write(self, v: Any) -> None:
+        self._update(Update("write", (v,)))
+
+    def read(self) -> Any:
+        return self._query("read")
+
+
+class MemoryHandle(ObjectHandle):
+    """The multi-register shared memory of Algorithm 2."""
+
+    def write(self, register: Hashable, v: Any) -> None:
+        self._update(Update("write", (register, v)))
+
+    def read(self, register: Hashable) -> Any:
+        return self._query("read", (register,))
+
+    def snapshot(self) -> dict:
+        return self._query("snapshot")
+
+
+class CounterHandle(ObjectHandle):
+    def inc(self, k: int = 1) -> None:
+        """Increment by ``k``."""
+        self._update(_counter_mod.inc(k))
+
+    def dec(self, k: int = 1) -> None:
+        """Decrement by ``k``."""
+        self._update(_counter_mod.dec(k))
+
+    def read(self) -> int:
+        return self._query("read")
+
+
+class QueueHandle(ObjectHandle):
+    """FIFO queue with the paper's split dequeue (front + pop)."""
+
+    def enqueue(self, v: Any) -> None:
+        """Append ``v`` at the tail."""
+        self._update(_queue_mod.enqueue(v))
+
+    def pop(self) -> None:
+        """Remove the head (the update half of the split dequeue)."""
+        self._update(_queue_mod.pop())
+
+    def front(self) -> Any:
+        """Observe the head (the query half of the split dequeue)."""
+        return self._query("front")
+
+    def size(self) -> int:
+        return self._query("size")
+
+    def snapshot(self) -> tuple:
+        return self._query("snapshot")
+
+
+class StackHandle(ObjectHandle):
+    """LIFO stack with the split pop (top + drop)."""
+
+    def push(self, v: Any) -> None:
+        """Push ``v`` on top."""
+        self._update(_stack_mod.push(v))
+
+    def drop(self) -> None:
+        """Delete the top (the update half of the split pop)."""
+        self._update(_stack_mod.drop())
+
+    def top(self) -> Any:
+        """Observe the top (the query half of the split pop)."""
+        return self._query("top")
+
+    def size(self) -> int:
+        return self._query("size")
+
+    def snapshot(self) -> tuple:
+        return self._query("snapshot")
+
+
+class LogHandle(ObjectHandle):
+    """Append-only log / collaborative document."""
+
+    def append(self, v: Any) -> None:
+        """Append an entry to the log."""
+        self._update(_log_mod.append(v))
+
+    def read(self) -> tuple:
+        return self._query("read")
+
+    def length(self) -> int:
+        """Number of entries in this replica's view."""
+        return self._query("length")
+
+    def at(self, index: int) -> Any:
+        """Entry at ``index`` (or the out-of-range marker)."""
+        return self._query("at", (index,))
+
+
+class GraphHandle(ObjectHandle):
+    """The replicated social graph (undirected, edge-needs-endpoints)."""
+
+    def add_vertex(self, v: Hashable) -> None:
+        """Add member ``v``."""
+        self._update(Update("add_vertex", (v,)))
+
+    def remove_vertex(self, v: Hashable) -> None:
+        """Remove member ``v`` and its incident edges."""
+        self._update(Update("remove_vertex", (v,)))
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add the (undirected) edge; no-op unless both ends are members."""
+        self._update(Update("add_edge", (u, v)))
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Remove the edge if present."""
+        self._update(Update("remove_edge", (u, v)))
+
+    def vertices(self) -> frozenset:
+        """The member set of this replica's view."""
+        return self._query("vertices")
+
+    def edges(self) -> frozenset:
+        """The edge set (frozensets of two endpoints)."""
+        return self._query("edges")
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Edge membership (undirected)."""
+        return self._query("has_edge", (u, v))
+
+    def neighbors(self, v: Hashable) -> frozenset:
+        """Members adjacent to ``v``."""
+        return self._query("neighbors", (v,))
+
+    def reachable(self, u: Hashable, v: Hashable) -> bool:
+        """Path existence between two members."""
+        return self._query("reachable", (u, v))
+
+    def component_count(self) -> int:
+        """Number of connected components."""
+        return self._query("component_count")

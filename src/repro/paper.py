@@ -1,0 +1,110 @@
+"""The paper's example histories, as library constants.
+
+Figures 1a-1d and Figure 2 are the paper's ground truth for the criterion
+checkers; they are exposed here so tests, benchmarks and examples all draw
+from one definition.
+
+All histories are over the integer set ``S_N`` (Example 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.history import History
+from repro.specs import set_spec as S
+
+
+def fig_1a() -> History:
+    """EC but not SEC nor UC.
+
+    p0: I(1) . R/{2} . R/{1} . R/∅^ω
+    p1: I(2) . R/{1} . R/{2} . R/∅^ω
+    """
+    return History.from_processes(
+        [
+            [S.insert(1), S.read({2}), S.read({1}), (S.read(set()), True)],
+            [S.insert(2), S.read({1}), S.read({2}), (S.read(set()), True)],
+        ]
+    )
+
+
+def fig_1b() -> History:
+    """SEC but not UC.
+
+    p0: I(1) . D(2) . R/{1,2}^ω
+    p1: I(2) . D(1) . R/{1,2}^ω
+    """
+    return History.from_processes(
+        [
+            [S.insert(1), S.delete(2), (S.read({1, 2}), True)],
+            [S.insert(2), S.delete(1), (S.read({1, 2}), True)],
+        ]
+    )
+
+
+def fig_1c() -> History:
+    """SEC and UC but not SUC.
+
+    p0: I(1) . R/∅ . R/{1,2}^ω
+    p1: I(2) . R/{1,2}^ω
+    """
+    return History.from_processes(
+        [
+            [S.insert(1), S.read(set()), (S.read({1, 2}), True)],
+            [S.insert(2), (S.read({1, 2}), True)],
+        ]
+    )
+
+
+def fig_1d() -> History:
+    """SUC but not PC.
+
+    p0: I(1) . R/{1} . I(2) . R/{1,2}^ω
+    p1: R/{2} . R/{1,2}^ω
+    """
+    return History.from_processes(
+        [
+            [S.insert(1), S.read({1}), S.insert(2), (S.read({1, 2}), True)],
+            [S.read({2}), (S.read({1, 2}), True)],
+        ]
+    )
+
+
+def fig_2() -> History:
+    """PC but not EC (the Proposition 1 gadget).
+
+    p0: I(1) . I(3) . R/{1,3} . R/{1,2,3} . R/{1,2}^ω
+    p1: I(2) . D(3) . R/{2}   . R/{1,2}   . R/{1,2,3}^ω
+    """
+    return History.from_processes(
+        [
+            [
+                S.insert(1),
+                S.insert(3),
+                S.read({1, 3}),
+                S.read({1, 2, 3}),
+                (S.read({1, 2}), True),
+            ],
+            [
+                S.insert(2),
+                S.delete(3),
+                S.read({2}),
+                S.read({1, 2}),
+                (S.read({1, 2, 3}), True),
+            ],
+        ]
+    )
+
+
+#: The Fig. 1 caption, as machine-checkable ground truth:
+#: history -> {criterion: expected}.
+FIG1_EXPECTED = {
+    "1a": {"EC": True, "SEC": False, "UC": False, "SUC": False},
+    "1b": {"EC": True, "SEC": True, "UC": False, "SUC": False},
+    "1c": {"EC": True, "SEC": True, "UC": True, "SUC": False},
+    "1d": {"EC": True, "SEC": True, "UC": True, "SUC": True, "PC": False},
+}
+
+FIG1_BUILDERS = {"1a": fig_1a, "1b": fig_1b, "1c": fig_1c, "1d": fig_1d}
+
+#: Fig. 2 ground truth.
+FIG2_EXPECTED = {"PC": True, "EC": False}

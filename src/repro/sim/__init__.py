@@ -1,0 +1,47 @@
+"""Deterministic simulator of a wait-free asynchronous message-passing system.
+
+This is the substrate the paper's Section VII-A assumes: a finite set of
+sequential processes that may crash (halting failures), a complete reliable
+network, no bound on process speed or transfer delay.  The paper's authors
+reason on this model abstractly; we make it executable:
+
+* :class:`~repro.sim.cluster.Cluster` — the runtime: replicas, a pending
+  message pool, virtual time, fault injection (crashes, partitions) and a
+  trace recorder.
+* :class:`~repro.sim.network.Network` with pluggable
+  :class:`~repro.sim.network.LatencyModel` — delivery delays are drawn from
+  a seeded ``numpy`` generator, so every run is a pure function of the
+  seed.
+* :class:`~repro.sim.replica.Replica` — the algorithm interface.  Its
+  contract *is* wait-freedom: ``on_update``/``on_query`` are synchronous
+  local computations that may only hand messages back to the runtime; there
+  is no receive primitive to block on.
+* :mod:`~repro.sim.workload` — reproducible workload generators (random op
+  mixes, conflict-heavy set workloads, the paper's scripted gadgets).
+"""
+
+from repro.sim.cluster import Cluster, OpRecord, Trace
+from repro.sim.explore import Leaf, ScheduleExplorer, explore_outcomes
+from repro.sim.network import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    Network,
+    UniformLatency,
+)
+from repro.sim.replica import Replica
+
+__all__ = [
+    "Cluster",
+    "Trace",
+    "OpRecord",
+    "ScheduleExplorer",
+    "explore_outcomes",
+    "Leaf",
+    "Network",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "Replica",
+]

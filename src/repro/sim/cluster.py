@@ -1,0 +1,284 @@
+"""The simulation runtime: replicas + network + virtual time + trace.
+
+A :class:`Cluster` hosts one replicated object: ``n`` replicas produced by
+a factory, a :class:`~repro.sim.network.Network`, and a :class:`Trace`
+recording every application-level operation (the events of the distributed
+history) together with the witness metadata replicas expose.
+
+Wait-freedom is structural: :meth:`Cluster.update` and
+:meth:`Cluster.query` run the replica hook synchronously and return — they
+never deliver messages, never advance time, never touch other replicas.
+Delivery happens only through :meth:`Cluster.step` / :meth:`Cluster.run`,
+under the control of the experiment (the adversary).
+
+Typical scripted use (the Proposition 1 gadget)::
+
+    cluster = Cluster(2, lambda pid, n: UniversalReplica(pid, n, SetSpec()))
+    cluster.network.hold(0, 1); cluster.network.hold(1, 0)  # isolate
+    cluster.update(0, S.insert(1)); cluster.update(0, S.insert(3))
+    cluster.update(1, S.insert(2)); cluster.update(1, S.delete(3))
+    r0 = cluster.query(0, "read")        # sees only its own updates: {1,3}
+    r1 = cluster.query(1, "read")        # {2}
+    cluster.network.heal(cluster.now); cluster.run()
+    assert cluster.query(0, "read") == cluster.query(1, "read")  # converged
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.adt import Query, Update
+from repro.core.history import Event, History
+from repro.core.criteria.witness import SUCWitness
+from repro.sim.network import LatencyModel, Network
+from repro.sim.replica import Replica
+
+
+class CrashedProcessError(RuntimeError):
+    """An operation was invoked on a crashed process."""
+
+
+@dataclass(frozen=True, slots=True)
+class OpRecord:
+    """One application-level operation as recorded by the trace."""
+
+    eid: int
+    pid: int
+    label: Update | Query
+    time: float
+    meta: Mapping[str, Any]
+
+    @property
+    def is_update(self) -> bool:
+        return isinstance(self.label, Update)
+
+
+class Trace:
+    """Recorded operations, convertible to the formal history + witness."""
+
+    def __init__(self) -> None:
+        self.records: list[OpRecord] = []
+
+    def append(self, record: OpRecord) -> None:
+        """Record one operation (runtime use)."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def updates(self) -> list[OpRecord]:
+        """The update records, in invocation order."""
+        return [r for r in self.records if r.is_update]
+
+    def queries(self) -> list[OpRecord]:
+        """The query records, in invocation order."""
+        return [r for r in self.records if not r.is_update]
+
+    def to_history(self) -> History:
+        """The distributed history: per-process chains in invocation order."""
+        events = [Event(eid=r.eid, label=r.label, pid=r.pid) for r in self.records]
+        by_pid: dict[int, list[Event]] = {}
+        for ev, r in zip(events, self.records):
+            by_pid.setdefault(r.pid, []).append(ev)
+        from repro.util import ordering
+
+        po = ordering.empty_relation(events)
+        for chain in by_pid.values():
+            for a, b in zip(chain, chain[1:]):
+                ordering.add_edge(po, a, b)
+        return History(events, po)
+
+    def suc_witness(self, history: History | None = None) -> SUCWitness:
+        """Reconstruct the Definition 9 witness from replica metadata.
+
+        Requires every record's ``meta`` to carry ``"timestamp"`` (the
+        ``(clock, pid)`` stamp) and every query's to carry ``"visible"``
+        (the frozenset of visible updates' timestamps) — Algorithm 1
+        replicas provide both.
+        """
+        if history is None:
+            history = self.to_history()
+        by_eid = {e.eid: e for e in history.events}
+        timestamps: dict[Event, tuple[int, int]] = {}
+        update_by_uid: dict[tuple[int, int], Event] = {}
+        for r in self.records:
+            ev = by_eid[r.eid]
+            ts = r.meta.get("timestamp")
+            if ts is None:
+                raise ValueError(
+                    f"record {r.eid} lacks a timestamp: replica does not "
+                    f"construct SUC witnesses"
+                )
+            timestamps[ev] = tuple(ts)
+            if r.is_update:
+                update_by_uid[tuple(ts)] = ev
+        visibility: dict[Event, frozenset[Event]] = {}
+        for r in self.records:
+            if r.is_update:
+                continue
+            ev = by_eid[r.eid]
+            uids = r.meta.get("visible")
+            if uids is None:
+                raise ValueError(f"query record {r.eid} lacks visibility metadata")
+            visibility[ev] = frozenset(update_by_uid[tuple(u)] for u in uids)
+        order = tuple(sorted(history.events, key=lambda e: timestamps[e]))
+        return SUCWitness(order=order, visibility=visibility)
+
+
+class Cluster:
+    """``n`` replicas of one object over a simulated asynchronous network."""
+
+    def __init__(
+        self,
+        n: int,
+        replica_factory: Callable[[int, int], Replica],
+        *,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        fifo: bool = False,
+    ) -> None:
+        self.n = n
+        self.rng = np.random.default_rng(seed)
+        self.network = Network(n, latency=latency, rng=self.rng, fifo=fifo)
+        self.replicas: list[Replica] = [replica_factory(pid, n) for pid in range(n)]
+        self.now: float = 0.0
+        self.trace = Trace()
+        self.crashed: set[int] = set()
+        self.dropped_to_crashed = 0
+        self._eid = itertools.count()
+
+    # -- application-level operations (wait-free) -----------------------------------
+
+    def update(self, pid: int, update: Update) -> None:
+        """Issue ``update`` at process ``pid``; completes locally."""
+        replica = self._live_replica(pid)
+        payloads = replica.on_update(update)
+        for payload in payloads:
+            self.network.broadcast(pid, payload, self.now)
+        self._drain_outbox(replica)
+        self.trace.append(
+            OpRecord(next(self._eid), pid, update, self.now, dict(replica.witness_meta()))
+        )
+
+    def query(self, pid: int, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        """Issue query ``name(*args)`` at ``pid``; returns its output."""
+        replica = self._live_replica(pid)
+        output = replica.on_query(name, args)
+        self._drain_outbox(replica)
+        self.trace.append(
+            OpRecord(
+                next(self._eid),
+                pid,
+                Query(name, args, output),
+                self.now,
+                dict(replica.witness_meta()),
+            )
+        )
+        return output
+
+    # -- delivery & time --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver the next in-flight message; False when none remain
+        deliverable (held messages do not count)."""
+        msg = self.network.pop_next()
+        if msg is None:
+            return False
+        self.now = max(self.now, msg.deliver_at)
+        if msg.dst in self.crashed:
+            self.dropped_to_crashed += 1
+            return True
+        replica = self.replicas[msg.dst]
+        extra = replica.on_message(msg.src, msg.payload)
+        for payload in extra or ():
+            self.network.broadcast(msg.dst, payload, self.now)
+        self._drain_outbox(replica)
+        return True
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Deliver until quiescent; returns the number of deliveries."""
+        steps = 0
+        while steps < max_steps and self.step():
+            steps += 1
+        if steps >= max_steps:
+            raise RuntimeError(f"network did not quiesce within {max_steps} deliveries")
+        return steps
+
+    def run_until(self, time: float) -> int:
+        """Deliver every message due at or before ``time``; advance to it."""
+        steps = 0
+        while True:
+            t = self.network.peek_time()
+            if t is None or t > time:
+                break
+            self.step()
+            steps += 1
+        self.now = max(self.now, time)
+        return steps
+
+    def advance(self, dt: float) -> None:
+        """Let ``dt`` of virtual time pass without delivering anything."""
+        if dt < 0:
+            raise ValueError("time cannot flow backwards")
+        self.now += dt
+
+    # -- faults ------------------------------------------------------------------------
+
+    def crash(self, pid: int, *, drop_outgoing: bool = False) -> None:
+        """Halt process ``pid``.  With ``drop_outgoing`` the adversary also
+        loses its in-flight messages (a crash mid-broadcast)."""
+        self._check_pid(pid)
+        self.crashed.add(pid)
+        if drop_outgoing:
+            self.network.drop_messages(lambda m: m.src == pid)
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Block all traffic between the given groups (until healed)."""
+        self.network.partition(groups)
+
+    def heal(self) -> None:
+        """End every partition/hold; parked messages become deliverable."""
+        self.network.heal(self.now)
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def alive(self) -> list[int]:
+        """Pids of the correct (non-crashed) processes."""
+        return [pid for pid in range(self.n) if pid not in self.crashed]
+
+    def states(self) -> dict[int, Any]:
+        """Local state of every correct replica."""
+        return {pid: self.replicas[pid].local_state() for pid in self.alive()}
+
+    def quiescent(self) -> bool:
+        """No deliverable message remains (held ones may)."""
+        return self.network.peek_time() is None
+
+    def _drain_outbox(self, replica: Replica) -> None:
+        """Ship directed sends queued by the last hook call."""
+        outbox = getattr(replica, "outbox", None)
+        if not outbox:
+            return
+        for dst, payload in outbox:
+            if dst is None:
+                self.network.broadcast(replica.pid, payload, self.now)
+            else:
+                self.network.send(replica.pid, dst, payload, self.now)
+        outbox.clear()
+
+    def _live_replica(self, pid: int) -> Replica:
+        self._check_pid(pid)
+        if pid in self.crashed:
+            raise CrashedProcessError(f"process {pid} has crashed")
+        return self.replicas[pid]
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n:
+            raise ValueError(f"pid {pid} out of range for {self.n} processes")

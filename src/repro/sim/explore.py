@@ -1,0 +1,176 @@
+"""Exhaustive schedule exploration — small-scope model checking.
+
+Fuzzing samples adversarial schedules; for *small* scripts we can do
+better and enumerate **every** delivery interleaving: at each step the
+explorer either invokes the next scripted operation or delivers any one
+pending message, branching on all choices (with memoization on the
+reached configuration).  A property checked over this tree is checked
+over the complete schedule space — the strongest evidence short of proof
+that a guarantee does not depend on the adversary at all.
+
+Used in tests to verify, over every schedule of 2-3 process scripts:
+
+* Algorithm-1-family replicas converge in every leaf, each leaf's final
+  state matching its own timestamp linearization (different schedules may
+  legitimately converge to different states — Lamport stamps depend on
+  delivery — but never diverge);
+* the FIFO baseline has at least one diverging leaf whenever the script
+  contains a concurrent non-commuting pair (Prop. 1's mechanism is not an
+  artifact of a particular schedule).
+
+Replicas are branched with ``copy.deepcopy``; scripts must stay small
+(the schedule tree is exponential — the point is exhaustiveness, not
+scale).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.adt import Update
+from repro.sim.replica import Replica
+
+#: One scripted action: ``(pid, update)``.
+Script = Sequence[tuple[int, Update]]
+
+
+@dataclass(frozen=True, slots=True)
+class Leaf:
+    """One fully explored schedule's outcome."""
+
+    states: tuple[Any, ...]  # final local_state() per replica
+    deliveries: tuple[tuple[int, int], ...]  # (dst, message index) order
+
+    @property
+    def converged(self) -> bool:
+        from repro.core.adt import _canonical
+
+        return len({_canonical(s) for s in self.states}) <= 1
+
+
+class ScheduleExplorer:
+    """DFS over all interleavings of a script with message deliveries."""
+
+    def __init__(
+        self,
+        n: int,
+        replica_factory: Callable[[int, int], Replica],
+        *,
+        fifo: bool = False,
+        max_leaves: int = 200_000,
+    ) -> None:
+        self.n = n
+        self.factory = replica_factory
+        self.fifo = fifo
+        self.max_leaves = max_leaves
+        self.leaves_seen = 0
+        self.states_pruned = 0
+
+    def explore(self, script: Script) -> Iterator[Leaf]:
+        """Yield a :class:`Leaf` per distinct complete schedule."""
+        replicas = tuple(self.factory(pid, self.n) for pid in range(self.n))
+        visited: set = set()
+        self.leaves_seen = 0
+        self.states_pruned = 0
+
+        def snapshot_key(replicas, pending, step):
+            pending_key = tuple(sorted(
+                (dst, src, gen) for dst, src, gen, _ in pending
+            ))
+            parts = [step, pending_key]
+            for r in replicas:
+                log = getattr(r, "updates", None)
+                if log is not None:
+                    parts.append(tuple((cl, j) for cl, j, _ in log))
+                else:
+                    from repro.core.adt import _canonical
+
+                    parts.append(_canonical(r.local_state()))
+            return tuple(parts)
+
+        def dfs(replicas, pending, step, trail) -> Iterator[Leaf]:
+            if self.leaves_seen >= self.max_leaves:
+                raise RuntimeError(
+                    f"schedule space exceeds max_leaves={self.max_leaves}; "
+                    f"shrink the script"
+                )
+            key = snapshot_key(replicas, pending, step)
+            if key in visited:
+                self.states_pruned += 1
+                return
+            visited.add(key)
+
+            moves = 0
+            # Choice A: invoke the next scripted operation.
+            if step < len(script):
+                moves += 1
+                pid, update = script[step]
+                branched = copy.deepcopy(replicas)
+                payloads = branched[pid].on_update(update)
+                new_pending = list(pending)
+                for payload in payloads:
+                    for dst in range(self.n):
+                        if dst != pid:
+                            # Messages are identified by the script step
+                            # that produced them: deterministic across
+                            # branches, so memoization works.
+                            new_pending.append((dst, pid, step, payload))
+                yield from dfs(branched, tuple(new_pending), step + 1, trail)
+
+            # Choice B: deliver any one pending message.
+            deliverable = self._deliverable(pending)
+            for idx in deliverable:
+                moves += 1
+                dst, src, gen, payload = pending[idx]
+                branched = copy.deepcopy(replicas)
+                extra = branched[dst].on_message(src, payload)
+                if extra:
+                    raise NotImplementedError(
+                        "the explorer does not support relaying replicas"
+                    )
+                new_pending = [m for i, m in enumerate(pending) if i != idx]
+                yield from dfs(
+                    branched, tuple(new_pending), step,
+                    trail + ((dst, gen),),
+                )
+
+            if moves == 0:  # script done, nothing in flight: a leaf
+                self.leaves_seen += 1
+                yield Leaf(
+                    states=tuple(r.local_state() for r in replicas),
+                    deliveries=trail,
+                )
+
+        yield from dfs(replicas, (), 0, ())
+
+    def _deliverable(self, pending) -> list[int]:
+        """Indices of messages the adversary may deliver next.
+
+        Plain channels: any pending message.  FIFO channels: per (src,
+        dst) pair, only the oldest (lowest message id).
+        """
+        if not self.fifo:
+            return list(range(len(pending)))
+        oldest: dict[tuple[int, int], tuple[int, int]] = {}
+        for i, (dst, src, gen, _) in enumerate(pending):
+            key = (src, dst)
+            if key not in oldest or gen < oldest[key][0]:
+                oldest[key] = (gen, i)
+        return [i for _, i in oldest.values()]
+
+
+def explore_outcomes(
+    n: int,
+    replica_factory: Callable[[int, int], Replica],
+    script: Script,
+    *,
+    fifo: bool = False,
+    max_leaves: int = 200_000,
+) -> tuple[list[Leaf], "ScheduleExplorer"]:
+    """Convenience: collect every leaf of the schedule tree."""
+    explorer = ScheduleExplorer(
+        n, replica_factory, fifo=fifo, max_leaves=max_leaves
+    )
+    return list(explorer.explore(script)), explorer

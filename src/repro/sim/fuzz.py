@@ -1,0 +1,179 @@
+"""Adversarial schedule fuzzing.
+
+The asynchronous model quantifies over *all* message schedules; the
+latency models only sample benign ones.  :class:`AdversaryFuzzer` drives a
+cluster through a seeded random sequence of adversarial moves — holds,
+releases, partitions, heals, crashes, delivery bursts — interleaved with a
+workload, exploring schedule corners (long one-way silences, repeated
+flapping partitions, crash storms) that i.i.d. latencies essentially never
+produce.
+
+Used by the property tests: under every fuzzed schedule, Algorithm 1's
+survivors converge to the timestamp linearization and the recorded SUC
+witness verifies (the empirical universal quantification behind
+Propositions 1's "any schedule" reasoning and Proposition 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.adt import Update
+from repro.sim.cluster import Cluster
+
+
+@dataclass
+class FuzzReport:
+    """What the adversary did during a fuzzed run."""
+
+    moves: list[str] = field(default_factory=list)
+    holds: int = 0
+    releases: int = 0
+    partitions: int = 0
+    heals: int = 0
+    crashes: int = 0
+    delivered_bursts: int = 0
+
+    def summary(self) -> str:
+        """One-line tally of the adversary's moves."""
+        return (
+            f"{self.holds} holds, {self.releases} releases, "
+            f"{self.partitions} partitions, {self.heals} heals, "
+            f"{self.crashes} crashes, {self.delivered_bursts} bursts"
+        )
+
+
+class AdversaryFuzzer:
+    """Seeded adversarial scheduler over a cluster.
+
+    ``crash_budget`` bounds how many processes may crash (wait-freedom
+    tolerates any number, but tests usually want survivors to compare);
+    the fuzzer never crashes the last correct process.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        seed: int = 0,
+        crash_budget: int = 0,
+        allow_message_loss: bool = False,
+        partition_probability: float = 0.15,
+        hold_probability: float = 0.2,
+        burst_probability: float = 0.4,
+    ) -> None:
+        #: ``allow_message_loss`` lets a crash also lose the victim's
+        #: in-flight messages.  That breaks the *reliable broadcast*
+        #: assumption of Algorithm 1 (a crashed sender's broadcast may
+        #: reach only a subset) — only enable it against replicas built
+        #: with ``relay=True`` (epidemic rebroadcast restores
+        #: all-or-nothing delivery among survivors, provided at least one
+        #: survivor received the payload).
+        self.cluster = cluster
+        self.rng = np.random.default_rng(seed)
+        self.crash_budget = crash_budget
+        self.allow_message_loss = allow_message_loss
+        self.p_partition = partition_probability
+        self.p_hold = hold_probability
+        self.p_burst = burst_probability
+        self.report = FuzzReport()
+        self._held_pairs: set[tuple[int, int]] = set()
+        self._partitioned = False
+
+    # -- one adversarial move ---------------------------------------------------
+
+    def step(self) -> None:
+        """One adversarial move, drawn from the seeded distribution."""
+        roll = self.rng.random()
+        if roll < self.p_hold:
+            self._toggle_hold()
+        elif roll < self.p_hold + self.p_partition:
+            self._toggle_partition()
+        elif (
+            self.crash_budget > 0
+            and len(self.cluster.alive()) > 1
+            and roll < self.p_hold + self.p_partition + 0.05
+        ):
+            self._crash_someone()
+        elif roll < self.p_hold + self.p_partition + 0.05 + self.p_burst:
+            self._burst()
+        # else: do nothing this turn (silence is also a schedule)
+
+    def _toggle_hold(self) -> None:
+        n = self.cluster.n
+        src, dst = self.rng.integers(n), self.rng.integers(n)
+        if src == dst:
+            return
+        pair = (int(src), int(dst))
+        if pair in self._held_pairs:
+            self.cluster.network.release(*pair, now=self.cluster.now)
+            self._held_pairs.discard(pair)
+            self.report.releases += 1
+            self.report.moves.append(f"release {pair}")
+        else:
+            self.cluster.network.hold(*pair)
+            self._held_pairs.add(pair)
+            self.report.holds += 1
+            self.report.moves.append(f"hold {pair}")
+
+    def _toggle_partition(self) -> None:
+        if self._partitioned:
+            self.cluster.heal()
+            self._held_pairs.clear()
+            self._partitioned = False
+            self.report.heals += 1
+            self.report.moves.append("heal")
+        else:
+            pids = list(range(self.cluster.n))
+            self.rng.shuffle(pids)
+            cut = int(self.rng.integers(1, max(2, len(pids))))
+            groups = [pids[:cut], pids[cut:]]
+            if all(groups):
+                self.cluster.partition(groups)
+                self._partitioned = True
+                self.report.partitions += 1
+                self.report.moves.append(f"partition {groups}")
+
+    def _crash_someone(self) -> None:
+        alive = self.cluster.alive()
+        victim = int(self.rng.choice(alive))
+        drop = self.allow_message_loss and bool(self.rng.random() < 0.5)
+        self.cluster.crash(victim, drop_outgoing=drop)
+        self.crash_budget -= 1
+        self.report.crashes += 1
+        self.report.moves.append(f"crash p{victim}{' (drop)' if drop else ''}")
+
+    def _burst(self) -> None:
+        burst = int(self.rng.integers(1, 6))
+        for _ in range(burst):
+            if not self.cluster.step():
+                break
+        self.report.delivered_bursts += 1
+
+    # -- full runs -----------------------------------------------------------------
+
+    def run_workload(
+        self,
+        operations: Sequence[tuple[int, Update]],
+        *,
+        queries_per_op: float = 0.3,
+        query: tuple[str, tuple] = ("read", ()),
+    ) -> FuzzReport:
+        """Interleave a (pid, update) script with adversarial moves, then
+        heal everything and drain (the paper's 'participants stop
+        updating' suffix).  Skips operations at crashed processes."""
+        for pid, op in operations:
+            self.step()
+            if pid in self.cluster.crashed:
+                continue
+            self.cluster.update(pid, op)
+            if self.rng.random() < queries_per_op:
+                target = int(self.rng.choice(self.cluster.alive()))
+                self.cluster.query(target, query[0], query[1])
+        self.cluster.heal()
+        self._held_pairs.clear()
+        self.cluster.run()
+        return self.report

@@ -1,0 +1,226 @@
+"""Network model: reliable, complete, asynchronous — with an adversary.
+
+The paper's channel assumptions (Section VII-A): every pair of processes is
+connected, messages between correct processes are eventually delivered, and
+there is no bound on transfer delays.  The simulator realizes "no bound" as
+an adversary: a pluggable :class:`LatencyModel` draws per-message delays
+from a seeded generator, and explicit *holds* (used by the Proposition 1
+experiment) park traffic between chosen process pairs until released —
+modelling the indistinguishability argument ("p1 cannot tell a crashed p2
+from one whose messages are delayed").
+
+Partitions are symmetric holds between groups; healing releases the parked
+messages, preserving reliability.  Per-channel FIFO ordering is optional:
+Algorithm 1 does not need it, the pipelined-consistency baseline does.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """An in-flight payload with its routing and timing metadata."""
+
+    src: int
+    dst: int
+    payload: Any
+    sent_at: float
+    deliver_at: float
+    seq: int  # global sequence number: deterministic tie-breaking
+
+    def sort_key(self) -> tuple[float, int]:
+        """Deterministic delivery order: time, then global send number."""
+        return (self.deliver_at, self.seq)
+
+
+class LatencyModel:
+    """Draws a delivery delay for each message."""
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        """The delay for one src→dst message (pure in ``rng``)."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay (synchronous-looking network; useful as a control)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError("latency must be non-negative")
+        self.value = float(value)
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Delay uniform in ``[low, high]`` — bounded but unpredictable."""
+
+    def __init__(self, low: float = 0.5, high: float = 2.0) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low, self.high = float(low), float(high)
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class ExponentialLatency(LatencyModel):
+    """Heavy-ish tail: mean ``scale``, unbounded support — the asynchronous
+    model's 'no bound on transfer delays' made concrete."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+
+    def delay(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.scale))
+
+
+class Network:
+    """Pending-message pool with delays, holds, partitions and FIFO option.
+
+    Not a public entry point — :class:`repro.sim.cluster.Cluster` owns one.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        latency: LatencyModel | None = None,
+        rng: np.random.Generator | None = None,
+        fifo: bool = False,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("need at least one process")
+        self.n = n
+        self.latency = latency if latency is not None else FixedLatency(1.0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.fifo = fifo
+        self._heap: list[tuple[tuple[float, int], Message]] = []
+        self._held: list[Message] = []
+        self._holds: set[tuple[int, int]] = set()
+        self._seq = itertools.count()
+        self._last_fifo_deliver_at: dict[tuple[int, int], float] = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any, now: float) -> Message:
+        """Enqueue one point-to-point message; returns it for inspection."""
+        self._check_pid(src)
+        self._check_pid(dst)
+        delay = 0.0 if src == dst else self.latency.delay(src, dst, self.rng)
+        deliver_at = now + delay
+        if self.fifo:
+            # FIFO channels: delivery time monotone per (src, dst).
+            floor = self._last_fifo_deliver_at.get((src, dst), -np.inf)
+            deliver_at = max(deliver_at, floor)
+            self._last_fifo_deliver_at[(src, dst)] = deliver_at
+        msg = Message(src, dst, payload, now, deliver_at, next(self._seq))
+        self.sent_count += 1
+        if (src, dst) in self._holds:
+            self._held.append(msg)
+        else:
+            heapq.heappush(self._heap, (msg.sort_key(), msg))
+        return msg
+
+    def broadcast(self, src: int, payload: Any, now: float) -> list[Message]:
+        """One message to every *other* process.
+
+        Algorithm 1's broadcast includes the sender, with the proof noting
+        that "messages are received instantaneously by the sender"; the
+        replica implementations realize that instantaneous self-delivery by
+        applying their own payload inside ``on_update`` (wait-freedom: a
+        process's own update is visible to its very next query), so the
+        network must not deliver it a second time."""
+        return [self.send(src, dst, payload, now) for dst in range(self.n) if dst != src]
+
+    # -- delivery ---------------------------------------------------------------
+
+    def pop_next(self) -> Message | None:
+        """The next deliverable message in (deliver_at, seq) order."""
+        if not self._heap:
+            return None
+        _, msg = heapq.heappop(self._heap)
+        self.delivered_count += 1
+        return msg
+
+    def peek_time(self) -> float | None:
+        """Delivery time of the next deliverable message, if any."""
+        return self._heap[0][1].deliver_at if self._heap else None
+
+    def pending_count(self) -> int:
+        """In-flight messages, including held ones."""
+        return len(self._heap) + len(self._held)
+
+    def drop_messages(self, predicate: Callable[[Message], bool]) -> int:
+        """Adversarially drop in-flight messages (used to model a sender
+        crashing mid-broadcast).  Returns the number dropped."""
+        kept = [(k, m) for k, m in self._heap if not predicate(m)]
+        dropped = len(self._heap) - len(kept)
+        held_kept = [m for m in self._held if not predicate(m)]
+        dropped += len(self._held) - len(held_kept)
+        self._heap = kept
+        heapq.heapify(self._heap)
+        self._held = held_kept
+        return dropped
+
+    # -- adversary: holds & partitions --------------------------------------------
+
+    def hold(self, src: int, dst: int) -> None:
+        """Park all traffic src→dst (present and future) until released."""
+        self._check_pid(src)
+        self._check_pid(dst)
+        self._holds.add((src, dst))
+        still = []
+        for key, msg in self._heap:
+            if (msg.src, msg.dst) == (src, dst):
+                self._held.append(msg)
+            else:
+                still.append((key, msg))
+        self._heap = still
+        heapq.heapify(self._heap)
+
+    def release(self, src: int, dst: int, now: float) -> None:
+        """Stop holding src→dst; parked messages become deliverable at
+        ``now`` (reliability: held ≠ lost)."""
+        self._holds.discard((src, dst))
+        kept: list[Message] = []
+        for msg in self._held:
+            if (msg.src, msg.dst) == (src, dst):
+                rescheduled = Message(
+                    msg.src, msg.dst, msg.payload, msg.sent_at, max(now, msg.deliver_at),
+                    msg.seq,
+                )
+                heapq.heappush(self._heap, (rescheduled.sort_key(), rescheduled))
+            else:
+                kept.append(msg)
+        self._held = kept
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Hold all traffic between distinct groups (symmetric)."""
+        sets = [set(g) for g in groups]
+        for i, a in enumerate(sets):
+            for b in sets[i + 1 :]:
+                for s in a:
+                    for d in b:
+                        self.hold(s, d)
+                        self.hold(d, s)
+
+    def heal(self, now: float) -> None:
+        """Release every hold (the partition ends; traffic resumes)."""
+        for src, dst in list(self._holds):
+            self.release(src, dst, now)
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n:
+            raise ValueError(f"pid {pid} out of range for {self.n} processes")

@@ -1,0 +1,129 @@
+"""Trace persistence: save and reload runs as JSON.
+
+Simulated runs are deterministic from their seed, but an audited trace is
+often the artifact one wants to keep (or to feed to the checkers on a
+different machine).  The codec round-trips every payload the library
+produces: operations (name/args/output), witness metadata (timestamps,
+visibility sets), and the common Python value shapes (tuples, frozensets,
+dicts with non-string keys) that JSON cannot express natively — each gets
+a small ``{"@": tag, ...}`` wrapper.
+
+Security note: the decoder builds only plain data (no pickle, no code
+execution), so loading untrusted trace files is safe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.adt import Query, Update
+from repro.sim.cluster import OpRecord, Trace
+
+_FORMAT = "repro-trace-v1"
+
+
+def encode_value(value: Any) -> Any:
+    """Lower a Python value to a JSON-compatible structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Update):
+        return {"@": "update", "name": value.name, "args": encode_value(value.args)}
+    if isinstance(value, Query):
+        return {
+            "@": "query", "name": value.name,
+            "args": encode_value(value.args), "output": encode_value(value.output),
+        }
+    if isinstance(value, tuple):
+        return {"@": "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        # Deterministic file output: sort by a stable key.
+        items = sorted((encode_value(v) for v in value), key=repr)
+        return {"@": "frozenset", "items": items}
+    if isinstance(value, set):
+        items = sorted((encode_value(v) for v in value), key=repr)
+        return {"@": "set", "items": items}
+    if isinstance(value, dict):
+        return {
+            "@": "dict",
+            "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    raise TypeError(f"cannot persist value of type {type(value).__name__}")
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(data, list):
+        return [decode_value(v) for v in data]
+    if not isinstance(data, dict):
+        return data
+    tag = data.get("@")
+    if tag == "update":
+        return Update(data["name"], decode_value(data["args"]))
+    if tag == "query":
+        return Query(
+            data["name"], decode_value(data["args"]), decode_value(data["output"])
+        )
+    if tag == "tuple":
+        return tuple(decode_value(v) for v in data["items"])
+    if tag == "frozenset":
+        return frozenset(decode_value(v) for v in data["items"])
+    if tag == "set":
+        return set(decode_value(v) for v in data["items"])
+    if tag == "dict":
+        return {decode_value(k): decode_value(v) for k, v in data["items"]}
+    raise ValueError(f"unknown tag {tag!r} in trace file")
+
+
+def trace_to_json(trace: Trace, *, indent: int | None = None) -> str:
+    """Serialize a trace (records only; replica internals are derivable)."""
+    doc = {
+        "format": _FORMAT,
+        "records": [
+            {
+                "eid": r.eid,
+                "pid": r.pid,
+                "time": r.time,
+                "label": encode_value(r.label),
+                "meta": encode_value(dict(r.meta)),
+            }
+            for r in trace.records
+        ],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def trace_from_json(text: str) -> Trace:
+    """Parse a trace file back into a :class:`Trace`."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} file")
+    trace = Trace()
+    for rec in doc["records"]:
+        label = decode_value(rec["label"])
+        if not isinstance(label, (Update, Query)):
+            raise ValueError(f"record {rec.get('eid')}: label is not an operation")
+        trace.append(
+            OpRecord(
+                eid=int(rec["eid"]),
+                pid=int(rec["pid"]),
+                label=label,
+                time=float(rec["time"]),
+                meta=decode_value(rec["meta"]),
+            )
+        )
+    return trace
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Write ``trace`` to ``path`` as indented JSON."""
+    with open(path, "w") as fh:
+        fh.write(trace_to_json(trace, indent=2))
+
+
+def load_trace(path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with open(path) as fh:
+        return trace_from_json(fh.read())

@@ -1,0 +1,234 @@
+"""Reproducible workload generators and the scripted paper gadgets.
+
+A workload is a list of :class:`WorkloadOp` — ``(time, pid, operation)``
+triples, sorted by time — produced deterministically from a seed.
+:func:`run_workload` drives a cluster through one: messages due before
+each invocation are delivered first (the adversary is the latency model),
+then the run drains to quiescence.
+
+Generators cover the scenarios the paper's discussion implies:
+
+* :func:`random_set_workload` — mixed insert/delete/read over a support;
+* :func:`conflict_heavy_set_workload` — few elements, hot insert/delete
+  races (the regime separating the CRDT zoo from the UC set);
+* :func:`register_workload` — write/read over a register space
+  (Algorithm 2's object);
+* :func:`counter_workload` — commutative fast-path control;
+* :func:`collab_edit_workload` — per-author appends to a shared log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.adt import Update
+from repro.sim.cluster import Cluster
+from repro.specs import counter as counter_ops
+from repro.specs import log_spec as log_ops
+from repro.specs import register as register_ops
+from repro.specs import set_spec as set_ops
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadOp:
+    """One scheduled invocation: at ``time``, process ``pid`` issues either
+    an update (``op``) or a query (``query`` name + args)."""
+
+    time: float
+    pid: int
+    op: Update | None = None
+    query: str | None = None
+    query_args: tuple = ()
+
+    @property
+    def is_update(self) -> bool:
+        return self.op is not None
+
+
+def run_workload(
+    cluster: Cluster,
+    workload: Sequence[WorkloadOp],
+    *,
+    drain: bool = True,
+) -> list[Any]:
+    """Execute a workload; returns the outputs of the query invocations."""
+    outputs: list[Any] = []
+    for item in sorted(workload, key=lambda w: w.time):
+        cluster.run_until(item.time)
+        if item.pid in cluster.crashed:
+            continue
+        if item.is_update:
+            cluster.update(item.pid, item.op)
+        else:
+            outputs.append(cluster.query(item.pid, item.query, item.query_args))
+    if drain:
+        cluster.run()
+    return outputs
+
+
+def _times(rng: np.random.Generator, count: int, horizon: float) -> np.ndarray:
+    return np.sort(rng.uniform(0.0, horizon, size=count))
+
+
+def random_set_workload(
+    n_processes: int,
+    n_ops: int,
+    *,
+    support: int = 20,
+    p_delete: float = 0.3,
+    p_query: float = 0.2,
+    horizon: float = 100.0,
+    seed: int = 0,
+) -> list[WorkloadOp]:
+    """Uniformly mixed set operations over ``support`` values."""
+    rng = np.random.default_rng(seed)
+    times = _times(rng, n_ops, horizon)
+    out: list[WorkloadOp] = []
+    for t in times:
+        pid = int(rng.integers(n_processes))
+        roll = rng.random()
+        if roll < p_query:
+            out.append(WorkloadOp(float(t), pid, query="read"))
+        else:
+            v = int(rng.integers(support))
+            if rng.random() < p_delete:
+                out.append(WorkloadOp(float(t), pid, op=set_ops.delete(v)))
+            else:
+                out.append(WorkloadOp(float(t), pid, op=set_ops.insert(v)))
+    return out
+
+
+def conflict_heavy_set_workload(
+    n_processes: int,
+    n_ops: int,
+    *,
+    support: int = 3,
+    horizon: float = 20.0,
+    seed: int = 0,
+) -> list[WorkloadOp]:
+    """Hot insert/delete races on a tiny support — every pair of processes
+    repeatedly fights over the same elements, the regime where the
+    eventually consistent sets' policies visibly disagree."""
+    rng = np.random.default_rng(seed)
+    times = _times(rng, n_ops, horizon)
+    out: list[WorkloadOp] = []
+    for t in times:
+        pid = int(rng.integers(n_processes))
+        v = int(rng.integers(support))
+        op = set_ops.insert(v) if rng.random() < 0.5 else set_ops.delete(v)
+        out.append(WorkloadOp(float(t), pid, op=op))
+    return out
+
+
+def register_workload(
+    n_processes: int,
+    n_ops: int,
+    *,
+    registers: int = 8,
+    p_read: float = 0.3,
+    horizon: float = 100.0,
+    seed: int = 0,
+) -> list[WorkloadOp]:
+    """Writes and reads over a register space (the Algorithm 2 object)."""
+    rng = np.random.default_rng(seed)
+    times = _times(rng, n_ops, horizon)
+    out: list[WorkloadOp] = []
+    for i, t in enumerate(times):
+        pid = int(rng.integers(n_processes))
+        x = int(rng.integers(registers))
+        if rng.random() < p_read:
+            out.append(WorkloadOp(float(t), pid, query="read", query_args=(x,)))
+        else:
+            out.append(WorkloadOp(float(t), pid, op=register_ops.mem_write(x, i)))
+    return out
+
+
+def counter_workload(
+    n_processes: int,
+    n_ops: int,
+    *,
+    p_dec: float = 0.4,
+    p_read: float = 0.2,
+    horizon: float = 100.0,
+    seed: int = 0,
+) -> list[WorkloadOp]:
+    """Increments/decrements — the commutative control workload."""
+    rng = np.random.default_rng(seed)
+    times = _times(rng, n_ops, horizon)
+    out: list[WorkloadOp] = []
+    for t in times:
+        pid = int(rng.integers(n_processes))
+        roll = rng.random()
+        if roll < p_read:
+            out.append(WorkloadOp(float(t), pid, query="read"))
+        else:
+            k = int(rng.integers(1, 5))
+            op = counter_ops.dec(k) if rng.random() < p_dec else counter_ops.inc(k)
+            out.append(WorkloadOp(float(t), pid, op=op))
+    return out
+
+
+def zipf_set_workload(
+    n_processes: int,
+    n_ops: int,
+    *,
+    support: int = 100,
+    zipf_a: float = 1.5,
+    p_delete: float = 0.3,
+    p_query: float = 0.1,
+    horizon: float = 100.0,
+    seed: int = 0,
+) -> list[WorkloadOp]:
+    """Set operations with Zipf-distributed key popularity.
+
+    Real replicated-store traffic is heavily skewed (a few hot keys take
+    most of the conflicts); a Zipf exponent of ~1.1-2 reproduces that.
+    Hot keys race constantly while the long tail almost never conflicts —
+    the regime where per-key policies (LWW, OR) and the global arbitration
+    of the universal construction are stressed differently.
+    """
+    if zipf_a <= 1.0:
+        raise ValueError("zipf exponent must be > 1")
+    rng = np.random.default_rng(seed)
+    times = _times(rng, n_ops, horizon)
+    out: list[WorkloadOp] = []
+    for t in times:
+        pid = int(rng.integers(n_processes))
+        v = int(rng.zipf(zipf_a)) % support  # fold the tail into support
+        if rng.random() < p_query:
+            out.append(WorkloadOp(float(t), pid, query="contains", query_args=(v,)))
+        elif rng.random() < p_delete:
+            out.append(WorkloadOp(float(t), pid, op=set_ops.delete(v)))
+        else:
+            out.append(WorkloadOp(float(t), pid, op=set_ops.insert(v)))
+    return out
+
+
+def collab_edit_workload(
+    n_authors: int,
+    n_edits: int,
+    *,
+    horizon: float = 60.0,
+    seed: int = 0,
+) -> list[WorkloadOp]:
+    """Each author appends their own numbered edits to a shared log.
+
+    Update consistency guarantees the converged document is an
+    interleaving of the authors' edit sequences that preserves each
+    author's own order — the "intention preservation" that collaborative
+    editing systems chase (Section I's [Sun et al.] citation).
+    """
+    rng = np.random.default_rng(seed)
+    times = _times(rng, n_edits, horizon)
+    counters = [0] * n_authors
+    out: list[WorkloadOp] = []
+    for t in times:
+        pid = int(rng.integers(n_authors))
+        out.append(
+            WorkloadOp(float(t), pid, op=log_ops.append(f"a{pid}.{counters[pid]}"))
+        )
+        counters[pid] += 1
+    return out

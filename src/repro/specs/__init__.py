@@ -1,0 +1,56 @@
+"""Sequential specifications (concrete UQ-ADTs).
+
+Every class here subclasses :class:`repro.core.adt.UQADT` and is usable
+with the consistency-criteria checkers, Algorithm 1's universal
+construction and the simulator.  The set (:class:`SetSpec`) is the paper's
+running example (Example 1); the memory (:class:`MemorySpec`) is the object
+of Algorithm 2; the commutative types (:class:`GSetSpec`,
+:class:`CounterSpec`, :class:`MaxRegisterSpec`) are the "pure CRDT" cases
+of Section VII-C for which a naive apply-on-receipt implementation is
+already update consistent.
+"""
+
+from repro.specs.counter import CounterSpec
+from repro.specs.flag import FlagSpec
+from repro.specs.graph_spec import GraphSpec
+from repro.specs.gset import GSetSpec
+from repro.specs.log_spec import LogSpec
+from repro.specs.map_spec import MapSpec
+from repro.specs.max_register import MaxRegisterSpec
+from repro.specs.product import ProductSpec
+from repro.specs.queue_spec import QueueSpec
+from repro.specs.register import MemorySpec, RegisterSpec
+from repro.specs.set_spec import SetSpec
+from repro.specs.stack_spec import StackSpec
+
+ALL_SPECS = (
+    SetSpec,
+    GraphSpec,
+    GSetSpec,
+    RegisterSpec,
+    MemorySpec,
+    CounterSpec,
+    QueueSpec,
+    StackSpec,
+    LogSpec,
+    MapSpec,
+    MaxRegisterSpec,
+    FlagSpec,
+)
+
+__all__ = [
+    "SetSpec",
+    "GraphSpec",
+    "GSetSpec",
+    "RegisterSpec",
+    "MemorySpec",
+    "CounterSpec",
+    "QueueSpec",
+    "StackSpec",
+    "LogSpec",
+    "MapSpec",
+    "MaxRegisterSpec",
+    "FlagSpec",
+    "ProductSpec",
+    "ALL_SPECS",
+]

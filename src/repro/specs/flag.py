@@ -1,0 +1,58 @@
+"""A boolean flag — the one-element set, the smallest non-commutative UQ-ADT.
+
+``enable``/``disable`` do not commute, making the flag the minimal object
+exhibiting the paper's central tension: eventual consistency alone cannot
+say whether a converged flag should be up or down after concurrent enable
+and disable; update consistency forces the answer to be the last update of
+an agreed linearization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.adt import Query, UQADT, Update
+
+
+def enable() -> Update:
+    return Update("enable", ())
+
+
+def disable() -> Update:
+    return Update("disable", ())
+
+
+def read(expected: bool) -> Query:
+    return Query("read", (), bool(expected))
+
+
+class FlagSpec(UQADT):
+    """Boolean flag, initially down."""
+
+    name = "flag"
+    commutative_updates = False
+
+    def initial_state(self) -> bool:
+        return False
+
+    def apply(self, state: bool, update: Update) -> bool:
+        if update.name == "enable":
+            return True
+        if update.name == "disable":
+            return False
+        raise ValueError(f"unknown flag update {update.name!r}")
+
+    def observe(self, state: bool, name: str, args: tuple = ()) -> object:
+        if name == "read":
+            return state
+        raise ValueError(f"unknown flag query {name!r}")
+
+    def solve_state(self, constraints: Sequence[Query]) -> bool | None:
+        value: bool | None = None
+        for q in constraints:
+            if q.name != "read":
+                return None
+            if value is not None and value != q.output:
+                return None
+            value = bool(q.output)
+        return False if value is None else value

@@ -1,0 +1,200 @@
+"""An undirected graph UQ-ADT — the decentralized social network object.
+
+The paper's work was funded by the DeSceNt project ("Plug-based
+Decentralized Social Network"); the natural shared object there is a
+social graph replicated across personal devices.  Updates add/remove
+vertices (members) and edges (friendships); queries inspect membership,
+adjacency and connectivity (components/reachability, computed with
+``networkx``).
+
+Sequential semantics (the deterministic choices that make it a UQ-ADT):
+
+* ``add_edge(u, v)`` is a no-op unless *both* endpoints are present —
+  a friendship needs two members;
+* ``remove_vertex(v)`` removes ``v``'s incident edges with it;
+* all operations are idempotent on their target.
+
+Add/remove on the same vertex or edge do not commute, so the graph is
+not a CRDT: replicating it with apply-on-receipt diverges, and the
+eventually consistent encodings (2P-graph etc.) inherit the 2P-Set's
+"removal is forever" wart.  The universal construction gives it update
+consistency for free — demonstrated in ``examples/social_network.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.core.adt import Query, UQADT, Update
+
+#: Graph states are ``(vertices, edges)`` with edges as frozensets of two
+#: endpoints (undirected).
+GraphState = tuple[frozenset, frozenset]
+
+
+def add_vertex(v: Hashable) -> Update:
+    return Update("add_vertex", (v,))
+
+
+def remove_vertex(v: Hashable) -> Update:
+    return Update("remove_vertex", (v,))
+
+
+def add_edge(u: Hashable, v: Hashable) -> Update:
+    return Update("add_edge", (u, v))
+
+
+def remove_edge(u: Hashable, v: Hashable) -> Update:
+    return Update("remove_edge", (u, v))
+
+
+def vertices(expected) -> Query:
+    return Query("vertices", (), frozenset(expected))
+
+
+def edges(expected) -> Query:
+    return Query("edges", (), frozenset(frozenset(e) for e in expected))
+
+
+def has_vertex(v: Hashable, expected: bool) -> Query:
+    return Query("has_vertex", (v,), bool(expected))
+
+
+def has_edge(u: Hashable, v: Hashable, expected: bool) -> Query:
+    return Query("has_edge", (u, v), bool(expected))
+
+
+def neighbors(v: Hashable, expected) -> Query:
+    return Query("neighbors", (v,), frozenset(expected))
+
+
+def degree(v: Hashable, expected: int) -> Query:
+    return Query("degree", (v,), int(expected))
+
+
+def component_count(expected: int) -> Query:
+    return Query("component_count", (), int(expected))
+
+
+def reachable(u: Hashable, v: Hashable, expected: bool) -> Query:
+    return Query("reachable", (u, v), bool(expected))
+
+
+class GraphSpec(UQADT):
+    """Undirected graph with edge-needs-endpoints semantics."""
+
+    name = "graph"
+    commutative_updates = False
+
+    def initial_state(self) -> GraphState:
+        return (frozenset(), frozenset())
+
+    def apply(self, state: GraphState, update: Update) -> GraphState:
+        vs, es = state
+        if update.name == "add_vertex":
+            (v,) = update.args
+            return (vs | {v}, es)
+        if update.name == "remove_vertex":
+            (v,) = update.args
+            if v not in vs:
+                return state
+            return (vs - {v}, frozenset(e for e in es if v not in e))
+        if update.name == "add_edge":
+            u, v = update.args
+            if u == v or u not in vs or v not in vs:
+                return state  # a friendship needs two distinct members
+            return (vs, es | {frozenset((u, v))})
+        if update.name == "remove_edge":
+            u, v = update.args
+            return (vs, es - {frozenset((u, v))})
+        raise ValueError(f"unknown graph update {update.name!r}")
+
+    def observe(self, state: GraphState, name: str, args: tuple = ()):
+        vs, es = state
+        if name == "vertices":
+            return frozenset(vs)
+        if name == "edges":
+            return frozenset(es)
+        if name == "has_vertex":
+            (v,) = args
+            return v in vs
+        if name == "has_edge":
+            u, v = args
+            return frozenset((u, v)) in es
+        if name == "neighbors":
+            (v,) = args
+            return frozenset(w for e in es if v in e for w in e if w != v)
+        if name == "degree":
+            (v,) = args
+            return sum(1 for e in es if v in e)
+        if name == "component_count":
+            return nx.number_connected_components(self._nx(state))
+        if name == "reachable":
+            u, v = args
+            if u not in vs or v not in vs:
+                return False
+            return nx.has_path(self._nx(state), u, v)
+        raise ValueError(f"unknown graph query {name!r}")
+
+    @staticmethod
+    def _nx(state: GraphState) -> "nx.Graph":
+        vs, es = state
+        g = nx.Graph()
+        g.add_nodes_from(vs)
+        g.add_edges_from(tuple(e) for e in es)
+        return g
+
+    def solve_state(self, constraints: Sequence[Query]) -> GraphState | None:
+        """Exact when the state is pinned by vertices+edges reads;
+        constructive for membership constraints; conservative otherwise."""
+        pinned_vs: frozenset | None = None
+        pinned_es: frozenset | None = None
+        need_vs: set = set()
+        ban_vs: set = set()
+        need_es: set = set()
+        ban_es: set = set()
+        derived: list[Query] = []
+        for q in constraints:
+            if q.name == "vertices":
+                value = frozenset(q.output)
+                if pinned_vs is not None and pinned_vs != value:
+                    return None
+                pinned_vs = value
+            elif q.name == "edges":
+                value = frozenset(frozenset(e) for e in q.output)
+                if pinned_es is not None and pinned_es != value:
+                    return None
+                pinned_es = value
+            elif q.name == "has_vertex":
+                (v,) = q.args
+                (need_vs if q.output else ban_vs).add(v)
+            elif q.name == "has_edge":
+                u, v = q.args
+                (need_es if q.output else ban_es).add(frozenset((u, v)))
+            elif q.name in ("neighbors", "degree", "component_count", "reachable"):
+                derived.append(q)
+            else:
+                return None
+        if need_vs & ban_vs or need_es & ban_es:
+            return None
+        vs = pinned_vs if pinned_vs is not None else frozenset(
+            need_vs | {w for e in need_es for w in e}
+        )
+        es = pinned_es if pinned_es is not None else frozenset(need_es)
+        state = (vs, es)
+        # S contains only well-formed graphs: every edge endpoint is a
+        # member (an invariant of the transition system).
+        if any(w not in vs for e in es for w in e):
+            return None
+        # Validate all constraints against the candidate (sound always;
+        # complete when the state was pinned or purely membership-driven).
+        for q in constraints:
+            if not self.satisfies(state, q):
+                return None
+        return state
+
+    def canonical(self, state: GraphState):
+        vs, es = state
+        return (frozenset(vs), frozenset(es))

@@ -1,0 +1,118 @@
+"""Append-only log / sequence — the collaborative-editing substrate.
+
+``append(v)`` adds an entry; ``read`` returns the whole sequence; ``length``
+and ``at(i)`` reveal parts of it.  Appends do *not* commute (order is the
+content), which makes the log the simplest object where update consistency
+visibly beats eventual consistency: an update-consistent log converges to
+one agreed document equal to some interleaving of the authors' edits that
+respects each author's own order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.adt import Query, UQADT, Update
+
+#: Returned by ``at`` for an out-of-range index.
+OUT_OF_RANGE = "<out-of-range>"
+
+
+def append(v: Any) -> Update:
+    return Update("append", (v,))
+
+
+def read(expected: Sequence[Any]) -> Query:
+    return Query("read", (), tuple(expected))
+
+
+def length(expected: int) -> Query:
+    return Query("length", (), int(expected))
+
+
+def at(index: int, expected: Any) -> Query:
+    return Query("at", (int(index),), expected)
+
+
+class LogSpec(UQADT):
+    """Append-only sequence; state is a tuple."""
+
+    name = "log"
+    commutative_updates = False
+    invertible_updates = True
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state: tuple, update: Update) -> tuple:
+        if update.name == "append":
+            (v,) = update.args
+            return state + (v,)
+        raise ValueError(f"unknown log update {update.name!r}")
+
+    def unapply(self, state: tuple, update: Update) -> tuple:
+        """Undo an append: drop the tail entry (valid for every state the
+        undo algorithm can present, since it unwinds in reverse apply
+        order, so the tail is exactly ``update``'s value)."""
+        if update.name == "append":
+            if not state:
+                raise ValueError("cannot unapply append from the empty log")
+            return state[:-1]
+        raise ValueError(f"unknown log update {update.name!r}")
+
+    def apply_batch(self, state: tuple, updates) -> tuple:
+        """One concatenation instead of n (naive per-append folding is
+        quadratic in the log length)."""
+        for u in updates:
+            if u.name != "append":
+                raise ValueError(f"unknown log update {u.name!r}")
+        return state + tuple(u.args[0] for u in updates)
+
+    def observe(self, state: tuple, name: str, args: tuple = ()) -> Any:
+        if name == "read":
+            return tuple(state)
+        if name == "length":
+            return len(state)
+        if name == "at":
+            (i,) = args
+            return state[i] if 0 <= i < len(state) else OUT_OF_RANGE
+        raise ValueError(f"unknown log query {name!r}")
+
+    def solve_state(self, constraints: Sequence[Query]) -> tuple | None:
+        pinned: tuple | None = None
+        cells: dict[int, Any] = {}
+        length_: int | None = None
+        for q in constraints:
+            if q.name == "read":
+                value = tuple(q.output)
+                if pinned is not None and pinned != value:
+                    return None
+                pinned = value
+            elif q.name == "length":
+                if length_ is not None and length_ != q.output:
+                    return None
+                length_ = q.output
+            elif q.name == "at":
+                (i,) = q.args
+                if cells.get(i, q.output) != q.output:
+                    return None
+                cells[i] = q.output
+            else:
+                return None
+        if pinned is not None:
+            if length_ is not None and len(pinned) != length_:
+                return None
+            for i, v in cells.items():
+                if self.observe(pinned, "at", (i,)) != v:
+                    return None
+            return pinned
+        in_range = {i: v for i, v in cells.items() if v != OUT_OF_RANGE}
+        out_range = [i for i, v in cells.items() if v == OUT_OF_RANGE]
+        needed = max(in_range, default=-1) + 1
+        if length_ is None:
+            length_ = needed
+        if length_ < needed or length_ < 0:
+            return None
+        if any(0 <= i < length_ for i in out_range):
+            return None
+        return tuple(in_range.get(i, None) for i in range(length_))

@@ -1,0 +1,57 @@
+"""Max-register: ``write_max(v)`` keeps the maximum ever written.
+
+Updates commute (max is associative-commutative-idempotent), so this is a
+semi-lattice CRDT — the second sufficient condition of [Shapiro et al.]
+cited in the introduction.  Serves as another positive control for the
+commutative fast path of Section VII-C.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.adt import Query, UQADT, Update
+
+
+def write_max(v: float) -> Update:
+    return Update("write_max", (v,))
+
+
+def read(expected: float) -> Query:
+    return Query("read", (), expected)
+
+
+class MaxRegisterSpec(UQADT):
+    """Register holding the maximum of all written values (init ``floor``)."""
+
+    name = "max-register"
+    commutative_updates = True
+
+    def __init__(self, floor: float = 0) -> None:
+        self._floor = floor
+
+    def initial_state(self) -> float:
+        return self._floor
+
+    def apply(self, state: float, update: Update) -> float:
+        if update.name == "write_max":
+            (v,) = update.args
+            return v if v > state else state
+        raise ValueError(f"unknown max-register update {update.name!r}")
+
+    def observe(self, state: float, name: str, args: tuple = ()) -> object:
+        if name == "read":
+            return state
+        raise ValueError(f"unknown max-register query {name!r}")
+
+    def solve_state(self, constraints: Sequence[Query]) -> float | None:
+        value = None
+        for q in constraints:
+            if q.name != "read":
+                return None
+            if value is not None and value != q.output:
+                return None
+            value = q.output
+        if value is None:
+            return self._floor
+        return value if value >= self._floor else None

@@ -1,0 +1,109 @@
+"""FIFO queue as a UQ-ADT.
+
+The paper notes that mixed operations (like a ``dequeue`` that both removes
+and returns) fall outside the UQ-ADT class and must be *split* into a query
+plus an update — here ``front`` (query) and ``pop`` (update), mirroring the
+stack's lookup-top / delete-top split described in the introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.adt import Query, UQADT, Update
+
+#: Returned by ``front`` on an empty queue.
+EMPTY = "<empty>"
+
+
+def enqueue(v: Any) -> Update:
+    return Update("enqueue", (v,))
+
+
+def pop() -> Update:
+    """Remove the head (no return — the update half of dequeue)."""
+    return Update("pop", ())
+
+
+def front(expected: Any) -> Query:
+    """Observe the head (the query half of dequeue)."""
+    return Query("front", (), expected)
+
+
+def size(expected: int) -> Query:
+    return Query("size", (), int(expected))
+
+
+def snapshot(expected: Sequence[Any]) -> Query:
+    return Query("snapshot", (), tuple(expected))
+
+
+class QueueSpec(UQADT):
+    """FIFO queue; state is a tuple (head first)."""
+
+    name = "queue"
+    commutative_updates = False
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state: tuple, update: Update) -> tuple:
+        if update.name == "enqueue":
+            (v,) = update.args
+            return state + (v,)
+        if update.name == "pop":
+            return state[1:] if state else state
+        raise ValueError(f"unknown queue update {update.name!r}")
+
+    def observe(self, state: tuple, name: str, args: tuple = ()) -> Any:
+        if name == "front":
+            return state[0] if state else EMPTY
+        if name == "size":
+            return len(state)
+        if name == "snapshot":
+            return tuple(state)
+        raise ValueError(f"unknown queue query {name!r}")
+
+    def solve_state(self, constraints: Sequence[Query]) -> tuple | None:
+        pinned: tuple | None = None
+        head: Any = _NOTHING
+        length: int | None = None
+        for q in constraints:
+            if q.name == "snapshot":
+                value = tuple(q.output)
+                if pinned is not None and pinned != value:
+                    return None
+                pinned = value
+            elif q.name == "front":
+                if head is not _NOTHING and head != q.output:
+                    return None
+                head = q.output
+            elif q.name == "size":
+                if length is not None and length != q.output:
+                    return None
+                length = q.output
+            else:
+                return None
+        if pinned is not None:
+            if head is not _NOTHING and self.observe(pinned, "front") != head:
+                return None
+            if length is not None and len(pinned) != length:
+                return None
+            return pinned
+        # Construct a minimal queue matching head/length.
+        if length is not None and length < 0:
+            return None
+        if head is not _NOTHING and head == EMPTY:
+            if length not in (None, 0):
+                return None
+            return ()
+        if head is _NOTHING:
+            n = length if length is not None else 0
+            return tuple(range(n))
+        n = length if length is not None else 1
+        if n == 0:
+            return None  # head observed on an empty queue
+        return (head,) + tuple(range(n - 1))
+
+
+_NOTHING = object()

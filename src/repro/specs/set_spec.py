@@ -1,0 +1,110 @@
+"""The replicated set ``S_Val`` — the paper's running example (Example 1).
+
+Updates: ``I(v)`` (insert) and ``D(v)`` (delete).  Queries: ``R`` (read the
+whole content, returning a finite subset of the support) plus a
+``contains(v)`` convenience query (derivable from ``R``; having it lets
+tests and workloads exercise queries that reveal only part of the state).
+
+States are ``frozenset`` values; the transition function is pure.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.adt import Query, UQADT, Update
+
+
+def insert(v: Hashable) -> Update:
+    """``I(v)``"""
+    return Update("insert", (v,))
+
+
+def delete(v: Hashable) -> Update:
+    """``D(v)``"""
+    return Update("delete", (v,))
+
+
+def read(expected: frozenset | set) -> Query:
+    """``R/s`` — a read observed to return ``s``."""
+    return Query("read", (), frozenset(expected))
+
+
+def contains(v: Hashable, expected: bool) -> Query:
+    """``contains(v)/b``."""
+    return Query("contains", (v,), bool(expected))
+
+
+class SetSpec(UQADT):
+    """Sequential specification of the set over an implicit countable support.
+
+    ``T(s, I(v)) = s ∪ {v}``; ``T(s, D(v)) = s \\ {v}``; ``G(s, R) = s``.
+    """
+
+    name = "set"
+    commutative_updates = False  # insert/delete of the same value conflict
+
+    def initial_state(self) -> frozenset:
+        return frozenset()
+
+    def apply(self, state: frozenset, update: Update) -> frozenset:
+        if update.name == "insert":
+            (v,) = update.args
+            return state | {v}
+        if update.name == "delete":
+            (v,) = update.args
+            return state - {v}
+        raise ValueError(f"unknown set update {update.name!r}")
+
+    def apply_batch(self, state: frozenset, updates) -> frozenset:
+        """Single reverse pass: the last operation on each value decides
+        its membership, untouched values keep their old membership —
+        O(n + |state|) instead of n frozenset copies."""
+        decided: dict = {}
+        for u in reversed(updates):
+            (v,) = u.args
+            if v not in decided:
+                if u.name == "insert":
+                    decided[v] = True
+                elif u.name == "delete":
+                    decided[v] = False
+                else:
+                    raise ValueError(f"unknown set update {u.name!r}")
+        kept = (v for v in state if decided.get(v, True))
+        added = (v for v, present in decided.items() if present)
+        return frozenset(kept) | frozenset(added)
+
+    def observe(self, state: frozenset, name: str, args: tuple = ()) -> object:
+        if name == "read":
+            return frozenset(state)
+        if name == "contains":
+            (v,) = args
+            return v in state
+        raise ValueError(f"unknown set query {name!r}")
+
+    def solve_state(self, constraints: Sequence[Query]) -> frozenset | None:
+        """Exact solver: reads pin the state; contains pin membership."""
+        pinned: frozenset | None = None
+        must_have: set = set()
+        must_lack: set = set()
+        for q in constraints:
+            if q.name == "read":
+                value = q.output
+                if not isinstance(value, (set, frozenset)):
+                    return None
+                value = frozenset(value)
+                if pinned is not None and pinned != value:
+                    return None
+                pinned = value
+            elif q.name == "contains":
+                (v,) = q.args
+                (must_have if q.output else must_lack).add(v)
+            else:
+                return None
+        if must_have & must_lack:
+            return None
+        if pinned is not None:
+            if not must_have <= pinned or pinned & must_lack:
+                return None
+            return pinned
+        return frozenset(must_have)

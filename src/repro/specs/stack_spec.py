@@ -1,0 +1,108 @@
+"""Stack as a UQ-ADT, with the pop split the paper prescribes.
+
+A classical ``pop`` both removes the top and returns it — an update and a
+query at once, which the UQ-ADT class excludes.  Following the introduction
+of the paper, it is split into ``top`` (*lookup top*, a query) and
+``drop`` (*delete top*, an update).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.adt import Query, UQADT, Update
+
+#: Returned by ``top`` on an empty stack.
+EMPTY = "<empty>"
+
+
+def push(v: Any) -> Update:
+    return Update("push", (v,))
+
+
+def drop() -> Update:
+    """Delete-top — the update half of pop."""
+    return Update("drop", ())
+
+
+def top(expected: Any) -> Query:
+    """Lookup-top — the query half of pop."""
+    return Query("top", (), expected)
+
+
+def size(expected: int) -> Query:
+    return Query("size", (), int(expected))
+
+
+def snapshot(expected: Sequence[Any]) -> Query:
+    return Query("snapshot", (), tuple(expected))
+
+
+class StackSpec(UQADT):
+    """LIFO stack; state is a tuple, top last."""
+
+    name = "stack"
+    commutative_updates = False
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state: tuple, update: Update) -> tuple:
+        if update.name == "push":
+            (v,) = update.args
+            return state + (v,)
+        if update.name == "drop":
+            return state[:-1] if state else state
+        raise ValueError(f"unknown stack update {update.name!r}")
+
+    def observe(self, state: tuple, name: str, args: tuple = ()) -> Any:
+        if name == "top":
+            return state[-1] if state else EMPTY
+        if name == "size":
+            return len(state)
+        if name == "snapshot":
+            return tuple(state)
+        raise ValueError(f"unknown stack query {name!r}")
+
+    def solve_state(self, constraints: Sequence[Query]) -> tuple | None:
+        pinned: tuple | None = None
+        top_value: Any = _NOTHING
+        length: int | None = None
+        for q in constraints:
+            if q.name == "snapshot":
+                value = tuple(q.output)
+                if pinned is not None and pinned != value:
+                    return None
+                pinned = value
+            elif q.name == "top":
+                if top_value is not _NOTHING and top_value != q.output:
+                    return None
+                top_value = q.output
+            elif q.name == "size":
+                if length is not None and length != q.output:
+                    return None
+                length = q.output
+            else:
+                return None
+        if pinned is not None:
+            if top_value is not _NOTHING and self.observe(pinned, "top") != top_value:
+                return None
+            if length is not None and len(pinned) != length:
+                return None
+            return pinned
+        if length is not None and length < 0:
+            return None
+        if top_value is not _NOTHING and top_value == EMPTY:
+            if length not in (None, 0):
+                return None
+            return ()
+        if top_value is _NOTHING:
+            n = length if length is not None else 0
+            return tuple(range(n))
+        n = length if length is not None else 1
+        if n == 0:
+            return None
+        return tuple(range(n - 1)) + (top_value,)
+
+
+_NOTHING = object()

@@ -1,0 +1,16 @@
+"""User-facing tools: the history DSL and the classification CLI.
+
+The DSL (:mod:`repro.tools.dsl`) reads histories in the paper's own
+notation — ``I(v)``, ``D(v)``, ``R{...}``, ``^w`` for ω — so consistency
+questions can be posed without writing Python::
+
+    p0: I(1) D(2) R{1,2}^w
+    p1: I(2) D(1) R{1,2}^w
+
+The CLI (``python -m repro.tools``) classifies such files under the
+criterion lattice and ships the paper's figures as built-in demos.
+"""
+
+from repro.tools.dsl import format_history, parse_set_history
+
+__all__ = ["parse_set_history", "format_history"]

@@ -1,0 +1,190 @@
+"""The repro command line: ``python -m repro.tools <command> ...``.
+
+Commands:
+
+``classify``  (default)
+    Read a history in the DSL of :mod:`repro.tools.dsl` (or a paper
+    figure via ``--demo``) and print which criteria admit it.
+
+``simulate``
+    Run a seeded workload over a replicated object on the simulated
+    asynchronous network and report convergence, message complexity and
+    read staleness.
+
+``figures``
+    Print the full Fig. 1 + Fig. 2 classification matrix.
+
+Examples::
+
+    python -m repro.tools --demo fig1b
+    python -m repro.tools classify my_history.txt
+    python -m repro.tools simulate --spec set --n 4 --ops 200 --fuzz
+    python -m repro.tools figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.criteria import classify
+from repro.paper import FIG1_BUILDERS, fig_2
+from repro.specs import SetSpec
+from repro.tools.dsl import DSLError, format_history, parse_set_history
+
+DEMOS = {f"fig1{k[-1]}": v for k, v in FIG1_BUILDERS.items()}
+DEMOS["fig2"] = fig_2
+
+COMMANDS = ("classify", "simulate", "figures")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in COMMANDS:
+        argv = ["classify"] + argv
+
+    parser = argparse.ArgumentParser(prog="python -m repro.tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser(
+        "classify", help="classify a set history under the criteria"
+    )
+    p_classify.add_argument("file", nargs="?", help="DSL file ('-' for stdin)")
+    p_classify.add_argument("--demo", choices=sorted(DEMOS))
+    p_classify.add_argument("--criteria", default="EC,SEC,UC,SUC,PC")
+
+    p_sim = sub.add_parser(
+        "simulate", help="run a workload on the simulated network"
+    )
+    p_sim.add_argument("--spec", default="set",
+                       choices=("set", "counter", "log", "memory"))
+    p_sim.add_argument("--strategy", default="universal")
+    p_sim.add_argument("--n", type=int, default=3, help="process count")
+    p_sim.add_argument("--ops", type=int, default=100)
+    p_sim.add_argument("--latency", type=float, default=3.0,
+                       help="mean exponential latency")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--crash", type=int, default=0,
+                       help="crash budget for the fuzzer")
+    p_sim.add_argument("--fuzz", action="store_true",
+                       help="adversarial schedule instead of plain latencies")
+
+    sub.add_parser("figures", help="print the paper's figure matrix")
+
+    args = parser.parse_args(argv)
+    if args.command == "classify":
+        return _classify(args)
+    if args.command == "simulate":
+        return _simulate(args)
+    return _figures()
+
+
+def _classify(args) -> int:
+    if args.demo:
+        history = DEMOS[args.demo]()
+    elif args.file:
+        text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+        try:
+            history = parse_set_history(text)
+        except DSLError as exc:
+            print(f"parse error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("give a history file or --demo", file=sys.stderr)
+        return 2
+
+    criteria = tuple(c.strip().upper() for c in args.criteria.split(",") if c.strip())
+    print(format_history(history))
+    print()
+    results = classify(history, SetSpec(), criteria=criteria)
+    worst = 0
+    for name, res in results.items():
+        if res:
+            print(f"{name:4s}: holds")
+        else:
+            print(f"{name:4s}: FAILS — {res.reason}")
+            worst = 1
+    return worst
+
+
+def _simulate(args) -> int:
+    from repro.analysis import (
+        collect_message_stats,
+        staleness_report,
+        update_consistent_convergence,
+    )
+    from repro.objects import make_replicated
+    from repro.sim.fuzz import AdversaryFuzzer
+    from repro.sim.network import ExponentialLatency
+    from repro.sim.workload import (
+        collab_edit_workload,
+        counter_workload,
+        random_set_workload,
+        register_workload,
+        run_workload,
+    )
+    from repro.specs import CounterSpec, LogSpec, MemorySpec
+
+    spec = {
+        "set": SetSpec, "counter": CounterSpec,
+        "log": LogSpec, "memory": MemorySpec,
+    }[args.spec]()
+    workload = {
+        "set": random_set_workload,
+        "counter": counter_workload,
+        "log": collab_edit_workload,
+        "memory": register_workload,
+    }[args.spec](args.n, args.ops, seed=args.seed)
+
+    cluster, _ = make_replicated(
+        spec, args.n, strategy=args.strategy,
+        latency=ExponentialLatency(args.latency), seed=args.seed,
+    )
+    if args.fuzz:
+        fuzzer = AdversaryFuzzer(cluster, seed=args.seed, crash_budget=args.crash)
+        ops = [(w.pid, w.op) for w in workload if w.is_update]
+        fuzzer.run_workload(ops)
+        print(f"adversary: {fuzzer.report.summary()}")
+    else:
+        run_workload(cluster, workload)
+
+    print(f"{args.spec} x {args.n} processes, {args.ops} ops, "
+          f"strategy={args.strategy}, seed={args.seed}")
+    try:
+        ok, state, _ = update_consistent_convergence(cluster, spec)
+        print(f"update-consistent convergence: {'PASS' if ok else 'FAIL'}")
+        print(f"converged state: {state!r}")
+    except ValueError as exc:
+        from repro.analysis import converged
+
+        print(f"(no witness metadata: {exc})")
+        print(f"replicas agree: {converged(cluster)}")
+        ok = converged(cluster)
+    stats = collect_message_stats(cluster)
+    print(f"messages: {stats.messages_sent} sent "
+          f"({stats.sends_per_update:.1f}/update), "
+          f"max timestamp {stats.max_timestamp_bits} bits")
+    try:
+        stale = staleness_report(cluster.trace)
+        if stale.queries:
+            print(f"reads: {stale.queries}, fresh {stale.fresh_fraction():.0%}, "
+                  f"mean version lag {stale.mean_version_lag:.2f}")
+    except ValueError:
+        pass
+    return 0 if ok else 1
+
+
+def _figures() -> int:
+    from repro.analysis import classification_matrix
+
+    table, _ = classification_matrix(
+        {name: b() for name, b in FIG1_BUILDERS.items()} | {"fig2": fig_2()},
+        SetSpec(),
+    )
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

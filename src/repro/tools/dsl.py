@@ -1,0 +1,142 @@
+"""A tiny DSL for set histories, in the paper's notation.
+
+Grammar (one process per line, ``#`` comments, blank lines ignored)::
+
+    history   := line*
+    line      := "p" INT ":" op*
+    op        := update | query
+    update    := ("I" | "D") "(" value ")"
+    query     := "R" "{" value ("," value)* "}" omega?
+               | "R" "{}" omega?
+               | "C" "(" value ")" ("+" | "-") omega?     # contains yes/no
+    omega     := "^w" | "^ω"
+    value     := integer | identifier
+
+Examples — the paper's Fig. 1b::
+
+    p0: I(1) D(2) R{1,2}^w
+    p1: I(2) D(1) R{1,2}^w
+
+Values that parse as integers become ``int``; anything else stays a
+string.  ω-operations must be last on their line (the history model
+requires ω-events to be program-order maximal).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.adt import Operation
+from repro.core.history import History
+from repro.specs import set_spec as S
+
+_LINE = re.compile(r"^p(\d+)\s*:\s*(.*)$")
+_TOKEN = re.compile(
+    r"""
+    (?P<upd>[ID])\(\s*(?P<uval>[^)\s]+)\s*\)
+    | R\{(?P<rset>[^}]*)\}
+    | C\(\s*(?P<cval>[^)\s]+)\s*\)(?P<csign>[+-])
+    """,
+    re.VERBOSE,
+)
+_OMEGA = re.compile(r"\^(w|ω)")
+
+
+class DSLError(ValueError):
+    """A history file failed to parse."""
+
+
+def _value(token: str):
+    token = token.strip()
+    if not token:
+        raise DSLError("empty value")
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_set_history(text: str) -> History:
+    """Parse the DSL into a :class:`~repro.core.history.History`."""
+    processes: dict[int, list] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _LINE.match(line)
+        if not m:
+            raise DSLError(f"line {lineno}: expected 'p<k>: ops...', got {raw!r}")
+        pid = int(m.group(1))
+        if pid in processes:
+            raise DSLError(f"line {lineno}: process p{pid} defined twice")
+        ops: list = []
+        rest = m.group(2)
+        pos = 0
+        while pos < len(rest):
+            if rest[pos].isspace():
+                pos += 1
+                continue
+            token = _TOKEN.match(rest, pos)
+            if not token:
+                raise DSLError(
+                    f"line {lineno}: cannot parse operation at: {rest[pos:]!r}"
+                )
+            pos = token.end()
+            omega = False
+            om = _OMEGA.match(rest, pos)
+            if om:
+                omega = True
+                pos = om.end()
+            op = _build(token)
+            ops.append((op, True) if omega else op)
+        processes[pid] = ops
+
+    if not processes:
+        raise DSLError("no processes in history")
+    max_pid = max(processes)
+    ordered = [processes.get(pid, []) for pid in range(max_pid + 1)]
+    missing = [pid for pid in range(max_pid + 1) if pid not in processes]
+    if missing:
+        raise DSLError(f"missing process lines for pids {missing}")
+    try:
+        return History.from_processes(ordered)
+    except ValueError as exc:
+        raise DSLError(str(exc)) from exc
+
+
+def _build(token: re.Match) -> Operation:
+    if token.group("upd"):
+        value = _value(token.group("uval"))
+        return S.insert(value) if token.group("upd") == "I" else S.delete(value)
+    if token.group("rset") is not None:
+        body = token.group("rset").strip()
+        values = frozenset(_value(v) for v in body.split(",")) if body else frozenset()
+        return S.read(values)
+    value = _value(token.group("cval"))
+    return S.contains(value, token.group("csign") == "+")
+
+
+def format_history(history: History) -> str:
+    """Render a set history back into the DSL (inverse of the parser for
+    DSL-expressible histories)."""
+    lines = []
+    for pid in history.pids:
+        tokens = []
+        for event in history.process_events(pid):
+            label = event.label
+            if label.name == "insert":
+                tok = f"I({label.args[0]})"
+            elif label.name == "delete":
+                tok = f"D({label.args[0]})"
+            elif label.name == "read":
+                body = ",".join(str(v) for v in sorted(label.output, key=repr))
+                tok = f"R{{{body}}}"
+            elif label.name == "contains":
+                tok = f"C({label.args[0]}){'+' if label.output else '-'}"
+            else:
+                raise ValueError(f"not a set operation: {label}")
+            if event.omega:
+                tok += "^w"
+            tokens.append(tok)
+        lines.append(f"p{pid}: " + " ".join(tokens))
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Utility layer: logical clocks, identifier allocation, order helpers.
+
+These are the small, dependency-free building blocks shared by the core
+formalism (:mod:`repro.core`), the simulator (:mod:`repro.sim`) and the
+replicated object implementations (:mod:`repro.objects`, :mod:`repro.crdt`).
+"""
+
+from repro.util.clocks import LamportClock, Timestamp, VectorClock
+from repro.util.ids import IdAllocator, fresh_token
+from repro.util.ordering import (
+    is_acyclic,
+    is_total_order,
+    relation_closure,
+    topological_sorts,
+)
+
+__all__ = [
+    "LamportClock",
+    "Timestamp",
+    "VectorClock",
+    "IdAllocator",
+    "fresh_token",
+    "is_acyclic",
+    "is_total_order",
+    "relation_closure",
+    "topological_sorts",
+]

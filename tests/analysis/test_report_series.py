@@ -1,0 +1,42 @@
+"""Tests for the series renderer and remaining report helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_series, format_table
+
+
+class TestFormatSeries:
+    def test_renders_columns(self):
+        out = format_series(
+            "growth", [(1, 10), (2, 20)], x_label="ops", y_label="bits"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "growth"
+        assert "ops" in lines[1] and "bits" in lines[1]
+        assert "10" in out and "20" in out
+
+    def test_empty_series(self):
+        out = format_series("empty", [])
+        assert "empty" in out
+
+
+class TestFormatTableEdges:
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert out.splitlines()[0].startswith("a")
+        assert len(out.splitlines()) == 2  # header + separator
+
+    def test_wide_cells_drive_alignment(self):
+        out = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        header, sep, *rows = out.splitlines()
+        assert len(sep) >= len("a-much-longer-cell")
+        assert all(len(line) <= len(sep) + 2 for line in rows)
+
+    def test_mixed_types(self):
+        out = format_table(
+            ["v"], [[None], [1.5], [True], [frozenset({3})], [("t",)]]
+        )
+        assert "None" in out
+        assert "1.5" in out
+        assert "yes" in out
+        assert "{3}" in out

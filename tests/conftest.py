@@ -1,0 +1,100 @@
+"""Shared fixtures: specifications and the paper's example histories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper import fig_1a, fig_1b, fig_1c, fig_1d, fig_2
+from repro.specs import (
+    CounterSpec,
+    FlagSpec,
+    GSetSpec,
+    LogSpec,
+    MapSpec,
+    MaxRegisterSpec,
+    MemorySpec,
+    QueueSpec,
+    RegisterSpec,
+    SetSpec,
+    StackSpec,
+)
+
+
+@pytest.fixture
+def set_spec() -> SetSpec:
+    return SetSpec()
+
+
+@pytest.fixture
+def counter_spec() -> CounterSpec:
+    return CounterSpec()
+
+
+@pytest.fixture
+def register_spec() -> RegisterSpec:
+    return RegisterSpec()
+
+
+@pytest.fixture
+def memory_spec() -> MemorySpec:
+    return MemorySpec()
+
+
+@pytest.fixture
+def log_spec() -> LogSpec:
+    return LogSpec()
+
+
+@pytest.fixture
+def queue_spec() -> QueueSpec:
+    return QueueSpec()
+
+
+@pytest.fixture
+def stack_spec() -> StackSpec:
+    return StackSpec()
+
+
+@pytest.fixture
+def map_spec() -> MapSpec:
+    return MapSpec()
+
+
+@pytest.fixture
+def gset_spec() -> GSetSpec:
+    return GSetSpec()
+
+
+@pytest.fixture
+def flag_spec() -> FlagSpec:
+    return FlagSpec()
+
+
+@pytest.fixture
+def max_register_spec() -> MaxRegisterSpec:
+    return MaxRegisterSpec()
+
+
+@pytest.fixture
+def h_fig_1a():
+    return fig_1a()
+
+
+@pytest.fixture
+def h_fig_1b():
+    return fig_1b()
+
+
+@pytest.fixture
+def h_fig_1c():
+    return fig_1c()
+
+
+@pytest.fixture
+def h_fig_1d():
+    return fig_1d()
+
+
+@pytest.fixture
+def h_fig_2():
+    return fig_2()

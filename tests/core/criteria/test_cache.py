@@ -1,0 +1,111 @@
+"""Tests for per-element cache consistency (the [Goodman 1991] reading)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.criteria import SC, UC
+from repro.core.criteria.cache import CacheConsistency
+from repro.core.history import History
+from repro.specs import set_spec as S
+
+CC = CacheConsistency()
+
+
+class TestCacheConsistency:
+    def test_or_set_outcome_on_fig_1b_is_cache_consistent(self, set_spec):
+        """The paper's closing remark: the OR-set behaviour ({1,2} after
+        concurrent I(1).D(2) || I(2).D(1)) is cache consistent — each
+        element separately linearizes with its insert last — while no
+        global update linearization explains it (not UC)."""
+        h = History.from_processes(
+            [
+                [S.insert(1), S.delete(2), (S.read({1, 2}), True)],
+                [S.insert(2), S.delete(1), (S.read({1, 2}), True)],
+            ]
+        )
+        assert CC.check(h, set_spec)
+        assert not UC.check(h, set_spec)
+
+    def test_fig_1a_is_not_cache_consistent(self, h_fig_1a, set_spec):
+        # p0 reads 1 as absent right after inserting it, with no delete
+        # anywhere: element 1's projection has no sequential explanation.
+        assert not CC.check(h_fig_1a, set_spec)
+
+    def test_sequentially_consistent_implies_cache_consistent(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1), S.read({1})], [S.read(set())]]
+        )
+        assert SC.check(h, set_spec)
+        assert CC.check(h, set_spec)
+
+    def test_elements_may_disagree_on_order(self, set_spec):
+        # p0 sees its insert of 1 before p1's of 2; p1 the other way:
+        # fine per element (each element's own history is trivial).
+        h = History.from_processes(
+            [
+                [S.insert(1), S.read({1}), (S.read({1, 2}), True)],
+                [S.insert(2), S.read({2}), (S.read({1, 2}), True)],
+            ]
+        )
+        assert CC.check(h, set_spec)
+
+    def test_per_element_violation_detected(self, set_spec):
+        # Same process: insert 1, then read it absent — forever.
+        h = History.from_processes([[S.insert(1), (S.read(set()), True)]])
+        res = CC.check(h, set_spec)
+        assert not res
+        assert "element 1" in res.reason
+
+    def test_contains_queries_supported(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1), S.contains(1, True), S.contains(2, False)]]
+        )
+        assert CC.check(h, set_spec)
+
+    def test_witness_linearizations_per_element(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1), S.read({1})], [S.insert(2)]]
+        )
+        res = CC.check(h, set_spec)
+        lins = res.witness["element_linearizations"]
+        assert set(lins) == {1, 2}
+        for v, lin in lins.items():
+            word = [e.label for e in lin]
+            assert set_spec.recognizes(word)
+
+    def test_empty_history(self, set_spec):
+        assert CC.check(History([]), set_spec)
+
+    def test_non_set_vocabulary_rejected(self, set_spec):
+        from repro.core.adt import Update
+
+        h = History.from_processes([[Update("push", (1,))]])
+        with pytest.raises(ValueError, match="set histories"):
+            CC.check(h, set_spec)
+
+    def test_omega_updates_unsupported(self, set_spec):
+        h = History.from_processes([[(S.insert(1), True)]])
+        with pytest.raises(NotImplementedError):
+            CC.check(h, set_spec)
+
+    def test_or_set_simulated_trace_is_cache_consistent(self, set_spec):
+        """End to end: the OR-set run on the Fig. 1b gadget produces a
+        history that is CC (and, from the earlier case study, not UC)."""
+        from tests.integration.test_proposition1 import flag_final_reads_omega
+
+        from repro.crdt import ORSetReplica
+        from repro.sim import Cluster
+
+        c = Cluster(2, lambda pid, n: ORSetReplica(pid, n))
+        c.partition([[0], [1]])
+        c.update(0, S.insert(1))
+        c.update(0, S.delete(2))
+        c.update(1, S.insert(2))
+        c.update(1, S.delete(1))
+        c.heal()
+        c.run()
+        c.query(0, "read")
+        c.query(1, "read")
+        h = flag_final_reads_omega(c)
+        assert CC.check(h, set_spec)

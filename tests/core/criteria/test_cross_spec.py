@@ -1,0 +1,178 @@
+"""The criteria are spec-generic: exercise them over non-set UQ-ADTs.
+
+The paper proves universality for *any* UQ-ADT; these tests make sure the
+checkers (not just the algorithms) handle the whole spec zoo — flags,
+counters, queues, logs, maps — including each spec's own conflict shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.criteria import EC, PC, SC, SEC, SUC, UC
+from repro.core.criteria.lattice import check_implications, classify
+from repro.core.history import History
+from repro.specs import (
+    CounterSpec,
+    FlagSpec,
+    LogSpec,
+    MapSpec,
+    QueueSpec,
+)
+from repro.specs import counter as C
+from repro.specs import log_spec as L
+from repro.specs import map_spec as Mp
+from repro.specs import queue_spec as Q
+from repro.specs.flag import disable, enable
+from repro.specs.flag import read as fread
+
+
+class TestFlag:
+    def test_concurrent_enable_disable_any_winner(self):
+        spec = FlagSpec()
+        up = History.from_processes(
+            [[enable(), (fread(True), True)], [disable(), (fread(True), True)]]
+        )
+        down = History.from_processes(
+            [[enable(), (fread(False), True)], [disable(), (fread(False), True)]]
+        )
+        assert UC.check(up, spec)
+        assert UC.check(down, spec)
+
+    def test_split_brain_flag_not_uc(self):
+        spec = FlagSpec()
+        h = History.from_processes(
+            [[enable(), (fread(True), True)], [disable(), (fread(False), True)]]
+        )
+        assert not UC.check(h, spec)
+        assert not EC.check(h, spec)
+
+    def test_suc_flag_with_stale_read(self):
+        spec = FlagSpec()
+        h = History.from_processes(
+            [[enable()], [fread(False), (fread(True), True)]]
+        )
+        assert SUC.check(h, spec)
+        # Here even SC holds: the stale read places before the enable.
+        assert SC.check(h, spec)
+
+    def test_lattice_holds_for_flag_histories(self):
+        spec = FlagSpec()
+        h = History.from_processes(
+            [[enable(), (fread(True), True)], [(fread(True), True)]]
+        )
+        results = classify(h, spec)
+        assert check_implications(results) == []
+
+
+class TestCounter:
+    def test_commutativity_makes_most_histories_uc(self):
+        spec = CounterSpec()
+        h = History.from_processes(
+            [[C.inc(2), (C.read(5), True)], [C.inc(3), (C.read(5), True)]]
+        )
+        assert UC.check(h, spec)
+        assert SUC.check(h, spec)
+        assert PC.check(h, spec)
+
+    def test_wrong_total_rejected_everywhere(self):
+        spec = CounterSpec()
+        h = History.from_processes(
+            [[C.inc(2), (C.read(4), True)], [C.inc(3), (C.read(4), True)]]
+        )
+        # 4 is not reachable from {+2, +3}: every update linearization
+        # totals 5.
+        assert not UC.check(h, spec)
+        assert EC.check(h, spec)  # EC doesn't care about reachability!
+
+    def test_partial_sums_explain_stale_reads(self):
+        spec = CounterSpec()
+        h = History.from_processes(
+            [[C.inc(2)], [C.read(0), C.read(2), (C.read(5), True)], [C.inc(3)]]
+        )
+        assert SUC.check(h, spec)
+
+
+class TestQueue:
+    def test_fifo_order_enforced_by_uc(self):
+        spec = QueueSpec()
+        good = History.from_processes(
+            [[Q.enqueue("a")], [Q.enqueue("b"), (Q.front("a"), True)]]
+        )
+        # "a" at the front is explained by the linearization a-then-b.
+        assert UC.check(good, spec)
+        bad = History.from_processes(
+            [
+                [Q.enqueue("a"), Q.pop(), (Q.front("a"), True)],
+                [(Q.front("a"), True)],
+            ]
+        )
+        # After a's pop... front can only be "a" if b? no b: must be EMPTY.
+        assert not UC.check(bad, spec)
+
+    def test_sec_queue_groups(self):
+        spec = QueueSpec()
+        h = History.from_processes(
+            [[Q.enqueue("a"), (Q.front("a"), True)], [(Q.front("a"), True)]]
+        )
+        assert SEC.check(h, spec)
+
+
+class TestLog:
+    def test_interleaving_must_respect_author_order(self):
+        spec = LogSpec()
+        good = History.from_processes(
+            [
+                [L.append("x1"), L.append("x2"), (L.read(("x1", "y", "x2")), True)],
+                [L.append("y"), (L.read(("x1", "y", "x2")), True)],
+            ]
+        )
+        bad = History.from_processes(
+            [
+                [L.append("x1"), L.append("x2"), (L.read(("x2", "x1")), True)],
+                [(L.read(("x2", "x1")), True)],
+            ]
+        )
+        assert UC.check(good, spec)
+        assert not UC.check(bad, spec)
+
+    def test_pc_log(self):
+        spec = LogSpec()
+        h = History.from_processes(
+            [
+                [L.append("a"), L.read(("a",))],
+                [L.append("b"), L.read(("b", "a"))],
+            ]
+        )
+        assert PC.check(h, spec)
+
+
+class TestMap:
+    def test_key_conflict_resolved_by_arbitration(self):
+        spec = MapSpec()
+        h = History.from_processes(
+            [
+                [Mp.put("k", 1), (Mp.get("k", 2), True)],
+                [Mp.put("k", 2), (Mp.get("k", 2), True)],
+            ]
+        )
+        assert UC.check(h, spec)
+        assert SUC.check(h, spec)
+
+    def test_remove_then_concurrent_put(self):
+        spec = MapSpec()
+        h = History.from_processes(
+            [
+                [Mp.put("k", 1), Mp.remove("k"), (Mp.get("k", Mp.ABSENT), True)],
+                [(Mp.get("k", Mp.ABSENT), True)],
+            ]
+        )
+        assert UC.check(h, spec)
+
+    def test_split_brain_map_not_ec(self):
+        spec = MapSpec()
+        h = History.from_processes(
+            [
+                [Mp.put("k", 1), (Mp.get("k", 1), True)],
+                [Mp.put("k", 2), (Mp.get("k", 2), True)],
+            ]
+        )
+        assert not EC.check(h, spec)

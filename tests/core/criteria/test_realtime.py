@@ -1,0 +1,173 @@
+"""Tests for the Wing–Gong linearizability checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.criteria.realtime import (
+    TimedOperation,
+    check_linearizable,
+    from_trace,
+    trace_linearizable,
+)
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import FixedLatency
+from repro.specs import RegisterSpec, SetSpec
+from repro.specs import register as R
+from repro.specs import set_spec as S
+
+SET = SetSpec()
+REG = RegisterSpec()
+
+
+def op(label, invoked, responded, uid, pid=None):
+    return TimedOperation(label, invoked, responded, pid, uid)
+
+
+class TestTimedOperation:
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            op(S.insert(1), 5.0, 1.0, 0)
+
+    def test_precedence(self):
+        a = op(S.insert(1), 0.0, 1.0, 0)
+        b = op(S.read({1}), 2.0, 3.0, 1)
+        c = op(S.read(set()), 0.5, 2.5, 2)  # overlaps both
+        assert a.precedes(b)
+        assert not a.precedes(c)
+        assert not c.precedes(b)
+
+
+class TestChecker:
+    def test_sequential_valid(self):
+        ops = [
+            op(S.insert(1), 0, 1, 0),
+            op(S.read({1}), 2, 3, 1),
+        ]
+        res = check_linearizable(ops, SET)
+        assert res
+        assert [o.uid for o in res.witness["linearization"]] == [0, 1]
+
+    def test_sequential_stale_read_fails(self):
+        ops = [
+            op(S.insert(1), 0, 1, 0),
+            op(S.read(set()), 2, 3, 1),  # strictly after, but stale
+        ]
+        assert not check_linearizable(ops, SET)
+
+    def test_overlapping_stale_read_allowed(self):
+        ops = [
+            op(S.insert(1), 0, 10, 0),
+            op(S.read(set()), 2, 3, 1),  # overlaps the insert: may precede
+        ]
+        assert check_linearizable(ops, SET)
+
+    def test_register_new_old_new_inversion_fails(self):
+        # The classic non-linearizable (even non-sequentially-consistent)
+        # read inversion: new then old, strictly ordered.
+        ops = [
+            op(R.write("old"), 0, 1, 0),
+            op(R.write("new"), 2, 3, 1),
+            op(R.read("new"), 4, 5, 2),
+            op(R.read("old"), 6, 7, 3),
+        ]
+        assert not check_linearizable(ops, REG)
+
+    def test_concurrent_writes_any_winner(self):
+        ops = [
+            op(R.write("a"), 0, 5, 0),
+            op(R.write("b"), 0, 5, 1),
+            op(R.read("a"), 6, 7, 2),
+        ]
+        assert check_linearizable(ops, REG)
+        ops[2] = op(R.read("b"), 6, 7, 2)
+        assert check_linearizable(ops, REG)
+
+    def test_empty_history(self):
+        assert check_linearizable([], SET)
+
+    def test_duplicate_uids_rejected(self):
+        ops = [op(S.insert(1), 0, 1, 7), op(S.insert(2), 2, 3, 7)]
+        with pytest.raises(ValueError, match="uid"):
+            check_linearizable(ops, SET)
+
+    def test_witness_respects_real_time(self):
+        ops = [
+            op(S.insert(1), 0, 1, 0),
+            op(S.delete(1), 2, 3, 1),
+            op(S.read(set()), 4, 5, 2),
+        ]
+        res = check_linearizable(ops, SET)
+        lin = res.witness["linearization"]
+        for i, a in enumerate(lin):
+            for b in lin[i + 1:]:
+                assert not b.precedes(a)
+
+
+class TestTraceConversion:
+    def test_from_trace_instantaneous(self):
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SET))
+        c.update(0, S.insert(1))
+        ops = from_trace(c.trace)
+        assert len(ops) == 1
+        assert ops[0].invoked == ops[0].responded
+
+    def test_duration_widens(self):
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SET))
+        c.update(0, S.insert(1))
+        ops = from_trace(c.trace, duration=2.0)
+        assert ops[0].responded == ops[0].invoked + 2.0
+
+    def test_negative_duration_rejected(self):
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SET))
+        with pytest.raises(ValueError):
+            from_trace(c.trace, duration=-1.0)
+
+
+class TestTheGap:
+    """Update consistency is weaker than linearizability — visible on
+    real traces (the library's point, quantified)."""
+
+    def test_stale_uc_run_not_linearizable(self):
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SET),
+                    latency=FixedLatency(10.0))
+        c.update(0, S.insert(1))
+        c.advance(1.0)
+        c.query(1, "read")  # ∅ — strictly after the insert in real time
+        c.run()
+        res = trace_linearizable(c.trace, SET)
+        assert not res  # linearizability rejects the stale read…
+
+    def test_same_run_is_update_consistent(self):
+        from repro.analysis import update_consistent_convergence
+
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SET),
+                    latency=FixedLatency(10.0))
+        c.update(0, S.insert(1))
+        c.advance(1.0)
+        c.query(1, "read")
+        c.run()
+        ok, _, _ = update_consistent_convergence(c, SET)
+        assert ok  # …update consistency is fine with it
+
+    def test_widening_intervals_restores_linearizability(self):
+        # If the client-visible operation spans the message delay, the
+        # stale read overlaps the insert and may linearize before it.
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SET),
+                    latency=FixedLatency(10.0))
+        c.update(0, S.insert(1))
+        c.advance(1.0)
+        c.query(1, "read")
+        c.run()
+        assert not trace_linearizable(c.trace, SET, duration=0.5)
+        assert trace_linearizable(c.trace, SET, duration=2.0)
+
+    def test_quiescent_reads_are_linearizable(self):
+        c = Cluster(3, lambda p, n: UniversalReplica(p, n, SET),
+                    latency=FixedLatency(1.0))
+        c.update(0, S.insert(1))
+        c.run()
+        for pid in range(3):
+            c.query(pid, "read")
+        assert trace_linearizable(c.trace, SET)

@@ -1,0 +1,48 @@
+"""Tests for the sequential-consistency checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.criteria import SC, SUC
+from repro.core.history import History
+from repro.specs import set_spec as S
+
+
+class TestSequentialConsistency:
+    def test_simple_valid_history(self, set_spec):
+        h = History.from_processes([[S.insert(1)], [S.read({1}), S.read({1})]])
+        assert SC.check(h, set_spec)
+
+    def test_all_queries_must_be_placed(self, set_spec):
+        # Unlike UC, a nonsense finite read sinks SC.
+        h = History.from_processes([[S.insert(1), S.read({9})]])
+        assert not SC.check(h, set_spec)
+
+    def test_fig_1d_is_not_sc(self, h_fig_1d, set_spec):
+        # R/{2} cannot be placed: I(1) ↦ I(2) forces {1} before {1,2}.
+        assert not SC.check(h_fig_1d, set_spec)
+        # ...yet it is SUC: sequential consistency is strictly stronger.
+        assert SUC.check(h_fig_1d, set_spec)
+
+    def test_stale_read_placeable_before_update(self, set_spec):
+        h = History.from_processes([[S.insert(1)], [S.read(set())]])
+        assert SC.check(h, set_spec)
+
+    def test_witness_is_a_recognized_linearization(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.read({1})], [S.read(set())]])
+        res = SC.check(h, set_spec)
+        assert res
+        lin = res.witness["linearization"]
+        assert set_spec.recognizes([e.label for e in lin])
+
+    def test_omega_queries_constrain_final_state(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1), (S.read({1}), True)], [(S.read({1}), True)]]
+        )
+        assert SC.check(h, set_spec)
+
+    def test_omega_updates_unsupported(self, set_spec):
+        h = History.from_processes([[(S.insert(1), True)]])
+        with pytest.raises(NotImplementedError):
+            SC.check(h, set_spec)

@@ -1,0 +1,110 @@
+"""Tests for the session-guarantee checkers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.criteria.sessions import (
+    check_all_sessions,
+    monotonic_reads,
+    monotonic_writes,
+    read_your_writes,
+    writes_follow_reads,
+)
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.cluster import OpRecord, Trace
+from repro.sim.network import ExponentialLatency
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+def synthetic_trace(records):
+    t = Trace()
+    for i, (pid, label, meta) in enumerate(records):
+        t.append(OpRecord(i, pid, label, float(i), meta))
+    return t
+
+
+class TestAlgorithm1SatisfiesAll:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_all_four_guarantees(self, seed):
+        c = Cluster(3, lambda p, n: UniversalReplica(p, n, SPEC),
+                    latency=ExponentialLatency(6.0), seed=seed)
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        for i in range(30):
+            pid = int(rng.integers(3))
+            if rng.random() < 0.4:
+                c.query(pid, "read")
+            else:
+                v = int(rng.integers(5))
+                c.update(pid, S.insert(v) if rng.random() < 0.6 else S.delete(v))
+            if rng.random() < 0.3:
+                c.run_until(c.now + 1.0)
+        c.run()
+        results = check_all_sessions(c.trace)
+        for name, res in results.items():
+            assert res, (name, res.reason)
+
+
+class TestViolationsDetected:
+    def test_ryw_violation(self):
+        # p0 updates (stamp (1,0)) then queries without seeing it.
+        t = synthetic_trace([
+            (0, S.insert(1), {"timestamp": (1, 0)}),
+            (0, S.read(set()), {"timestamp": (2, 0), "visible": frozenset()}),
+        ])
+        res = read_your_writes(t)
+        assert not res and "misses own updates" in res.reason
+
+    def test_mr_violation(self):
+        t = synthetic_trace([
+            (1, S.insert(1), {"timestamp": (1, 1)}),
+            (0, S.read({1}), {"timestamp": (2, 0), "visible": frozenset({(1, 1)})}),
+            (0, S.read(set()), {"timestamp": (3, 0), "visible": frozenset()}),
+        ])
+        res = monotonic_reads(t)
+        assert not res and "lost updates" in res.reason
+
+    def test_mw_violation(self):
+        t = synthetic_trace([
+            (0, S.insert(1), {"timestamp": (5, 0)}),
+            (0, S.insert(2), {"timestamp": (3, 0)}),  # stamped earlier!
+        ])
+        res = monotonic_writes(t)
+        assert not res and "before" in res.reason
+
+    def test_wfr_violation(self):
+        t = synthetic_trace([
+            (1, S.insert(1), {"timestamp": (9, 1)}),
+            (0, S.read({1}), {"timestamp": (10, 0), "visible": frozenset({(9, 1)})}),
+            (0, S.insert(2), {"timestamp": (4, 0)}),  # ordered before the read dep
+        ])
+        res = writes_follow_reads(t)
+        assert not res and "dependency" in res.reason
+
+    def test_all_pass_on_clean_trace(self):
+        t = synthetic_trace([
+            (0, S.insert(1), {"timestamp": (1, 0)}),
+            (0, S.read({1}), {"timestamp": (2, 0), "visible": frozenset({(1, 0)})}),
+            (0, S.insert(2), {"timestamp": (3, 0)}),
+        ])
+        assert all(check_all_sessions(t).values())
+
+    def test_missing_metadata_raises(self):
+        t = synthetic_trace([(0, S.insert(1), {})])
+        with pytest.raises(ValueError, match="timestamp"):
+            read_your_writes(t)
+
+    def test_missing_visibility_raises(self):
+        t = synthetic_trace([
+            (0, S.read(set()), {"timestamp": (1, 0)}),
+        ])
+        with pytest.raises(ValueError, match="visibility"):
+            monotonic_reads(t)

@@ -1,0 +1,145 @@
+"""Tests for update consistency (Def. 8) and strong update consistency
+(Def. 9) — the paper's new criteria."""
+
+from __future__ import annotations
+
+from repro.core.criteria import SUC, UC
+from repro.core.history import History
+from repro.specs import register as R
+from repro.specs import set_spec as S
+
+
+class TestUpdateConsistency:
+    def test_fig_1a_is_not_uc(self, h_fig_1a, set_spec):
+        # No linearization of I(1), I(2) ends at ∅.
+        assert not UC.check(h_fig_1a, set_spec)
+
+    def test_fig_1b_is_not_uc(self, h_fig_1b, set_spec):
+        # Any update linearization ends with a deletion — {1,2} unreachable.
+        assert not UC.check(h_fig_1b, set_spec)
+
+    def test_fig_1c_is_uc(self, h_fig_1c, set_spec):
+        res = UC.check(h_fig_1c, set_spec)
+        assert res
+        assert res.witness["state"] == frozenset({1, 2})
+        lin = [e.label for e in res.witness["linearization"]]
+        assert set(lin) >= {S.insert(1), S.insert(2)}
+
+    def test_fig_1d_is_uc(self, h_fig_1d, set_spec):
+        assert UC.check(h_fig_1d, set_spec)
+
+    def test_fig_2_is_not_uc(self, h_fig_2, set_spec):
+        # UC implies EC (Prop. 2); Fig. 2 is not EC.
+        assert not UC.check(h_fig_2, set_spec)
+
+    def test_uc_respects_program_order_of_updates(self, set_spec):
+        # Same process inserts then deletes: ω-read {1} cannot hold.
+        h = History.from_processes([[S.insert(1), S.delete(1), (S.read({1}), True)]])
+        assert not UC.check(h, set_spec)
+        # Concurrent from two processes: the insert may be ordered last.
+        h2 = History.from_processes(
+            [[S.insert(1), (S.read({1}), True)], [S.delete(1), (S.read({1}), True)]]
+        )
+        assert UC.check(h2, set_spec)
+
+    def test_finite_queries_are_discardable(self, set_spec):
+        # Nonsense finite reads do not break UC (they land in Q').
+        h = History.from_processes(
+            [[S.insert(1), S.read({9, 9}), (S.read({1}), True)]]
+        )
+        assert UC.check(h, set_spec)
+
+    def test_history_without_omega_is_trivially_uc(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.read({77})]])
+        assert UC.check(h, set_spec)
+
+    def test_infinite_updates_vacuously_uc(self, set_spec):
+        h = History.from_processes([[(S.insert(1), True)], [(S.read(set()), True)]])
+        assert UC.check(h, set_spec)
+
+    def test_uc_register_example(self, register_spec):
+        # Two concurrent writes: either may win, but both replicas must
+        # agree — split-brain ω-reads are not UC.
+        agree = History.from_processes(
+            [[R.write("a"), (R.read("b"), True)], [R.write("b"), (R.read("b"), True)]]
+        )
+        split = History.from_processes(
+            [[R.write("a"), (R.read("a"), True)], [R.write("b"), (R.read("b"), True)]]
+        )
+        assert UC.check(agree, register_spec)
+        assert not UC.check(split, register_spec)
+
+
+class TestStrongUpdateConsistency:
+    def test_fig_1a_is_not_suc(self, h_fig_1a, set_spec):
+        assert not SUC.check(h_fig_1a, set_spec)
+
+    def test_fig_1b_is_not_suc(self, h_fig_1b, set_spec):
+        assert not SUC.check(h_fig_1b, set_spec)
+
+    def test_fig_1c_is_not_suc(self, h_fig_1c, set_spec):
+        # The paper: after I(1), no update linearization explains R/∅.
+        assert not SUC.check(h_fig_1c, set_spec)
+
+    def test_fig_1d_is_suc(self, h_fig_1d, set_spec):
+        res = SUC.check(h_fig_1d, set_spec)
+        assert res
+        order = res.witness["order"]
+        vis = res.witness["visibility"]
+        # The arbitration is a linear extension of the program order.
+        pos = {e: i for i, e in enumerate(order)}
+        for a in h_fig_1d.events:
+            for b in h_fig_1d.events:
+                if a is not b and h_fig_1d.precedes(a, b):
+                    assert pos[a] < pos[b]
+        # Every query's replay of its visible updates explains its output.
+        for q, v in vis.items():
+            word = [u.label for u in sorted(v, key=pos.__getitem__)] + [q.label]
+            assert set_spec.recognizes(word)
+
+    def test_suc_implies_every_query_locally_explained(self, set_spec):
+        # R/{2} with only I(1) in the history: no visibility set works.
+        h = History.from_processes([[S.insert(1)], [S.read({2})]])
+        assert not SUC.check(h, set_spec)
+
+    def test_stale_reads_are_fine(self, set_spec):
+        # Reading ∅ while a remote insert is in flight is the whole point.
+        h = History.from_processes([[S.insert(1)], [S.read(set()), S.read({1})]])
+        assert SUC.check(h, set_spec)
+
+    def test_growth_constrains_same_process_queries(self, set_spec):
+        # Once p1 saw I(1), it cannot unsee it.
+        h = History.from_processes([[S.insert(1)], [S.read({1}), S.read(set())]])
+        assert not SUC.check(h, set_spec)
+
+    def test_visibility_must_embed_in_one_total_order(self, set_spec):
+        # Two processes may see concurrent updates in different orders
+        # transiently... but their *last* (ω) reads agree, and intermediate
+        # single-element reads are explainable by prefixes of ≤ only if
+        # some total order serves both: I(1) < I(2) explains R/{1} then
+        # {1,2}; R/{2} is the prefix {I(2)} — needs I(2) alone visible,
+        # allowed since I(2) < R/{2} is satisfiable... overall SUC holds
+        # (this is exactly Fig. 1d's shape).
+        h = History.from_processes(
+            [
+                [S.insert(1), S.read({1}), (S.read({1, 2}), True)],
+                [S.insert(2), S.read({2}), (S.read({1, 2}), True)],
+            ]
+        )
+        assert SUC.check(h, set_spec)
+
+    def test_conflicting_final_states_not_suc(self, register_spec):
+        h = History.from_processes(
+            [
+                [R.write("a"), (R.read("a"), True)],
+                [R.write("b"), (R.read("b"), True)],
+            ]
+        )
+        assert not SUC.check(h, register_spec)
+
+    def test_empty_history_is_suc(self, set_spec):
+        assert SUC.check(History([]), set_spec)
+
+    def test_updates_only_history_is_suc(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.delete(2)], [S.insert(2)]])
+        assert SUC.check(h, set_spec)

@@ -1,0 +1,108 @@
+"""Tests for polynomial SUC witness verification (Proposition 4's shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.criteria.witness import (
+    SUCWitness,
+    arbitration_from_timestamps,
+    verify_suc_witness,
+)
+from repro.core.history import Event, History
+from repro.specs import set_spec as S
+
+
+def make_history():
+    """p0: I(1) . R/{1}   p1: I(2)"""
+    return History.from_processes(
+        [[S.insert(1), S.read({1})], [S.insert(2)]]
+    )
+
+
+def good_witness(h):
+    i1, r, i2 = h.events
+    return SUCWitness(order=(i1, r, i2), visibility={r: frozenset({i1})})
+
+
+class TestVerify:
+    def test_valid_witness_accepted(self, set_spec):
+        h = make_history()
+        assert verify_suc_witness(h, set_spec, good_witness(h))
+
+    def test_order_must_enumerate_events(self, set_spec):
+        h = make_history()
+        i1, r, i2 = h.events
+        w = SUCWitness(order=(i1, r), visibility={r: frozenset({i1})})
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "enumerate" in res.reason
+
+    def test_order_must_extend_program_order(self, set_spec):
+        h = make_history()
+        i1, r, i2 = h.events
+        w = SUCWitness(order=(r, i1, i2), visibility={r: frozenset({i1})})
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "program order" in res.reason
+
+    def test_visibility_must_contain_program_order(self, set_spec):
+        h = make_history()
+        i1, r, i2 = h.events
+        w = SUCWitness(order=(i1, r, i2), visibility={r: frozenset()})
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "misses program order" in res.reason
+
+    def test_visibility_must_precede_in_arbitration(self, set_spec):
+        h = make_history()
+        i1, r, i2 = h.events
+        w = SUCWitness(order=(i1, r, i2), visibility={r: frozenset({i1, i2})})
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "arbitration" in res.reason
+
+    def test_replay_must_explain_output(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.read({2})]])
+        i1, r = h.events
+        w = SUCWitness(order=(i1, r), visibility={r: frozenset({i1})})
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "convergence" in res.reason
+
+    def test_growth_between_queries_enforced(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1)], [S.read({1}), S.read({1})]]
+        )
+        i1, q1, q2 = h.events
+        w = SUCWitness(
+            order=(i1, q1, q2),
+            visibility={q1: frozenset({i1}), q2: frozenset()},
+        )
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "growth" in res.reason
+
+    def test_omega_query_must_see_all_updates(self, set_spec):
+        h = History.from_processes([[S.insert(1)], [(S.read(set()), True)]])
+        i1, q = h.events
+        w = SUCWitness(order=(i1, q), visibility={q: frozenset()})
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "delivery" in res.reason
+
+    def test_non_update_in_visibility_rejected(self, set_spec):
+        h = make_history()
+        i1, r, i2 = h.events
+        w = SUCWitness(order=(i1, r, i2), visibility={r: frozenset({i1, r})})
+        res = verify_suc_witness(h, set_spec, w)
+        assert not res and "non-update" in res.reason
+
+
+class TestArbitrationFromTimestamps:
+    def test_sorts_by_stamp(self, set_spec):
+        h = make_history()
+        i1, r, i2 = h.events
+        stamps = {i1: (1, 0), r: (2, 0), i2: (1, 1)}
+        order = arbitration_from_timestamps(h, stamps)
+        assert order == (i1, i2, r)
+
+    def test_duplicate_stamps_rejected(self):
+        h = make_history()
+        i1, r, i2 = h.events
+        stamps = {i1: (1, 0), r: (1, 0), i2: (2, 1)}
+        with pytest.raises(ValueError, match="duplicate"):
+            arbitration_from_timestamps(h, stamps)

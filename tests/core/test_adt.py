@@ -1,0 +1,122 @@
+"""Unit tests for the UQ-ADT formalism (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adt import Query, UQADT, Update, _canonical
+from repro.specs import CounterSpec, SetSpec
+from repro.specs import counter as C
+from repro.specs import set_spec as S
+
+
+class TestOperations:
+    def test_update_equality_is_structural(self):
+        assert S.insert(1) == Update("insert", (1,))
+        assert S.insert(1) != S.insert(2)
+        assert S.insert(1) != S.delete(1)
+
+    def test_update_is_hashable(self):
+        assert len({S.insert(1), S.insert(1), S.delete(1)}) == 2
+
+    def test_query_carries_input_and_output(self):
+        q = S.read({1, 2})
+        assert q.name == "read"
+        assert q.output == frozenset({1, 2})
+        assert q.input_part == ("read", ())
+
+    def test_query_str_shows_qi_qo(self):
+        assert "/" in str(S.contains(3, True))
+
+    def test_update_str(self):
+        assert str(S.insert(1)) == "insert(1)"
+
+
+class TestReplayAndRecognition:
+    def test_replay_applies_updates_in_order(self, set_spec):
+        state = set_spec.replay([S.insert(1), S.insert(2), S.delete(1)])
+        assert state == frozenset({2})
+
+    def test_replay_ignores_queries(self, set_spec):
+        state = set_spec.replay([S.insert(1), S.read({99}), S.insert(2)])
+        assert state == frozenset({1, 2})
+
+    def test_replay_from_explicit_state(self, set_spec):
+        state = set_spec.replay([S.delete(1)], state=frozenset({1, 2}))
+        assert state == frozenset({2})
+
+    def test_replay_from_none_state_is_possible(self, register_spec):
+        # None is a legal register state; the sentinel must not eat it.
+        assert register_spec.replay([], state=None) is None
+
+    def test_recognizes_valid_word(self, set_spec):
+        word = [S.insert(1), S.read({1}), S.delete(1), S.read(set())]
+        assert set_spec.recognizes(word)
+
+    def test_rejects_wrong_query_output(self, set_spec):
+        assert not set_spec.recognizes([S.insert(1), S.read(set())])
+
+    def test_empty_word_recognized(self, set_spec):
+        assert set_spec.recognizes([])
+
+    def test_first_violation_index(self, set_spec):
+        word = [S.insert(1), S.read({1}), S.read({2}), S.read({3})]
+        assert set_spec.first_violation(word) == 2
+
+    def test_first_violation_none_when_valid(self, set_spec):
+        assert set_spec.first_violation([S.insert(1), S.read({1})]) is None
+
+    def test_recognizes_rejects_non_operation(self, set_spec):
+        with pytest.raises(TypeError):
+            set_spec.recognizes(["not an op"])
+
+    def test_counter_language(self, counter_spec):
+        word = [C.inc(2), C.read(2), C.dec(5), C.read(-3)]
+        assert counter_spec.recognizes(word)
+
+
+class TestSolveStateDefault:
+    def test_empty_constraints_give_initial(self):
+        class Trivial(UQADT):
+            def initial_state(self):
+                return 42
+
+            def apply(self, state, update):
+                return state
+
+            def observe(self, state, name, args=()):
+                return state
+
+        assert Trivial().solve_state([]) == 42
+
+    def test_initial_satisfying_constraints_found(self):
+        class Trivial(UQADT):
+            def initial_state(self):
+                return 0
+
+            def apply(self, state, update):
+                return state
+
+            def observe(self, state, name, args=()):
+                return state
+
+        assert Trivial().solve_state([Query("read", (), 0)]) == 0
+        assert Trivial().solve_state([Query("read", (), 1)]) is None
+
+
+class TestCanonical:
+    def test_sets_become_frozensets(self):
+        assert _canonical({1, 2}) == frozenset({1, 2})
+
+    def test_dicts_become_sorted_tuples(self):
+        assert _canonical({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_nested_structures(self):
+        assert _canonical([{1}, {2}]) == (frozenset({1}), frozenset({2}))
+
+    def test_states_equal_across_representations(self, set_spec):
+        assert set_spec.states_equal({1, 2}, frozenset({2, 1}))
+
+    def test_unapply_default_raises(self, set_spec):
+        with pytest.raises(NotImplementedError):
+            set_spec.unapply(frozenset(), S.insert(1))

@@ -1,0 +1,94 @@
+"""Tests for the commutative fast path (Section VII-C)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commutative import CommutativeReplica
+from repro.core.criteria.witness import verify_suc_witness
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.sim.workload import counter_workload, run_workload
+from repro.specs import CounterSpec, GSetSpec, MaxRegisterSpec, SetSpec
+from repro.specs import counter as C
+from repro.specs import gset as G
+from repro.specs import max_register as M
+
+
+class TestConstruction:
+    def test_refuses_non_commutative_specs(self):
+        with pytest.raises(ValueError, match="do not commute"):
+            CommutativeReplica(0, 2, SetSpec())
+
+    def test_accepts_commutative_specs(self):
+        for spec in (CounterSpec(), GSetSpec(), MaxRegisterSpec()):
+            CommutativeReplica(0, 2, spec)
+
+
+class TestBehaviour:
+    def test_counter_converges(self):
+        c = Cluster(3, lambda pid, n: CommutativeReplica(pid, n, CounterSpec()),
+                    latency=ExponentialLatency(5.0), seed=4)
+        c.update(0, C.inc(5))
+        c.update(1, C.dec(2))
+        c.update(2, C.inc(1))
+        c.run()
+        assert all(c.query(pid, "read") == 4 for pid in range(3))
+
+    def test_gset_converges(self):
+        c = Cluster(2, lambda pid, n: CommutativeReplica(pid, n, GSetSpec()))
+        c.update(0, G.insert("a"))
+        c.update(1, G.insert("b"))
+        c.run()
+        assert c.query(0, "read") == frozenset({"a", "b"})
+
+    def test_max_register_converges(self):
+        c = Cluster(2, lambda pid, n: CommutativeReplica(pid, n, MaxRegisterSpec()))
+        c.update(0, M.write_max(5))
+        c.update(1, M.write_max(9))
+        c.run()
+        assert c.query(0, "read") == 9
+
+    def test_no_log_kept(self):
+        r = CommutativeReplica(0, 2, CounterSpec())
+        assert not hasattr(r, "updates")
+
+    def test_applied_counter(self):
+        c = Cluster(2, lambda pid, n: CommutativeReplica(pid, n, CounterSpec()))
+        c.update(0, C.inc(1))
+        c.run()
+        assert c.replicas[1].applied == 1
+
+
+class TestEquivalenceAndWitness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_equivalent_to_universal_construction(self, seed):
+        """Section VII-C's claim: for commutative objects, apply-on-receipt
+        equals the full timestamp-ordered replay, op for op."""
+        wl = counter_workload(3, 40, seed=seed)
+        spec = CounterSpec()
+        naive = Cluster(3, lambda pid, n: UniversalReplica(pid, n, spec),
+                        latency=ExponentialLatency(4.0), seed=seed)
+        fast = Cluster(3, lambda pid, n: CommutativeReplica(pid, n, spec),
+                       latency=ExponentialLatency(4.0), seed=seed)
+        assert run_workload(naive, wl) == run_workload(fast, wl)
+
+    def test_witness_tracking_produces_valid_suc_witness(self):
+        spec = CounterSpec()
+        c = Cluster(
+            2,
+            lambda pid, n: CommutativeReplica(pid, n, spec, track_witness=True),
+            latency=ExponentialLatency(3.0), seed=6,
+        )
+        c.update(0, C.inc(1))
+        c.query(1, "read")
+        c.update(1, C.dec(2))
+        c.run()
+        c.query(0, "read")
+        c.query(1, "read")
+        h = c.trace.to_history()
+        res = verify_suc_witness(h, spec, c.trace.suc_witness(h))
+        assert res, res.reason

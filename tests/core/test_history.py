@@ -1,0 +1,162 @@
+"""Unit tests for distributed histories (Definition 2) and projections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import Event, History
+from repro.specs import set_spec as S
+from repro.util import ordering
+
+
+def two_proc():
+    return History.from_processes(
+        [
+            [S.insert(1), S.read({1})],
+            [S.insert(2), (S.read({1, 2}), True)],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_processes_assigns_pids(self):
+        h = two_proc()
+        assert h.pids == (0, 1)
+        assert [e.pid for e in h.events] == [0, 0, 1, 1]
+
+    def test_program_order_is_per_process(self):
+        h = two_proc()
+        e0, e1, e2, e3 = h.events
+        assert h.precedes(e0, e1)
+        assert h.precedes(e2, e3)
+        assert not h.precedes(e0, e2)
+        assert not h.precedes(e1, e0)
+
+    def test_omega_flag_parsed_from_pairs(self):
+        h = two_proc()
+        assert [e.omega for e in h.events] == [False, False, False, True]
+
+    def test_duplicate_eids_rejected(self):
+        e = Event(0, S.insert(1))
+        with pytest.raises(ValueError):
+            History([e, Event(0, S.insert(2))])
+
+    def test_cyclic_program_order_rejected(self):
+        a, b = Event(0, S.insert(1)), Event(1, S.insert(2))
+        po = {a: {b}, b: {a}}
+        with pytest.raises(ValueError):
+            History([a, b], po)
+
+    def test_omega_event_must_be_maximal(self):
+        with pytest.raises(ValueError, match="maximal"):
+            History.from_processes([[(S.read(set()), True), S.insert(1)]])
+
+    def test_order_referencing_unknown_event_rejected(self):
+        a = Event(0, S.insert(1))
+        ghost = Event(99, S.insert(2))
+        with pytest.raises(ValueError):
+            History([a], {a: {ghost}})
+
+    def test_empty_history(self):
+        h = History([])
+        assert len(h) == 0
+        assert h.maximal_chains() == []
+
+
+class TestAccessors:
+    def test_updates_and_queries_split(self):
+        h = two_proc()
+        assert len(h.updates) == 2
+        assert len(h.queries) == 2
+
+    def test_omega_events(self):
+        h = two_proc()
+        assert len(h.omega_events) == 1
+
+    def test_has_infinite_updates_only_for_omega_updates(self):
+        h = two_proc()
+        assert not h.has_infinite_updates
+        h2 = History.from_processes([[(S.insert(1), True)]])
+        assert h2.has_infinite_updates
+
+    def test_predecessors_and_successors(self):
+        h = two_proc()
+        e0, e1 = h.events[0], h.events[1]
+        assert h.predecessors(e1) == {e0}
+        assert h.successors(e0) == {e1}
+
+    def test_event_lookup_by_eid(self):
+        h = two_proc()
+        assert h.event(2) is h.events[2]
+
+    def test_contains(self):
+        h = two_proc()
+        assert h.events[0] in h
+        assert Event(99, S.insert(5)) not in h
+
+    def test_process_events_in_order(self):
+        h = two_proc()
+        chain = h.process_events(0)
+        assert [e.eid for e in chain] == [0, 1]
+
+
+class TestProjections:
+    def test_restrict_keeps_selected_events(self):
+        h = two_proc()
+        sub = h.restrict(h.updates)
+        assert len(sub) == 2
+        assert all(e.is_update for e in sub.events)
+
+    def test_restrict_preserves_transitive_order(self):
+        # p0: a -> b -> c ; restricting to {a, c} must keep a -> c.
+        h = History.from_processes([[S.insert(1), S.read({1}), S.insert(2)]])
+        a, b, c = h.events
+        sub = h.restrict([a, c])
+        assert sub.precedes(a, c)
+
+    def test_restrict_rejects_foreign_events(self):
+        h = two_proc()
+        with pytest.raises(ValueError):
+            h.restrict([Event(99, S.insert(1))])
+
+    def test_without_is_complement(self):
+        h = two_proc()
+        sub = h.without(h.queries)
+        assert set(sub.events) == set(h.updates)
+
+    def test_with_order_substitutes(self):
+        h = two_proc()
+        e0, e2 = h.events[0], h.events[2]
+        total = ordering.empty_relation(h.events)
+        ordering.add_edge(total, e0, e2)
+        h2 = h.with_order(total)
+        assert h2.precedes(e0, e2)
+        assert not h2.precedes(e0, h.events[1])
+
+    def test_projections_commute(self):
+        h = two_proc()
+        keep = [h.events[0], h.events[2], h.events[3]]
+        new_order = ordering.empty_relation(h.events)
+        ordering.add_edge(new_order, h.events[0], h.events[3])
+        a = h.restrict(keep).with_order(new_order)
+        b = h.with_order(new_order).restrict(keep)
+        assert set(a.events) == set(b.events)
+        assert a.program_order_closure == b.program_order_closure
+
+
+class TestChains:
+    def test_maximal_chains_are_process_sequences(self):
+        h = two_proc()
+        chains = h.maximal_chains()
+        assert len(chains) == 2
+        assert sorted(tuple(e.eid for e in c) for c in chains) == [(0, 1), (2, 3)]
+
+    def test_map_labels_preserves_structure(self):
+        h = two_proc()
+        h2 = h.map_labels(lambda op: op)
+        assert len(h2) == len(h)
+        assert h2.pids == h.pids
+
+    def test_pretty_renders_processes(self):
+        text = two_proc().pretty()
+        assert "p0:" in text and "p1:" in text and "^ω" in text

@@ -1,0 +1,127 @@
+"""Property tests for the history model's algebraic laws."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.history import History
+from repro.core.linearization import (
+    count_linearizations,
+    is_linearization,
+    linearizations,
+)
+from repro.specs import set_spec as S
+from repro.util import ordering
+
+
+@st.composite
+def histories(draw):
+    n_proc = draw(st.integers(1, 3))
+    processes = []
+    for _ in range(n_proc):
+        length = draw(st.integers(0, 3))
+        ops = []
+        for i in range(length):
+            kind = draw(st.integers(0, 2))
+            v = draw(st.integers(1, 3))
+            if kind == 0:
+                ops.append(S.insert(v))
+            elif kind == 1:
+                ops.append(S.delete(v))
+            else:
+                q = S.read(frozenset({v}))
+                omega = i == length - 1 and draw(st.booleans())
+                ops.append((q, omega) if omega else q)
+        processes.append(ops)
+    return History.from_processes(processes)
+
+
+class TestProjectionLaws:
+    @given(histories())
+    @settings(max_examples=80, deadline=None)
+    def test_restrict_to_all_is_identity(self, h):
+        sub = h.restrict(h.events)
+        assert set(sub.events) == set(h.events)
+        assert sub.program_order_closure == h.program_order_closure
+
+    @given(histories())
+    @settings(max_examples=80, deadline=None)
+    def test_restrict_is_monotone(self, h):
+        updates = h.updates
+        sub = h.restrict(updates)
+        for a in sub.events:
+            for b in sub.events:
+                if sub.precedes(a, b):
+                    assert h.precedes(a, b)
+
+    @given(histories(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_composes(self, h, data):
+        if not h.events:
+            return
+        keep1 = data.draw(st.sets(st.sampled_from(list(h.events))))
+        # ω-maximality: keep all ω events' (non-)successors trivially —
+        # restriction can never violate maximality (it removes edges).
+        keep2 = data.draw(st.sets(st.sampled_from(list(keep1))) if keep1 else st.just(set()))
+        one = h.restrict(keep1).restrict(keep2)
+        direct = h.restrict(keep2)
+        assert set(one.events) == set(direct.events)
+        assert one.program_order_closure == direct.program_order_closure
+
+    @given(histories())
+    @settings(max_examples=60, deadline=None)
+    def test_without_partitions_events(self, h):
+        queries = set(h.queries)
+        sub = h.without(queries)
+        assert set(sub.events) == set(h.events) - queries
+
+
+class TestChainLaws:
+    @given(histories())
+    @settings(max_examples=80, deadline=None)
+    def test_chains_partition_events_for_process_histories(self, h):
+        chains = h.maximal_chains()
+        seen = [e for chain in chains for e in chain]
+        assert sorted(e.eid for e in seen) == sorted(e.eid for e in h.events)
+
+    @given(histories())
+    @settings(max_examples=80, deadline=None)
+    def test_chains_match_process_events(self, h):
+        chains = {tuple(e.eid for e in c) for c in h.maximal_chains()}
+        expected = {
+            tuple(e.eid for e in h.process_events(pid)) for pid in h.pids
+        }
+        assert chains == expected
+
+
+class TestLinearizationLaws:
+    @given(histories())
+    @settings(max_examples=50, deadline=None)
+    def test_every_enumerated_linearization_validates(self, h):
+        for i, seq in enumerate(linearizations(h)):
+            assert is_linearization(h, seq)
+            if i > 50:
+                break
+
+    @given(histories())
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_product_of_binomials(self, h):
+        # For independent chains, #linearizations = multinomial coefficient.
+        import math
+
+        lengths = [len(h.process_events(pid)) for pid in h.pids]
+        expected = math.factorial(sum(lengths))
+        for length in lengths:
+            expected //= math.factorial(length)
+        assert count_linearizations(h) == expected
+
+    @given(histories())
+    @settings(max_examples=50, deadline=None)
+    def test_reversed_chain_is_not_a_linearization(self, h):
+        for pid in h.pids:
+            chain = h.process_events(pid)
+            if len(chain) >= 2:
+                others = [e for e in h.events if e.pid != pid]
+                candidate = tuple(reversed(chain)) + tuple(others)
+                assert not is_linearization(h, candidate)
+                return

@@ -1,0 +1,105 @@
+"""Unit tests for linearizations and L(O) membership (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import History
+from repro.core.linearization import (
+    OmegaUpdateError,
+    count_linearizations,
+    is_linearization,
+    labels,
+    linearizations,
+    sequential_membership,
+    update_linearization_states,
+)
+from repro.paper import fig_1b
+from repro.specs import set_spec as S
+
+
+class TestEnumeration:
+    def test_single_process_single_linearization(self):
+        h = History.from_processes([[S.insert(1), S.insert(2)]])
+        assert count_linearizations(h) == 1
+
+    def test_two_independent_events_two_orders(self):
+        h = History.from_processes([[S.insert(1)], [S.insert(2)]])
+        seqs = list(linearizations(h))
+        assert len(seqs) == 2
+
+    def test_is_linearization(self):
+        h = History.from_processes([[S.insert(1), S.insert(2)]])
+        e0, e1 = h.events
+        assert is_linearization(h, (e0, e1))
+        assert not is_linearization(h, (e1, e0))
+
+    def test_labels_projection(self):
+        h = History.from_processes([[S.insert(1)]])
+        assert labels(h.events) == (S.insert(1),)
+
+
+class TestMembership:
+    def test_valid_history_is_member(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.read({1})]])
+        assert sequential_membership(h, set_spec)
+
+    def test_wrong_read_not_member(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.read({2})]])
+        assert not sequential_membership(h, set_spec)
+
+    def test_membership_searches_interleavings(self, set_spec):
+        # p1's read can only be explained by placing it before p0's insert.
+        h = History.from_processes([[S.insert(1)], [S.read(set())]])
+        assert sequential_membership(h, set_spec)
+
+    def test_omega_query_constrains_final_state(self, set_spec):
+        h = History.from_processes([[S.insert(1), (S.read({1}), True)]])
+        assert sequential_membership(h, set_spec)
+        h2 = History.from_processes([[S.insert(1), (S.read(set()), True)]])
+        assert not sequential_membership(h2, set_spec)
+
+    def test_two_omega_queries_must_share_state(self, set_spec):
+        h = History.from_processes(
+            [[S.insert(1), (S.read({1}), True)], [(S.read(set()), True)]]
+        )
+        assert not sequential_membership(h, set_spec)
+
+    def test_witness_returned(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.read({1})]])
+        ok, lin = sequential_membership(h, set_spec, return_witness=True)
+        assert ok
+        assert [e.label for e in lin] == [S.insert(1), S.read({1})]
+
+    def test_no_witness_on_failure(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.read({2})]])
+        ok, lin = sequential_membership(h, set_spec, return_witness=True)
+        assert not ok and lin is None
+
+    def test_omega_update_raises(self, set_spec):
+        h = History.from_processes([[(S.insert(1), True)]])
+        with pytest.raises(OmegaUpdateError):
+            sequential_membership(h, set_spec)
+
+    def test_empty_history_is_member(self, set_spec):
+        assert sequential_membership(History([]), set_spec)
+
+
+class TestUpdateLinearizationStates:
+    def test_fig_1b_reaches_three_states(self, set_spec):
+        # The paper enumerates them: ∅, {1} and {2} — never {1, 2}.
+        states = update_linearization_states(fig_1b(), set_spec)
+        assert states == {frozenset(), frozenset({1}), frozenset({2})}
+
+    def test_single_process_single_state(self, set_spec):
+        h = History.from_processes([[S.insert(1), S.delete(1)]])
+        assert update_linearization_states(h, set_spec) == {frozenset()}
+
+    def test_commuting_updates_single_state(self, set_spec):
+        h = History.from_processes([[S.insert(1)], [S.insert(2)]])
+        assert update_linearization_states(h, set_spec) == {frozenset({1, 2})}
+
+    def test_omega_update_raises(self, set_spec):
+        h = History.from_processes([[(S.insert(1), True)]])
+        with pytest.raises(OmegaUpdateError):
+            update_linearization_states(h, set_spec)

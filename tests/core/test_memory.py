@@ -1,0 +1,123 @@
+"""Tests for Algorithm 2 (the O(1) update-consistent shared memory)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.memory import MemoryReplica
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.sim.workload import register_workload, run_workload
+from repro.specs import MemorySpec
+from repro.specs import register as R
+
+
+def memory_cluster(n=3, **kw):
+    return Cluster(n, lambda pid, total: MemoryReplica(pid, total), **kw)
+
+
+class TestSemantics:
+    def test_unwritten_reads_initial(self):
+        c = memory_cluster()
+        assert c.query(0, "read", ("x",)) is None
+
+    def test_custom_initial_value(self):
+        c = Cluster(2, lambda pid, n: MemoryReplica(pid, n, initial=0))
+        assert c.query(1, "read", ("x",)) == 0
+
+    def test_local_write_immediately_readable(self):
+        c = memory_cluster()
+        c.update(0, R.mem_write("x", 5))
+        assert c.query(0, "read", ("x",)) == 5
+
+    def test_last_writer_wins_across_processes(self):
+        c = memory_cluster(n=2)
+        c.update(0, R.mem_write("x", "a"))
+        c.run()
+        c.update(1, R.mem_write("x", "b"))  # causally after: higher clock
+        c.run()
+        assert c.query(0, "read", ("x",)) == "b"
+        assert c.query(1, "read", ("x",)) == "b"
+
+    def test_concurrent_writes_resolved_by_pid(self):
+        c = memory_cluster(n=2)
+        c.update(0, R.mem_write("x", "low"))
+        c.update(1, R.mem_write("x", "high"))  # same clock, higher pid
+        c.run()
+        assert c.query(0, "read", ("x",)) == "high"
+
+    def test_stale_message_never_regresses(self):
+        # Deliver the newer write first, then the older one: kept value
+        # must stay the newer (lines 10-13's timestamp guard).
+        c = memory_cluster(n=3, latency=ExponentialLatency(10.0), seed=13)
+        c.update(0, R.mem_write("x", "old"))
+        c.run()
+        c.update(1, R.mem_write("x", "new"))
+        c.run()
+        assert all(c.query(pid, "read", ("x",)) == "new" for pid in range(3))
+
+    def test_rejects_non_write_updates(self):
+        c = memory_cluster()
+        with pytest.raises(ValueError):
+            c.update(0, R.write(1))  # single-register write lacks the key
+
+    def test_snapshot(self):
+        c = memory_cluster()
+        c.update(0, R.mem_write("x", 1))
+        c.update(0, R.mem_write("y", 2))
+        assert c.query(0, "snapshot") == {"x": 1, "y": 2}
+
+
+class TestComplexity:
+    def test_memory_grows_with_registers_not_operations(self):
+        c = memory_cluster(n=2)
+        for i in range(200):
+            c.update(0, R.mem_write(i % 4, i))
+        c.run()
+        assert all(r.register_count == 4 for r in c.replicas)
+
+    def test_no_replay_structures(self):
+        replica = MemoryReplica(0, 2)
+        assert not hasattr(replica, "updates")
+
+
+class TestEquivalenceWithAlgorithm1:
+    """Algorithm 2 is an optimization, not a semantic change: on any
+    workload, reads must return exactly what Algorithm 1 running
+    MemorySpec returns under the same delivery schedule."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_same_outputs_same_schedule(self, seed):
+        wl = register_workload(3, 40, registers=5, seed=seed)
+        spec = MemorySpec()
+        generic = Cluster(
+            3, lambda pid, n: UniversalReplica(pid, n, spec),
+            latency=ExponentialLatency(3.0), seed=seed,
+        )
+        optimized = Cluster(
+            3, lambda pid, n: MemoryReplica(pid, n),
+            latency=ExponentialLatency(3.0), seed=seed,
+        )
+        out_a = run_workload(generic, wl)
+        out_b = run_workload(optimized, wl)
+        assert out_a == out_b
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_same_final_states(self, seed):
+        wl = [w for w in register_workload(2, 30, registers=3, seed=seed) if w.is_update]
+        spec = MemorySpec()
+        generic = Cluster(
+            2, lambda pid, n: UniversalReplica(pid, n, spec),
+            latency=ExponentialLatency(2.0), seed=seed,
+        )
+        optimized = Cluster(
+            2, lambda pid, n: MemoryReplica(pid, n),
+            latency=ExponentialLatency(2.0), seed=seed,
+        )
+        run_workload(generic, wl)
+        run_workload(optimized, wl)
+        assert generic.replicas[0].local_state() == optimized.replicas[0].local_state()

@@ -1,0 +1,122 @@
+"""Tests for the history DSL and the classification CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.criteria import classify
+from repro.paper import FIG1_BUILDERS, FIG1_EXPECTED, fig_2
+from repro.specs import SetSpec
+from repro.tools.dsl import DSLError, format_history, parse_set_history
+from repro.tools.__main__ import main as cli_main
+
+SPEC = SetSpec()
+
+FIG_1B = """
+# the paper's Fig. 1b
+p0: I(1) D(2) R{1,2}^w
+p1: I(2) D(1) R{1,2}^w
+"""
+
+
+class TestParser:
+    def test_fig_1b_round_trip_classification(self):
+        h = parse_set_history(FIG_1B)
+        results = classify(h, SPEC)
+        got = {k: bool(v) for k, v in results.items()
+               if k in FIG1_EXPECTED["1b"]}
+        assert got == FIG1_EXPECTED["1b"]
+
+    def test_values_int_or_string(self):
+        h = parse_set_history("p0: I(1) I(apple) R{1,apple}")
+        labels = [e.label for e in h.events]
+        assert labels[0].args == (1,)
+        assert labels[1].args == ("apple",)
+        assert labels[2].output == frozenset({1, "apple"})
+
+    def test_empty_read(self):
+        h = parse_set_history("p0: R{}")
+        assert h.events[0].label.output == frozenset()
+
+    def test_contains_syntax(self):
+        h = parse_set_history("p0: C(3)+ C(4)-")
+        assert h.events[0].label.output is True
+        assert h.events[1].label.output is False
+
+    def test_omega_flag(self):
+        h = parse_set_history("p0: I(1) R{1}^w")
+        assert [e.omega for e in h.events] == [False, True]
+
+    def test_unicode_omega(self):
+        h = parse_set_history("p0: R{}^ω")
+        assert h.events[0].omega
+
+    def test_comments_and_blank_lines(self):
+        h = parse_set_history("\n# header\np0: I(1)  # trailing\n\n")
+        assert len(h) == 1
+
+    def test_omega_mid_line_rejected(self):
+        with pytest.raises(DSLError, match="maximal"):
+            parse_set_history("p0: R{}^w I(1)")
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(DSLError, match="cannot parse"):
+            parse_set_history("p0: insert(1)")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(DSLError, match="expected"):
+            parse_set_history("process zero: I(1)")
+
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(DSLError, match="twice"):
+            parse_set_history("p0: I(1)\np0: I(2)")
+
+    def test_missing_process_rejected(self):
+        with pytest.raises(DSLError, match="missing"):
+            parse_set_history("p2: I(1)")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DSLError, match="no processes"):
+            parse_set_history("# nothing\n")
+
+
+class TestFormatter:
+    @pytest.mark.parametrize("name", list(FIG1_BUILDERS))
+    def test_round_trips_the_figures(self, name):
+        h = FIG1_BUILDERS[name]()
+        text = format_history(h)
+        h2 = parse_set_history(text)
+        assert [e.label for e in h2.events] == [e.label for e in h.events]
+        assert [e.omega for e in h2.events] == [e.omega for e in h.events]
+
+    def test_round_trips_fig2(self):
+        text = format_history(fig_2())
+        assert classify(parse_set_history(text), SPEC, criteria=("PC", "EC"))
+
+
+class TestCLI:
+    def test_demo_fig1d(self, capsys):
+        code = cli_main(["--demo", "fig1d"])
+        out = capsys.readouterr().out
+        assert code == 1  # PC fails on 1d
+        assert "SUC : holds" in out
+        assert "PC  : FAILS" in out
+
+    def test_demo_with_criteria_subset(self, capsys):
+        code = cli_main(["--demo", "fig2", "--criteria", "PC"])
+        assert code == 0
+        assert "PC  : holds" in capsys.readouterr().out
+
+    def test_file_input(self, tmp_path, capsys):
+        f = tmp_path / "h.txt"
+        f.write_text("p0: I(1) R{1}^w\n")
+        code = cli_main([str(f)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UC  : holds" in out
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "bad.txt"
+        f.write_text("junk\n")
+        assert cli_main([str(f)]) == 2
+        assert "parse error" in capsys.readouterr().err

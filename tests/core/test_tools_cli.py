@@ -1,0 +1,73 @@
+"""Tests for the simulate/figures CLI subcommands (classify is covered in
+``test_tools.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.__main__ import main as cli_main
+
+
+class TestSimulate:
+    def test_set_universal(self, capsys):
+        code = cli_main(["simulate", "--spec", "set", "--ops", "40", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "update-consistent convergence: PASS" in out
+        assert "messages:" in out
+
+    def test_counter_commutative_strategy(self, capsys):
+        code = cli_main([
+            "simulate", "--spec", "counter", "--strategy", "commutative",
+            "--ops", "30",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # The commutative fast path records no witness: the CLI falls back
+        # to plain agreement.
+        assert "replicas agree: True" in out
+
+    def test_fuzzed_run_reports_adversary(self, capsys):
+        code = cli_main([
+            "simulate", "--spec", "set", "--ops", "30", "--fuzz",
+            "--crash", "1", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversary:" in out
+
+    def test_memory_spec(self, capsys):
+        code = cli_main(["simulate", "--spec", "memory", "--ops", "30"])
+        assert code == 0
+        assert "converged state" in capsys.readouterr().out
+
+    def test_log_spec(self, capsys):
+        code = cli_main(["simulate", "--spec", "log", "--ops", "20", "--n", "2"])
+        assert code == 0
+
+    def test_determinism(self, capsys):
+        cli_main(["simulate", "--spec", "set", "--ops", "40", "--seed", "9"])
+        first = capsys.readouterr().out
+        cli_main(["simulate", "--spec", "set", "--ops", "40", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestFigures:
+    def test_prints_matrix(self, capsys):
+        assert cli_main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "1a" in out
+        # The caption, as text.
+        assert "yes | no  | no  | no  | no" in out
+
+
+class TestDispatch:
+    def test_default_command_is_classify(self, capsys):
+        code = cli_main(["--demo", "fig1c"])
+        assert code == 1  # SUC/PC fail on 1c
+        assert "UC  : holds" in capsys.readouterr().out
+
+    def test_classify_without_input_errors(self, capsys):
+        assert cli_main(["classify"]) == 2
+        assert "history file" in capsys.readouterr().err

@@ -1,0 +1,51 @@
+"""Tests for the shared op-based CRDT machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adt import Update
+from repro.crdt.base import OpBasedReplica, tag_sort_key
+from repro.crdt import GSetReplica
+
+
+class TestOpBasedReplica:
+    def test_stamp_advances_and_records_meta(self):
+        r = GSetReplica(1, 3)
+        r.on_update(Update("insert", ("x",)))
+        meta = r.witness_meta()
+        assert meta["timestamp"] == (1, 1)
+        # Meta is consumed once.
+        assert r.witness_meta() == {}
+
+    def test_merge_raises_clock(self):
+        r = GSetReplica(0, 2)
+        r.on_message(1, (10, 1, "y"))
+        r.on_update(Update("insert", ("x",)))
+        assert r.witness_meta()["timestamp"][0] == 11
+
+    def test_unknown_query_rejected(self):
+        r = GSetReplica(0, 2)
+        with pytest.raises(ValueError, match="unknown set query"):
+            r.on_query("size")
+
+    def test_expect_guards_update_names(self):
+        r = GSetReplica(0, 2)
+        with pytest.raises(ValueError, match="unsupported update"):
+            r.on_update(Update("merge", ()))
+
+    def test_value_is_abstract(self):
+        r = OpBasedReplica(0, 1)
+        with pytest.raises(NotImplementedError):
+            r.value()
+
+    def test_local_state_delegates_to_value(self):
+        r = GSetReplica(0, 1)
+        r.on_update(Update("insert", ("a",)))
+        assert r.local_state() == frozenset({"a"})
+
+
+def test_tag_sort_key_is_identity_on_pairs():
+    assert tag_sort_key((3, 1)) == (3, 1)
+    tags = [(2, 0), (1, 1), (1, 0)]
+    assert sorted(tags, key=tag_sort_key) == [(1, 0), (1, 1), (2, 0)]

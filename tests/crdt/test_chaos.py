@@ -1,0 +1,107 @@
+"""Chaos tests: the CRDT zoo under fuzzed adversarial schedules.
+
+Eventual consistency promises convergence under *every* delivery
+schedule; the fuzzer supplies nastier ones than i.i.d. latencies (flapping
+partitions, long one-way silences, bursts).  Each op-based CRDT must end
+every fuzzed run with all replicas agreeing — that is the definition of
+its correctness, independent of what state it converges to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adt import _canonical
+from repro.crdt import SET_CRDTS, GCounterReplica, PNCounterReplica
+from repro.crdt.state_based import GSetLattice, StateBasedReplica, gossip_round
+from repro.sim import Cluster
+from repro.sim.fuzz import AdversaryFuzzer
+from repro.specs import counter as C
+from repro.specs import set_spec as S
+
+
+def set_script(n_ops: int, n_procs: int, seed: int, *, insert_only=False):
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(n_ops):
+        pid = int(rng.integers(n_procs))
+        v = int(rng.integers(4))
+        if insert_only or rng.random() < 0.6:
+            ops.append((pid, S.insert(v)))
+        else:
+            ops.append((pid, S.delete(v)))
+    return ops
+
+
+def agreed(cluster) -> bool:
+    states = {_canonical(s) for s in cluster.states().values()}
+    return len(states) == 1
+
+
+@pytest.mark.parametrize("name", sorted(SET_CRDTS))
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=10, deadline=None)
+def test_set_crdts_converge_under_chaos(name, seed):
+    cls = SET_CRDTS[name]
+    c = Cluster(3, lambda p, n: cls(p, n), seed=seed)
+    fz = AdversaryFuzzer(c, seed=seed)
+    ops = set_script(25, 3, seed, insert_only=(name == "G-Set"))
+    fz.run_workload(ops, queries_per_op=0.0)
+    assert agreed(c), (name, fz.report.summary())
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=10, deadline=None)
+def test_counters_converge_under_chaos(seed):
+    for cls in (GCounterReplica, PNCounterReplica):
+        c = Cluster(3, lambda p, n: cls(p, n), seed=seed)
+        fz = AdversaryFuzzer(c, seed=seed)
+        rng = np.random.default_rng(seed)
+        ops = []
+        for _ in range(20):
+            pid = int(rng.integers(3))
+            if cls is GCounterReplica:
+                ops.append((pid, C.inc(int(rng.integers(1, 4)))))
+            else:
+                k = int(rng.integers(1, 4))
+                ops.append((pid, C.inc(k) if rng.random() < 0.5 else C.dec(k)))
+        fz.run_workload(ops, queries_per_op=0.0)
+        assert agreed(c), (cls.__name__, fz.report.summary())
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=10, deadline=None)
+def test_state_based_converges_under_chaos_with_final_gossip(seed):
+    c = Cluster(3, lambda p, n: StateBasedReplica(p, n, GSetLattice()), seed=seed)
+    fz = AdversaryFuzzer(c, seed=seed)
+    ops = set_script(20, 3, seed, insert_only=True)
+    rng = np.random.default_rng(seed + 1)
+    for pid, op in ops:
+        fz.step()
+        if pid in c.crashed:
+            continue
+        c.update(pid, op)
+        if rng.random() < 0.3:
+            gossip_round(c)
+    c.heal()
+    # Two terminal rounds: the first spreads states, the second covers
+    # payloads that were gossiped before the last updates landed.
+    gossip_round(c)
+    c.run()
+    gossip_round(c)
+    c.run()
+    assert agreed(c), fz.report.summary()
+
+
+@given(seed=st.integers(0, 50_000))
+@settings(max_examples=8, deadline=None)
+def test_crashed_crdt_replicas_do_not_block_survivors(seed):
+    cls = SET_CRDTS["OR-Set"]
+    c = Cluster(4, lambda p, n: cls(p, n), seed=seed)
+    fz = AdversaryFuzzer(c, seed=seed, crash_budget=2)
+    fz.run_workload(set_script(25, 4, seed), queries_per_op=0.2)
+    assert agreed(c)
+    for pid in c.alive():
+        c.query(pid, "read")  # still serving

@@ -1,0 +1,106 @@
+"""Cross-validation: the exact criterion checkers against the witness path.
+
+Two independent implementations of Definition 9 — exhaustive search and
+polynomial witness verification — must agree wherever both apply:
+
+* every small Algorithm-1 trace carries a valid witness, so the *exact*
+  SUC checker must also accept its history (the search must find at least
+  the witness the algorithm built);
+* if the exact checker returns a witness, that witness must pass the
+  polynomial verifier (the searcher's output is a real witness);
+* corrupting a valid witness must be caught by the verifier AND the
+  corrupted structures must not be reproducible by the searcher on
+  contradictory histories.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.criteria import SUC
+from repro.core.criteria.witness import SUCWitness, verify_suc_witness
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+def tiny_run(seed: int):
+    """A small Algorithm 1 run (≤ 8 events keeps the exact search fast)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    c = Cluster(2, lambda p, n: UniversalReplica(p, n, SPEC),
+                latency=ExponentialLatency(3.0), seed=seed)
+    for _ in range(6):
+        pid = int(rng.integers(2))
+        roll = rng.random()
+        if roll < 0.4:
+            c.query(pid, "read")
+        else:
+            v = int(rng.integers(2))
+            c.update(pid, S.insert(v) if roll < 0.8 else S.delete(v))
+        if rng.random() < 0.5:
+            c.run_until(c.now + 1.0)
+    c.run()
+    return c
+
+
+class TestExactAgreesWithWitness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_checker_accepts_algorithm1_traces(self, seed):
+        c = tiny_run(seed)
+        h = c.trace.to_history()
+        # The witness path accepts (Proposition 4)...
+        witness = c.trace.suc_witness(h)
+        assert verify_suc_witness(h, SPEC, witness)
+        # ...so the exhaustive search must find SOME witness too.
+        assert SUC.check(h, SPEC)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_search_witness_passes_the_verifier(self, seed):
+        c = tiny_run(seed)
+        h = c.trace.to_history()
+        result = SUC.check(h, SPEC)
+        assert result
+        searched = SUCWitness(
+            order=tuple(result.witness["order"]),
+            visibility=dict(result.witness["visibility"]),
+        )
+        res = verify_suc_witness(h, SPEC, searched)
+        assert res, res.reason
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_corrupted_query_output_rejected_by_both(self, seed):
+        from dataclasses import replace
+
+        from repro.core.adt import Query
+        from repro.core.history import Event, History
+        from repro.util import ordering
+
+        c = tiny_run(seed)
+        h = c.trace.to_history()
+        queries = [e for e in h.events if e.is_query]
+        updates = [e for e in h.events if e.is_update]
+        if not queries or not updates:
+            return
+        # Corrupt one read to an impossible value (outside the support).
+        victim = queries[0]
+        bad_label = Query("read", (), frozenset({"impossible"}))
+        events = [
+            Event(e.eid, bad_label if e is victim else e.label, e.pid, e.omega)
+            for e in h.events
+        ]
+        mapping = dict(zip(h.events, events))
+        po = ordering.empty_relation(events)
+        for a, succs in h.program_order.items():
+            for b in succs:
+                ordering.add_edge(po, mapping[a], mapping[b])
+        bad_history = History(events, po)
+        assert not SUC.check(bad_history, SPEC)

@@ -1,0 +1,82 @@
+"""Integration: wait-freedom under faults — "any number of nodes may crash".
+
+The universal construction's availability claim: every operation completes
+locally regardless of crashes, partitions and delays; survivors converge.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import converged, update_consistent_convergence
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+def cluster(n=5, **kw):
+    return Cluster(n, lambda pid, total: UniversalReplica(pid, total, SPEC), **kw)
+
+
+class TestCrashTolerance:
+    def test_all_but_one_process_may_crash(self):
+        c = cluster(n=5)
+        c.update(0, S.insert(1))
+        c.run()
+        for pid in range(4):
+            c.crash(pid)
+        # The last process keeps operating alone — wait-freedom.
+        c.update(4, S.insert(2))
+        c.update(4, S.delete(1))
+        assert c.query(4, "read") == frozenset({2})
+        assert converged(c)
+
+    def test_crash_during_partition(self):
+        c = cluster(n=4)
+        c.partition([[0, 1], [2, 3]])
+        c.update(0, S.insert(1))
+        c.update(2, S.insert(2))
+        c.run()
+        c.crash(0)
+        c.heal()
+        c.run()
+        # p0's pre-crash broadcast was in flight: reliability delivers it.
+        for pid in (1, 2, 3):
+            assert c.query(pid, "read") == frozenset({1, 2})
+
+    def test_crash_mid_broadcast_partial_knowledge(self):
+        # Adversarial: the crasher's messages are lost; survivors simply
+        # never see that update, and still agree with each other.
+        c = cluster(n=3)
+        c.update(0, S.insert(99))
+        c.crash(0, drop_outgoing=True)
+        c.update(1, S.insert(1))
+        c.run()
+        assert c.query(1, "read") == c.query(2, "read") == frozenset({1})
+
+    @given(
+        st.integers(0, 5000),
+        st.sets(st.integers(0, 3), max_size=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_crashes_never_block_survivors(self, seed, crashers):
+        c = cluster(n=4, latency=ExponentialLatency(3.0), seed=seed)
+        for i in range(10):
+            c.update(i % 4, S.insert(i))
+        for pid in crashers:
+            c.crash(pid)
+        survivors = c.alive()
+        for pid in survivors:
+            c.update(pid, S.insert(100 + pid))  # must not raise
+        c.run()
+        ok, _, states = update_consistent_convergence(c, SPEC)
+        # Survivors agree among themselves; the timestamp-order replay of
+        # *all issued* updates only matches when every message that was
+        # sent got delivered to every survivor — which crashes with
+        # drop_outgoing=False guarantee here.
+        assert ok
+        assert set(states) == set(survivors)

@@ -1,0 +1,82 @@
+"""Integration: the Section VI case study — OR-set vs the UC set.
+
+* The OR-set converges to {1,2} on the Fig. 1b scenario: eventually
+  consistent for the Insert-wins concurrent spec, but NOT update
+  consistent (no linearization of the updates ends there).
+* The universal construction converges to a state some update
+  linearization explains (here: exactly one of ∅, {1}, {2}).
+* Proposition 3 on real traces: the UC set's behaviour is acceptable to
+  an Insert-wins user (checked via the exact Def. 10 checker on the small
+  gadget histories).
+"""
+
+from __future__ import annotations
+
+from repro.core.criteria import UC
+from repro.core.criteria.insert_wins import InsertWinsSEC
+from repro.core.linearization import update_linearization_states
+from repro.core.universal import UniversalReplica
+from repro.crdt import ORSetReplica
+from repro.sim import Cluster
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+IW = InsertWinsSEC()
+
+
+def fig_1b_run(replica_factory):
+    c = Cluster(2, replica_factory)
+    c.partition([[0], [1]])
+    c.update(0, S.insert(1))
+    c.update(0, S.delete(2))
+    c.update(1, S.insert(2))
+    c.update(1, S.delete(1))
+    c.heal()
+    c.run()
+    return c, (c.query(0, "read"), c.query(1, "read"))
+
+
+def to_omega_history(cluster):
+    """The run's history with final reads flagged ω (read forever)."""
+    from tests.integration.test_proposition1 import flag_final_reads_omega
+
+    return flag_final_reads_omega(cluster)
+
+
+class TestORSetBehaviour:
+    def test_converges_to_insert_wins_state(self):
+        _, reads = fig_1b_run(lambda pid, n: ORSetReplica(pid, n))
+        assert reads == (frozenset({1, 2}), frozenset({1, 2}))
+
+    def test_that_state_is_not_update_consistent(self):
+        c, _ = fig_1b_run(lambda pid, n: ORSetReplica(pid, n))
+        h = to_omega_history(c)
+        assert not UC.check(h, SPEC)
+
+    def test_but_it_is_insert_wins_sec(self):
+        c, _ = fig_1b_run(lambda pid, n: ORSetReplica(pid, n))
+        h = to_omega_history(c)
+        assert IW.check(h, SPEC)
+
+
+class TestUCSetBehaviour:
+    def test_converges_to_a_linearization_state(self):
+        c, reads = fig_1b_run(lambda pid, n: UniversalReplica(pid, n, SPEC))
+        assert reads[0] == reads[1]
+        history = c.trace.to_history()
+        allowed = update_linearization_states(
+            history.restrict(history.updates), SPEC
+        )
+        assert SPEC.canonical(reads[0]) in allowed
+        assert reads[0] != frozenset({1, 2})  # never the OR-set's state
+
+    def test_history_is_update_consistent(self):
+        c, _ = fig_1b_run(lambda pid, n: UniversalReplica(pid, n, SPEC))
+        h = to_omega_history(c)
+        assert UC.check(h, SPEC)
+
+    def test_proposition_3_uc_trace_is_insert_wins_acceptable(self):
+        c, _ = fig_1b_run(lambda pid, n: UniversalReplica(pid, n, SPEC))
+        h = to_omega_history(c)
+        assert IW.check(h, SPEC)

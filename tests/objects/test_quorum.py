@@ -1,0 +1,147 @@
+"""Tests for the ABD majority-quorum register (the strong baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objects.quorum import ABDClient, ABDReplica, Unavailable
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency, FixedLatency
+
+
+def abd_cluster(n=3, latency=1.0, seed=0, initial=None):
+    lat = FixedLatency(latency) if isinstance(latency, (int, float)) else latency
+    c = Cluster(n, lambda p, total: ABDReplica(p, total, initial=initial),
+                latency=lat, seed=seed)
+    return c, [ABDClient(c, pid) for pid in range(n)]
+
+
+class TestBasicProtocol:
+    def test_read_initial(self):
+        _, clients = abd_cluster(initial=0)
+        value, _ = clients[0].read()
+        assert value == 0
+
+    def test_write_then_read_anywhere(self):
+        _, clients = abd_cluster()
+        clients[0].write("x")
+        value, _ = clients[2].read()
+        assert value == "x"
+
+    def test_last_write_wins_sequentially(self):
+        _, clients = abd_cluster()
+        clients[0].write("a")
+        clients[1].write("b")
+        assert clients[2].read()[0] == "b"
+
+    def test_writer_stamps_increase(self):
+        c, clients = abd_cluster()
+        clients[0].write("a")
+        clients[1].write("b")
+        stamps = [r.stamp for r in c.replicas]
+        assert max(stamps)[0] == 2  # two writes, two sequence numbers
+
+    def test_read_write_back_propagates(self):
+        # After a read completes, a majority stores the read value.
+        c, clients = abd_cluster(n=5)
+        clients[0].write("v")
+        clients[4].read()
+        holders = sum(1 for r in c.replicas if r.value == "v")
+        assert holders >= 3
+
+    def test_operations_take_round_trips(self):
+        _, clients = abd_cluster(latency=5.0)
+        _, elapsed = clients[0].write("x")
+        # Two phases, each needs replies from remote members: >= 2 RTT.
+        assert elapsed >= 4 * 5.0
+
+    def test_response_time_scales_with_latency(self):
+        times = []
+        for latency in (1.0, 4.0):
+            _, clients = abd_cluster(latency=latency)
+            _, elapsed = clients[0].write("x")
+            times.append(elapsed)
+        assert times[1] == pytest.approx(times[0] * 4)
+
+    def test_wait_free_interface_refused(self):
+        c, _ = abd_cluster()
+        from repro.core.adt import Update
+
+        with pytest.raises(Exception, match="ABDClient"):
+            c.update(0, Update("write", ("x",)))
+
+
+class TestAtomicity:
+    def test_reads_never_go_backwards(self):
+        # Sequential reads from different clients observe monotone values.
+        _, clients = abd_cluster(n=5, latency=ExponentialLatency(3.0), seed=7)
+        clients[0].write(1)
+        clients[1].write(2)
+        seen = [clients[pid].read()[0] for pid in (2, 3, 4, 2, 3)]
+        # Once 2 is read, no later read returns 1 (write-back!).
+        first_two = seen.index(2)
+        assert all(v == 2 for v in seen[first_two:])
+
+    def test_concurrent_async_ops_complete(self):
+        c, clients = abd_cluster(n=3, latency=ExponentialLatency(2.0), seed=3)
+        w = clients[0].write_async("w")
+        r = clients[1].read_async()
+        c.run()
+        assert clients[0].done(w) and clients[1].done(r)
+        result = clients[1].replica.poll(r).result
+        assert result in (None, "w")  # concurrent: either order is atomic
+
+
+class TestUnavailability:
+    def test_minority_partition_blocks(self):
+        c, clients = abd_cluster(n=5)
+        c.partition([[0, 1], [2, 3, 4]])
+        with pytest.raises(Unavailable):
+            clients[0].write("doomed")
+
+    def test_majority_partition_still_works(self):
+        c, clients = abd_cluster(n=5)
+        c.partition([[0, 1], [2, 3, 4]])
+        clients[2].write("fine")
+        assert clients[3].read()[0] == "fine"
+
+    def test_too_many_crashes_block(self):
+        c, clients = abd_cluster(n=3)
+        c.crash(1)
+        c.crash(2)
+        with pytest.raises(Unavailable):
+            clients[0].read()
+
+    def test_minority_crashes_tolerated(self):
+        c, clients = abd_cluster(n=5)
+        c.crash(3)
+        c.crash(4)
+        clients[0].write("ok")
+        assert clients[1].read()[0] == "ok"
+
+    def test_healed_partition_recovers(self):
+        c, clients = abd_cluster(n=3)
+        c.partition([[0], [1, 2]])
+        op = clients[0].write_async("late")
+        c.run()
+        assert not clients[0].done(op)
+        c.heal()
+        c.run()
+        assert clients[0].done(op)
+
+
+class TestContrastWithUpdateConsistency:
+    def test_uc_memory_available_where_abd_blocks(self):
+        """The CAP choice, side by side: same partition, same demand."""
+        from repro.core.memory import MemoryReplica
+        from repro.specs import register as R
+
+        abd, clients = abd_cluster(n=3)
+        abd.partition([[0], [1, 2]])
+        with pytest.raises(Unavailable):
+            clients[0].write("x")
+
+        uc = Cluster(3, lambda p, n: MemoryReplica(p, n))
+        uc.partition([[0], [1, 2]])
+        uc.update(0, R.mem_write("r", "x"))  # completes instantly
+        assert uc.query(0, "read", ("r",)) == "x"

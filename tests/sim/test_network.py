@@ -1,0 +1,166 @@
+"""Unit tests for the simulated network: delays, FIFO, holds, partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.network import (
+    ExponentialLatency,
+    FixedLatency,
+    Network,
+    UniformLatency,
+)
+
+
+def drain(net):
+    out = []
+    while True:
+        m = net.pop_next()
+        if m is None:
+            return out
+        out.append(m)
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        rng = np.random.default_rng(0)
+        assert FixedLatency(2.5).delay(0, 1, rng) == 2.5
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+
+    def test_uniform_within_bounds(self):
+        rng = np.random.default_rng(0)
+        m = UniformLatency(1.0, 3.0)
+        for _ in range(100):
+            assert 1.0 <= m.delay(0, 1, rng) <= 3.0
+
+    def test_uniform_validates_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+
+    def test_exponential_positive(self):
+        rng = np.random.default_rng(0)
+        m = ExponentialLatency(2.0)
+        assert all(m.delay(0, 1, rng) >= 0 for _ in range(100))
+
+    def test_exponential_validates_scale(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(0)
+
+    def test_determinism_from_seed(self):
+        a = [UniformLatency().delay(0, 1, np.random.default_rng(7)) for _ in range(1)]
+        b = [UniformLatency().delay(0, 1, np.random.default_rng(7)) for _ in range(1)]
+        assert a == b
+
+
+class TestSendAndDeliver:
+    def test_delivery_in_time_order(self):
+        net = Network(2, latency=FixedLatency(1.0))
+        net.send(0, 1, "a", now=5.0)
+        net.send(0, 1, "b", now=0.0)
+        msgs = drain(net)
+        assert [m.payload for m in msgs] == ["b", "a"]
+
+    def test_self_send_is_instantaneous(self):
+        net = Network(2, latency=FixedLatency(10.0))
+        m = net.send(0, 0, "x", now=3.0)
+        assert m.deliver_at == 3.0
+
+    def test_broadcast_excludes_sender(self):
+        net = Network(4)
+        msgs = net.broadcast(1, "p", now=0.0)
+        assert sorted(m.dst for m in msgs) == [0, 2, 3]
+
+    def test_counters(self):
+        net = Network(3)
+        net.broadcast(0, "p", now=0.0)
+        assert net.sent_count == 2
+        drain(net)
+        assert net.delivered_count == 2
+
+    def test_tie_break_is_deterministic(self):
+        net = Network(2, latency=FixedLatency(1.0))
+        net.send(0, 1, "first", now=0.0)
+        net.send(1, 0, "second", now=0.0)
+        assert [m.payload for m in drain(net)] == ["first", "second"]
+
+    def test_pid_bounds(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(0, 5, "x", now=0.0)
+
+
+class TestFifo:
+    def test_fifo_preserves_per_channel_order(self):
+        # Heavily random latencies, but FIFO must never reorder a channel.
+        net = Network(2, latency=ExponentialLatency(5.0),
+                      rng=np.random.default_rng(3), fifo=True)
+        for i in range(50):
+            net.send(0, 1, i, now=float(i) * 0.01)
+        payloads = [m.payload for m in drain(net)]
+        assert payloads == sorted(payloads)
+
+    def test_non_fifo_can_reorder(self):
+        net = Network(2, latency=ExponentialLatency(5.0),
+                      rng=np.random.default_rng(3), fifo=False)
+        for i in range(50):
+            net.send(0, 1, i, now=float(i) * 0.01)
+        payloads = [m.payload for m in drain(net)]
+        assert payloads != sorted(payloads)  # seed chosen to exhibit reorder
+
+
+class TestHoldsAndPartitions:
+    def test_hold_parks_messages(self):
+        net = Network(2)
+        net.hold(0, 1)
+        net.send(0, 1, "x", now=0.0)
+        assert net.pop_next() is None
+        assert net.pending_count() == 1
+
+    def test_hold_catches_in_flight(self):
+        net = Network(2, latency=FixedLatency(5.0))
+        net.send(0, 1, "x", now=0.0)
+        net.hold(0, 1)
+        assert net.pop_next() is None
+
+    def test_release_delivers_held(self):
+        net = Network(2)
+        net.hold(0, 1)
+        net.send(0, 1, "x", now=0.0)
+        net.release(0, 1, now=10.0)
+        m = net.pop_next()
+        assert m.payload == "x"
+        assert m.deliver_at >= 10.0
+
+    def test_hold_is_directional(self):
+        net = Network(2)
+        net.hold(0, 1)
+        net.send(1, 0, "back", now=0.0)
+        assert net.pop_next().payload == "back"
+
+    def test_partition_blocks_both_ways(self):
+        net = Network(4)
+        net.partition([[0, 1], [2, 3]])
+        net.send(0, 2, "x", now=0.0)
+        net.send(3, 1, "y", now=0.0)
+        net.send(0, 1, "inside", now=0.0)
+        assert net.pop_next().payload == "inside"
+        assert net.pop_next() is None
+
+    def test_heal_restores_reliability(self):
+        net = Network(2)
+        net.partition([[0], [1]])
+        net.send(0, 1, "x", now=0.0)
+        net.heal(now=4.0)
+        assert net.pop_next().payload == "x"
+
+    def test_drop_messages(self):
+        net = Network(2)
+        net.send(0, 1, "a", now=0.0)
+        net.send(1, 0, "b", now=0.0)
+        dropped = net.drop_messages(lambda m: m.src == 0)
+        assert dropped == 1
+        assert [m.payload for m in drain(net)] == ["b"]

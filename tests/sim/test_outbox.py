@@ -1,0 +1,77 @@
+"""Tests for the replica outbox protocol (directed sends)."""
+
+from __future__ import annotations
+
+from repro.core.adt import Update
+from repro.sim import Cluster
+from repro.sim.replica import Replica
+
+
+class EchoReplica(Replica):
+    """Test double: replies point-to-point to every message; updates
+    queue a broadcast through the outbox instead of the return channel."""
+
+    def __init__(self, pid: int, n: int) -> None:
+        super().__init__(pid, n)
+        self.received: list = []
+
+    def on_update(self, update: Update):
+        self.send_to(None, ("bcast", update.args))
+        return ()
+
+    def on_message(self, src: int, payload):
+        self.received.append((src, payload))
+        if payload[0] == "bcast":
+            self.send_to(src, ("ack", self.pid))
+        return ()
+
+    def on_query(self, name, args=()):
+        self.send_to((self.pid + 1) % self.n, ("probe", name))
+        return len(self.received)
+
+    def local_state(self):
+        return tuple(self.received)
+
+
+def make(n=3):
+    return Cluster(n, lambda pid, total: EchoReplica(pid, total))
+
+
+class TestOutbox:
+    def test_update_outbox_broadcasts(self):
+        c = make()
+        c.update(0, Update("ping", (7,)))
+        c.run()
+        for pid in (1, 2):
+            assert (0, ("bcast", (7,))) in c.replicas[pid].received
+
+    def test_replies_are_point_to_point(self):
+        c = make()
+        c.update(0, Update("ping", (7,)))
+        c.run()
+        acks = [p for _, p in c.replicas[0].received if p[0] == "ack"]
+        assert sorted(a[1] for a in acks) == [1, 2]
+        # Non-targets never see the acks.
+        assert not any(p[0] == "ack" for _, p in c.replicas[1].received)
+
+    def test_query_outbox_drained(self):
+        c = make()
+        c.query(0, "whatever")
+        assert c.network.pending_count() == 1
+        c.run()
+        assert c.replicas[1].received == [(0, ("probe", "whatever"))]
+
+    def test_outbox_cleared_after_drain(self):
+        c = make()
+        c.update(0, Update("ping", (1,)))
+        assert c.replicas[0].outbox == []
+
+    def test_replicas_without_outbox_usage_unaffected(self):
+        from repro.core.universal import UniversalReplica
+        from repro.specs import SetSpec
+        from repro.specs import set_spec as S
+
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SetSpec()))
+        c.update(0, S.insert(1))
+        c.run()
+        assert c.query(1, "read") == frozenset({1})

@@ -1,0 +1,122 @@
+"""Tests for trace persistence (JSON round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adt import Query, Update
+from repro.core.criteria.witness import verify_suc_witness
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.sim.persist import (
+    decode_value,
+    encode_value,
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, 42, -1.5, "text",
+        (1, 2), frozenset({1, "a"}), {1: "x", (2, 3): frozenset()},
+        Update("insert", (7,)),
+        Query("read", (), frozenset({1})),
+        [(1,), frozenset({2})],
+        ((), (((),),)),
+    ])
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_types_preserved(self):
+        out = decode_value(encode_value((1, 2)))
+        assert isinstance(out, tuple)
+        out = decode_value(encode_value(frozenset({1})))
+        assert isinstance(out, frozenset)
+        out = decode_value(encode_value({"k": 1}))
+        assert isinstance(out, dict)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown tag"):
+            decode_value({"@": "pickle", "data": "..."})
+
+    values = st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(-9, 9), st.text(max_size=4)),
+        lambda inner: st.one_of(
+            st.tuples(inner, inner),
+            st.frozensets(inner, max_size=3),
+        ),
+        max_leaves=8,
+    )
+
+    @given(values)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_property(self, value):
+        assert decode_value(encode_value(value)) == value
+
+
+class TestTraceRoundTrip:
+    def make_trace(self):
+        c = Cluster(3, lambda p, n: UniversalReplica(p, n, SPEC),
+                    latency=ExponentialLatency(3.0), seed=5)
+        for i in range(12):
+            c.update(i % 3, S.insert(i % 4) if i % 2 else S.delete(i % 4))
+            if i % 3 == 0:
+                c.query((i + 1) % 3, "read")
+        c.run()
+        c.query(0, "read")
+        return c.trace
+
+    def test_json_round_trip(self):
+        trace = self.make_trace()
+        loaded = trace_from_json(trace_to_json(trace))
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace.records, loaded.records):
+            assert (a.eid, a.pid, a.time, a.label) == (b.eid, b.pid, b.time, b.label)
+            assert dict(a.meta) == dict(b.meta)
+
+    def test_loaded_trace_supports_witness_check(self):
+        trace = self.make_trace()
+        loaded = trace_from_json(trace_to_json(trace))
+        h = loaded.to_history()
+        res = verify_suc_witness(h, SPEC, loaded.suc_witness(h))
+        assert res, res.reason
+
+    def test_file_round_trip(self, tmp_path):
+        trace = self.make_trace()
+        path = tmp_path / "run.trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+
+    def test_output_is_deterministic(self):
+        a = trace_to_json(self.make_trace())
+        b = trace_to_json(self.make_trace())
+        assert a == b
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="repro-trace"):
+            trace_from_json('{"format": "something-else", "records": []}')
+
+    def test_non_operation_label_rejected(self):
+        import json
+
+        doc = {
+            "format": "repro-trace-v1",
+            "records": [{"eid": 0, "pid": 0, "time": 0.0,
+                         "label": 42, "meta": {"@": "dict", "items": []}}],
+        }
+        with pytest.raises(ValueError, match="not an operation"):
+            trace_from_json(json.dumps(doc))

@@ -1,0 +1,118 @@
+"""Unit tests for the workload generators and runner."""
+
+from __future__ import annotations
+
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.sim.workload import (
+    WorkloadOp,
+    collab_edit_workload,
+    conflict_heavy_set_workload,
+    counter_workload,
+    random_set_workload,
+    register_workload,
+    run_workload,
+)
+from repro.specs import CounterSpec, LogSpec, MemorySpec, SetSpec
+from repro.specs import set_spec as S
+
+
+class TestGenerators:
+    def test_determinism(self):
+        a = random_set_workload(3, 50, seed=9)
+        b = random_set_workload(3, 50, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_set_workload(3, 50, seed=1) != random_set_workload(3, 50, seed=2)
+
+    def test_sizes(self):
+        wl = random_set_workload(3, 40, seed=0)
+        assert len(wl) == 40
+        assert all(0 <= w.pid < 3 for w in wl)
+
+    def test_times_sorted_within_horizon(self):
+        wl = random_set_workload(2, 30, horizon=10.0, seed=0)
+        times = [w.time for w in wl]
+        assert times == sorted(times)
+        assert all(0 <= t <= 10.0 for t in times)
+
+    def test_conflict_heavy_has_tiny_support(self):
+        wl = conflict_heavy_set_workload(2, 100, support=2, seed=0)
+        values = {w.op.args[0] for w in wl}
+        assert values <= {0, 1}
+
+    def test_register_workload_targets_register_space(self):
+        wl = register_workload(2, 50, registers=4, seed=0)
+        for w in wl:
+            x = w.op.args[0] if w.is_update else w.query_args[0]
+            assert 0 <= x < 4
+
+    def test_counter_workload_amounts_positive(self):
+        wl = counter_workload(2, 50, seed=0)
+        for w in wl:
+            if w.is_update:
+                assert w.op.args[0] >= 1
+
+    def test_collab_edit_per_author_numbering(self):
+        wl = collab_edit_workload(2, 20, seed=0)
+        per_author = {}
+        for w in wl:
+            author, idx = w.op.args[0].split(".")
+            assert int(idx) == per_author.get(author, 0)
+            per_author[author] = int(idx) + 1
+
+
+class TestRunner:
+    def test_returns_query_outputs_in_order(self):
+        spec = SetSpec()
+        c = Cluster(2, lambda pid, n: UniversalReplica(pid, n, spec))
+        wl = [
+            WorkloadOp(0.0, 0, op=S.insert(1)),
+            WorkloadOp(1.0, 0, query="read"),
+            WorkloadOp(2.0, 1, query="read"),
+        ]
+        outs = run_workload(c, wl)
+        assert outs[0] == frozenset({1})
+        assert outs[1] == frozenset({1})  # delivered by t=2 (unit latency)
+
+    def test_drains_by_default(self):
+        spec = SetSpec()
+        c = Cluster(3, lambda pid, n: UniversalReplica(pid, n, spec),
+                    latency=ExponentialLatency(4.0), seed=2)
+        run_workload(c, random_set_workload(3, 30, seed=2))
+        assert c.quiescent()
+
+    def test_no_drain_leaves_messages(self):
+        spec = SetSpec()
+        c = Cluster(2, lambda pid, n: UniversalReplica(pid, n, spec),
+                    latency=ExponentialLatency(50.0), seed=2)
+        run_workload(c, [WorkloadOp(0.0, 0, op=S.insert(1))], drain=False)
+        assert not c.quiescent()
+
+    def test_skips_crashed_processes(self):
+        spec = SetSpec()
+        c = Cluster(2, lambda pid, n: UniversalReplica(pid, n, spec))
+        c.crash(1)
+        wl = [
+            WorkloadOp(0.0, 1, op=S.insert(9)),
+            WorkloadOp(1.0, 0, query="read"),
+        ]
+        outs = run_workload(c, wl)
+        assert outs == [frozenset()]
+
+    def test_end_to_end_convergence_on_all_specs(self):
+        from repro.analysis import converged
+
+        cases = [
+            (SetSpec(), random_set_workload(3, 60, seed=4)),
+            (MemorySpec(), register_workload(3, 60, seed=4)),
+            (CounterSpec(), counter_workload(3, 60, seed=4)),
+            (LogSpec(), collab_edit_workload(3, 40, seed=4)),
+        ]
+        for spec, wl in cases:
+            c = Cluster(3, lambda pid, n, spec=spec: UniversalReplica(pid, n, spec),
+                        latency=ExponentialLatency(3.0), seed=4)
+            run_workload(c, wl)
+            assert converged(c), spec.name

@@ -1,0 +1,61 @@
+"""Tests for the Zipf-skewed workload generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import update_consistent_convergence
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.network import ExponentialLatency
+from repro.sim.workload import run_workload, zipf_set_workload
+from repro.specs import SetSpec
+
+
+class TestGenerator:
+    def test_determinism(self):
+        assert zipf_set_workload(3, 50, seed=1) == zipf_set_workload(3, 50, seed=1)
+
+    def test_skew_concentrates_on_hot_keys(self):
+        wl = zipf_set_workload(3, 500, support=100, zipf_a=1.3, seed=2)
+        keys = Counter(
+            (w.op.args[0] if w.is_update else w.query_args[0]) for w in wl
+        )
+        hot = sum(c for _, c in keys.most_common(5))
+        assert hot / 500 > 0.5  # top-5 keys take most of the traffic
+
+    def test_keys_within_support(self):
+        wl = zipf_set_workload(2, 200, support=10, seed=3)
+        for w in wl:
+            key = w.op.args[0] if w.is_update else w.query_args[0]
+            assert 0 <= key < 10
+
+    def test_flatter_exponent_spreads_load(self):
+        def top1(a):
+            wl = zipf_set_workload(2, 500, support=50, zipf_a=a, seed=4)
+            keys = Counter(
+                (w.op.args[0] if w.is_update else w.query_args[0]) for w in wl
+            )
+            return keys.most_common(1)[0][1]
+
+        assert top1(3.0) > top1(1.2)
+
+    def test_exponent_validated(self):
+        with pytest.raises(ValueError):
+            zipf_set_workload(2, 10, zipf_a=1.0)
+
+    def test_contains_queries_emitted(self):
+        wl = zipf_set_workload(2, 300, p_query=0.5, seed=5)
+        assert any(not w.is_update and w.query == "contains" for w in wl)
+
+
+class TestEndToEnd:
+    def test_uc_convergence_under_skew(self):
+        spec = SetSpec()
+        c = Cluster(4, lambda p, n: UniversalReplica(p, n, spec),
+                    latency=ExponentialLatency(3.0), seed=6)
+        run_workload(c, zipf_set_workload(4, 150, support=8, seed=6))
+        ok, _, _ = update_consistent_convergence(c, spec)
+        assert ok

@@ -1,0 +1,138 @@
+"""Unit tests for the queue, stack, log and map specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.specs import log_spec as L
+from repro.specs import map_spec as Mp
+from repro.specs import queue_spec as Q
+from repro.specs import stack_spec as St
+
+
+class TestQueue:
+    def test_fifo_order(self, queue_spec):
+        s = queue_spec.replay([Q.enqueue("a"), Q.enqueue("b")])
+        assert queue_spec.observe(s, "front") == "a"
+        s = queue_spec.apply(s, Q.pop())
+        assert queue_spec.observe(s, "front") == "b"
+
+    def test_pop_on_empty_is_noop(self, queue_spec):
+        assert queue_spec.apply((), Q.pop()) == ()
+
+    def test_front_on_empty(self, queue_spec):
+        assert queue_spec.observe((), "front") == Q.EMPTY
+
+    def test_split_dequeue_language(self, queue_spec):
+        # The paper's split: lookup (front) then delete (pop).
+        word = [Q.enqueue(1), Q.front(1), Q.pop(), Q.front(Q.EMPTY)]
+        assert queue_spec.recognizes(word)
+
+    def test_size_and_snapshot(self, queue_spec):
+        s = queue_spec.replay([Q.enqueue(1), Q.enqueue(2)])
+        assert queue_spec.observe(s, "size") == 2
+        assert queue_spec.observe(s, "snapshot") == (1, 2)
+
+    def test_solve_state_snapshot(self, queue_spec):
+        assert queue_spec.solve_state([Q.snapshot((1, 2))]) == (1, 2)
+
+    def test_solve_state_front_and_size(self, queue_spec):
+        s = queue_spec.solve_state([Q.front("h"), Q.size(3)])
+        assert s is not None and s[0] == "h" and len(s) == 3
+
+    def test_solve_state_contradictions(self, queue_spec):
+        assert queue_spec.solve_state([Q.front("h"), Q.size(0)]) is None
+        assert queue_spec.solve_state([Q.front(Q.EMPTY), Q.size(2)]) is None
+        assert queue_spec.solve_state([Q.snapshot((1,)), Q.front(2)]) is None
+
+
+class TestStack:
+    def test_lifo_order(self, stack_spec):
+        s = stack_spec.replay([St.push("a"), St.push("b")])
+        assert stack_spec.observe(s, "top") == "b"
+        s = stack_spec.apply(s, St.drop())
+        assert stack_spec.observe(s, "top") == "a"
+
+    def test_drop_on_empty_is_noop(self, stack_spec):
+        assert stack_spec.apply((), St.drop()) == ()
+
+    def test_split_pop_language(self, stack_spec):
+        word = [St.push(1), St.top(1), St.drop(), St.top(St.EMPTY)]
+        assert stack_spec.recognizes(word)
+
+    def test_solve_state_top_and_size(self, stack_spec):
+        s = stack_spec.solve_state([St.top("t"), St.size(2)])
+        assert s is not None and s[-1] == "t" and len(s) == 2
+
+    def test_solve_state_contradictions(self, stack_spec):
+        assert stack_spec.solve_state([St.top("t"), St.size(0)]) is None
+        assert stack_spec.solve_state([St.snapshot((1, 2)), St.top(1)]) is None
+
+
+class TestLog:
+    def test_append_order(self, log_spec):
+        s = log_spec.replay([L.append("x"), L.append("y")])
+        assert s == ("x", "y")
+
+    def test_queries(self, log_spec):
+        s = ("a", "b")
+        assert log_spec.observe(s, "read") == ("a", "b")
+        assert log_spec.observe(s, "length") == 2
+        assert log_spec.observe(s, "at", (1,)) == "b"
+        assert log_spec.observe(s, "at", (5,)) == L.OUT_OF_RANGE
+
+    def test_invertible(self, log_spec):
+        s = log_spec.apply(("a",), L.append("b"))
+        assert log_spec.unapply(s, L.append("b")) == ("a",)
+
+    def test_unapply_empty_rejected(self, log_spec):
+        with pytest.raises(ValueError):
+            log_spec.unapply((), L.append("x"))
+
+    def test_solve_state_cells(self, log_spec):
+        s = log_spec.solve_state([L.at(0, "a"), L.at(2, "c")])
+        assert s is not None and s[0] == "a" and s[2] == "c" and len(s) == 3
+
+    def test_solve_state_contradictions(self, log_spec):
+        assert log_spec.solve_state([L.length(1), L.at(2, "x")]) is None
+        assert log_spec.solve_state([L.read(("a",)), L.length(2)]) is None
+        assert log_spec.solve_state([L.at(0, L.OUT_OF_RANGE), L.length(1)]) is None
+
+
+class TestMap:
+    def test_put_get(self, map_spec):
+        s = map_spec.apply({}, Mp.put("k", 1))
+        assert map_spec.observe(s, "get", ("k",)) == 1
+
+    def test_get_absent(self, map_spec):
+        assert map_spec.observe({}, "get", ("k",)) == Mp.ABSENT
+
+    def test_remove(self, map_spec):
+        s = map_spec.replay([Mp.put("k", 1), Mp.remove("k")])
+        assert map_spec.observe(s, "get", ("k",)) == Mp.ABSENT
+
+    def test_remove_absent_is_noop(self, map_spec):
+        assert map_spec.apply({}, Mp.remove("k")) == {}
+
+    def test_apply_is_pure(self, map_spec):
+        s = {"a": 1}
+        map_spec.apply(s, Mp.put("b", 2))
+        map_spec.apply(s, Mp.remove("a"))
+        assert s == {"a": 1}
+
+    def test_keys_and_snapshot(self, map_spec):
+        s = map_spec.replay([Mp.put("a", 1), Mp.put("b", 2)])
+        assert map_spec.observe(s, "keys") == frozenset({"a", "b"})
+        assert map_spec.observe(s, "snapshot") == (("a", 1), ("b", 2))
+
+    def test_solve_state_gets(self, map_spec):
+        s = map_spec.solve_state([Mp.get("a", 1), Mp.get("b", Mp.ABSENT)])
+        assert s == {"a": 1}
+
+    def test_solve_state_conflicting_gets(self, map_spec):
+        assert map_spec.solve_state([Mp.get("a", 1), Mp.get("a", 2)]) is None
+
+    def test_solve_state_keys_constraint(self, map_spec):
+        s = map_spec.solve_state([Mp.keys({"a"}), Mp.get("a", 1)])
+        assert s == {"a": 1}
+        assert map_spec.solve_state([Mp.keys(set()), Mp.get("a", 1)]) is None

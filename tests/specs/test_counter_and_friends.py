@@ -1,0 +1,103 @@
+"""Unit tests for counter, g-set, max-register and flag specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adt import Query, Update
+from repro.specs import counter as C
+from repro.specs import gset as G
+from repro.specs import max_register as M
+from repro.specs.flag import disable, enable
+from repro.specs.flag import read as flag_read
+
+
+class TestCounter:
+    def test_inc_dec(self, counter_spec):
+        s = counter_spec.apply(0, C.inc(3))
+        s = counter_spec.apply(s, C.dec(1))
+        assert s == 2
+
+    def test_commutative_flag(self, counter_spec):
+        assert counter_spec.commutative_updates
+
+    def test_invertibility(self, counter_spec):
+        s = counter_spec.apply(5, C.inc(3))
+        assert counter_spec.unapply(s, C.inc(3)) == 5
+        s = counter_spec.apply(5, C.dec(2))
+        assert counter_spec.unapply(s, C.dec(2)) == 5
+
+    def test_sign_query(self, counter_spec):
+        assert counter_spec.observe(-4, "sign") == -1
+        assert counter_spec.observe(0, "sign") == 0
+        assert counter_spec.observe(9, "sign") == 1
+
+    def test_solve_state(self, counter_spec):
+        assert counter_spec.solve_state([C.read(5)]) == 5
+        assert counter_spec.solve_state([C.read(5), C.read(6)]) is None
+        assert counter_spec.solve_state([]) == 0
+
+    def test_solve_state_signs(self, counter_spec):
+        assert counter_spec.solve_state([Query("sign", (), 1)]) == 1
+        two_signs = [Query("sign", (), 1), Query("sign", (), -1)]
+        assert counter_spec.solve_state(two_signs) is None
+
+    def test_solve_state_read_vs_sign(self, counter_spec):
+        ok = [C.read(-3), Query("sign", (), -1)]
+        bad = [C.read(-3), Query("sign", (), 1)]
+        assert counter_spec.solve_state(ok) == -3
+        assert counter_spec.solve_state(bad) is None
+
+
+class TestGSet:
+    def test_insert_only(self, gset_spec):
+        s = gset_spec.apply(frozenset(), G.insert(1))
+        assert s == frozenset({1})
+
+    def test_no_delete(self, gset_spec):
+        with pytest.raises(ValueError, match="no delete"):
+            gset_spec.apply(frozenset({1}), Update("delete", (1,)))
+
+    def test_commutative_flag(self, gset_spec):
+        assert gset_spec.commutative_updates
+
+    def test_solve_state(self, gset_spec):
+        assert gset_spec.solve_state([G.read({1})]) == frozenset({1})
+        assert gset_spec.solve_state([G.contains(2, True)]) == frozenset({2})
+
+
+class TestMaxRegister:
+    def test_keeps_maximum(self, max_register_spec):
+        s = max_register_spec.apply(0, M.write_max(5))
+        s = max_register_spec.apply(s, M.write_max(3))
+        assert s == 5
+
+    def test_floor(self):
+        from repro.specs import MaxRegisterSpec
+
+        spec = MaxRegisterSpec(floor=10)
+        assert spec.apply(spec.initial_state(), M.write_max(3)) == 10
+
+    def test_commutative_flag(self, max_register_spec):
+        assert max_register_spec.commutative_updates
+
+    def test_solve_state_below_floor_unsat(self, max_register_spec):
+        assert max_register_spec.solve_state([M.read(-1)]) is None
+        assert max_register_spec.solve_state([M.read(3)]) == 3
+
+
+class TestFlag:
+    def test_enable_disable(self, flag_spec):
+        assert flag_spec.apply(False, enable()) is True
+        assert flag_spec.apply(True, disable()) is False
+
+    def test_not_commutative(self, flag_spec):
+        assert not flag_spec.commutative_updates
+
+    def test_language(self, flag_spec):
+        assert flag_spec.recognizes([enable(), flag_read(True), disable(), flag_read(False)])
+        assert not flag_spec.recognizes([enable(), flag_read(False)])
+
+    def test_solve_state(self, flag_spec):
+        assert flag_spec.solve_state([flag_read(True)]) is True
+        assert flag_spec.solve_state([flag_read(True), flag_read(False)]) is None

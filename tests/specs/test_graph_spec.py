@@ -1,0 +1,185 @@
+"""Unit tests for the graph UQ-ADT (the DeSceNt social-network object)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.specs import GraphSpec
+from repro.specs import graph_spec as G
+
+
+@pytest.fixture
+def graph_spec():
+    return GraphSpec()
+
+
+def build(spec, *updates):
+    return spec.replay(list(updates))
+
+
+class TestTransitions:
+    def test_initially_empty(self, graph_spec):
+        assert graph_spec.initial_state() == (frozenset(), frozenset())
+
+    def test_add_vertex(self, graph_spec):
+        vs, es = build(graph_spec, G.add_vertex("amy"))
+        assert vs == frozenset({"amy"}) and es == frozenset()
+
+    def test_add_edge_requires_both_endpoints(self, graph_spec):
+        state = build(graph_spec, G.add_vertex("amy"), G.add_edge("amy", "ben"))
+        assert state[1] == frozenset()  # ben not a member yet
+
+    def test_add_edge(self, graph_spec):
+        state = build(
+            graph_spec, G.add_vertex("amy"), G.add_vertex("ben"),
+            G.add_edge("amy", "ben"),
+        )
+        assert graph_spec.observe(state, "has_edge", ("ben", "amy")) is True
+
+    def test_self_edge_refused(self, graph_spec):
+        state = build(graph_spec, G.add_vertex("amy"), G.add_edge("amy", "amy"))
+        assert state[1] == frozenset()
+
+    def test_remove_vertex_cascades_edges(self, graph_spec):
+        state = build(
+            graph_spec, G.add_vertex("a"), G.add_vertex("b"), G.add_edge("a", "b"),
+            G.remove_vertex("a"),
+        )
+        assert state == (frozenset({"b"}), frozenset())
+
+    def test_remove_absent_vertex_noop(self, graph_spec):
+        assert build(graph_spec, G.remove_vertex("x")) == graph_spec.initial_state()
+
+    def test_remove_edge(self, graph_spec):
+        state = build(
+            graph_spec, G.add_vertex("a"), G.add_vertex("b"), G.add_edge("a", "b"),
+            G.remove_edge("b", "a"),  # undirected: order irrelevant
+        )
+        assert state[1] == frozenset()
+
+    def test_idempotence(self, graph_spec):
+        once = build(graph_spec, G.add_vertex("a"))
+        twice = build(graph_spec, G.add_vertex("a"), G.add_vertex("a"))
+        assert once == twice
+
+    def test_unknown_update_rejected(self, graph_spec):
+        from repro.core.adt import Update
+
+        with pytest.raises(ValueError):
+            graph_spec.apply(graph_spec.initial_state(), Update("color", ("v",)))
+
+
+class TestQueries:
+    def triangle(self, spec):
+        return build(
+            spec,
+            G.add_vertex("a"), G.add_vertex("b"), G.add_vertex("c"),
+            G.add_vertex("loner"),
+            G.add_edge("a", "b"), G.add_edge("b", "c"), G.add_edge("a", "c"),
+        )
+
+    def test_vertices_edges(self, graph_spec):
+        state = self.triangle(graph_spec)
+        assert graph_spec.observe(state, "vertices") == frozenset("abc") | {"loner"}
+        assert len(graph_spec.observe(state, "edges")) == 3
+
+    def test_neighbors_degree(self, graph_spec):
+        state = self.triangle(graph_spec)
+        assert graph_spec.observe(state, "neighbors", ("a",)) == frozenset({"b", "c"})
+        assert graph_spec.observe(state, "degree", ("a",)) == 2
+        assert graph_spec.observe(state, "degree", ("loner",)) == 0
+
+    def test_component_count(self, graph_spec):
+        state = self.triangle(graph_spec)
+        assert graph_spec.observe(state, "component_count") == 2
+
+    def test_reachable(self, graph_spec):
+        state = self.triangle(graph_spec)
+        assert graph_spec.observe(state, "reachable", ("a", "c")) is True
+        assert graph_spec.observe(state, "reachable", ("a", "loner")) is False
+        assert graph_spec.observe(state, "reachable", ("a", "ghost")) is False
+
+    def test_language(self, graph_spec):
+        word = [
+            G.add_vertex("a"), G.add_vertex("b"),
+            G.has_edge("a", "b", False),
+            G.add_edge("a", "b"),
+            G.has_edge("a", "b", True),
+            G.component_count(1),
+        ]
+        assert graph_spec.recognizes(word)
+
+
+class TestSolveState:
+    def test_pinned_by_reads(self, graph_spec):
+        s = graph_spec.solve_state(
+            [G.vertices({"a", "b"}), G.edges([("a", "b")])]
+        )
+        assert s == (frozenset({"a", "b"}), frozenset({frozenset(("a", "b"))}))
+
+    def test_membership_constraints(self, graph_spec):
+        s = graph_spec.solve_state([G.has_edge("a", "b", True)])
+        assert s is not None
+        assert graph_spec.observe(s, "has_edge", ("a", "b")) is True
+
+    def test_contradiction(self, graph_spec):
+        assert graph_spec.solve_state(
+            [G.has_vertex("a", True), G.has_vertex("a", False)]
+        ) is None
+
+    def test_edge_requires_consistent_vertices(self, graph_spec):
+        # vertices pinned without 'b', but an a-b edge demanded: unsat
+        # (the candidate fails its own validation).
+        assert graph_spec.solve_state(
+            [G.vertices({"a"}), G.has_edge("a", "b", True)]
+        ) is None
+
+    def test_derived_queries_validated(self, graph_spec):
+        ok = graph_spec.solve_state(
+            [G.vertices({"a", "b"}), G.edges([("a", "b")]), G.degree("a", 1)]
+        )
+        bad = graph_spec.solve_state(
+            [G.vertices({"a", "b"}), G.edges([("a", "b")]), G.degree("a", 2)]
+        )
+        assert ok is not None and bad is None
+
+
+class TestReplication:
+    def test_not_commutative(self, graph_spec):
+        assert not graph_spec.commutative_updates
+
+    def test_universal_construction_converges(self, graph_spec):
+        from repro.analysis import update_consistent_convergence
+        from repro.core.universal import UniversalReplica
+        from repro.sim import Cluster
+        from repro.sim.network import ExponentialLatency
+
+        c = Cluster(3, lambda p, n: UniversalReplica(p, n, graph_spec),
+                    latency=ExponentialLatency(4.0), seed=6)
+        c.update(0, G.add_vertex("amy"))
+        c.update(1, G.add_vertex("ben"))
+        c.update(2, G.add_vertex("cat"))
+        c.run()
+        c.update(0, G.add_edge("amy", "ben"))
+        c.update(1, G.remove_vertex("ben"))  # concurrent conflict!
+        c.update(2, G.add_edge("ben", "cat"))
+        c.run()
+        ok, state, _ = update_consistent_convergence(c, graph_spec)
+        assert ok
+        # Whatever the arbitration, the invariant holds: every edge's
+        # endpoints are members.
+        vs, es = state
+        assert all(w in vs for e in es for w in e)
+
+    def test_criteria_checkers_work_on_graph_histories(self, graph_spec):
+        from repro.core.criteria import SUC, UC
+        from repro.core.history import History
+
+        h = History.from_processes(
+            [
+                [G.add_vertex("a"), (G.has_vertex("a", True), True)],
+                [G.add_vertex("b"), (G.has_vertex("a", True), True)],
+            ]
+        )
+        assert UC.check(h, graph_spec)
+        assert SUC.check(h, graph_spec)

@@ -1,0 +1,93 @@
+"""Unit tests for the register and the Algorithm 2 memory specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.specs import MemorySpec, RegisterSpec
+from repro.specs import register as R
+
+
+class TestRegister:
+    def test_initial_value(self):
+        assert RegisterSpec().initial_state() is None
+        assert RegisterSpec(initial=7).initial_state() == 7
+
+    def test_write_overwrites(self, register_spec):
+        assert register_spec.apply(None, R.write("a")) == "a"
+        assert register_spec.apply("a", R.write("b")) == "b"
+
+    def test_read_observes(self, register_spec):
+        assert register_spec.observe("x", "read") == "x"
+
+    def test_language(self, register_spec):
+        assert register_spec.recognizes([R.write(1), R.read(1), R.write(2), R.read(2)])
+        assert not register_spec.recognizes([R.write(1), R.read(2)])
+
+    def test_solve_state(self, register_spec):
+        assert register_spec.solve_state([R.read("v")]) == "v"
+        assert register_spec.solve_state([R.read("v"), R.read("w")]) is None
+        assert register_spec.solve_state([]) is None  # the initial value
+
+    def test_unknown_ops_rejected(self, register_spec):
+        from repro.core.adt import Update
+
+        with pytest.raises(ValueError):
+            register_spec.apply(None, Update("cas", (1, 2)))
+        with pytest.raises(ValueError):
+            register_spec.observe(None, "swap")
+
+
+class TestMemory:
+    def test_initially_empty(self, memory_spec):
+        assert memory_spec.initial_state() == {}
+
+    def test_unwritten_register_reads_initial(self, memory_spec):
+        assert memory_spec.observe({}, "read", ("x",)) is None
+
+    def test_write_then_read(self, memory_spec):
+        s = memory_spec.apply({}, R.mem_write("x", 5))
+        assert memory_spec.observe(s, "read", ("x",)) == 5
+
+    def test_registers_are_independent(self, memory_spec):
+        s = memory_spec.apply({}, R.mem_write("x", 5))
+        s = memory_spec.apply(s, R.mem_write("y", 6))
+        assert memory_spec.observe(s, "read", ("x",)) == 5
+        assert memory_spec.observe(s, "read", ("y",)) == 6
+
+    def test_apply_is_pure(self, memory_spec):
+        s = {}
+        memory_spec.apply(s, R.mem_write("x", 1))
+        assert s == {}
+
+    def test_snapshot(self, memory_spec):
+        s = memory_spec.apply({}, R.mem_write("x", 1))
+        assert memory_spec.observe(s, "snapshot") == {"x": 1}
+
+    def test_language(self, memory_spec):
+        word = [
+            R.mem_write("x", 1),
+            R.mem_read("x", 1),
+            R.mem_read("y", None),
+            R.mem_write("x", 2),
+            R.mem_read("x", 2),
+        ]
+        assert memory_spec.recognizes(word)
+
+    def test_solve_state_pins_registers(self, memory_spec):
+        s = memory_spec.solve_state([R.mem_read("x", 3), R.mem_read("y", 4)])
+        assert s == {"x": 3, "y": 4}
+
+    def test_solve_state_conflict(self, memory_spec):
+        assert memory_spec.solve_state([R.mem_read("x", 3), R.mem_read("x", 4)]) is None
+
+    def test_solve_state_initial_reads_cost_nothing(self, memory_spec):
+        assert memory_spec.solve_state([R.mem_read("x", None)]) == {}
+
+    def test_solve_state_snapshot_pins_whole_state(self, memory_spec):
+        from repro.core.adt import Query
+
+        snap = Query("snapshot", (), {"x": 1})
+        assert memory_spec.solve_state([snap]) == {"x": 1}
+        # A read of another register to a non-initial value contradicts it.
+        assert memory_spec.solve_state([snap, R.mem_read("y", 2)]) is None

@@ -1,0 +1,80 @@
+"""Unit tests for the set specification (Example 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.specs import set_spec as S
+
+
+class TestTransitions:
+    def test_initial_state_empty(self, set_spec):
+        assert set_spec.initial_state() == frozenset()
+
+    def test_insert_adds(self, set_spec):
+        assert set_spec.apply(frozenset(), S.insert(1)) == frozenset({1})
+
+    def test_insert_idempotent_on_state(self, set_spec):
+        s = frozenset({1})
+        assert set_spec.apply(s, S.insert(1)) == s
+
+    def test_delete_removes(self, set_spec):
+        assert set_spec.apply(frozenset({1, 2}), S.delete(1)) == frozenset({2})
+
+    def test_delete_absent_is_noop(self, set_spec):
+        assert set_spec.apply(frozenset({2}), S.delete(1)) == frozenset({2})
+
+    def test_apply_is_pure(self, set_spec):
+        s = frozenset({1})
+        set_spec.apply(s, S.insert(2))
+        assert s == frozenset({1})
+
+    def test_unknown_update_rejected(self, set_spec):
+        from repro.core.adt import Update
+
+        with pytest.raises(ValueError):
+            set_spec.apply(frozenset(), Update("pop", ()))
+
+
+class TestQueries:
+    def test_read_returns_state(self, set_spec):
+        assert set_spec.observe(frozenset({3}), "read") == frozenset({3})
+
+    def test_contains(self, set_spec):
+        assert set_spec.observe(frozenset({3}), "contains", (3,)) is True
+        assert set_spec.observe(frozenset({3}), "contains", (4,)) is False
+
+    def test_unknown_query_rejected(self, set_spec):
+        with pytest.raises(ValueError):
+            set_spec.observe(frozenset(), "size")
+
+
+class TestSolveState:
+    def test_read_pins_state(self, set_spec):
+        assert set_spec.solve_state([S.read({1, 2})]) == frozenset({1, 2})
+
+    def test_conflicting_reads_unsat(self, set_spec):
+        assert set_spec.solve_state([S.read({1}), S.read({2})]) is None
+
+    def test_contains_constraints_compose(self, set_spec):
+        s = set_spec.solve_state([S.contains(1, True), S.contains(2, False)])
+        assert s == frozenset({1})
+
+    def test_contradictory_contains_unsat(self, set_spec):
+        assert set_spec.solve_state([S.contains(1, True), S.contains(1, False)]) is None
+
+    def test_read_with_compatible_contains(self, set_spec):
+        s = set_spec.solve_state([S.read({1}), S.contains(1, True)])
+        assert s == frozenset({1})
+
+    def test_read_with_incompatible_contains(self, set_spec):
+        assert set_spec.solve_state([S.read({1}), S.contains(1, False)]) is None
+        assert set_spec.solve_state([S.read({1}), S.contains(2, True)]) is None
+
+    def test_empty_constraints(self, set_spec):
+        assert set_spec.solve_state([]) == frozenset()
+
+    def test_non_set_read_output_unsat(self, set_spec):
+        from repro.core.adt import Query
+
+        assert set_spec.solve_state([Query("read", (), 42)]) is None

@@ -1,0 +1,162 @@
+"""Property tests: every spec's ``solve_state`` is sound — a returned state
+actually satisfies every constraint it was given.
+
+(Completeness — returning a state whenever one exists — is spec-specific
+and covered by the unit tests; soundness is what the SEC/EC checkers rely
+on for never producing false positives.)
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adt import Query
+from repro.specs import (
+    CounterSpec,
+    FlagSpec,
+    GSetSpec,
+    LogSpec,
+    MapSpec,
+    MemorySpec,
+    QueueSpec,
+    RegisterSpec,
+    SetSpec,
+    StackSpec,
+)
+
+_VALUES = st.integers(0, 3)
+_SUBSETS = st.sets(_VALUES, max_size=4).map(frozenset)
+
+
+set_constraints = st.lists(
+    st.one_of(
+        _SUBSETS.map(lambda s: Query("read", (), s)),
+        st.tuples(_VALUES, st.booleans()).map(
+            lambda t: Query("contains", (t[0],), t[1])
+        ),
+    ),
+    max_size=4,
+)
+
+counter_constraints = st.lists(
+    st.one_of(
+        st.integers(-5, 5).map(lambda v: Query("read", (), v)),
+        st.sampled_from([-1, 0, 1]).map(lambda s: Query("sign", (), s)),
+    ),
+    max_size=3,
+)
+
+memory_constraints = st.lists(
+    st.tuples(st.sampled_from("xyz"), st.one_of(st.none(), st.integers(0, 3))).map(
+        lambda t: Query("read", (t[0],), t[1])
+    ),
+    max_size=4,
+)
+
+log_constraints = st.lists(
+    st.one_of(
+        st.lists(_VALUES, max_size=3).map(lambda xs: Query("read", (), tuple(xs))),
+        st.integers(0, 3).map(lambda n: Query("length", (), n)),
+        st.tuples(st.integers(0, 3), _VALUES).map(
+            lambda t: Query("at", (t[0],), t[1])
+        ),
+    ),
+    max_size=3,
+)
+
+map_constraints = st.lists(
+    st.one_of(
+        st.tuples(st.sampled_from("ab"), st.one_of(st.just("<absent>"), _VALUES)).map(
+            lambda t: Query("get", (t[0],), t[1])
+        ),
+        st.sets(st.sampled_from("ab"), max_size=2).map(
+            lambda ks: Query("keys", (), frozenset(ks))
+        ),
+    ),
+    max_size=3,
+)
+
+queue_constraints = st.lists(
+    st.one_of(
+        st.lists(_VALUES, max_size=3).map(lambda xs: Query("snapshot", (), tuple(xs))),
+        st.integers(0, 3).map(lambda n: Query("size", (), n)),
+        st.one_of(st.just("<empty>"), _VALUES).map(lambda v: Query("front", (), v)),
+    ),
+    max_size=3,
+)
+
+stack_constraints = st.lists(
+    st.one_of(
+        st.lists(_VALUES, max_size=3).map(lambda xs: Query("snapshot", (), tuple(xs))),
+        st.integers(0, 3).map(lambda n: Query("size", (), n)),
+        st.one_of(st.just("<empty>"), _VALUES).map(lambda v: Query("top", (), v)),
+    ),
+    max_size=3,
+)
+
+
+def _assert_sound(spec, constraints):
+    state = spec.solve_state(constraints)
+    if state is not None:
+        for q in constraints:
+            assert spec.satisfies(state, q), (state, q)
+
+
+@given(set_constraints)
+@settings(max_examples=150, deadline=None)
+def test_set_solve_state_sound(cs):
+    _assert_sound(SetSpec(), cs)
+
+
+@given(set_constraints)
+@settings(max_examples=100, deadline=None)
+def test_gset_solve_state_sound(cs):
+    _assert_sound(GSetSpec(), cs)
+
+
+@given(counter_constraints)
+@settings(max_examples=100, deadline=None)
+def test_counter_solve_state_sound(cs):
+    _assert_sound(CounterSpec(), cs)
+
+
+@given(memory_constraints)
+@settings(max_examples=100, deadline=None)
+def test_memory_solve_state_sound(cs):
+    _assert_sound(MemorySpec(), cs)
+
+
+@given(st.lists(st.integers(0, 3).map(lambda v: Query("read", (), v)), max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_register_solve_state_sound(cs):
+    _assert_sound(RegisterSpec(), cs)
+
+
+@given(log_constraints)
+@settings(max_examples=100, deadline=None)
+def test_log_solve_state_sound(cs):
+    _assert_sound(LogSpec(), cs)
+
+
+@given(map_constraints)
+@settings(max_examples=100, deadline=None)
+def test_map_solve_state_sound(cs):
+    _assert_sound(MapSpec(), cs)
+
+
+@given(queue_constraints)
+@settings(max_examples=100, deadline=None)
+def test_queue_solve_state_sound(cs):
+    _assert_sound(QueueSpec(), cs)
+
+
+@given(stack_constraints)
+@settings(max_examples=100, deadline=None)
+def test_stack_solve_state_sound(cs):
+    _assert_sound(StackSpec(), cs)
+
+
+@given(st.lists(st.booleans().map(lambda b: Query("read", (), b)), max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_flag_solve_state_sound(cs):
+    _assert_sound(FlagSpec(), cs)

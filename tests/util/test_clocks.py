@@ -1,0 +1,182 @@
+"""Unit tests for Lamport clocks, timestamps and vector clocks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.clocks import LamportClock, Timestamp, VectorClock
+
+
+class TestTimestamp:
+    def test_lexicographic_order_clock_first(self):
+        assert Timestamp(1, 5) < Timestamp(2, 0)
+
+    def test_lexicographic_order_pid_breaks_ties(self):
+        assert Timestamp(3, 1) < Timestamp(3, 2)
+
+    def test_equal_iff_same_components(self):
+        assert Timestamp(2, 3) == Timestamp(2, 3)
+        assert Timestamp(2, 3) != Timestamp(2, 4)
+
+    def test_negative_clock_rejected(self):
+        with pytest.raises(ValueError):
+            Timestamp(-1, 0)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError):
+            Timestamp(0, -2)
+
+    def test_encoded_size_grows_logarithmically(self):
+        small = Timestamp(1, 0).encoded_size_bits()
+        big = Timestamp(1 << 20, 0).encoded_size_bits()
+        # 2^20 times more operations cost ~20 extra bits, not 2^20.
+        assert big - small == 20
+
+    def test_encoded_size_counts_both_components(self):
+        assert Timestamp(255, 255).encoded_size_bits() == 16
+
+    @given(
+        st.tuples(st.integers(0, 10**6), st.integers(0, 100)),
+        st.tuples(st.integers(0, 10**6), st.integers(0, 100)),
+    )
+    def test_order_matches_tuple_order(self, a, b):
+        ta, tb = Timestamp(*a), Timestamp(*b)
+        assert (ta < tb) == (a < b)
+
+
+class TestLamportClock:
+    def test_starts_at_initial(self):
+        assert LamportClock(0).value == 0
+        assert LamportClock(0, initial=7).value == 7
+
+    def test_tick_increments_and_stamps(self):
+        c = LamportClock(3)
+        ts = c.tick()
+        assert ts == Timestamp(1, 3)
+        assert c.value == 1
+
+    def test_successive_ticks_strictly_increase(self):
+        c = LamportClock(0)
+        stamps = [c.tick() for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+    def test_merge_raises_to_received_value(self):
+        c = LamportClock(0)
+        c.merge(10)
+        assert c.value == 10
+
+    def test_merge_never_decreases(self):
+        c = LamportClock(0, initial=20)
+        c.merge(3)
+        assert c.value == 20
+
+    def test_merge_accepts_timestamp(self):
+        c = LamportClock(0)
+        c.merge(Timestamp(9, 4))
+        assert c.value == 9
+
+    def test_merge_then_tick_exceeds_received(self):
+        # The happened-before containment of the (clock, pid) order hinges
+        # on this: an event after a receipt outranks the sent stamp.
+        c = LamportClock(1)
+        c.merge(5)
+        assert c.tick() > Timestamp(5, 0)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(-1)
+
+    def test_negative_merge_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(0).merge(-5)
+
+    def test_peek_does_not_advance(self):
+        c = LamportClock(2)
+        c.tick()
+        before = c.peek()
+        assert c.peek() == before
+        assert c.value == 1
+
+    @given(st.lists(st.integers(0, 1000), max_size=50))
+    def test_clock_monotone_under_any_merge_sequence(self, merges):
+        c = LamportClock(0)
+        last = c.value
+        for m in merges:
+            c.merge(m)
+            assert c.value >= last
+            last = c.value
+            assert c.tick().clock == c.value
+
+
+class TestVectorClock:
+    def test_initially_zero(self):
+        assert VectorClock(3).as_tuple() == (0, 0, 0)
+
+    def test_needs_at_least_one_process(self):
+        with pytest.raises(ValueError):
+            VectorClock(0)
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(ValueError):
+            VectorClock([1, -1])
+
+    def test_tick_increments_one_component(self):
+        v = VectorClock(3).tick(1)
+        assert v.as_tuple() == (0, 1, 0)
+
+    def test_merge_is_componentwise_max(self):
+        a = VectorClock([3, 0, 1])
+        b = VectorClock([1, 2, 1])
+        assert a.merge(b).as_tuple() == (3, 2, 1)
+
+    def test_partial_order(self):
+        assert VectorClock([1, 0]) < VectorClock([1, 1])
+        assert not VectorClock([1, 0]) < VectorClock([0, 2])
+
+    def test_concurrency(self):
+        assert VectorClock([1, 0]).concurrent_with(VectorClock([0, 1]))
+        assert not VectorClock([1, 0]).concurrent_with(VectorClock([2, 0]))
+
+    def test_equality_and_hash(self):
+        assert VectorClock([1, 2]) == VectorClock([1, 2])
+        assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+
+    def test_incompatible_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock(2).merge(VectorClock(3))
+
+    def test_pid_bounds_checked(self):
+        with pytest.raises(IndexError):
+            VectorClock(2).tick(5)
+
+    def test_causally_ready_next_message(self):
+        local = VectorClock([1, 0])
+        stamp = VectorClock([2, 0])  # sender 0's next event
+        assert stamp.causally_ready(0, local)
+
+    def test_not_ready_when_gap_in_sender(self):
+        local = VectorClock([0, 0])
+        stamp = VectorClock([2, 0])  # skipped message 1
+        assert not stamp.causally_ready(0, local)
+
+    def test_not_ready_when_depends_on_unseen_third_party(self):
+        local = VectorClock([0, 0, 0])
+        stamp = VectorClock([1, 0, 3])  # sender 0, but saw 3 events of p2
+        assert not stamp.causally_ready(0, local)
+
+    def test_copy_is_independent(self):
+        a = VectorClock([1, 1])
+        b = a.copy()
+        b.tick(0)
+        assert a.as_tuple() == (1, 1)
+
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=5),
+           st.lists(st.integers(0, 5), min_size=2, max_size=5))
+    def test_merge_is_lub(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a, b = VectorClock(xs[:n]), VectorClock(ys[:n])
+        m = a.copy().merge(b)
+        assert a <= m and b <= m
+        assert m.as_tuple() == tuple(max(x, y) for x, y in zip(xs[:n], ys[:n]))

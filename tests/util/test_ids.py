@@ -1,0 +1,44 @@
+"""Unit tests for deterministic id allocation."""
+
+from __future__ import annotations
+
+from repro.util.ids import IdAllocator, fresh_token
+
+
+class TestIdAllocator:
+    def test_sequential_within_namespace(self):
+        alloc = IdAllocator()
+        assert alloc.fresh("p0") == ("p0", 0)
+        assert alloc.fresh("p0") == ("p0", 1)
+
+    def test_namespaces_are_independent(self):
+        alloc = IdAllocator()
+        alloc.fresh("a")
+        assert alloc.fresh("b") == ("b", 0)
+
+    def test_no_collisions_across_namespaces(self):
+        alloc = IdAllocator()
+        ids = {alloc.fresh(ns) for ns in ("a", "b") for _ in range(10)}
+        assert len(ids) == 20
+
+    def test_determinism(self):
+        a, b = IdAllocator(), IdAllocator()
+        seq_a = [a.fresh(i % 3) for i in range(20)]
+        seq_b = [b.fresh(i % 3) for i in range(20)]
+        assert seq_a == seq_b
+
+    def test_peek_reports_allocation_count(self):
+        alloc = IdAllocator()
+        assert alloc.peek("x") == 0
+        alloc.fresh("x")
+        alloc.fresh("x")
+        assert alloc.peek("x") == 2
+
+    def test_default_namespace(self):
+        alloc = IdAllocator()
+        assert alloc.fresh() == (0, 0)
+
+
+def test_fresh_token_is_unique():
+    tokens = {fresh_token("t") for _ in range(100)}
+    assert len(tokens) == 100

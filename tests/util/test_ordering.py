@@ -1,0 +1,200 @@
+"""Unit and property tests for the relation/poset helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util import ordering as o
+
+
+def rel(*edges, nodes=()):
+    r = o.empty_relation(nodes)
+    for a, b in edges:
+        o.add_edge(r, a, b)
+    return r
+
+
+class TestAcyclicity:
+    def test_empty_is_acyclic(self):
+        assert o.is_acyclic({})
+
+    def test_chain_is_acyclic(self):
+        assert o.is_acyclic(rel((1, 2), (2, 3)))
+
+    def test_cycle_detected(self):
+        assert not o.is_acyclic(rel((1, 2), (2, 3), (3, 1)))
+
+    def test_self_loop_is_a_cycle(self):
+        assert not o.is_acyclic(rel((1, 1)))
+
+    def test_strip_reflexive_removes_self_loops(self):
+        r = o.strip_reflexive(rel((1, 1), (1, 2)))
+        assert o.is_acyclic(r)
+        assert r[1] == {2}
+
+
+class TestClosure:
+    def test_transitive_closure_of_chain(self):
+        c = o.relation_closure(rel((1, 2), (2, 3)))
+        assert c[1] == {2, 3}
+        assert c[2] == {3}
+
+    def test_closure_of_diamond(self):
+        c = o.relation_closure(rel(("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")))
+        assert c["a"] == {"b", "c", "d"}
+
+    def test_closure_idempotent(self):
+        r = rel((1, 2), (2, 3), (1, 4))
+        once = o.relation_closure(r)
+        twice = o.relation_closure(once)
+        assert once == twice
+
+    def test_restrict_keeps_induced_edges(self):
+        r = o.relation_closure(rel((1, 2), (2, 3)))
+        sub = o.restrict(r, {1, 3})
+        assert sub == {1: {3}, 3: set()}
+
+    def test_union_merges_universes(self):
+        u = o.union(rel((1, 2)), rel((3, 4)))
+        assert set(u) == {1, 2, 3, 4}
+
+    def test_contains(self):
+        big = rel((1, 2), (2, 3), (1, 3))
+        small = rel((1, 3), nodes=(2,))
+        assert o.contains(big, small)
+        assert not o.contains(small, big)
+
+
+class TestTotalOrder:
+    def test_chain_is_total(self):
+        assert o.is_total_order(rel((1, 2), (2, 3)))
+
+    def test_antichain_is_not_total(self):
+        assert not o.is_total_order(rel(nodes=(1, 2)))
+
+    def test_cycle_is_not_total(self):
+        assert not o.is_total_order(rel((1, 2), (2, 1)))
+
+    def test_reflexive_edges_tolerated(self):
+        assert o.is_total_order(rel((1, 1), (1, 2), (2, 2)))
+
+
+class TestTopologicalSorts:
+    def test_antichain_yields_all_permutations(self):
+        sorts = list(o.topological_sorts(rel(nodes=(1, 2, 3))))
+        assert len(sorts) == 6
+        assert len(set(sorts)) == 6
+
+    def test_chain_yields_one(self):
+        sorts = list(o.topological_sorts(rel((1, 2), (2, 3))))
+        assert sorts == [(1, 2, 3)]
+
+    def test_two_chains_interleavings_are_binomial(self):
+        # Two independent chains of lengths 2 and 3: C(5,2) = 10 orders.
+        r = rel(("a1", "a2"), ("b1", "b2"), ("b2", "b3"))
+        assert len(list(o.topological_sorts(r))) == math.comb(5, 2)
+
+    def test_every_sort_respects_the_relation(self):
+        r = rel((1, 2), (1, 3), (3, 4))
+        for seq in o.topological_sorts(r):
+            assert o.sequence_respects(r, seq)
+
+    def test_empty_relation_single_empty_sort(self):
+        assert list(o.topological_sorts({})) == [()]
+
+    def test_enumeration_is_deterministic(self):
+        r = rel(("x", "y"), nodes=("z",))
+        assert list(o.topological_sorts(r)) == list(o.topological_sorts(r))
+
+
+class TestSequenceRespects:
+    def test_accepts_valid_linear_extension(self):
+        r = rel((1, 2))
+        assert o.sequence_respects(r, (1, 2))
+
+    def test_rejects_violating_order(self):
+        r = rel((1, 2))
+        assert not o.sequence_respects(r, (2, 1))
+
+    def test_rejects_wrong_universe(self):
+        r = rel((1, 2))
+        assert not o.sequence_respects(r, (1,))
+        assert not o.sequence_respects(r, (1, 2, 3))
+
+    def test_checks_transitive_consequences(self):
+        r = rel((1, 2), (2, 3))
+        assert not o.sequence_respects(r, (3, 1, 2))
+
+
+class TestMaximalChains:
+    def test_two_process_history_shape(self):
+        r = rel(("a1", "a2"), ("b1", "b2"))
+        chains = o.maximal_chains(r)
+        assert sorted(chains) == [("a1", "a2"), ("b1", "b2")]
+
+    def test_diamond_has_two_chains(self):
+        r = rel(("s", "l"), ("s", "r"), ("l", "t"), ("r", "t"))
+        chains = o.maximal_chains(r)
+        assert sorted(chains) == [("s", "l", "t"), ("s", "r", "t")]
+
+    def test_isolated_node_is_its_own_chain(self):
+        assert o.maximal_chains(rel(nodes=("x",))) == [("x",)]
+
+    def test_empty(self):
+        assert o.maximal_chains({}) == []
+
+
+class TestCounting:
+    def test_linear_extension_count_matches_enumeration(self):
+        r = rel((1, 2), nodes=(3,))
+        assert o.linear_extension_count(r) == 3
+
+    def test_count_respects_limit(self):
+        r = rel(nodes=tuple(range(6)))
+        assert o.linear_extension_count(r, limit=10) == 10
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(1, 6))
+    nodes = list(range(n))
+    r = o.empty_relation(nodes)
+    # Only forward edges i -> j with i < j: guaranteed acyclic.
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                o.add_edge(r, i, j)
+    return r
+
+
+class TestProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_all_topological_sorts_are_linear_extensions(self, r):
+        count = 0
+        for seq in o.topological_sorts(r):
+            assert o.sequence_respects(r, seq)
+            count += 1
+            if count > 200:
+                break
+        assert count >= 1  # a DAG always has at least one sort
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_contains_original(self, r):
+        c = o.relation_closure(r)
+        assert o.contains(c, r)
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_maximal_chains_are_chains_and_maximal(self, r):
+        closure = o.relation_closure(r)
+        for chain in o.maximal_chains(r):
+            for a, b in zip(chain, chain[1:]):
+                assert b in closure[a]
+            first, last = chain[0], chain[-1]
+            assert not any(first in closure[m] for m in r if m != first)
+            assert not closure[last]

@@ -13,10 +13,13 @@
 """
 
 from repro.analysis.convergence import (
+    ConvergenceReport,
+    ConvergenceWatchdog,
     agreed_state,
     converged,
     divergence_degree,
     expected_final_state,
+    log_divergence,
     update_consistent_convergence,
 )
 from repro.analysis.metrics import (
@@ -38,7 +41,10 @@ __all__ = [
     "agreed_state",
     "divergence_degree",
     "expected_final_state",
+    "log_divergence",
     "update_consistent_convergence",
+    "ConvergenceReport",
+    "ConvergenceWatchdog",
     "MessageStats",
     "collect_message_stats",
     "payload_size_bits",

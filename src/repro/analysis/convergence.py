@@ -11,6 +11,7 @@ the check is a single replay.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.adt import UQADT, _canonical
@@ -62,6 +63,111 @@ def expected_final_state(trace: Trace, spec: UQADT) -> Any:
     for _, update in stamped:
         state = spec.apply(state, update)
     return state
+
+
+def log_divergence(cluster: Cluster) -> dict[int, int]:
+    """Per-replica update-log divergence: entries missing vs. the union.
+
+    For every correct replica exposing ``known_timestamps()`` (the
+    Algorithm 1 family), counts how many of the union's update ids it has
+    not received.  All zeros ⇔ every survivor holds the same log.  GC'd
+    replicas report against their *live* logs (the collected prefix is
+    common by construction).
+    """
+    known: dict[int, set] = {}
+    for pid in cluster.alive():
+        replica = cluster.replicas[pid]
+        timestamps = getattr(replica, "known_timestamps", None)
+        if timestamps is not None:
+            known[pid] = set(timestamps())
+    if not known:
+        return {}
+    union = set().union(*known.values())
+    return {pid: len(union - uids) for pid, uids in known.items()}
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """What the watchdog saw while driving a cluster to quiescence."""
+
+    converged: bool
+    quiescent: bool
+    steps: int
+    #: virtual time of the first delivery after which the replicas agreed
+    #: and never disagreed again (None if they never settled).
+    time_to_agreement: float | None
+    #: per-replica log divergence at the end (see :func:`log_divergence`).
+    final_divergence: dict[int, int]
+    distinct_states: int
+    #: messages still pending at the end (in-flight + held).
+    undelivered: int
+
+    @property
+    def flagged(self) -> bool:
+        """True for runs needing attention: non-quiescent or diverged."""
+        return not (self.converged and self.quiescent)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "converged" if self.converged else (
+            f"DIVERGED ({self.distinct_states} states)"
+        )
+        tail = "" if self.quiescent else (
+            f"; NON-QUIESCENT ({self.undelivered} undelivered)"
+        )
+        at = (
+            f" at t={self.time_to_agreement:.3f}"
+            if self.time_to_agreement is not None else ""
+        )
+        return f"{verdict}{at} after {self.steps} deliveries{tail}"
+
+
+class ConvergenceWatchdog:
+    """Drives a cluster to quiescence while measuring agreement.
+
+    Delivers messages one at a time, checking replica agreement every
+    ``check_every`` deliveries; reports time-to-agreement (the virtual
+    time after which states agreed for good), per-replica log divergence,
+    and flags runs that fail to quiesce within the step budget — the
+    convergence half of the fault-injection suite, used by the chaos path
+    and the fault-recovery bench.
+    """
+
+    def __init__(self, cluster: Cluster, *, check_every: int = 1) -> None:
+        if check_every <= 0:
+            raise ValueError("check interval must be positive")
+        self.cluster = cluster
+        self.check_every = check_every
+
+    def watch(self, *, max_steps: int = 1_000_000) -> ConvergenceReport:
+        """Deliver until quiescent (or ``max_steps``); return the report."""
+        cluster = self.cluster
+        steps = 0
+        agreed_since: float | None = 0.0 if converged(cluster) else None
+        while steps < max_steps and cluster.step():
+            steps += 1
+            if steps % self.check_every == 0:
+                if converged(cluster):
+                    if agreed_since is None:
+                        agreed_since = cluster.now
+                else:
+                    agreed_since = None
+        is_converged = converged(cluster)
+        if not is_converged:
+            agreed_since = None
+        elif agreed_since is None:
+            # Coarse check interval: agreement happened somewhere in the
+            # last window; the current time is the honest upper bound.
+            agreed_since = cluster.now
+        return ConvergenceReport(
+            converged=is_converged,
+            quiescent=cluster.quiescent(),
+            steps=steps,
+            time_to_agreement=agreed_since,
+            final_divergence=log_divergence(cluster),
+            distinct_states=divergence_degree(cluster),
+            undelivered=cluster.network.pending_count(),
+        )
 
 
 def update_consistent_convergence(

@@ -159,6 +159,11 @@ class GarbageCollectedReplica(CheckpointedReplica):
             self.heard[j] = max(self.heard[j], cl)
             self._maybe_gc()
             return ()
+        if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+            # Other control payloads (the anti-entropy handshake): the base
+            # class dispatches them; any update they unfold is re-routed
+            # through this method, so the frontier check still applies.
+            return super().on_message(src, payload)
         cl, j, _u = payload
         if self._gc_frontier is not None and (cl, j) <= self._gc_frontier:
             raise StabilityViolation(

@@ -32,7 +32,7 @@ states, recomputed only when a late message arrives) and
 from __future__ import annotations
 
 import bisect
-from typing import Any, Hashable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.adt import UQADT, Update
 from repro.sim.replica import Replica
@@ -43,7 +43,20 @@ Stamped = tuple[int, int, Update]
 
 
 class UniversalReplica(Replica):
-    """One process's state of Algorithm 1 for an arbitrary UQ-ADT."""
+    """One process's state of Algorithm 1 for an arbitrary UQ-ADT.
+
+    Beyond the paper's lines 1-20, the replica speaks a small anti-entropy
+    dialect used by crash-recovery and lossy-channel repair: a peer may
+    broadcast a :meth:`sync_request` carrying its set of known update ids;
+    receivers reply point-to-point with the updates the requester lacks,
+    and counter-request anything the requester knows that they do not.
+    Control payloads are tuples tagged with a leading string, so they can
+    never be confused with ``(clock, pid, update)`` wire triples.
+    """
+
+    #: control-payload tags (anti-entropy handshake).
+    SYNC_REQ = "sync-req"
+    SYNC_RESP = "sync-resp"
 
     def __init__(
         self,
@@ -86,14 +99,57 @@ class UniversalReplica(Replica):
             self._last_meta = {"timestamp": (ts.clock, ts.pid)}
         return [stamped]  # line 6: broadcast
 
-    def on_message(self, src: int, payload: Stamped) -> Sequence[Any]:
+    def on_message(self, src: int, payload: Any) -> Sequence[Any]:
+        if isinstance(payload, tuple) and payload and payload[0] == self.SYNC_REQ:
+            return self._on_sync_request(payload)
+        if isinstance(payload, tuple) and payload and payload[0] == self.SYNC_RESP:
+            extra: list[Any] = []
+            for stamped in payload[1]:
+                extra.extend(self.on_message(src, stamped))
+            return extra
         cl, j, update = payload
         if (cl, j) in self._known:
-            return ()  # relayed duplicate
+            return ()  # relayed / network duplicate
         self._known.add((cl, j))
         self.clock.merge(cl)  # line 9
         self._insert((cl, j, update))  # line 10
         return [payload] if self.relay else ()
+
+    # -- anti-entropy (crash-recovery & lossy-channel repair) -----------------------
+
+    def sync_request(self) -> tuple:
+        """The pull half of the anti-entropy handshake: broadcast this and
+        every receiver replies with the updates this replica is missing."""
+        return (self.SYNC_REQ, self.pid, frozenset(self._known))
+
+    def _on_sync_request(self, payload: tuple) -> Sequence[Any]:
+        _, requester, known = payload
+        missing = [s for s in self.updates if (s[0], s[1]) not in known]
+        if missing:
+            self.send_to(requester, (self.SYNC_RESP, tuple(missing)))
+        if known - self._known:
+            # The requester has updates we lack (e.g. restored from its
+            # durable log after a crash): pull them back.
+            self.send_to(requester, self.sync_request())
+        return ()
+
+    def load_log(self, entries: Iterable[Stamped]) -> int:
+        """Rebuild from a durable update log (crash-recovery).
+
+        Folds each entry through the normal insertion path (deduplicated,
+        clock-merged), so a truncated log — an fsync that missed the tail —
+        is safe: the anti-entropy handshake refetches the rest.  Returns
+        the number of entries actually loaded.
+        """
+        loaded = 0
+        for cl, j, update in entries:
+            if (cl, j) in self._known:
+                continue
+            self._known.add((cl, j))
+            self.clock.merge(cl)
+            self._insert((cl, j, update))
+            loaded += 1
+        return loaded
 
     def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         ts = self.clock.tick()  # line 13

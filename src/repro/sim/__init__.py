@@ -23,9 +23,13 @@ reason on this model abstractly; we make it executable:
 from repro.sim.cluster import Cluster, OpRecord, Trace
 from repro.sim.explore import Leaf, ScheduleExplorer, explore_outcomes
 from repro.sim.network import (
+    ChannelInvariantChecker,
+    ChannelInvariantError,
+    DuplicatingNetwork,
     ExponentialLatency,
     FixedLatency,
     LatencyModel,
+    LossyNetwork,
     Network,
     UniformLatency,
 )
@@ -39,6 +43,10 @@ __all__ = [
     "explore_outcomes",
     "Leaf",
     "Network",
+    "LossyNetwork",
+    "DuplicatingNetwork",
+    "ChannelInvariantChecker",
+    "ChannelInvariantError",
     "LatencyModel",
     "FixedLatency",
     "UniformLatency",

@@ -31,7 +31,7 @@ from typing import Any, Callable, Hashable, Iterable, Mapping
 
 import numpy as np
 
-from repro.core.adt import Query, Update
+from repro.core.adt import Query, Update, _canonical
 from repro.core.history import Event, History
 from repro.core.criteria.witness import SUCWitness
 from repro.sim.network import LatencyModel, Network
@@ -143,15 +143,24 @@ class Cluster:
         latency: LatencyModel | None = None,
         seed: int = 0,
         fifo: bool = False,
+        network_cls: type[Network] = Network,
+        network_kwargs: Mapping[str, Any] | None = None,
     ) -> None:
         self.n = n
         self.rng = np.random.default_rng(seed)
-        self.network = Network(n, latency=latency, rng=self.rng, fifo=fifo)
+        #: ``network_cls``/``network_kwargs`` select the channel fault model
+        #: (e.g. :class:`~repro.sim.network.LossyNetwork` with a drop
+        #: probability); the default is the paper's reliable network.
+        self.network = network_cls(
+            n, latency=latency, rng=self.rng, fifo=fifo, **(network_kwargs or {})
+        )
+        self._replica_factory = replica_factory
         self.replicas: list[Replica] = [replica_factory(pid, n) for pid in range(n)]
         self.now: float = 0.0
         self.trace = Trace()
         self.crashed: set[int] = set()
         self.dropped_to_crashed = 0
+        self.recovered_count = 0
         self._eid = itertools.count()
 
     # -- application-level operations (wait-free) -----------------------------------
@@ -233,19 +242,111 @@ class Cluster:
 
     def crash(self, pid: int, *, drop_outgoing: bool = False) -> None:
         """Halt process ``pid``.  With ``drop_outgoing`` the adversary also
-        loses its in-flight messages (a crash mid-broadcast)."""
+        loses its in-flight messages (a crash mid-broadcast).
+
+        Intended semantics — crash interacts cleanly with holds:
+
+        * A crashed process receives nothing: its inbound in-flight traffic
+          (including held messages) is dropped *now* and counted once in
+          :attr:`dropped_to_crashed`; a later ``heal()`` cannot re-deliver
+          to it and inflate the counter.
+        * It stops being a hold/partition endpoint: every hold involving it
+          is dissolved.  Messages it already sent stay subject to channel
+          reliability (unless ``drop_outgoing``), so parked outbound
+          traffic is released rather than stranded forever.
+        * Live replicas keep broadcasting to it (they cannot tell); those
+          later sends are dropped at delivery time, as before.
+
+        A crashed process may come back via :meth:`recover`.
+        """
         self._check_pid(pid)
+        if pid in self.crashed:
+            return
         self.crashed.add(pid)
         if drop_outgoing:
             self.network.drop_messages(lambda m: m.src == pid)
+        for src, dst in list(self.network._holds):
+            if pid in (src, dst):
+                self.network.release(src, dst, self.now)
+        self.dropped_to_crashed += self.network.drop_messages(lambda m: m.dst == pid)
+
+    def recover(self, pid: int, *, fsync_point: int | None = None) -> Replica:
+        """Restart crashed process ``pid`` from its durable log.
+
+        Models crash-*recovery*: the dead replica's update log is read back
+        through the :mod:`repro.sim.persist` codec (the on-disk image),
+        truncated to ``fsync_point`` entries if the crash beat the last
+        fsync (``None`` = everything survived; the Lamport clock always
+        survives, see :func:`~repro.sim.persist.replica_snapshot`).  A
+        fresh replica is built from the factory, reloaded, and rejoins by
+        broadcasting an anti-entropy sync request — peers send back what it
+        missed while down, and pull anything only its log still has (its
+        own pre-crash updates whose broadcast was lost).
+        """
+        from repro.sim import persist
+
+        self._check_pid(pid)
+        if pid not in self.crashed:
+            raise ValueError(f"process {pid} is not crashed")
+        snapshot = persist.replica_snapshot(self.replicas[pid], fsync_point=fsync_point)
+        fresh = self._replica_factory(pid, self.n)
+        persist.restore_replica(fresh, snapshot)
+        self.replicas[pid] = fresh
+        self.crashed.discard(pid)
+        self.recovered_count += 1
+        sync = getattr(fresh, "sync_request", None)
+        if sync is not None:
+            self.network.broadcast(pid, sync(), self.now)
+        return fresh
+
+    def hold(self, src: int, dst: int) -> None:
+        """Park src→dst traffic; endpoints must be live processes."""
+        self._check_live_endpoint(src)
+        self._check_live_endpoint(dst)
+        self.network.hold(src, dst)
+
+    def release(self, src: int, dst: int) -> None:
+        """Release a held channel at the current virtual time."""
+        self.network.release(src, dst, self.now)
 
     def partition(self, groups: Iterable[Iterable[int]]) -> None:
-        """Block all traffic between the given groups (until healed)."""
-        self.network.partition(groups)
+        """Block all traffic between the given groups (until healed).
+
+        Crashed pids are filtered out of the groups — a dead process is not
+        a partition endpoint (its traffic is already dropped); the groups
+        must otherwise be disjoint (validated by the network).
+        """
+        live = [[pid for pid in g if pid not in self.crashed] for g in groups]
+        self.network.partition([g for g in live if g])
 
     def heal(self) -> None:
         """End every partition/hold; parked messages become deliverable."""
         self.network.heal(self.now)
+
+    def anti_entropy(self, *, rounds: int = 3) -> int:
+        """Run sync rounds until replicas agree (or ``rounds`` exhausted).
+
+        Each round every live sync-capable replica broadcasts a
+        :meth:`~repro.core.universal.UniversalReplica.sync_request` and the
+        network drains.  Repairs divergence the reliable-broadcast
+        machinery cannot: lossy channels, recovery amnesia.  Returns the
+        number of rounds performed.
+        """
+        performed = 0
+        for _ in range(rounds):
+            requested = False
+            for pid in self.alive():
+                sync = getattr(self.replicas[pid], "sync_request", None)
+                if sync is not None:
+                    self.network.broadcast(pid, sync(), self.now)
+                    requested = True
+            if not requested:
+                break
+            self.run()
+            performed += 1
+            if len({_canonical(s) for s in self.states().values()}) <= 1:
+                break
+        return performed
 
     # -- inspection ----------------------------------------------------------------------
 
@@ -282,3 +383,10 @@ class Cluster:
     def _check_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:
             raise ValueError(f"pid {pid} out of range for {self.n} processes")
+
+    def _check_live_endpoint(self, pid: int) -> None:
+        self._check_pid(pid)
+        if pid in self.crashed:
+            raise ValueError(
+                f"process {pid} has crashed and cannot be a hold endpoint"
+            )

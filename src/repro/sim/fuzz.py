@@ -12,6 +12,15 @@ Used by the property tests: under every fuzzed schedule, Algorithm 1's
 survivors converge to the timestamp linearization and the recorded SUC
 witness verifies (the empirical universal quantification behind
 Propositions 1's "any schedule" reasoning and Proposition 4).
+
+The module doubles as the CI chaos-smoke entry point::
+
+    python -m repro.sim.fuzz --budget 30
+
+drives seeded chaos runs — crash/recover/partition/heal over plain, lossy
+and duplicating networks, channel-invariant checker enabled — until the
+time budget runs out, exiting non-zero on any FIFO or convergence
+regression.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.adt import Update
+from repro.core.adt import Update, _canonical
 from repro.sim.cluster import Cluster
 
 
@@ -35,6 +44,7 @@ class FuzzReport:
     partitions: int = 0
     heals: int = 0
     crashes: int = 0
+    recoveries: int = 0
     delivered_bursts: int = 0
 
     def summary(self) -> str:
@@ -42,7 +52,8 @@ class FuzzReport:
         return (
             f"{self.holds} holds, {self.releases} releases, "
             f"{self.partitions} partitions, {self.heals} heals, "
-            f"{self.crashes} crashes, {self.delivered_bursts} bursts"
+            f"{self.crashes} crashes, {self.recoveries} recoveries, "
+            f"{self.delivered_bursts} bursts"
         )
 
 
@@ -64,6 +75,7 @@ class AdversaryFuzzer:
         partition_probability: float = 0.15,
         hold_probability: float = 0.2,
         burst_probability: float = 0.4,
+        recover_probability: float = 0.0,
     ) -> None:
         #: ``allow_message_loss`` lets a crash also lose the victim's
         #: in-flight messages.  That breaks the *reliable broadcast*
@@ -72,6 +84,9 @@ class AdversaryFuzzer:
         #: with ``relay=True`` (epidemic rebroadcast restores
         #: all-or-nothing delivery among survivors, provided at least one
         #: survivor received the payload).
+        #: ``recover_probability`` turns crash-stop into crash-recovery:
+        #: each move may restart a crashed replica from its durable log,
+        #: sometimes truncated (a crash that beat the last fsync).
         self.cluster = cluster
         self.rng = np.random.default_rng(seed)
         self.crash_budget = crash_budget
@@ -79,6 +94,7 @@ class AdversaryFuzzer:
         self.p_partition = partition_probability
         self.p_hold = hold_probability
         self.p_burst = burst_probability
+        self.p_recover = recover_probability
         self.report = FuzzReport()
         self._held_pairs: set[tuple[int, int]] = set()
         self._partitioned = False
@@ -88,33 +104,42 @@ class AdversaryFuzzer:
     def step(self) -> None:
         """One adversarial move, drawn from the seeded distribution."""
         roll = self.rng.random()
+        base = self.p_hold + self.p_partition
         if roll < self.p_hold:
             self._toggle_hold()
-        elif roll < self.p_hold + self.p_partition:
+        elif roll < base:
             self._toggle_partition()
         elif (
             self.crash_budget > 0
             and len(self.cluster.alive()) > 1
-            and roll < self.p_hold + self.p_partition + 0.05
+            and roll < base + 0.05
         ):
             self._crash_someone()
-        elif roll < self.p_hold + self.p_partition + 0.05 + self.p_burst:
+        elif (
+            self.p_recover > 0
+            and self.cluster.crashed
+            and roll < base + 0.05 + self.p_recover
+        ):
+            self._recover_someone()
+        elif roll < base + 0.05 + self.p_recover + self.p_burst:
             self._burst()
         # else: do nothing this turn (silence is also a schedule)
 
     def _toggle_hold(self) -> None:
-        n = self.cluster.n
-        src, dst = self.rng.integers(n), self.rng.integers(n)
+        alive = self.cluster.alive()
+        if len(alive) < 2:
+            return
+        src, dst = self.rng.choice(alive), self.rng.choice(alive)
         if src == dst:
             return
         pair = (int(src), int(dst))
         if pair in self._held_pairs:
-            self.cluster.network.release(*pair, now=self.cluster.now)
+            self.cluster.release(*pair)
             self._held_pairs.discard(pair)
             self.report.releases += 1
             self.report.moves.append(f"release {pair}")
         else:
-            self.cluster.network.hold(*pair)
+            self.cluster.hold(*pair)
             self._held_pairs.add(pair)
             self.report.holds += 1
             self.report.moves.append(f"hold {pair}")
@@ -142,9 +167,22 @@ class AdversaryFuzzer:
         victim = int(self.rng.choice(alive))
         drop = self.allow_message_loss and bool(self.rng.random() < 0.5)
         self.cluster.crash(victim, drop_outgoing=drop)
+        self._held_pairs = {p for p in self._held_pairs if victim not in p}
         self.crash_budget -= 1
         self.report.crashes += 1
         self.report.moves.append(f"crash p{victim}{' (drop)' if drop else ''}")
+
+    def _recover_someone(self) -> None:
+        victim = int(self.rng.choice(sorted(self.cluster.crashed)))
+        replica = self.cluster.replicas[victim]
+        fsync_point = None
+        if self.rng.random() < 0.5 and getattr(replica, "updates", None):
+            # The crash beat the last fsync: only a prefix survived.
+            fsync_point = int(self.rng.integers(0, len(replica.updates) + 1))
+        self.cluster.recover(victim, fsync_point=fsync_point)
+        self.report.recoveries += 1
+        suffix = "" if fsync_point is None else f" (fsync@{fsync_point})"
+        self.report.moves.append(f"recover p{victim}{suffix}")
 
     def _burst(self) -> None:
         burst = int(self.rng.integers(1, 6))
@@ -161,10 +199,16 @@ class AdversaryFuzzer:
         *,
         queries_per_op: float = 0.3,
         query: tuple[str, tuple] = ("read", ()),
+        anti_entropy_rounds: int = 0,
     ) -> FuzzReport:
         """Interleave a (pid, update) script with adversarial moves, then
         heal everything and drain (the paper's 'participants stop
-        updating' suffix).  Skips operations at crashed processes."""
+        updating' suffix).  Skips operations at crashed processes.
+
+        ``anti_entropy_rounds`` runs that many sync rounds after the drain
+        — required for convergence when the cluster's network loses
+        messages (reliable broadcast alone cannot repair a lost payload).
+        """
         for pid, op in operations:
             self.step()
             if pid in self.cluster.crashed:
@@ -176,4 +220,117 @@ class AdversaryFuzzer:
         self.cluster.heal()
         self._held_pairs.clear()
         self.cluster.run()
+        if anti_entropy_rounds:
+            self.cluster.anti_entropy(rounds=anti_entropy_rounds)
         return self.report
+
+
+# -- chaos smoke (CI entry point) ------------------------------------------------
+
+
+def chaos_smoke(
+    budget_seconds: float = 30.0,
+    *,
+    procs: int = 4,
+    ops: int = 30,
+    start_seed: int = 0,
+    verbose: bool = False,
+) -> dict:
+    """Seeded chaos runs until the time budget is spent; raises on regression.
+
+    Each seed picks a scenario — plain / lossy / duplicating network, FIFO
+    on or off, crash-recovery enabled — runs a fuzzed workload with the
+    channel-invariant checker armed, and asserts the survivors agree after
+    heal + anti-entropy.  A FIFO regression raises
+    :class:`~repro.sim.network.ChannelInvariantError` from inside the run;
+    divergence raises :class:`AssertionError` naming the seed.
+    """
+    import time
+
+    from repro.core.universal import UniversalReplica
+    from repro.sim.network import DuplicatingNetwork, LossyNetwork, Network
+    from repro.specs import SetSpec
+    from repro.specs import set_spec as S
+
+    spec = SetSpec()
+    scenarios = [
+        (Network, {}),
+        (LossyNetwork, {"drop_probability": 0.15}),
+        (DuplicatingNetwork, {"duplicate_probability": 0.2}),
+    ]
+    deadline = time.monotonic() + budget_seconds
+    seed = start_seed
+    runs = 0
+    # Always complete at least one seed: a zero-run smoke proves nothing,
+    # and "0 runs ok" must never be reportable.
+    while runs == 0 or time.monotonic() < deadline:
+        network_cls, network_kwargs = scenarios[seed % len(scenarios)]
+        fifo = bool((seed // len(scenarios)) % 2)
+        cluster = Cluster(
+            procs,
+            lambda p, n: UniversalReplica(p, n, spec, relay=True),
+            seed=seed,
+            fifo=fifo,
+            network_cls=network_cls,
+            network_kwargs=network_kwargs,
+        )
+        fuzzer = AdversaryFuzzer(
+            cluster,
+            seed=seed,
+            crash_budget=2,
+            allow_message_loss=True,
+            recover_probability=0.15,
+        )
+        rng = np.random.default_rng(seed)
+        script = []
+        for _ in range(ops):
+            pid = int(rng.integers(procs))
+            v = int(rng.integers(5))
+            script.append((pid, S.insert(v) if rng.random() < 0.6 else S.delete(v)))
+        fuzzer.run_workload(script, anti_entropy_rounds=5)
+        states = {_canonical(s) for s in cluster.states().values()}
+        assert len(states) <= 1, (
+            f"chaos seed {seed} ({network_cls.__name__}, fifo={fifo}) diverged "
+            f"after anti-entropy: {fuzzer.report.summary()}"
+        )
+        if verbose:
+            print(
+                f"seed {seed}: {network_cls.__name__} fifo={fifo} ok "
+                f"({fuzzer.report.summary()})"
+            )
+        runs += 1
+        seed += 1
+    return {"runs": runs, "first_seed": start_seed, "last_seed": seed - 1}
+
+
+def _main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.fuzz",
+        description="chaos smoke: seeded fault-injection fuzzing with the "
+        "channel-invariant checker enabled",
+    )
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="wall-clock budget in seconds (default 30)")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--ops", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0, help="first seed")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    stats = chaos_smoke(
+        args.budget,
+        procs=args.procs,
+        ops=args.ops,
+        start_seed=args.seed,
+        verbose=args.verbose,
+    )
+    print(
+        f"chaos smoke: {stats['runs']} runs ok "
+        f"(seeds {stats['first_seed']}..{stats['last_seed']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    raise SystemExit(_main())

@@ -11,7 +11,17 @@ from one whose messages are delayed").
 
 Partitions are symmetric holds between groups; healing releases the parked
 messages, preserving reliability.  Per-channel FIFO ordering is optional:
-Algorithm 1 does not need it, the pipelined-consistency baseline does.
+Algorithm 1 does not need it, the pipelined-consistency baseline and the
+stable-prefix GC replica do.
+
+The channel model is itself guarded: every adversary action (hold, release,
+drop, partition) must preserve per-channel delivery monotonicity on FIFO
+channels, and a :class:`ChannelInvariantChecker` re-asserts that invariant
+on every :meth:`Network.pop_next` — a buggy adversary raises
+:class:`ChannelInvariantError` instead of silently corrupting the model.
+Two fault-injection subclasses weaken reliability on purpose:
+:class:`LossyNetwork` (seeded message loss) and :class:`DuplicatingNetwork`
+(seeded re-delivery); both keep the FIFO floors consistent.
 """
 
 from __future__ import annotations
@@ -85,6 +95,47 @@ class ExponentialLatency(LatencyModel):
         return float(rng.exponential(self.scale))
 
 
+class ChannelInvariantError(AssertionError):
+    """An adversary action broke the channel model (FIFO reorder)."""
+
+
+class ChannelInvariantChecker:
+    """Watchdog over the channel model itself.
+
+    Observes every delivery and asserts per-channel monotonicity: on a FIFO
+    channel, both the delivery time and the send sequence number must be
+    non-decreasing per ``(src, dst)`` pair.  The network consults it on
+    every :meth:`Network.pop_next`, so an adversary action that corrupts
+    the FIFO floors (the class of bug `release()` historically had) fails
+    loudly at the first out-of-order delivery instead of surfacing later
+    as replica-level divergence or a spurious ``StabilityViolation``.
+    """
+
+    def __init__(self) -> None:
+        #: per channel: (deliver_at, seq) of the last delivered message.
+        self._last: dict[tuple[int, int], tuple[float, int]] = {}
+        self.observed = 0
+
+    def observe(self, msg: Message) -> None:
+        """Record one delivery; raise on a per-channel order violation."""
+        self.observed += 1
+        chan = (msg.src, msg.dst)
+        last = self._last.get(chan)
+        if last is not None:
+            last_time, last_seq = last
+            if msg.deliver_at < last_time or msg.seq < last_seq:
+                raise ChannelInvariantError(
+                    f"FIFO violation on channel {chan}: message seq={msg.seq} "
+                    f"at t={msg.deliver_at} delivered after seq={last_seq} "
+                    f"at t={last_time}"
+                )
+        self._last[chan] = (msg.deliver_at, msg.seq)
+
+    def last_delivery(self, src: int, dst: int) -> tuple[float, int] | None:
+        """The ``(deliver_at, seq)`` of the channel's last delivery, if any."""
+        return self._last.get((src, dst))
+
+
 class Network:
     """Pending-message pool with delays, holds, partitions and FIFO option.
 
@@ -97,6 +148,7 @@ class Network:
         latency: LatencyModel | None = None,
         rng: np.random.Generator | None = None,
         fifo: bool = False,
+        check_invariants: bool = True,
     ) -> None:
         if n <= 0:
             raise ValueError("need at least one process")
@@ -109,6 +161,12 @@ class Network:
         self._holds: set[tuple[int, int]] = set()
         self._seq = itertools.count()
         self._last_fifo_deliver_at: dict[tuple[int, int], float] = {}
+        #: per channel: deliver_at of the newest message actually delivered
+        #: (FIFO only; the floor below which no channel may be re-floored).
+        self._last_delivered_at: dict[tuple[int, int], float] = {}
+        self.invariants: ChannelInvariantChecker | None = (
+            ChannelInvariantChecker() if (fifo and check_invariants) else None
+        )
         self.sent_count = 0
         self.delivered_count = 0
 
@@ -127,11 +185,20 @@ class Network:
             self._last_fifo_deliver_at[(src, dst)] = deliver_at
         msg = Message(src, dst, payload, now, deliver_at, next(self._seq))
         self.sent_count += 1
-        if (src, dst) in self._holds:
+        self._commit(msg)
+        return msg
+
+    def _commit(self, msg: Message) -> None:
+        """Hand a stamped message to the in-flight pool (or the hold pen).
+
+        The single enqueue point: fault-injection subclasses override it to
+        lose or re-deliver traffic *after* the FIFO floors were advanced,
+        so their mischief can never reorder a channel.
+        """
+        if (msg.src, msg.dst) in self._holds:
             self._held.append(msg)
         else:
             heapq.heappush(self._heap, (msg.sort_key(), msg))
-        return msg
 
     def broadcast(self, src: int, payload: Any, now: float) -> list[Message]:
         """One message to every *other* process.
@@ -151,6 +218,12 @@ class Network:
         if not self._heap:
             return None
         _, msg = heapq.heappop(self._heap)
+        if self.fifo:
+            chan = (msg.src, msg.dst)
+            if self.invariants is not None:
+                self.invariants.observe(msg)
+            prev = self._last_delivered_at.get(chan, -np.inf)
+            self._last_delivered_at[chan] = max(prev, msg.deliver_at)
         self.delivered_count += 1
         return msg
 
@@ -164,7 +237,12 @@ class Network:
 
     def drop_messages(self, predicate: Callable[[Message], bool]) -> int:
         """Adversarially drop in-flight messages (used to model a sender
-        crashing mid-broadcast).  Returns the number dropped."""
+        crashing mid-broadcast).  Returns the number dropped.
+
+        On FIFO channels the floors are recomputed afterwards: a floor must
+        not keep pointing at a dropped message's delivery time, or the
+        channel stays artificially delayed forever.
+        """
         kept = [(k, m) for k, m in self._heap if not predicate(m)]
         dropped = len(self._heap) - len(kept)
         held_kept = [m for m in self._held if not predicate(m)]
@@ -172,7 +250,29 @@ class Network:
         self._heap = kept
         heapq.heapify(self._heap)
         self._held = held_kept
+        if self.fifo and dropped:
+            self._refloor()
         return dropped
+
+    def _refloor(self) -> None:
+        """Recompute the FIFO floors from what is actually still pending.
+
+        A channel's floor is the max of its last *delivered* time and every
+        still-in-flight (or held) message's delivery time — never less, or
+        a later send could be scheduled under a delivery that already
+        happened; never referencing dropped traffic, or the channel drags a
+        phantom delay.
+        """
+        floors = dict(self._last_delivered_at)
+        for _, msg in self._heap:
+            chan = (msg.src, msg.dst)
+            if floors.get(chan, -np.inf) < msg.deliver_at:
+                floors[chan] = msg.deliver_at
+        for msg in self._held:
+            chan = (msg.src, msg.dst)
+            if floors.get(chan, -np.inf) < msg.deliver_at:
+                floors[chan] = msg.deliver_at
+        self._last_fifo_deliver_at = floors
 
     # -- adversary: holds & partitions --------------------------------------------
 
@@ -180,6 +280,11 @@ class Network:
         """Park all traffic src→dst (present and future) until released."""
         self._check_pid(src)
         self._check_pid(dst)
+        if src == dst:
+            raise ValueError(
+                f"cannot hold the self-channel ({src}, {dst}): self-delivery "
+                f"is instantaneous and never crosses the network"
+            )
         self._holds.add((src, dst))
         still = []
         for key, msg in self._heap:
@@ -192,23 +297,50 @@ class Network:
 
     def release(self, src: int, dst: int, now: float) -> None:
         """Stop holding src→dst; parked messages become deliverable at
-        ``now`` (reliability: held ≠ lost)."""
+        ``now`` (reliability: held ≠ lost).
+
+        On FIFO channels every rescheduled message is re-floored against
+        ``_last_fifo_deliver_at`` — and pushes the floor in turn — so a
+        held-then-released message can never be delivered after (or
+        scheduled under) traffic sent later on the same channel.
+        """
         self._holds.discard((src, dst))
         kept: list[Message] = []
+        releasing: list[Message] = []
         for msg in self._held:
-            if (msg.src, msg.dst) == (src, dst):
-                rescheduled = Message(
-                    msg.src, msg.dst, msg.payload, msg.sent_at, max(now, msg.deliver_at),
-                    msg.seq,
-                )
-                heapq.heappush(self._heap, (rescheduled.sort_key(), rescheduled))
-            else:
-                kept.append(msg)
+            (releasing if (msg.src, msg.dst) == (src, dst) else kept).append(msg)
         self._held = kept
+        releasing.sort(key=lambda m: m.seq)  # channel send order
+        for msg in releasing:
+            deliver_at = max(now, msg.deliver_at)
+            if self.fifo:
+                floor = self._last_fifo_deliver_at.get((src, dst), -np.inf)
+                deliver_at = max(deliver_at, floor)
+                self._last_fifo_deliver_at[(src, dst)] = deliver_at
+            rescheduled = Message(
+                msg.src, msg.dst, msg.payload, msg.sent_at, deliver_at, msg.seq
+            )
+            heapq.heappush(self._heap, (rescheduled.sort_key(), rescheduled))
 
     def partition(self, groups: Iterable[Iterable[int]]) -> None:
-        """Hold all traffic between distinct groups (symmetric)."""
+        """Hold all traffic between distinct groups (symmetric).
+
+        Groups must be pairwise disjoint: an overlap would make a process a
+        member of both sides of the cut, asking for the (meaningless)
+        self-hold ``hold(p, p)``.
+        """
         sets = [set(g) for g in groups]
+        seen: set[int] = set()
+        for group in sets:
+            for pid in group:
+                self._check_pid(pid)
+            overlap = group & seen
+            if overlap:
+                raise ValueError(
+                    f"partition groups must be disjoint; {sorted(overlap)} "
+                    f"appear in more than one group"
+                )
+            seen |= group
         for i, a in enumerate(sets):
             for b in sets[i + 1 :]:
                 for s in a:
@@ -224,3 +356,82 @@ class Network:
     def _check_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:
             raise ValueError(f"pid {pid} out of range for {self.n} processes")
+
+
+class LossyNetwork(Network):
+    """Fault injection: each message is lost in transit with probability
+    ``drop_probability`` (seeded, so runs stay reproducible).
+
+    Loss happens at commit time, *after* the FIFO floors advanced: a lossy
+    FIFO channel may skip messages but never reorders the survivors.  This
+    deliberately breaks the paper's reliable-channel assumption (Section
+    VII-A) — Algorithm 1 alone no longer converges; the epidemic relay
+    (``UniversalReplica(relay=True)``) or the cluster's anti-entropy sync
+    restores agreement among what did get through.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        latency: LatencyModel | None = None,
+        rng: np.random.Generator | None = None,
+        fifo: bool = False,
+        check_invariants: bool = True,
+        *,
+        drop_probability: float = 0.1,
+    ) -> None:
+        super().__init__(n, latency, rng, fifo, check_invariants)
+        if not 0 <= drop_probability <= 1:
+            raise ValueError(f"drop probability must be in [0, 1], got {drop_probability}")
+        self.drop_probability = drop_probability
+        self.lost_count = 0
+
+    def _commit(self, msg: Message) -> None:
+        if msg.src != msg.dst and self.rng.random() < self.drop_probability:
+            self.lost_count += 1
+            return
+        super()._commit(msg)
+
+
+class DuplicatingNetwork(Network):
+    """Fault injection: each message is re-delivered a second time with
+    probability ``duplicate_probability`` (seeded).
+
+    The duplicate is a genuine extra transmission: it gets its own sequence
+    number and a fresh latency draw on top of the original delivery time,
+    and on FIFO channels it is floored (and pushes the floor), so it
+    arrives after the original and never reorders the channel.  Replicas
+    must deduplicate (Algorithm 1's ``(clock, pid)`` keys do).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        latency: LatencyModel | None = None,
+        rng: np.random.Generator | None = None,
+        fifo: bool = False,
+        check_invariants: bool = True,
+        *,
+        duplicate_probability: float = 0.1,
+    ) -> None:
+        super().__init__(n, latency, rng, fifo, check_invariants)
+        if not 0 <= duplicate_probability <= 1:
+            raise ValueError(
+                f"duplicate probability must be in [0, 1], got {duplicate_probability}"
+            )
+        self.duplicate_probability = duplicate_probability
+        self.duplicated_count = 0
+
+    def _commit(self, msg: Message) -> None:
+        super()._commit(msg)
+        if msg.src != msg.dst and self.rng.random() < self.duplicate_probability:
+            deliver_at = msg.deliver_at + self.latency.delay(msg.src, msg.dst, self.rng)
+            if self.fifo:
+                floor = self._last_fifo_deliver_at.get((msg.src, msg.dst), -np.inf)
+                deliver_at = max(deliver_at, floor)
+                self._last_fifo_deliver_at[(msg.src, msg.dst)] = deliver_at
+            dup = Message(
+                msg.src, msg.dst, msg.payload, msg.sent_at, deliver_at, next(self._seq)
+            )
+            self.duplicated_count += 1
+            super()._commit(dup)

@@ -1,4 +1,4 @@
-"""Trace persistence: save and reload runs as JSON.
+"""Trace and replica-log persistence: save and reload runs as JSON.
 
 Simulated runs are deterministic from their seed, but an audited trace is
 often the artifact one wants to keep (or to feed to the checkers on a
@@ -7,6 +7,16 @@ produces: operations (name/args/output), witness metadata (timestamps,
 visibility sets), and the common Python value shapes (tuples, frozensets,
 dicts with non-string keys) that JSON cannot express natively — each gets
 a small ``{"@": tag, ...}`` wrapper.
+
+The same codec backs the *durable log* used by crash-recovery
+(:meth:`repro.sim.cluster.Cluster.recover`): :func:`replica_snapshot`
+serializes a replica's timestamped update log as the on-disk image a real
+deployment would fsync, and :func:`restore_replica` reloads it into a
+fresh replica.  The ``fsync_point`` parameter models a crash that beat the
+last fsync — only a prefix of the log survives.  The Lamport clock is
+always persisted in full (a write-ahead cell, fsynced at every tick): a
+recovering process must never reuse a ``(clock, pid)`` timestamp that
+copies of its pre-crash broadcasts may still carry.
 
 Security note: the decoder builds only plain data (no pickle, no code
 execution), so loading untrusted trace files is safe.
@@ -115,6 +125,50 @@ def trace_from_json(text: str) -> Trace:
             )
         )
     return trace
+
+
+_REPLICA_FORMAT = "repro-replica-log-v1"
+
+
+def replica_snapshot(replica, *, fsync_point: int | None = None) -> str:
+    """Serialize a replica's durable state (update log + Lamport clock).
+
+    ``fsync_point`` caps how many log entries survived the crash (``None``
+    = the whole log was fsynced).  The clock always survives in full.
+    The replica must be of the :class:`~repro.core.universal.
+    UniversalReplica` family (an ``updates`` log of ``(clock, pid, update)``
+    triples and a ``clock``).
+    """
+    entries = list(replica.updates)
+    if fsync_point is not None:
+        if fsync_point < 0:
+            raise ValueError(f"fsync point must be non-negative, got {fsync_point}")
+        entries = entries[:fsync_point]
+    doc = {
+        "format": _REPLICA_FORMAT,
+        "pid": replica.pid,
+        "clock": replica.clock.value,
+        "entries": [encode_value(tuple(e)) for e in entries],
+    }
+    return json.dumps(doc)
+
+
+def restore_replica(replica, text: str) -> int:
+    """Load a :func:`replica_snapshot` into a fresh replica of the same pid.
+
+    Restores the clock first (no timestamp reuse after log amnesia), then
+    folds the surviving entries through the replica's ``load_log``.
+    Returns the number of log entries restored.
+    """
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or doc.get("format") != _REPLICA_FORMAT:
+        raise ValueError(f"not a {_REPLICA_FORMAT} file")
+    if int(doc["pid"]) != replica.pid:
+        raise ValueError(
+            f"snapshot belongs to process {doc['pid']}, not {replica.pid}"
+        )
+    replica.clock.merge(int(doc["clock"]))
+    return replica.load_log(decode_value(e) for e in doc["entries"])
 
 
 def save_trace(trace: Trace, path) -> None:

@@ -1,0 +1,338 @@
+"""The fault-injection suite: crash-recovery, lossy/duplicating channels,
+anti-entropy repair, and the convergence watchdog.
+
+The paper's Section VII-A assumes crash-stop processes over reliable
+channels.  These tests exercise the simulator *beyond* that envelope —
+crash-with-recovery from a durable log, seeded message loss and
+duplication — and check that the documented upgrades (epidemic relay,
+anti-entropy sync) restore convergence, while their absence demonstrably
+does not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ConvergenceWatchdog,
+    converged,
+    log_divergence,
+)
+from repro.core.adt import _canonical
+from repro.core.checkpoint import GarbageCollectedReplica, StabilityViolation
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster, DuplicatingNetwork, LossyNetwork
+from repro.sim.network import FixedLatency
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+def cluster(n=4, *, relay=False, **kw):
+    return Cluster(
+        n, lambda pid, total: UniversalReplica(pid, total, SPEC, relay=relay), **kw
+    )
+
+
+def states_of(c):
+    return {_canonical(s) for s in c.states().values()}
+
+
+class TestCrashSemantics:
+    """Satellite: crash must interact cleanly with holds and partitions."""
+
+    def test_crash_dissolves_holds_involving_victim(self):
+        c = cluster()
+        c.hold(0, 1)
+        c.hold(2, 0)
+        c.hold(2, 3)
+        c.crash(0)
+        assert c.network._holds == {(2, 3)}
+
+    def test_heal_does_not_inflate_dropped_to_crashed(self):
+        # Regression: messages parked toward a pid that then crashed used
+        # to be re-queued by heal() and counted at delivery time; they are
+        # now dropped (and counted) once, at crash time.
+        c = cluster()
+        c.partition([[0, 1], [2, 3]])
+        c.update(2, S.insert(9))     # 2→0 and 2→1 are parked
+        c.crash(0)
+        before = c.dropped_to_crashed
+        assert before == 1           # the parked 2→0 copy, counted at crash
+        c.heal()
+        c.run()
+        assert c.dropped_to_crashed == before
+        assert c.query(1, "read") == frozenset({9})
+
+    def test_crashed_pid_rejected_as_hold_endpoint(self):
+        c = cluster()
+        c.crash(2)
+        with pytest.raises(ValueError, match="crashed"):
+            c.hold(2, 0)
+        with pytest.raises(ValueError, match="crashed"):
+            c.hold(1, 2)
+
+    def test_partition_filters_crashed_pids(self):
+        c = cluster()
+        c.crash(3)
+        c.partition([[0, 1], [2, 3]])    # 3 silently excluded: it is dead
+        assert all(3 not in pair for pair in c.network._holds)
+
+    def test_outbound_in_flight_survives_crash(self):
+        # Reliability: messages the victim already sent are delivered.
+        c = cluster(n=3)
+        c.hold(0, 2)
+        c.update(0, S.insert(1))
+        c.crash(0)                        # hold dissolved, 0→2 released
+        c.run()
+        assert c.query(2, "read") == frozenset({1})
+
+    def test_crash_is_idempotent(self):
+        c = cluster()
+        c.update(0, S.insert(1))
+        c.crash(1)
+        first = c.dropped_to_crashed
+        c.crash(1)
+        assert c.dropped_to_crashed == first
+
+
+class TestCrashRecovery:
+    def test_recover_requires_a_crash(self):
+        c = cluster()
+        with pytest.raises(ValueError, match="not crashed"):
+            c.recover(0)
+
+    def test_recover_restores_full_log(self):
+        c = cluster(n=3)
+        c.update(0, S.insert(1))
+        c.update(0, S.insert(2))
+        c.run()
+        c.crash(0)
+        c.update(1, S.insert(3))
+        c.run()
+        c.recover(0)
+        c.run()
+        assert c.recovered_count == 1
+        # The recovered replica kept its own updates and pulled the missed one.
+        assert c.query(0, "read") == frozenset({1, 2, 3})
+        assert converged(c)
+
+    def test_recover_with_amnesia_pulls_from_peers(self):
+        # fsync_point=0: the log is gone, but peers received the broadcasts
+        # and the sync handshake restores everything.
+        c = cluster(n=3)
+        c.update(0, S.insert(1))
+        c.update(1, S.insert(2))
+        c.run()
+        c.crash(0)
+        c.recover(0, fsync_point=0)
+        c.run()
+        assert c.query(0, "read") == frozenset({1, 2})
+        assert converged(c)
+
+    def test_clock_survives_amnesia_no_timestamp_reuse(self):
+        # The Lamport clock is write-ahead persisted: even with a truncated
+        # log the recovered process must not re-issue a (clock, pid) stamp
+        # that copies of its pre-crash broadcasts still carry.
+        c = cluster(n=3)
+        c.update(0, S.insert(1))
+        old_clock = c.replicas[0].clock.value
+        c.crash(0)
+        fresh = c.recover(0, fsync_point=0)
+        assert fresh.clock.value >= old_clock
+        c.update(0, S.insert(2))          # stamps above everything pre-crash
+        c.run()
+        assert converged(c)
+        assert c.query(1, "read") == frozenset({1, 2})
+
+    def test_recovered_own_lost_update_spreads_back(self):
+        # Crash mid-broadcast with message loss: only the durable log still
+        # has the update.  Recovery + sync hand it back to the peers.
+        c = cluster(n=3)
+        c.update(0, S.insert(7))
+        c.crash(0, drop_outgoing=True)    # nobody received it
+        c.run()
+        assert c.query(1, "read") == frozenset()
+        c.recover(0)                      # durable log survived in full
+        c.anti_entropy()
+        assert converged(c)
+        assert c.query(1, "read") == frozenset({7})
+
+    def test_recovered_process_accepts_operations(self):
+        c = cluster(n=3)
+        c.crash(2)
+        c.recover(2)
+        c.update(2, S.insert(5))          # must not raise
+        c.run()
+        assert converged(c)
+
+    def test_crash_recover_converge_under_lossy_and_duplicating(self):
+        # Acceptance scenario: crash a replica mid-broadcast, recover it
+        # from its persisted log, heal the network — identical states on
+        # all replicas under both fault-injection networks with relay=True.
+        for network_cls, kwargs in [
+            (LossyNetwork, {"drop_probability": 0.2}),
+            (DuplicatingNetwork, {"duplicate_probability": 0.3}),
+        ]:
+            c = cluster(
+                n=4, relay=True, seed=2,
+                network_cls=network_cls, network_kwargs=kwargs,
+            )
+            for i in range(6):
+                c.update(i % 4, S.insert(i))
+            c.partition([[0, 1], [2, 3]])
+            c.update(0, S.insert(10))
+            c.crash(0, drop_outgoing=True)   # mid-broadcast, copies lost
+            c.update(2, S.insert(11))
+            c.run()
+            c.recover(0)                     # durable log has insert(10)
+            c.heal()
+            c.run()
+            c.anti_entropy(rounds=8)
+            assert len(states_of(c)) == 1, network_cls.__name__
+            # insert(10) survived only in p0's durable log, yet spread.
+            assert c.query(3, "read") >= frozenset({10, 11}), network_cls.__name__
+
+
+class TestLossAndRelay:
+    """ISSUE tentpole: relay=True converges under seeded loss while
+    relay=False demonstrably does not (same seed, same workload)."""
+
+    def run_lossy(self, relay):
+        c = cluster(n=4, relay=relay, seed=2,
+                    network_cls=LossyNetwork,
+                    network_kwargs={"drop_probability": 0.25})
+        for i in range(12):
+            c.update(i % 4, S.insert(i))
+        c.run()
+        return c
+
+    def test_relay_converges_under_loss(self):
+        c = self.run_lossy(relay=True)
+        assert c.network.lost_count > 0
+        assert len(states_of(c)) == 1
+
+    def test_no_relay_diverges_under_loss(self):
+        c = self.run_lossy(relay=False)
+        assert c.network.lost_count > 0
+        assert len(states_of(c)) > 1
+
+    def test_anti_entropy_repairs_even_without_relay(self):
+        c = self.run_lossy(relay=False)
+        assert len(states_of(c)) > 1
+        c.anti_entropy(rounds=10)
+        assert len(states_of(c)) == 1
+
+    def test_duplicates_are_harmless(self):
+        c = cluster(n=3, seed=0,
+                    network_cls=DuplicatingNetwork,
+                    network_kwargs={"duplicate_probability": 0.5})
+        for i in range(10):
+            c.update(i % 3, S.insert(i))
+        c.run()
+        assert c.network.duplicated_count > 0
+        assert len(states_of(c)) == 1
+        # Deduplication: no replica applied an update twice.
+        assert all(r.log_length == 10 for r in c.replicas)
+
+
+class TestConvergenceWatchdog:
+    def test_reports_agreement_time(self):
+        c = cluster(n=3, latency=FixedLatency(1.0))
+        c.update(0, S.insert(1))
+        report = ConvergenceWatchdog(c).watch()
+        assert report.converged and report.quiescent
+        assert not report.flagged
+        assert report.steps == 2
+        assert report.time_to_agreement == 1.0
+        assert report.final_divergence == {0: 0, 1: 0, 2: 0}
+        assert "converged" in report.summary()
+
+    def test_flags_divergent_run(self):
+        c = self_lossy = cluster(n=4, seed=2,
+                                 network_cls=LossyNetwork,
+                                 network_kwargs={"drop_probability": 0.25})
+        for i in range(12):
+            c.update(i % 4, S.insert(i))
+        report = ConvergenceWatchdog(self_lossy).watch()
+        assert report.quiescent and not report.converged
+        assert report.flagged
+        assert report.distinct_states > 1
+        assert max(report.final_divergence.values()) > 0
+        assert "DIVERGED" in report.summary()
+
+    def test_flags_non_quiescent_run(self):
+        c = cluster(n=3)
+        for i in range(5):
+            c.update(0, S.insert(i))
+        report = ConvergenceWatchdog(c).watch(max_steps=3)
+        assert not report.quiescent
+        assert report.flagged
+        assert report.undelivered > 0
+        assert "NON-QUIESCENT" in report.summary()
+
+    def test_log_divergence_counts_missing_entries(self):
+        c = cluster(n=3)
+        c.network.hold(0, 2)
+        c.update(0, S.insert(1))
+        c.run()
+        div = log_divergence(c)
+        assert div[2] == 1 and div[0] == 0 and div[1] == 0
+
+    def test_check_every_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ConvergenceWatchdog(cluster(), check_every=0)
+
+
+class TestGCUnderPartition:
+    """Satellite: GarbageCollectedReplica on FIFO channels survives a
+    partition/heal cycle — no spurious StabilityViolation, and it
+    converges to the same state as plain Algorithm 1."""
+
+    def script(self):
+        ops = []
+        for i in range(40):
+            v = i % 7
+            ops.append((i % 3, S.insert(v) if i % 3 else S.delete(v)))
+        return ops
+
+    def drive(self, factory):
+        c = Cluster(3, factory, fifo=True, seed=5)
+        ops = self.script()
+        for i, (pid, op) in enumerate(ops):
+            c.update(pid, op)
+            if i == 10:
+                c.partition([[0], [1, 2]])
+            if i == 25:
+                c.heal()
+            if i % 4 == 0:
+                c.run()
+        c.heal()
+        c.run()
+        return c
+
+    def test_partition_heal_cycle_no_spurious_violation(self):
+        gc = self.drive(
+            lambda p, n: GarbageCollectedReplica(
+                p, n, SPEC, gc_interval=8, checkpoint_interval=8,
+                track_witness=False,
+            )
+        )  # would raise StabilityViolation on a FIFO regression
+        plain = self.drive(
+            lambda p, n: UniversalReplica(p, n, SPEC, track_witness=False)
+        )
+        assert len(states_of(gc)) == 1
+        assert states_of(gc) == states_of(plain)
+        # The test is only meaningful if GC actually collected entries.
+        assert sum(r.collected for r in gc.replicas) > 0
+
+    def test_violation_still_detected_on_raw_reorder(self):
+        # The detector itself still works: a non-FIFO message under the
+        # collected frontier raises rather than silently diverging.
+        r = GarbageCollectedReplica(0, 2, SPEC, gc_interval=1)
+        r.on_message(1, (5, 1, S.insert(1)))
+        r.heard = [5, 5]
+        r.collect_garbage()
+        with pytest.raises(StabilityViolation):
+            r.on_message(1, (2, 1, S.insert(2)))

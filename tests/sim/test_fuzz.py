@@ -46,9 +46,29 @@ class TestFuzzerMechanics:
         report = fz.run_workload(script(60, 4, 5))
         assert len(report.moves) == (
             report.holds + report.releases + report.partitions
-            + report.heals + report.crashes
+            + report.heals + report.crashes + report.recoveries
         )
         assert report.summary()
+
+    def test_recoveries_disabled_by_default(self):
+        c = Cluster(4, lambda p, n: UniversalReplica(p, n, SPEC), seed=1)
+        fz = AdversaryFuzzer(c, seed=5, crash_budget=2)
+        report = fz.run_workload(script(60, 4, 5))
+        assert report.recoveries == 0
+
+    def test_recoveries_happen_when_enabled(self):
+        # With a generous probability a crash is eventually recovered.
+        for seed in range(20):
+            c = Cluster(4, lambda p, n: UniversalReplica(p, n, SPEC), seed=seed)
+            fz = AdversaryFuzzer(c, seed=seed, crash_budget=3,
+                                 recover_probability=0.5)
+            report = fz.run_workload(script(80, 4, seed))
+            if report.recoveries > 0:
+                assert c.recovered_count == report.recoveries
+                assert any(m.startswith("recover p") for m in report.moves)
+                break
+        else:  # pragma: no cover - would indicate a probability bug
+            raise AssertionError("no recovery across 20 seeds")
 
     def test_never_crashes_last_process(self):
         c = Cluster(2, lambda p, n: UniversalReplica(p, n, SPEC), seed=1)
@@ -102,6 +122,58 @@ class TestFuzzedGuarantees:
         fz.run_workload(script(25, 4, seed))
         states = {_canonical(s) for s in c.states().values()}
         assert len(states) == 1, fz.report.summary()
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=15, deadline=None)
+    def test_convergence_with_crash_recovery(self, seed):
+        """Crash-recovery chaos: recovered processes rejoin from their
+        durable logs and the whole cluster still agrees after anti-entropy."""
+        c = Cluster(
+            4, lambda p, n: UniversalReplica(p, n, SPEC, relay=True), seed=seed
+        )
+        fz = AdversaryFuzzer(c, seed=seed, crash_budget=2,
+                             allow_message_loss=True, recover_probability=0.3)
+        fz.run_workload(script(25, 4, seed), anti_entropy_rounds=5)
+        states = {_canonical(s) for s in c.states().values()}
+        assert len(states) == 1, fz.report.summary()
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=10, deadline=None)
+    def test_convergence_under_lossy_network(self, seed):
+        from repro.sim import LossyNetwork
+
+        c = Cluster(
+            4, lambda p, n: UniversalReplica(p, n, SPEC, relay=True), seed=seed,
+            network_cls=LossyNetwork, network_kwargs={"drop_probability": 0.2},
+        )
+        fz = AdversaryFuzzer(c, seed=seed)
+        fz.run_workload(script(20, 4, seed), anti_entropy_rounds=5)
+        states = {_canonical(s) for s in c.states().values()}
+        assert len(states) == 1, fz.report.summary()
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=10, deadline=None)
+    def test_convergence_under_duplicating_network(self, seed):
+        from repro.sim import DuplicatingNetwork
+
+        c = Cluster(
+            4, lambda p, n: UniversalReplica(p, n, SPEC, relay=True), seed=seed,
+            network_cls=DuplicatingNetwork,
+            network_kwargs={"duplicate_probability": 0.3},
+        )
+        fz = AdversaryFuzzer(c, seed=seed)
+        fz.run_workload(script(20, 4, seed), anti_entropy_rounds=5)
+        ok, _, states = update_consistent_convergence(c, SPEC)
+        assert ok, (fz.report.summary(), states)
+
+
+class TestChaosSmoke:
+    def test_chaos_smoke_short_budget(self):
+        from repro.sim.fuzz import chaos_smoke
+
+        out = chaos_smoke(budget_seconds=1.0, procs=3, ops=10)
+        assert out["runs"] >= 1
+        assert out["first_seed"] == 0
 
 
 class TestRelay:

@@ -5,9 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import heapq
+
 from repro.sim.network import (
+    ChannelInvariantError,
+    DuplicatingNetwork,
     ExponentialLatency,
     FixedLatency,
+    LossyNetwork,
+    Message,
     Network,
     UniformLatency,
 )
@@ -164,3 +170,175 @@ class TestHoldsAndPartitions:
         dropped = net.drop_messages(lambda m: m.src == 0)
         assert dropped == 1
         assert [m.payload for m in drain(net)] == ["b"]
+
+    def test_hold_rejects_self_channel(self):
+        net = Network(2)
+        with pytest.raises(ValueError, match="self-channel"):
+            net.hold(1, 1)
+
+    def test_partition_rejects_overlapping_groups(self):
+        net = Network(4)
+        with pytest.raises(ValueError, match="disjoint"):
+            net.partition([[0, 1], [1, 2, 3]])
+
+    def test_partition_validates_pids(self):
+        net = Network(3)
+        with pytest.raises(ValueError, match="out of range"):
+            net.partition([[0], [1, 7]])
+
+
+class TestFifoRegressions:
+    """The hold/release/drop adversary actions must preserve per-channel
+    FIFO order — regressions for the floor-corruption bugs."""
+
+    def test_release_refloors_against_later_sends(self):
+        # Regression: release() used to reschedule a parked message without
+        # consulting or updating _last_fifo_deliver_at, so a message sent
+        # on the channel afterwards (with an earlier `now`, as an adversary
+        # replaying traffic may) could undercut it and be delivered first.
+        net = Network(2, latency=FixedLatency(1.0), fifo=True)
+        net.hold(0, 1)
+        net.send(0, 1, "held", now=0.0)
+        net.release(0, 1, now=10.0)          # parked message now due at 10
+        net.send(0, 1, "later", now=2.0)     # must not sneak in before it
+        assert [m.payload for m in drain(net)] == ["held", "later"]
+
+    def test_release_keeps_channel_send_order(self):
+        # Several messages parked on one channel: released in send order
+        # even when their original delivery times were inverted by holds.
+        net = Network(2, latency=ExponentialLatency(5.0),
+                      rng=np.random.default_rng(3), fifo=True)
+        net.hold(0, 1)
+        for i in range(20):
+            net.send(0, 1, i, now=float(i) * 0.01)
+        net.release(0, 1, now=50.0)
+        payloads = [m.payload for m in drain(net)]
+        assert payloads == sorted(payloads)
+
+    def test_release_updates_floor_for_future_sends(self):
+        net = Network(2, latency=FixedLatency(1.0), fifo=True)
+        net.hold(0, 1)
+        net.send(0, 1, "a", now=0.0)
+        net.release(0, 1, now=10.0)
+        b = net.send(0, 1, "b", now=10.0)
+        assert b.deliver_at >= 10.0
+
+    def test_drop_refloors_channel(self):
+        # Regression: a floor left pointing at a dropped message would keep
+        # delaying the channel forever.
+        net = Network(2, latency=ExponentialLatency(1.0), fifo=True)
+        slow = Message(0, 1, "slow", 0.0, 1000.0, next(net._seq))
+        net._last_fifo_deliver_at[(0, 1)] = slow.deliver_at
+        net._commit(slow)
+        net.drop_messages(lambda m: m.payload == "slow")
+        fast = net.send(0, 1, "fast", now=1.0)
+        assert fast.deliver_at < 1000.0
+        assert [m.payload for m in drain(net)] == ["fast"]
+
+    def test_drop_keeps_floor_above_deliveries(self):
+        # After a drop the floor must still cover what was already
+        # delivered on the channel.
+        net = Network(2, latency=FixedLatency(5.0), fifo=True)
+        net.send(0, 1, "a", now=0.0)
+        net.send(0, 1, "b", now=1.0)
+        assert net.pop_next().payload == "a"  # delivered at t=5
+        net.drop_messages(lambda m: m.payload == "b")
+        c = net.send(0, 1, "c", now=0.0)
+        assert c.deliver_at >= 5.0
+        drain(net)  # invariant checker would raise on a reorder
+
+    def test_fifo_order_through_hold_release_cycles(self):
+        net = Network(3, latency=ExponentialLatency(3.0),
+                      rng=np.random.default_rng(11), fifo=True)
+        for i in range(10):
+            net.send(0, 1, i, now=float(i))
+        net.hold(0, 1)
+        for i in range(10, 20):
+            net.send(0, 1, i, now=float(i))
+        net.release(0, 1, now=25.0)
+        for i in range(20, 30):
+            net.send(0, 1, i, now=float(i) + 20.0)
+        payloads = [m.payload for m in drain(net) if m.dst == 1]
+        assert payloads == sorted(payloads)
+
+
+class TestChannelInvariantChecker:
+    def test_enabled_on_fifo_networks(self):
+        assert Network(2, fifo=True).invariants is not None
+        assert Network(2, fifo=False).invariants is None
+        assert Network(2, fifo=True, check_invariants=False).invariants is None
+
+    def test_catches_rogue_adversary(self):
+        # An adversary that injects under the floor (bypassing send) is
+        # caught at pop_next, not silently delivered.
+        net = Network(2, latency=FixedLatency(1.0), fifo=True)
+        net.send(0, 1, "a", now=10.0)  # due at 11
+        rogue = Message(0, 1, "rogue", 0.0, 0.5, next(net._seq))
+        heapq.heappush(net._heap, (rogue.sort_key(), rogue))
+        assert net.pop_next().payload == "rogue"
+        with pytest.raises(ChannelInvariantError, match="FIFO violation"):
+            net.pop_next()
+
+    def test_counts_observations(self):
+        net = Network(3, fifo=True)
+        net.broadcast(0, "x", now=0.0)
+        drain(net)
+        assert net.invariants.observed == 2
+        assert net.invariants.last_delivery(0, 1) is not None
+
+
+class TestFaultInjectionNetworks:
+    def test_lossy_drops_messages(self):
+        net = LossyNetwork(2, rng=np.random.default_rng(0),
+                           drop_probability=0.5)
+        for i in range(100):
+            net.send(0, 1, i, now=float(i))
+        assert 0 < net.lost_count < 100
+        assert net.sent_count == 100
+        assert len(drain(net)) == 100 - net.lost_count
+
+    def test_lossy_never_drops_self_sends(self):
+        net = LossyNetwork(2, rng=np.random.default_rng(0),
+                           drop_probability=1.0)
+        net.send(0, 0, "me", now=0.0)
+        assert net.pop_next().payload == "me"
+
+    def test_lossy_validates_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            LossyNetwork(2, drop_probability=1.5)
+
+    def test_lossy_fifo_survivors_stay_ordered(self):
+        net = LossyNetwork(2, latency=ExponentialLatency(4.0),
+                           rng=np.random.default_rng(7), fifo=True,
+                           drop_probability=0.3)
+        for i in range(80):
+            net.send(0, 1, i, now=float(i) * 0.1)
+        payloads = [m.payload for m in drain(net)]
+        assert payloads == sorted(payloads)  # gaps allowed, reorders not
+        assert net.lost_count > 0
+
+    def test_duplicating_redelivers(self):
+        net = DuplicatingNetwork(2, rng=np.random.default_rng(1),
+                                 duplicate_probability=0.5)
+        for i in range(50):
+            net.send(0, 1, i, now=float(i))
+        msgs = drain(net)
+        assert net.duplicated_count > 0
+        assert len(msgs) == 50 + net.duplicated_count
+
+    def test_duplicating_validates_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            DuplicatingNetwork(2, duplicate_probability=-0.1)
+
+    def test_duplicate_arrives_after_original_on_fifo(self):
+        net = DuplicatingNetwork(2, latency=ExponentialLatency(4.0),
+                                 rng=np.random.default_rng(5), fifo=True,
+                                 duplicate_probability=0.5)
+        for i in range(60):
+            net.send(0, 1, i, now=float(i) * 0.1)
+        seen = []
+        for m in drain(net):  # checker active: raises on any reorder
+            if m.payload not in seen:
+                seen.append(m.payload)
+        assert seen == sorted(seen)
+        assert net.duplicated_count > 0

@@ -14,6 +14,8 @@ from repro.sim.persist import (
     decode_value,
     encode_value,
     load_trace,
+    replica_snapshot,
+    restore_replica,
     save_trace,
     trace_from_json,
     trace_to_json,
@@ -120,3 +122,77 @@ class TestTraceRoundTrip:
         }
         with pytest.raises(ValueError, match="not an operation"):
             trace_from_json(json.dumps(doc))
+
+
+class TestReplicaSnapshot:
+    """The durable log behind crash-recovery (fsync-point truncation)."""
+
+    def make_replica(self, n_updates=4):
+        r = UniversalReplica(0, 3, SPEC)
+        for i in range(n_updates):
+            r.on_update(S.insert(i))
+        r.on_message(1, (100, 1, S.insert(99)))
+        return r
+
+    def test_round_trip_restores_log_and_clock(self):
+        old = self.make_replica()
+        text = replica_snapshot(old)
+        fresh = UniversalReplica(0, 3, SPEC)
+        loaded = restore_replica(fresh, text)
+        assert loaded == 5
+        assert fresh.log_length == old.log_length
+        assert fresh.clock.value == old.clock.value
+        assert fresh.on_query("read") == old.on_query("read")
+
+    def test_fsync_point_truncates_log_but_not_clock(self):
+        old = self.make_replica()
+        text = replica_snapshot(old, fsync_point=2)
+        fresh = UniversalReplica(0, 3, SPEC)
+        loaded = restore_replica(fresh, text)
+        assert loaded == 2
+        assert fresh.log_length == 2
+        # WAL-cell model: the clock cell survives even when entries do not,
+        # so the recovered process can never reuse a pre-crash timestamp.
+        assert fresh.clock.value == old.clock.value
+
+    def test_fsync_point_zero_means_full_amnesia(self):
+        old = self.make_replica()
+        fresh = UniversalReplica(0, 3, SPEC)
+        assert restore_replica(fresh, replica_snapshot(old, fsync_point=0)) == 0
+        assert fresh.log_length == 0
+        assert fresh.clock.value == old.clock.value
+
+    def test_fsync_point_validated(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            replica_snapshot(self.make_replica(), fsync_point=-1)
+
+    def test_pid_mismatch_rejected(self):
+        text = replica_snapshot(self.make_replica())
+        other = UniversalReplica(2, 3, SPEC)
+        with pytest.raises(ValueError, match="belongs to process 0"):
+            restore_replica(other, text)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="repro-replica-log"):
+            restore_replica(
+                UniversalReplica(0, 3, SPEC),
+                '{"format": "nope", "pid": 0, "clock": 0, "entries": []}',
+            )
+
+    def test_restore_is_idempotent_per_update(self):
+        # Restoring on top of a replica that already knows some entries
+        # only loads the missing ones.
+        old = self.make_replica()
+        text = replica_snapshot(old)
+        fresh = UniversalReplica(0, 3, SPEC)
+        fresh.on_message(1, (100, 1, S.insert(99)))  # already knows one
+        assert restore_replica(fresh, text) == 4
+        assert fresh.log_length == 5
+
+    def test_snapshot_is_plain_json(self):
+        import json
+
+        doc = json.loads(replica_snapshot(self.make_replica()))
+        assert doc["format"].startswith("repro-replica-log")
+        assert doc["pid"] == 0
+        assert len(doc["entries"]) == 5

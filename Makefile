@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples all clean
+.PHONY: install test bench artifacts examples lint all clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis: the project's own protocol linter always runs; ruff and
+# mypy run when installed (the CI static-analysis job installs both).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+		ruff format --check src/repro/lint; \
+	else echo "ruff not installed; skipping (CI runs it)"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

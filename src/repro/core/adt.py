@@ -216,6 +216,28 @@ class UQADT:
         return f"<{type(self).__name__} {self.name!r}>"
 
 
+def fresh_state(value: Any) -> Any:
+    """A structurally equal value sharing no mutable containers with ``value``.
+
+    ``initial_state`` must return a *fresh or immutable* ``s0`` (Def. 1):
+    a spec configured with a mutable initial value (``RegisterSpec([])``)
+    would otherwise hand the same object to every replay, and one in-place
+    change would corrupt all replicas at once.  Immutable values are
+    returned as-is (no copying cost on the common path).
+    """
+    if isinstance(value, list):
+        return [fresh_state(v) for v in value]
+    if isinstance(value, dict):
+        return {k: fresh_state(v) for k, v in value.items()}
+    if isinstance(value, set):
+        return {fresh_state(v) for v in value}
+    if isinstance(value, bytearray):
+        return bytearray(value)
+    if isinstance(value, tuple):
+        return tuple(fresh_state(v) for v in value)
+    return value
+
+
 def _canonical(state: Any) -> Hashable:
     """Best-effort hashable canonicalization of common state shapes."""
     if isinstance(state, (set, frozenset)):

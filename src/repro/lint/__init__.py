@@ -1,0 +1,36 @@
+"""uqlint — the protocol-invariant linter.
+
+The paper's definitions are *disciplines*, not just docstrings: Definition
+1 requires the transition function ``T`` and output function ``G`` to be
+pure; Algorithm 1 requires deterministic replay; the crash-recovery model
+of PR 1 requires the Lamport clock to be write-ahead.  This package
+enforces all three mechanically with a Python-AST rule engine:
+
+* **UQ0xx** (:mod:`repro.lint.purity`) — UQ-ADT purity;
+* **SIM1xx** (:mod:`repro.lint.determinism`) — simulation determinism;
+* **REP2xx** (:mod:`repro.lint.discipline`) — replica discipline.
+
+Run it with ``python -m repro.lint [paths] --format text|json``; suppress
+individual findings with ``# uqlint: disable=CODE -- justification``.
+The rule catalog lives in ``docs/lint.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    Finding,
+    lint_paths,
+    lint_source,
+    registered_rules,
+)
+
+# Importing the rule modules populates the registry (side-effect imports,
+# kept explicit and last so `registered_rules` above is already bound).
+from repro.lint import determinism, discipline, purity  # noqa: E402,F401
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "registered_rules",
+]

@@ -1,0 +1,11 @@
+"""Entry point for ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import sys
+
+import repro.lint  # noqa: F401  (registers the rules)
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

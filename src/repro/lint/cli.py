@@ -1,0 +1,99 @@
+"""``python -m repro.lint`` — the uqlint command line.
+
+Usage::
+
+    python -m repro.lint [paths...] [--format text|json] [--select CODES]
+                         [--list-rules]
+
+Paths default to ``src``.  Exit status: 0 when no findings, 1 when any
+finding is reported, 2 on bad invocation.  ``--format json`` emits a
+machine-readable document (consumed by the CI ``static-analysis`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import repro.lint  # noqa: F401  (imports the rule modules -> populates registry)
+from repro.lint.engine import lint_paths, registered_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "uqlint: AST-based protocol-invariant linter for UQ-ADT purity "
+            "(UQ0xx), simulation determinism (SIM1xx) and replica "
+            "discipline (REP2xx)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, summary, _rule in registered_rules():
+            print(f"{code}  {summary}")
+        return 0
+
+    codes = None
+    if args.select is not None:
+        codes = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+        known = {code for code, _s, _r in registered_rules()}
+        unknown = codes - known
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+
+    try:
+        findings, checked = lint_paths(args.paths, codes=codes)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error raises SystemExit(2)
+
+    if args.format == "json":
+        doc = {
+            "tool": "uqlint",
+            "files_checked": checked,
+            "findings": [f.as_dict() for f in findings],
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        plural = "" if checked == 1 else "s"
+        summary = f"{len(findings)} finding(s) in {checked} file{plural}"
+        print(summary if findings else f"ok: {summary}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""SIM1xx — simulated-world determinism.
+
+Algorithm 1's universal construction replays update logs; the criterion
+checkers replay whole traces; the fuzzer reproduces failures from a seed.
+All of that holds only if a run is a pure function of its seed: no wall
+clock, no ambient entropy, no unseeded RNG, no hash-order-dependent
+ordering decisions.  These rules mechanically enforce the repo-wide
+contract stated in ``repro.util.ids`` ("reproducible from a seed alone —
+no uuid4/wall-clock anywhere").
+
+| code   | invariant                                                       |
+|--------|-----------------------------------------------------------------|
+| SIM101 | no wall-clock / ambient-entropy calls (time, datetime, urandom) |
+| SIM102 | every RNG is an injected, seeded ``np.random.Generator``        |
+| SIM103 | no ordering decision built from bare ``set`` iteration          |
+| SIM104 | no ``id()``-based ordering (CPython address = nondeterminism)   |
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ModuleInfo, register
+
+#: Dotted call targets that read the wall clock or ambient entropy.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: ``numpy.random`` attributes that are fine to *reference* (types, seeding
+#: machinery); everything else called through ``numpy.random`` is the legacy
+#: global-state RNG and is banned outright.
+NUMPY_RANDOM_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+
+#: Builtins whose output order mirrors their input iteration order.
+ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+def _finding(module: ModuleInfo, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=message,
+    )
+
+
+@register("SIM101", "no wall-clock or ambient-entropy calls")
+def sim101_wall_clock(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = module.resolve_call(node.func)
+        if dotted is None:
+            continue
+        if dotted in WALL_CLOCK_CALLS or dotted.startswith("secrets."):
+            yield _finding(
+                module,
+                node,
+                "SIM101",
+                f"call to {dotted!r}: simulated runs must be a pure function "
+                "of their seed — wall clocks and ambient entropy make "
+                "replays (Algorithm 1) and criterion checks unreproducible",
+            )
+
+
+@register("SIM102", "RNGs must be injected, seeded np.random.Generator")
+def sim102_unseeded_rng(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = module.resolve_call(node.func)
+        if dotted is None:
+            continue
+        if dotted == "random" or dotted.startswith("random."):
+            yield _finding(
+                module,
+                node,
+                "SIM102",
+                f"call to {dotted!r}: the stdlib global RNG is process-wide "
+                "mutable state; use an injected seeded "
+                "np.random.default_rng(seed) Generator instead",
+            )
+        elif dotted.startswith("numpy.random."):
+            attr = dotted.removeprefix("numpy.random.")
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield _finding(
+                        module,
+                        node,
+                        "SIM102",
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy; pass the run's seed explicitly so every "
+                        "trace is reproducible",
+                    )
+            elif attr not in NUMPY_RANDOM_ALLOWED:
+                yield _finding(
+                    module,
+                    node,
+                    "SIM102",
+                    f"call to {dotted!r}: the legacy numpy global RNG is "
+                    "shared mutable state; use an injected seeded "
+                    "np.random.default_rng(seed) Generator instead",
+                )
+
+
+def _is_bare_set_expr(node: ast.expr, module: ModuleInfo) -> bool:
+    """Syntactically evident unordered-set expression."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        resolved = module.imports.get(node.func.id, node.func.id)
+        return resolved in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra on an evident set operand yields a set
+        return _is_bare_set_expr(node.left, module) or _is_bare_set_expr(
+            node.right, module
+        )
+    return False
+
+
+@register("SIM103", "no ordering decision from bare set iteration")
+def sim103_set_order(module: ModuleInfo) -> Iterator[Finding]:
+    """Flag order-sensitive consumption of a bare ``set``.
+
+    Set iteration order depends on the process hash seed, so feeding a set
+    straight into ``list``/``tuple``/``enumerate``/``join``, a ``for``
+    statement or a list comprehension bakes hash order into an ordered
+    artifact (a broadcast sequence, a replay order, a printed report).
+    Wrap the set in ``sorted(...)`` to make the order explicit.
+    """
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ORDER_SENSITIVE_CONSUMERS
+                and node.args
+                and _is_bare_set_expr(node.args[0], module)
+            ):
+                yield _finding(
+                    module,
+                    node,
+                    "SIM103",
+                    f"{func.id}() over a bare set bakes hash order into an "
+                    "ordered value; use sorted(...) to make the order "
+                    "explicit and deterministic",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and node.args
+                and _is_bare_set_expr(node.args[0], module)
+            ):
+                yield _finding(
+                    module,
+                    node,
+                    "SIM103",
+                    "str.join over a bare set produces hash-order-dependent "
+                    "text; use sorted(...) first",
+                )
+        elif isinstance(node, ast.For) and _is_bare_set_expr(node.iter, module):
+            yield _finding(
+                module,
+                node,
+                "SIM103",
+                "for-loop over a bare set: iteration order follows the "
+                "process hash seed; iterate sorted(...) if any ordered "
+                "effect (append, send, emit) depends on it",
+            )
+        elif isinstance(node, ast.ListComp):
+            for gen in node.generators:
+                if _is_bare_set_expr(gen.iter, module):
+                    yield _finding(
+                        module,
+                        node,
+                        "SIM103",
+                        "list comprehension over a bare set produces a "
+                        "hash-order-dependent sequence; iterate sorted(...)",
+                    )
+
+
+@register("SIM104", "no id()-based identity ordering")
+def sim104_id_ordering(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and module.imports.get("id", "id") == "id"
+        ):
+            yield _finding(
+                module,
+                node,
+                "SIM104",
+                "id() exposes a CPython heap address — any ordering, hashing "
+                "or tie-breaking built on it differs between runs; use an "
+                "explicit (clock, pid) timestamp or a seeded counter",
+            )

@@ -1,0 +1,278 @@
+"""uqlint engine: findings, pragmas, per-module analysis context, registry.
+
+The linter is a plain :mod:`ast` walker — no imports of the linted code are
+ever executed, so it is safe to run on broken or hostile trees.  Each rule
+is a callable class with a stable ``code`` (``UQ0xx`` / ``SIM1xx`` /
+``REP2xx``); the engine parses each file once, derives the shared facts the
+rules need (import aliases, class bases, pragma lines) and hands every rule
+the same :class:`ModuleInfo`.
+
+Suppression follows the classic per-line pragma model::
+
+    risky_call()  # uqlint: disable=SIM101 -- wall-clock CLI budget only
+
+suppresses ``SIM101`` findings reported on that line (the text after
+``--`` is a human justification, required by convention, not enforced).
+A file-wide escape hatch exists for generated or fixture code::
+
+    # uqlint: disable-file=UQ001,UQ002
+
+``disable=all`` (either form) silences every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: Pseudo-code reported when a file cannot be parsed at all.
+PARSE_ERROR_CODE = "LINT000"
+
+_PRAGMA_RE = re.compile(r"#\s*uqlint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ClassInfo:
+    """A class definition plus the (syntactic) names of its bases."""
+
+    node: ast.ClassDef
+    base_names: tuple[str, ...]
+
+
+class ModuleInfo:
+    """Everything the rules need to know about one parsed file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: local name -> dotted module/object path (import tracking).
+        self.imports: dict[str, str] = {}
+        self.classes: list[ClassInfo] = []
+        self._collect()
+
+    # -- derivation ------------------------------------------------------------
+
+    def _collect(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a`` (to package a) unless aliased.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: keep the tail only
+                    prefix = node.module or ""
+                else:
+                    prefix = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    dotted = f"{prefix}.{alias.name}" if prefix else alias.name
+                    self.imports[local] = dotted
+            elif isinstance(node, ast.ClassDef):
+                self.classes.append(
+                    ClassInfo(node, tuple(_base_name(b) for b in node.bases))
+                )
+
+    # -- class taxonomy --------------------------------------------------------
+
+    def _transitive_bases(self, cls: ClassInfo) -> set[str]:
+        """Base names reachable through classes defined in this module."""
+        local = {c.node.name: c for c in self.classes}
+        seen: set[str] = set()
+        stack = list(cls.base_names)
+        while stack:
+            name = stack.pop()
+            if not name or name in seen:
+                continue
+            seen.add(name)
+            if name in local:
+                stack.extend(local[name].base_names)
+        return seen
+
+    def uqadt_classes(self) -> Iterator[ClassInfo]:
+        """Classes that (syntactically) specialize :class:`repro.core.adt.UQADT`.
+
+        Detection is heuristic but layered: a direct/transitive local base
+        named ``UQADT``, or any base whose name ends in ``Spec`` (the
+        cross-module subclassing convention of :mod:`repro.specs`).
+        """
+        for cls in self.classes:
+            bases = self._transitive_bases(cls)
+            if "UQADT" in bases or any(b.endswith("Spec") for b in bases):
+                yield cls
+
+    def replica_classes(self) -> Iterator[ClassInfo]:
+        """Classes specializing :class:`repro.sim.replica.Replica` (by name)."""
+        for cls in self.classes:
+            bases = self._transitive_bases(cls)
+            if any(b == "Replica" or b.endswith("Replica") for b in bases):
+                yield cls
+
+    # -- name resolution -------------------------------------------------------
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Dotted path of a call target, following import aliases.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves to
+        ``numpy.random.default_rng``; unresolvable shapes return ``None``.
+        """
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _base_name(node: ast.expr) -> str:
+    """Rightmost identifier of a base-class expression (``x.Y[Z]`` -> ``Y``)."""
+    if isinstance(node, ast.Subscript):  # Generic[...] bases
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+# -- pragmas ------------------------------------------------------------------
+
+
+def collect_pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Return (per-line disabled codes, file-wide disabled codes)."""
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if not match:
+            continue
+        kind, raw = match.groups()
+        codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+        if kind == "disable-file":
+            file_wide |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, file_wide
+
+
+def _suppressed(
+    finding: Finding, per_line: dict[int, set[str]], file_wide: set[str]
+) -> bool:
+    if "ALL" in file_wide or finding.code in file_wide:
+        return True
+    codes = per_line.get(finding.line, ())
+    return "ALL" in codes or finding.code in codes
+
+
+# -- rule registry ------------------------------------------------------------
+
+Rule = Callable[[ModuleInfo], Iterable[Finding]]
+
+#: populated by the rule modules at import time (see :mod:`repro.lint`).
+_REGISTRY: list[tuple[str, str, Rule]] = []
+
+
+def register(code: str, summary: str) -> Callable[[Rule], Rule]:
+    """Class/function decorator adding a rule to the global registry."""
+
+    def deco(rule: Rule) -> Rule:
+        _REGISTRY.append((code, summary, rule))
+        return rule
+
+    return deco
+
+
+def registered_rules() -> list[tuple[str, str, Rule]]:
+    return sorted(_REGISTRY, key=lambda item: item[0])
+
+
+# -- entry points -------------------------------------------------------------
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, codes: set[str] | None = None
+) -> list[Finding]:
+    """Lint one unit of source text; ``codes`` optionally restricts rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    module = ModuleInfo(path, source, tree)
+    per_line, file_wide = collect_pragmas(source)
+    findings: list[Finding] = []
+    for code, _summary, rule in registered_rules():
+        if codes is not None and code not in codes:
+            continue
+        findings.extend(rule(module))
+    findings = [f for f in findings if not _suppressed(f, per_line, file_wide)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py" and p.is_file():
+            yield p
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+
+
+def lint_paths(
+    paths: Sequence[str | Path], *, codes: set[str] | None = None
+) -> tuple[list[Finding], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(findings, files_checked)``.
+    """
+    findings: list[Finding] = []
+    checked = 0
+    for file in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_source(file.read_text(), str(file), codes=codes))
+    return findings, checked

@@ -1,0 +1,226 @@
+"""Alias-aware mutation detection shared by the UQ and REP rule families.
+
+The analysis is deliberately shallow — a single forward pass over one
+function body with name-level taint propagation:
+
+* the *tainted roots* (e.g. the ``state`` parameter of ``apply``) seed the
+  alias set;
+* ``x = tainted`` / ``x = tainted.attr`` / ``x = tainted[k]`` and tuple
+  unpacking (``vs, es = state``) extend it — these may alias the original
+  object or its interior;
+* any *call* on the right-hand side breaks the chain (``dict(state)``,
+  ``state.copy()``, ``sorted(state)`` all build fresh objects), which keeps
+  the copy-on-write idiom used throughout :mod:`repro.specs` clean.
+
+A *mutation* is then any of: an attribute/subscript store or delete rooted
+at a tainted name, an augmented assignment to a tainted name or its
+interior, or a call of a known in-place mutator method on a tainted name.
+This catches every in-place update of the builtin containers plus the
+common ``collections`` types without type inference; a function that
+launders the state through a helper and mutates it there is out of reach
+(documented limitation — soundness is traded for a near-zero false-positive
+rate on idiomatic code).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: Methods that mutate builtin / stdlib containers in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "difference_update",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "intersection_update",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "symmetric_difference_update",
+        "update",
+    }
+)
+
+
+def root_name(node: ast.expr) -> str | None:
+    """Base identifier of an attribute/subscript chain (``a.b[c].d`` -> ``a``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _names_in(node: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _aliasing_names(value: ast.expr) -> set[str]:
+    """Names the RHS of an assignment may alias (calls break the chain)."""
+    if isinstance(value, ast.Name):
+        return {value.id}
+    if isinstance(value, (ast.Attribute, ast.Subscript)):
+        inner = root_name(value)
+        return {inner} if inner else set()
+    if isinstance(value, ast.IfExp):
+        return _aliasing_names(value.body) | _aliasing_names(value.orelse)
+    if isinstance(value, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for elt in value.elts:
+            names |= _aliasing_names(elt)
+        return names
+    if isinstance(value, ast.NamedExpr):
+        return _aliasing_names(value.value)
+    return set()
+
+
+def _bind_targets(target: ast.expr, tainted: bool, taint: set[str]) -> None:
+    """Propagate (or clear) taint through an assignment target."""
+    if isinstance(target, ast.Name):
+        if tainted:
+            taint.add(target.id)
+        else:
+            taint.discard(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            if isinstance(elt, ast.Starred):
+                elt = elt.value
+            _bind_targets(elt, tainted, taint)
+    # attribute/subscript targets do not (re)bind a local name
+
+
+def find_mutations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, roots: set[str]
+) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for each in-place mutation of a root.
+
+    ``roots`` seeds the taint set; the walk is a single forward pass in
+    source order, skipping nested function/class definitions (their scopes
+    rebind names independently).
+    """
+    taint = set(roots)
+
+    def tainted_expr(node: ast.expr) -> bool:
+        name = root_name(node)
+        return name is not None and name in taint
+
+    def visit(stmts: list[ast.stmt]) -> Iterator[tuple[ast.AST, str]]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)) and tainted_expr(
+                        target
+                    ):
+                        yield stmt, (
+                            f"store into {ast.unparse(target)!r} mutates a tainted object"
+                        )
+                aliases = _aliasing_names(stmt.value) & taint
+                for target in stmt.targets:
+                    _bind_targets(target, bool(aliases), taint)
+                yield from visit_calls(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.target is not None and isinstance(
+                    stmt.target, (ast.Attribute, ast.Subscript)
+                ) and tainted_expr(stmt.target):
+                    yield stmt, (
+                        f"store into {ast.unparse(stmt.target)!r} mutates a tainted object"
+                    )
+                if stmt.value is not None:
+                    aliases = _aliasing_names(stmt.value) & taint
+                    _bind_targets(stmt.target, bool(aliases), taint)
+                    yield from visit_calls(stmt.value)
+            elif isinstance(stmt, ast.AugAssign):
+                if isinstance(stmt.target, (ast.Attribute, ast.Subscript)):
+                    if tainted_expr(stmt.target):
+                        yield stmt, (
+                            f"augmented assignment to {ast.unparse(stmt.target)!r} "
+                            "mutates a tainted object"
+                        )
+                elif isinstance(stmt.target, ast.Name) and stmt.target.id in taint:
+                    yield stmt, (
+                        f"augmented assignment to {stmt.target.id!r} may mutate "
+                        "in place (lists/sets/dicts implement += destructively)"
+                    )
+                yield from visit_calls(stmt.value)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)) and tainted_expr(
+                        target
+                    ):
+                        yield stmt, (
+                            f"del {ast.unparse(target)!r} mutates a tainted object"
+                        )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                yield from visit_calls(stmt.iter)
+                yield from visit(stmt.body)
+                yield from visit(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                yield from visit_calls(stmt.test)
+                yield from visit(stmt.body)
+                yield from visit(stmt.orelse)
+            elif isinstance(stmt, ast.If):
+                yield from visit_calls(stmt.test)
+                yield from visit(stmt.body)
+                yield from visit(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    yield from visit_calls(item.context_expr)
+                yield from visit(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                yield from visit(stmt.body)
+                for handler in stmt.handlers:
+                    yield from visit(handler.body)
+                yield from visit(stmt.orelse)
+                yield from visit(stmt.finalbody)
+            elif isinstance(stmt, (ast.Expr, ast.Return)):
+                if stmt.value is not None:
+                    yield from visit_calls(stmt.value)
+            elif isinstance(stmt, ast.Raise):
+                if stmt.exc is not None:
+                    yield from visit_calls(stmt.exc)
+            elif isinstance(stmt, ast.Assert):
+                yield from visit_calls(stmt.test)
+
+    def visit_calls(expr: ast.expr) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATOR_METHODS
+                and tainted_expr(node.func.value)
+            ):
+                yield node, (
+                    f"call to in-place mutator "
+                    f"{ast.unparse(node.func)!r} on a tainted object"
+                )
+
+    yield from visit(list(func.body))
+
+
+def function_params(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, *, skip_self: bool = True
+) -> list[str]:
+    """Positional + keyword-only parameter names, optionally minus ``self``."""
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    if skip_self and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names

@@ -235,6 +235,7 @@ def chaos_smoke(
     ops: int = 30,
     start_seed: int = 0,
     verbose: bool = False,
+    clock: Callable[[], float] | None = None,
 ) -> dict:
     """Seeded chaos runs until the time budget is spent; raises on regression.
 
@@ -244,9 +245,11 @@ def chaos_smoke(
     heal + anti-entropy.  A FIFO regression raises
     :class:`~repro.sim.network.ChannelInvariantError` from inside the run;
     divergence raises :class:`AssertionError` naming the seed.
-    """
-    import time
 
+    ``clock`` injects the budget clock (tests pass a fake); the default is
+    the wall clock, which only bounds *how many* seeded runs happen — each
+    individual run stays a pure function of its seed.
+    """
     from repro.core.universal import UniversalReplica
     from repro.sim.network import DuplicatingNetwork, LossyNetwork, Network
     from repro.specs import SetSpec
@@ -258,12 +261,21 @@ def chaos_smoke(
         (LossyNetwork, {"drop_probability": 0.15}),
         (DuplicatingNetwork, {"duplicate_probability": 0.2}),
     ]
-    deadline = time.monotonic() + budget_seconds
+    if clock is None:
+        import time
+
+        # CLI time budget only — never inside the simulated world.  The
+        # *reference* (not a call) is deliberately the injection point:
+        # uqlint flags wall-clock calls, and every call site below goes
+        # through the injected ``clock``.
+        clock = time.monotonic
+
+    deadline = clock() + budget_seconds
     seed = start_seed
     runs = 0
     # Always complete at least one seed: a zero-run smoke proves nothing,
     # and "0 runs ok" must never be reportable.
-    while runs == 0 or time.monotonic() < deadline:
+    while runs == 0 or clock() < deadline:
         network_cls, network_kwargs = scenarios[seed % len(scenarios)]
         fifo = bool((seed // len(scenarios)) % 2)
         cluster = Cluster(

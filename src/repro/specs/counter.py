@@ -8,7 +8,7 @@ commutative-objects claim of the paper's complexity discussion.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Hashable, Sequence
 
 from repro.core.adt import Query, UQADT, Update
 
@@ -62,7 +62,7 @@ class CounterSpec(UQADT):
             u.args[0] if u.name == "inc" else -u.args[0] for u in updates
         )
 
-    def observe(self, state: int, name: str, args: tuple = ()) -> object:
+    def observe(self, state: int, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return state
         if name == "sign":

@@ -9,7 +9,7 @@ an agreed linearization.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Hashable, Sequence
 
 from repro.core.adt import Query, UQADT, Update
 
@@ -42,7 +42,7 @@ class FlagSpec(UQADT):
             return False
         raise ValueError(f"unknown flag update {update.name!r}")
 
-    def observe(self, state: bool, name: str, args: tuple = ()) -> object:
+    def observe(self, state: bool, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return state
         raise ValueError(f"unknown flag query {name!r}")

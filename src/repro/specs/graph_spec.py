@@ -23,7 +23,7 @@ consistency for free — demonstrated in ``examples/social_network.py``.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Any, Hashable, Sequence
 
 import networkx as nx
 
@@ -111,7 +111,7 @@ class GraphSpec(UQADT):
             return (vs, es - {frozenset((u, v))})
         raise ValueError(f"unknown graph update {update.name!r}")
 
-    def observe(self, state: GraphState, name: str, args: tuple = ()):
+    def observe(self, state: GraphState, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         vs, es = state
         if name == "vertices":
             return frozenset(vs)
@@ -195,6 +195,6 @@ class GraphSpec(UQADT):
                 return None
         return state
 
-    def canonical(self, state: GraphState):
+    def canonical(self, state: GraphState) -> Hashable:
         vs, es = state
         return (frozenset(vs), frozenset(es))

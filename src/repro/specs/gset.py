@@ -39,7 +39,7 @@ class GSetSpec(UQADT):
             return state | {v}
         raise ValueError(f"unknown g-set update {update.name!r} (g-set has no delete)")
 
-    def observe(self, state: frozenset, name: str, args: tuple = ()) -> object:
+    def observe(self, state: frozenset, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return frozenset(state)
         if name == "contains":

@@ -10,7 +10,7 @@ respects each author's own order.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Hashable, Sequence
 
 from repro.core.adt import Query, UQADT, Update
 
@@ -68,7 +68,7 @@ class LogSpec(UQADT):
                 raise ValueError(f"unknown log update {u.name!r}")
         return state + tuple(u.args[0] for u in updates)
 
-    def observe(self, state: tuple, name: str, args: tuple = ()) -> Any:
+    def observe(self, state: tuple, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if name == "read":
             return tuple(state)
         if name == "length":

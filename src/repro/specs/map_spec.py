@@ -61,7 +61,7 @@ class MapSpec(UQADT):
             return new
         raise ValueError(f"unknown map update {update.name!r}")
 
-    def observe(self, state: dict, name: str, args: tuple = ()) -> Any:
+    def observe(self, state: dict, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if name == "get":
             (k,) = args
             return state.get(k, ABSENT)
@@ -96,7 +96,9 @@ class MapSpec(UQADT):
         if pinned is None:
             pinned = {k: v for k, v in gets.items() if v != ABSENT}
             if required_keys is not None:
-                for k in required_keys - set(pinned):
+                # Sorted (stable key, persist.py idiom) so the solved dict's
+                # insertion order is hash-seed independent: uqlint SIM103.
+                for k in sorted(required_keys - set(pinned), key=repr):
                     if gets.get(k, None) == ABSENT:
                         return None
                     pinned[k] = None

@@ -8,7 +8,7 @@ commutative fast path of Section VII-C.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Hashable, Sequence
 
 from repro.core.adt import Query, UQADT, Update
 
@@ -28,10 +28,12 @@ class MaxRegisterSpec(UQADT):
     commutative_updates = True
 
     def __init__(self, floor: float = 0) -> None:
-        self._floor = floor
+        self._floor = float(floor)
 
     def initial_state(self) -> float:
-        return self._floor
+        # float() guarantees an immutable s0 even for float subclasses
+        # carrying mutable payloads (Def. 1, enforced by uqlint UQ005).
+        return float(self._floor)
 
     def apply(self, state: float, update: Update) -> float:
         if update.name == "write_max":
@@ -39,7 +41,7 @@ class MaxRegisterSpec(UQADT):
             return v if v > state else state
         raise ValueError(f"unknown max-register update {update.name!r}")
 
-    def observe(self, state: float, name: str, args: tuple = ()) -> object:
+    def observe(self, state: float, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return state
         raise ValueError(f"unknown max-register query {name!r}")

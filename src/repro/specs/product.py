@@ -18,24 +18,24 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Sequence
 
-from repro.core.adt import Query, UQADT, Update
+from repro.core.adt import Operation, Query, UQADT, Update
 
 #: Tag prefix separating the two components in operation names.
 LEFT = "L."
 RIGHT = "R."
 
 
-def left(op):
+def left(op: Operation) -> Operation:
     """Tag an update/query as addressing the left component."""
     return _tag(op, LEFT)
 
 
-def right(op):
+def right(op: Operation) -> Operation:
     """Tag an update/query as addressing the right component."""
     return _tag(op, RIGHT)
 
 
-def _tag(op, prefix: str):
+def _tag(op: Operation, prefix: str) -> Operation:
     if isinstance(op, Update):
         return Update(prefix + op.name, op.args)
     if isinstance(op, Query):
@@ -79,7 +79,7 @@ class ProductSpec(UQADT):
         new = spec.unapply(state[side], Update(inner, update.args))
         return (new, state[1]) if side == 0 else (state[0], new)
 
-    def observe(self, state: tuple, name: str, args: tuple = ()) -> Any:
+    def observe(self, state: tuple, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         spec, inner, side = self._route(name)
         return spec.observe(state[side], inner, args)
 

@@ -8,7 +8,7 @@ stack's lookup-top / delete-top split described in the introduction.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Hashable, Sequence
 
 from repro.core.adt import Query, UQADT, Update
 
@@ -55,7 +55,7 @@ class QueueSpec(UQADT):
             return state[1:] if state else state
         raise ValueError(f"unknown queue update {update.name!r}")
 
-    def observe(self, state: tuple, name: str, args: tuple = ()) -> Any:
+    def observe(self, state: tuple, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if name == "front":
             return state[0] if state else EMPTY
         if name == "size":

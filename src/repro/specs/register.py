@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Sequence
 
-from repro.core.adt import Query, UQADT, Update
+from repro.core.adt import Query, UQADT, Update, fresh_state
 
 
 def write(value: Any) -> Update:
@@ -47,7 +47,9 @@ class RegisterSpec(UQADT):
         self._initial = initial
 
     def initial_state(self) -> Any:
-        return self._initial
+        # Fresh-or-immutable s0 (Def. 1, enforced by uqlint UQ005): a
+        # mutable ``initial`` must not be shared across replays.
+        return fresh_state(self._initial)
 
     def apply(self, state: Any, update: Update) -> Any:
         if update.name == "write":
@@ -55,7 +57,7 @@ class RegisterSpec(UQADT):
             return v
         raise ValueError(f"unknown register update {update.name!r}")
 
-    def observe(self, state: Any, name: str, args: tuple = ()) -> Any:
+    def observe(self, state: Any, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if name == "read":
             return state
         raise ValueError(f"unknown register query {name!r}")
@@ -111,7 +113,7 @@ class MemorySpec(UQADT):
             new[x] = v
         return new
 
-    def observe(self, state: dict, name: str, args: tuple = ()) -> Any:
+    def observe(self, state: dict, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if name == "read":
             (x,) = args
             return state.get(x, self._initial)

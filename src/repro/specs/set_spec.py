@@ -74,7 +74,7 @@ class SetSpec(UQADT):
         added = (v for v, present in decided.items() if present)
         return frozenset(kept) | frozenset(added)
 
-    def observe(self, state: frozenset, name: str, args: tuple = ()) -> object:
+    def observe(self, state: frozenset, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return frozenset(state)
         if name == "contains":

@@ -8,7 +8,7 @@ of the paper, it is split into ``top`` (*lookup top*, a query) and
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Hashable, Sequence
 
 from repro.core.adt import Query, UQADT, Update
 
@@ -55,7 +55,7 @@ class StackSpec(UQADT):
             return state[:-1] if state else state
         raise ValueError(f"unknown stack update {update.name!r}")
 
-    def observe(self, state: tuple, name: str, args: tuple = ()) -> Any:
+    def observe(self, state: tuple, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if name == "top":
             return state[-1] if state else EMPTY
         if name == "size":

@@ -1,0 +1,24 @@
+# uqlint fixture: REP201 — a replica reaching around the send API.
+
+
+class Replica:
+    def __init__(self):
+        self.outbox = []
+
+    def send_to(self, dst, payload):
+        self.outbox.append((dst, payload))
+
+
+class ChattyReplica(Replica):
+    def __init__(self, network):
+        super().__init__()
+        self.network = network
+
+    def on_update(self, update):
+        self.outbox.append((None, update))  # bypasses send_to
+        return []
+
+    def on_message(self, src, payload):
+        net = self.network
+        net.broadcast(payload)  # drives the network object directly
+        return []

@@ -1,0 +1,19 @@
+# uqlint fixture: REP202 — hooks mutating delivered (shared) payloads.
+
+
+class Replica:
+    pass
+
+
+class GrabbyReplica(Replica):
+    def __init__(self):
+        self.log = []
+
+    def on_message(self, src, payload):
+        payload["seen_by"] = src  # the other receivers share this object
+        self.log.append(payload)
+        return []
+
+    def on_update(self, update):
+        update.args.append("local-tag")  # mutates the caller's update
+        return [update]

@@ -1,0 +1,8 @@
+# uqlint fixture: REP203 — recovery loads the log before the clock (WAL
+# order violated: a recovered replica could reuse a pre-crash timestamp).
+
+
+def restore_replica(replica, snapshot):
+    replica.load_log(snapshot["entries"])  # log first ...
+    replica.clock.merge(snapshot["clock"])  # ... clock second: wrong order
+    return replica

@@ -1,0 +1,22 @@
+# uqlint fixture: SIM101 — wall-clock and ambient-entropy calls.
+
+import os
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_event(event):
+    return (time.time(), event)  # wall clock in the simulated world
+
+
+def elapsed(start):
+    return monotonic() - start  # from-import resolves too
+
+
+def audit_line(message):
+    return f"{datetime.now()}: {message}"
+
+
+def fresh_nonce():
+    return os.urandom(8)  # ambient entropy breaks seed reproducibility

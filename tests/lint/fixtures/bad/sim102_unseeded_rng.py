@@ -1,0 +1,18 @@
+# uqlint fixture: SIM102 — global or unseeded RNGs.
+
+import random
+
+import numpy as np
+
+
+def pick_replica(n):
+    return random.randrange(n)  # stdlib global RNG
+
+
+def make_rng():
+    return np.random.default_rng()  # unseeded: draws OS entropy
+
+
+def shuffle_schedule(schedule):
+    np.random.shuffle(schedule)  # legacy numpy global RNG
+    return schedule

@@ -1,0 +1,18 @@
+# uqlint fixture: SIM103 — ordering decisions built from bare set iteration.
+
+
+def broadcast_order(extra):
+    return list({0, 1, 2} | set(extra))  # hash order becomes send order
+
+
+def pending_report(pending_ids):
+    return ", ".join(set(pending_ids))  # hash order becomes report text
+
+
+def drain(handlers):
+    for handler in set(handlers):  # delivery order follows the hash seed
+        handler()
+
+
+def tags(events):
+    return [e.tag for e in {e for e in events}]  # listcomp over a set comp

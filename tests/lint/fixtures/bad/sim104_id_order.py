@@ -1,0 +1,15 @@
+# uqlint fixture: SIM104 — id()-based tie-breaking.
+
+
+def arbitration_order(updates):
+    return sorted(updates, key=lambda u: id(u))  # heap address as tiebreak
+
+
+def dedupe(events):
+    seen = set()
+    out = []
+    for e in events:
+        if id(e) not in seen:  # identity-keyed dedup varies across runs
+            seen.add(id(e))
+            out.append(e)
+    return out

@@ -1,0 +1,20 @@
+# uqlint fixture: UQ001 — apply stores into its state argument.
+# Never imported; parsed as text by tests/lint/test_fixtures.py.
+
+
+class UQADT:
+    pass
+
+
+class LeakyMapSpec(UQADT):
+    name = "leaky-map"
+
+    def initial_state(self) -> dict:
+        return {}
+
+    def apply(self, state, update):
+        state[update.args[0]] = update.args[1]  # mutates T's argument
+        return state
+
+    def observe(self, state, name, args=()):
+        return dict(state)

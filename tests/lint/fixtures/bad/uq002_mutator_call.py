@@ -1,0 +1,22 @@
+# uqlint fixture: UQ002 — apply calls an in-place mutator on the state
+# (through an unpacked alias, exercising the taint propagation).
+
+
+class UQADT:
+    pass
+
+
+class LeakySetSpec(UQADT):
+    name = "leaky-set"
+
+    def initial_state(self) -> tuple:
+        return (set(), set())
+
+    def apply(self, state, update):
+        members, tombstones = state  # aliases the state's interior
+        members.add(update.args[0])  # in-place mutation of shared state
+        return (members, tombstones)
+
+    def observe(self, state, name, args=()):
+        members, _ = state
+        return frozenset(members)

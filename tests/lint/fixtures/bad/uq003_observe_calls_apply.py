@@ -1,0 +1,21 @@
+# uqlint fixture: UQ003 — observe re-enters the transition function.
+
+
+class UQADT:
+    pass
+
+
+class PeekingQueueSpec(UQADT):
+    name = "peeking-queue"
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state, update):
+        return state + (update.args[0],)
+
+    def observe(self, state, name, args=()):
+        if name == "after_pop":
+            # G must not invoke T: queries are side-effect-free (Def. 1).
+            return self.apply(state, args[0])
+        return state

@@ -1,0 +1,19 @@
+# uqlint fixture: UQ004 — an update helper that hands back a Query.
+
+
+class Update:
+    def __init__(self, name, args=()):
+        self.name, self.args = name, args
+
+
+class Query:
+    def __init__(self, name, args=(), output=None):
+        self.name, self.args, self.output = name, args, output
+
+
+def enable() -> Update:
+    return Query("enabled", (), True)  # U and Q are disjoint (Def. 1)
+
+
+def disable() -> Update:
+    return ("disable", ())  # a bare literal is not a symbolic Update

@@ -1,0 +1,30 @@
+# uqlint fixture: UQ005 — s0 aliased through an attribute and a module global.
+
+_EMPTY_STATE = []
+
+
+class UQADT:
+    pass
+
+
+class SharedLogSpec(UQADT):
+    name = "shared-log"
+
+    def __init__(self, seed_state):
+        self._seed_state = seed_state
+
+    def initial_state(self):
+        return self._seed_state  # every replay shares one object
+
+    def apply(self, state, update):
+        return state + [update.args[0]]
+
+
+class GlobalLogSpec(UQADT):
+    name = "global-log"
+
+    def initial_state(self):
+        return _EMPTY_STATE  # module-level mutable: shared across replays
+
+    def apply(self, state, update):
+        return state + [update.args[0]]

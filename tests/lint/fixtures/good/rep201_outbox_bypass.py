@@ -1,0 +1,20 @@
+# uqlint fixture: good twin of bad/rep201_outbox_bypass.py — every effect
+# flows through the send API or the returned payload list.
+
+
+class Replica:
+    def __init__(self):
+        self.outbox = []
+
+    def send_to(self, dst, payload):
+        # the send API itself is the one legal owner of the outbox
+        self.outbox.append((dst, payload))
+
+
+class PoliteReplica(Replica):
+    def on_update(self, update):
+        return [update]  # returned payloads are broadcast by the runtime
+
+    def on_message(self, src, payload):
+        self.send_to(src, ("ack", payload))  # point-to-point via the API
+        return []

@@ -1,0 +1,21 @@
+# uqlint fixture: good twin of bad/rep202_foreign_mutation.py — hooks copy
+# before decorating; own state (self.*) may be mutated freely.
+
+
+class Replica:
+    pass
+
+
+class CarefulReplica(Replica):
+    def __init__(self):
+        self.log = []
+
+    def on_message(self, src, payload):
+        annotated = dict(payload)  # fresh copy: the alias chain is broken
+        annotated["seen_by"] = src
+        self.log.append(annotated)
+        return []
+
+    def on_update(self, update):
+        self.log.append(update)  # appending to own state is fine
+        return [update]

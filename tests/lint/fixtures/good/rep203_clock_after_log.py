@@ -1,0 +1,14 @@
+# uqlint fixture: good twin of bad/rep203_clock_after_log.py — the Lamport
+# clock is a write-ahead cell: restore it before touching the log.
+
+
+def restore_replica(replica, snapshot):
+    replica.clock.merge(snapshot["clock"])  # clock first (no timestamp reuse)
+    replica.load_log(snapshot["entries"])
+    return replica
+
+
+def handle_message(replica, clock_value, stamped):
+    replica.clock.merge(clock_value)
+    replica._insert(stamped)
+    return replica

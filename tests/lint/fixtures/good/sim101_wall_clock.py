@@ -1,0 +1,23 @@
+# uqlint fixture: good twin of bad/sim101_wall_clock.py — logical time and
+# seeded entropy only.  Referencing a wall clock to *inject* it is legal;
+# only calls are flagged.
+
+import time
+
+import numpy as np
+
+
+def stamp_event(event, logical_clock):
+    return (logical_clock.tick(), event)
+
+
+def elapsed(start, now):
+    return now() - start  # the clock is injected by the caller
+
+
+def default_budget_clock():
+    return time.monotonic  # a reference (the injection point), not a call
+
+
+def fresh_nonce(rng: np.random.Generator):
+    return rng.integers(0, 2**63).item()

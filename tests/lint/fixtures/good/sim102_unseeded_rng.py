@@ -1,0 +1,17 @@
+# uqlint fixture: good twin of bad/sim102_unseeded_rng.py — every RNG is a
+# seeded, injected np.random.Generator.
+
+import numpy as np
+
+
+def pick_replica(n, rng: np.random.Generator):
+    return int(rng.integers(n))
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)  # seeded construction is the API
+
+
+def shuffle_schedule(schedule, rng: np.random.Generator):
+    permutation = rng.permutation(len(schedule))
+    return [schedule[i] for i in permutation]

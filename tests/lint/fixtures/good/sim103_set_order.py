@@ -1,0 +1,23 @@
+# uqlint fixture: good twin of bad/sim103_set_order.py — explicit orders.
+
+
+def broadcast_order(extra):
+    return sorted({0, 1, 2} | set(extra))  # sorted() makes the order explicit
+
+
+def pending_report(pending_ids):
+    return ", ".join(sorted(set(pending_ids)))
+
+
+def drain(handlers):
+    for handler in sorted(set(handlers), key=repr):
+        handler()
+
+
+def member_count(events):
+    # Order-insensitive consumption of a set is fine: no ordered artifact.
+    return len({e for e in events})
+
+
+def as_set(events):
+    return frozenset({e for e in events})  # set-to-set stays unordered

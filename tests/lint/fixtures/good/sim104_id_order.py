@@ -1,0 +1,16 @@
+# uqlint fixture: good twin of bad/sim104_id_order.py — explicit identities.
+
+
+def arbitration_order(updates):
+    # The paper's arbitration: lexicographic (clock, pid) timestamps.
+    return sorted(updates, key=lambda u: (u.clock, u.pid))
+
+
+def dedupe(events):
+    seen = set()
+    out = []
+    for e in events:
+        if (e.clock, e.pid) not in seen:
+            seen.add((e.clock, e.pid))
+            out.append(e)
+    return out

@@ -1,0 +1,20 @@
+# uqlint fixture: good twin of bad/uq001_state_store.py — copy-on-write apply.
+
+
+class UQADT:
+    pass
+
+
+class CleanMapSpec(UQADT):
+    name = "clean-map"
+
+    def initial_state(self) -> dict:
+        return {}
+
+    def apply(self, state, update):
+        new = dict(state)  # the copy breaks the alias: stores below are fine
+        new[update.args[0]] = update.args[1]
+        return new
+
+    def observe(self, state, name, args=()):
+        return dict(state)

@@ -1,0 +1,20 @@
+# uqlint fixture: good twin of bad/uq002_mutator_call.py — pure set union.
+
+
+class UQADT:
+    pass
+
+
+class CleanSetSpec(UQADT):
+    name = "clean-set"
+
+    def initial_state(self) -> tuple:
+        return (frozenset(), frozenset())
+
+    def apply(self, state, update):
+        members, tombstones = state
+        return (members | {update.args[0]}, tombstones)
+
+    def observe(self, state, name, args=()):
+        members, _ = state
+        return frozenset(members)

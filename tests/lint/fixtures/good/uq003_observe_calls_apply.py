@@ -1,0 +1,26 @@
+# uqlint fixture: good twin of bad/uq003_observe_calls_apply.py — observe
+# computes the hypothetical view inline instead of re-entering T.  A
+# *component delegation* (ProductSpec-style ``other_spec.observe``) is also
+# legal and must not be flagged.
+
+
+class UQADT:
+    pass
+
+
+class CleanQueueSpec(UQADT):
+    name = "clean-queue"
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state, update):
+        return state + (update.args[0],)
+
+    def observe(self, state, name, args=()):
+        if name == "delegated":
+            return self.inner.observe(state, name, args)  # delegation is fine
+        return state

@@ -1,0 +1,25 @@
+# uqlint fixture: good twin of bad/uq004_helper_returns_query.py.
+
+
+class Update:
+    def __init__(self, name, args=()):
+        self.name, self.args = name, args
+
+
+class Query:
+    def __init__(self, name, args=(), output=None):
+        self.name, self.args, self.output = name, args, output
+
+
+def enable() -> Update:
+    return Update("enable")
+
+
+def maybe_enable(flag: bool) -> "Update | None":
+    if not flag:
+        return None  # None is an allowed "no update" result
+    return Update("enable")
+
+
+def enabled(expected: bool) -> Query:
+    return Query("enabled", (), bool(expected))  # query helpers return Query

@@ -1,0 +1,31 @@
+# uqlint fixture: good twin of bad/uq005_initial_state_alias.py — fresh or
+# immutable s0 values.
+
+_EMPTY_STATE = ()  # immutable module-level constants are not flagged
+
+
+class UQADT:
+    pass
+
+
+class FreshLogSpec(UQADT):
+    name = "fresh-log"
+
+    def __init__(self, seed_state):
+        self._seed_state = tuple(seed_state)
+
+    def initial_state(self):
+        return tuple(self._seed_state)  # a call constructs a fresh value
+
+    def apply(self, state, update):
+        return state + (update.args[0],)
+
+
+class ConstantLogSpec(UQADT):
+    name = "constant-log"
+
+    def initial_state(self):
+        return _EMPTY_STATE  # immutable: sharing is harmless
+
+    def apply(self, state, update):
+        return state + (update.args[0],)

@@ -1,0 +1,105 @@
+"""The uqlint CLI: formats, exit codes, selection — plus the meta-test that
+the shipped tree lints clean (the CI static-analysis contract)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    import contextlib
+    import io
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(list(argv))
+    return code, out.getvalue()
+
+
+def test_clean_file_exits_zero(tmp_path: Path) -> None:
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n")
+    code, out = run_cli(str(target))
+    assert code == 0
+    assert "ok: 0 finding(s)" in out
+
+
+def test_bad_fixture_exits_nonzero() -> None:
+    code, out = run_cli(str(FIXTURES / "bad" / "sim104_id_order.py"))
+    assert code == 1
+    assert "SIM104" in out
+
+
+def test_json_format_is_machine_readable() -> None:
+    code, out = run_cli(str(FIXTURES / "bad"), "--format", "json")
+    assert code == 1
+    doc = json.loads(out)
+    assert doc["tool"] == "uqlint"
+    assert doc["files_checked"] == len(list((FIXTURES / "bad").glob("*.py")))
+    codes = {f["code"] for f in doc["findings"]}
+    assert {"UQ001", "SIM101", "REP201"} <= codes
+    sample = doc["findings"][0]
+    assert set(sample) == {"path", "line", "col", "code", "message"}
+
+
+def test_select_restricts_rules() -> None:
+    code, out = run_cli(str(FIXTURES / "bad"), "--select", "UQ003", "--format", "json")
+    assert code == 1
+    doc = json.loads(out)
+    assert {f["code"] for f in doc["findings"]} == {"UQ003"}
+
+
+def test_select_rejects_unknown_code() -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("--select", "XX999")
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_a_usage_error(tmp_path: Path) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli(str(tmp_path / "does-not-exist"))
+    assert excinfo.value.code == 2
+
+
+def test_list_rules_prints_catalog() -> None:
+    code, out = run_cli("--list-rules")
+    assert code == 0
+    for expected in ("UQ001", "UQ005", "SIM101", "SIM104", "REP201", "REP203"):
+        assert expected in out
+
+
+def test_parse_error_is_reported_not_raised(tmp_path: Path) -> None:
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n")
+    code, out = run_cli(str(target))
+    assert code == 1
+    assert "LINT000" in out
+
+
+def test_shipped_tree_lints_clean() -> None:
+    """The self-application contract: ``python -m repro.lint src`` exits 0."""
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    doc = json.loads(result.stdout)
+    assert doc["findings"] == []
+    assert doc["files_checked"] > 80  # the whole package, not a subset

@@ -1,0 +1,136 @@
+"""Engine unit tests: taint propagation, class taxonomy, import resolution."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint import lint_source
+from repro.lint.engine import ModuleInfo
+from repro.lint.mutation import find_mutations
+
+
+def parse_func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(source)
+    (func,) = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    return func
+
+
+def mutations(source: str, roots: set[str]) -> list[str]:
+    return [desc for _node, desc in find_mutations(parse_func(source), roots)]
+
+
+class TestTaint:
+    def test_direct_store_detected(self) -> None:
+        assert mutations("def f(state):\n    state['k'] = 1\n", {"state"})
+
+    def test_copy_breaks_the_alias(self) -> None:
+        src = "def f(state):\n    new = dict(state)\n    new['k'] = 1\n"
+        assert mutations(src, {"state"}) == []
+
+    def test_tuple_unpack_propagates(self) -> None:
+        src = "def f(state):\n    a, b = state\n    a.add(1)\n"
+        assert mutations(src, {"state"})
+
+    def test_rebinding_clears_taint(self) -> None:
+        src = "def f(state):\n    x = state\n    x = []\n    x.append(1)\n"
+        assert mutations(src, {"state"}) == []
+
+    def test_augassign_on_interior(self) -> None:
+        assert mutations("def f(state):\n    state['k'] += 1\n", {"state"})
+
+    def test_delete_on_interior(self) -> None:
+        assert mutations("def f(state):\n    del state['k']\n", {"state"})
+
+    def test_nested_defs_are_out_of_scope(self) -> None:
+        src = "def f(state):\n    def g(state):\n        state['k'] = 1\n    return g\n"
+        assert mutations(src, {"state"}) == []
+
+    def test_mutator_inside_conditional(self) -> None:
+        src = "def f(state, v):\n    if v:\n        state.add(v)\n    return state\n"
+        assert mutations(src, {"state"})
+
+
+class TestTaxonomy:
+    def test_cross_module_spec_suffix_is_matched(self) -> None:
+        # `class X(SetSpec)` in another module: matched via the *Spec suffix.
+        source = (
+            "from repro.specs import SetSpec\n"
+            "class BadSet(SetSpec):\n"
+            "    def apply(self, state, update):\n"
+            "        state.add(1)\n"
+            "        return state\n"
+        )
+        assert {f.code for f in lint_source(source)} == {"UQ002"}
+
+    def test_local_transitive_base_is_matched(self) -> None:
+        source = (
+            "class UQADT:\n    pass\n"
+            "class Middle(UQADT):\n    pass\n"
+            "class Leaf(Middle):\n"
+            "    def apply(self, state, update):\n"
+            "        state['k'] = 1\n"
+            "        return state\n"
+        )
+        assert {f.code for f in lint_source(source)} == {"UQ001"}
+
+    def test_unrelated_class_is_ignored(self) -> None:
+        source = (
+            "class Cache:\n"
+            "    def apply(self, state, update):\n"
+            "        state['k'] = 1\n"  # not a UQADT: no purity obligation
+            "        return state\n"
+        )
+        assert lint_source(source) == []
+
+
+class TestImports:
+    def resolve(self, source: str, call: str) -> str | None:
+        module = ModuleInfo("<t>", source, ast.parse(source))
+        node = ast.parse(call, mode="eval").body
+        assert isinstance(node, ast.Call)
+        return module.resolve_call(node.func)
+
+    def test_aliased_import(self) -> None:
+        assert (
+            self.resolve("import numpy as np\n", "np.random.rand()")
+            == "numpy.random.rand"
+        )
+
+    def test_from_import(self) -> None:
+        assert self.resolve("from time import monotonic\n", "monotonic()") == (
+            "time.monotonic"
+        )
+
+    def test_from_import_asname(self) -> None:
+        assert self.resolve(
+            "from os import urandom as entropy\n", "entropy(8)"
+        ) == "os.urandom"
+
+    def test_unknown_name_resolves_to_itself(self) -> None:
+        assert self.resolve("", "helper()") == "helper"
+
+
+class TestDeterminismEdges:
+    def test_seeded_default_rng_is_clean(self) -> None:
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_source(src) == []
+
+    def test_generator_annotation_is_clean(self) -> None:
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> int:\n"
+            "    return int(rng.integers(8))\n"
+        )
+        assert lint_source(src) == []
+
+    def test_shadowed_id_is_clean(self) -> None:
+        src = "def f(events):\n    id = len(events)\n    return id\n"
+        # a *rebound* local named id is never a call; only calls are flagged
+        assert lint_source(src) == []
+
+    def test_sorted_set_is_clean(self) -> None:
+        assert lint_source("order = sorted({3, 1, 2})\n") == []
+
+    def test_set_algebra_feeding_list_is_flagged(self) -> None:
+        src = "def f(extra):\n    return list({1, 2} | set(extra))\n"
+        assert {f.code for f in lint_source(src)} == {"SIM103"}

@@ -1,0 +1,72 @@
+"""Fixture-driven rule coverage: every rule fires on its bad fixture and
+stays silent on the good twin.
+
+The corpus lives in ``tests/lint/fixtures/{bad,good}/``; file names are
+``<code>_<slug>.py`` and the two directories are kept in 1:1
+correspondence — a structural test asserts the pairing so a new rule
+cannot land without both halves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source, registered_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = sorted((FIXTURES / "bad").glob("*.py"))
+GOOD = sorted((FIXTURES / "good").glob("*.py"))
+
+
+def expected_code(path: Path) -> str:
+    """``uq001_state_store.py`` -> ``UQ001``."""
+    return path.stem.split("_", 1)[0].upper()
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+def test_bad_fixture_triggers_its_rule(path: Path) -> None:
+    findings = lint_source(path.read_text(), str(path))
+    codes = {f.code for f in findings}
+    assert expected_code(path) in codes, (
+        f"{path.name}: expected {expected_code(path)}, got {sorted(codes)}"
+    )
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+def test_bad_fixture_triggers_only_its_rule(path: Path) -> None:
+    # Fixtures are minimal repros: cross-rule noise means a rule overlaps.
+    findings = lint_source(path.read_text(), str(path))
+    codes = {f.code for f in findings}
+    assert codes == {expected_code(path)}, (
+        f"{path.name}: expected only {expected_code(path)}, got {sorted(codes)}"
+    )
+
+
+@pytest.mark.parametrize("path", GOOD, ids=lambda p: p.stem)
+def test_good_twin_is_clean(path: Path) -> None:
+    findings = lint_source(path.read_text(), str(path))
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_corpus_covers_every_rule() -> None:
+    rule_codes = {code for code, _summary, _rule in registered_rules()}
+    bad_codes = {expected_code(p) for p in BAD}
+    assert bad_codes == rule_codes, (
+        f"missing bad fixtures for {sorted(rule_codes - bad_codes)}; "
+        f"stray fixtures for {sorted(bad_codes - rule_codes)}"
+    )
+
+
+def test_every_bad_fixture_has_a_good_twin() -> None:
+    assert [p.name for p in BAD] == [p.name for p in GOOD]
+
+
+def test_bad_fixture_reports_real_locations() -> None:
+    # Line numbers must point at the offending statement, not the module.
+    path = FIXTURES / "bad" / "uq001_state_store.py"
+    source = path.read_text()
+    (finding,) = lint_source(source, str(path))
+    line = source.splitlines()[finding.line - 1]
+    assert "state[" in line

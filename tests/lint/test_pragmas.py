@@ -1,0 +1,87 @@
+"""Pragma suppression: every rule family can be silenced per line or per
+file, unknown codes are inert, and suppression is code-specific."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.engine import collect_pragmas
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = sorted((FIXTURES / "bad").glob("*.py"))
+
+
+def expected_code(path: Path) -> str:
+    return path.stem.split("_", 1)[0].upper()
+
+
+def suppress_lines(source: str, code: str) -> str:
+    """Append the disable pragma to every line (simplest blanket per-line)."""
+    return "\n".join(
+        f"{line}  # uqlint: disable={code} -- fixture test"
+        for line in source.splitlines()
+    )
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+def test_per_line_pragma_suppresses_every_rule(path: Path) -> None:
+    code = expected_code(path)
+    suppressed = suppress_lines(path.read_text(), code)
+    assert lint_source(suppressed, str(path)) == []
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+def test_file_pragma_suppresses_every_rule(path: Path) -> None:
+    code = expected_code(path)
+    source = f"# uqlint: disable-file={code}\n" + path.read_text()
+    assert lint_source(source, str(path)) == []
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+def test_disable_all_suppresses_every_rule(path: Path) -> None:
+    source = "# uqlint: disable-file=all\n" + path.read_text()
+    assert lint_source(source, str(path)) == []
+
+
+def test_pragma_is_code_specific() -> None:
+    path = FIXTURES / "bad" / "uq001_state_store.py"
+    # Disabling an unrelated code must not silence the real finding.
+    source = suppress_lines(path.read_text(), "SIM101")
+    codes = {f.code for f in lint_source(source, str(path))}
+    assert codes == {"UQ001"}
+
+
+def test_pragma_only_covers_its_line() -> None:
+    source = (
+        "class UQADT:\n"
+        "    pass\n"
+        "\n"
+        "class S(UQADT):\n"
+        "    def apply(self, state, update):\n"
+        "        state['a'] = 1  # uqlint: disable=UQ001 -- demo\n"
+        "        state['b'] = 2\n"
+        "        return state\n"
+    )
+    findings = lint_source(source)
+    assert [f.line for f in findings] == [7]
+
+
+def test_unknown_pragma_codes_are_inert() -> None:
+    per_line, file_wide = collect_pragmas("x = 1  # uqlint: disable=NOPE123\n")
+    assert per_line == {1: {"NOPE123"}}
+    assert file_wide == set()
+
+
+def test_multiple_codes_in_one_pragma() -> None:
+    per_line, _ = collect_pragmas("y = 2  # uqlint: disable=UQ001, SIM101\n")
+    assert per_line == {1: {"UQ001", "SIM101"}}
+
+
+def test_justification_text_is_tolerated() -> None:
+    per_line, _ = collect_pragmas(
+        "z = 3  # uqlint: disable=SIM101 -- wall-clock budget, CLI only\n"
+    )
+    assert per_line == {1: {"SIM101"}}

@@ -216,3 +216,54 @@ class TestRelay:
 
         with pytest.raises(ValueError, match="relay"):
             GarbageCollectedReplica(0, 2, SPEC, relay=True)
+
+
+class TestChaosSmokeClockInjection:
+    """Regression for the uqlint SIM101 self-application fix: the wall
+    clock only bounds how many seeded runs happen and is injectable, so
+    the smoke itself can be driven deterministically."""
+
+    def test_injected_clock_bounds_runs_deterministically(self):
+        from repro.sim.fuzz import chaos_smoke
+
+        ticks = iter(range(100))
+
+        def fake_clock() -> float:
+            return float(next(ticks) * 40.0)  # 40 "seconds" per observation
+
+        # deadline = t0 + budget = 50; loop checks observe t=40 (< 50, run)
+        # then t=80 (>= 50, stop): exactly two seeds complete.
+        out = chaos_smoke(budget_seconds=50.0, procs=3, ops=8, clock=fake_clock)
+        assert out["runs"] == 2
+
+    def test_injected_clock_always_completes_one_run(self):
+        from repro.sim.fuzz import chaos_smoke
+
+        out = chaos_smoke(budget_seconds=-1.0, procs=3, ops=8, clock=lambda: 0.0)
+        assert out["runs"] == 1
+
+    def test_fuzz_module_has_no_wall_clock_calls(self):
+        """The linter guards the fix: SIM101 must stay clean on fuzz.py
+        (the only wall-clock *reference* is the injection default)."""
+        from pathlib import Path
+
+        from repro.lint import lint_source
+        from repro.sim import fuzz as fuzz_module
+
+        source = Path(fuzz_module.__file__).read_text()
+        assert [f.render() for f in lint_source(source, "fuzz.py")] == []
+
+    def test_removing_the_injection_would_be_caught(self):
+        """Anti-regression: a direct wall-clock call in the budget loop is
+        exactly what SIM101 flags."""
+        from repro.lint import lint_source
+
+        source = (
+            "import time\n"
+            "def chaos(budget):\n"
+            "    deadline = time.monotonic() + budget\n"
+            "    while time.monotonic() < deadline:\n"
+            "        pass\n"
+        )
+        codes = [f.code for f in lint_source(source)]
+        assert codes == ["SIM101", "SIM101"]

@@ -136,3 +136,23 @@ class TestMap:
         s = map_spec.solve_state([Mp.keys({"a"}), Mp.get("a", 1)])
         assert s == {"a": 1}
         assert map_spec.solve_state([Mp.keys(set()), Mp.get("a", 1)]) is None
+
+
+class TestMapSolveStateDeterminism:
+    """Regression for the uqlint SIM103 self-application fix: the solved
+    dict's insertion order must not depend on the process hash seed."""
+
+    def test_key_backfill_is_sorted(self, map_spec):
+        s = map_spec.solve_state(
+            [Mp.keys({"c", "a", "b"}), Mp.get("b", 7)]
+        )
+        assert s is not None
+        # "b" is pinned by the get first, the backfilled keys follow sorted.
+        assert list(s) == ["b", "a", "c"]
+        assert s == {"a": None, "b": 7, "c": None}
+
+    def test_solved_state_snapshot_is_stable(self, map_spec):
+        s1 = map_spec.solve_state([Mp.keys({"x", "y", "z"})])
+        s2 = map_spec.solve_state([Mp.keys({"z", "y", "x"})])
+        assert s1 is not None and s2 is not None
+        assert list(s1) == list(s2) == ["x", "y", "z"]

@@ -101,3 +101,24 @@ class TestFlag:
     def test_solve_state(self, flag_spec):
         assert flag_spec.solve_state([flag_read(True)]) is True
         assert flag_spec.solve_state([flag_read(True), flag_read(False)]) is None
+
+
+class TestMaxRegisterInitialState:
+    """Regression for the uqlint UQ005 self-application fix: the floor is
+    coerced to a plain float so s0 is always immutable (Def. 1)."""
+
+    def test_floor_is_coerced_to_float(self):
+        from repro.specs import MaxRegisterSpec
+
+        class EvilFloat(float):
+            payload: list = []
+
+        spec = MaxRegisterSpec(floor=EvilFloat(2.0))
+        s0 = spec.initial_state()
+        assert type(s0) is float and s0 == 2.0
+
+    def test_initial_state_is_fresh_each_call(self):
+        from repro.specs import MaxRegisterSpec
+
+        spec = MaxRegisterSpec(floor=7)
+        assert spec.initial_state() == spec.initial_state() == 7.0

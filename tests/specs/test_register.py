@@ -91,3 +91,35 @@ class TestMemory:
         assert memory_spec.solve_state([snap]) == {"x": 1}
         # A read of another register to a non-initial value contradicts it.
         assert memory_spec.solve_state([snap, R.mem_read("y", 2)]) is None
+
+
+class TestInitialStateFreshness:
+    """Regression tests for the uqlint UQ005 self-application fix: s0 must
+    be fresh-or-immutable (Def. 1), even when a spec is configured with a
+    mutable initial value."""
+
+    def test_mutable_initial_is_not_shared_between_replays(self):
+        spec = RegisterSpec(initial=["seed"])
+        first = spec.initial_state()
+        first.append("corruption")
+        assert spec.initial_state() == ["seed"]
+
+    def test_nested_mutable_initial_is_deep_fresh(self):
+        spec = RegisterSpec(initial={"inner": []})
+        first = spec.initial_state()
+        first["inner"].append(1)
+        assert spec.initial_state() == {"inner": []}
+
+    def test_immutable_initial_still_cheap_identity(self):
+        marker = object()  # opaque immutables pass through unchanged
+        assert RegisterSpec(initial=marker).initial_state() is marker
+
+    def test_fresh_state_helper_covers_container_shapes(self):
+        from repro.core.adt import fresh_state
+
+        value = {"k": [1, {2}, (3, [4])]}
+        copy = fresh_state(value)
+        assert copy == value
+        copy["k"][1].add(99)
+        copy["k"][2][1].append(5)
+        assert value == {"k": [1, {2}, (3, [4])]}

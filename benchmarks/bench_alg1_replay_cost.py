@@ -39,17 +39,27 @@ FACTORIES = {
 }
 
 
-def replay_cost(kind: str, n_updates: int) -> int:
-    """Replay work charged to one *steady-state* query: the replica has
-    answered queries before (so caches are warm where the strategy has
-    them) and the network is quiescent."""
+def build_quiescent(kind: str, n_updates: int) -> Cluster:
+    """A 2-process cluster driven to the steady state every measurement
+    starts from: ``n_updates`` issued with a mid-run query (as real
+    workloads have), the network drained, incremental caches warmed by one
+    post-quiescence query.  Returned rather than consumed so callers can
+    also read its metrics registry (``run_all.py``'s JSON artifact)."""
     c = Cluster(2, FACTORIES[kind], seed=1)
     for i in range(n_updates):
         c.update(i % 2, C.inc(1))
         if i == n_updates // 2:
-            c.query(0, "read")  # a mid-run query, as real workloads have
+            c.query(0, "read")
     c.run()
-    c.query(0, "read")  # warm the incremental caches post-quiescence
+    c.query(0, "read")
+    return c
+
+
+def replay_cost(kind: str, n_updates: int) -> int:
+    """Replay work charged to one *steady-state* query: the replica has
+    answered queries before (so caches are warm where the strategy has
+    them) and the network is quiescent."""
+    c = build_quiescent(kind, n_updates)
     r0 = c.replicas[0]
     before = getattr(r0, "replayed_updates", 0)
     c.query(0, "read")

@@ -31,7 +31,9 @@ SPEC = SetSpec()
 SWEEP = [(2, 100), (4, 100), (8, 100), (4, 1000), (4, 10_000)]
 
 
-def measure(n: int, ops: int):
+def measure_cluster(n: int, ops: int) -> Cluster:
+    """The sweep workload, returning the finished cluster (so callers can
+    read both its message stats and its metrics registry)."""
     c = Cluster(n, lambda p, total: UniversalReplica(p, total, SPEC))
     for i in range(ops):
         c.update(i % n, S.insert(i % 10))
@@ -39,7 +41,11 @@ def measure(n: int, ops: int):
             c.run()
     c.run()
     c.query(0, "read")
-    return collect_message_stats(c)
+    return c
+
+
+def measure(n: int, ops: int):
+    return collect_message_stats(measure_cluster(n, ops))
 
 
 def test_message_complexity_sweep(benchmark, save_result):

@@ -35,6 +35,7 @@ from typing import Any, Hashable, Sequence
 
 from repro.core.adt import UQADT
 from repro.core.universal import Stamped, UniversalReplica
+from repro.obs.metrics import MetricsRegistry
 
 
 class CheckpointedReplica(UniversalReplica):
@@ -57,7 +58,21 @@ class CheckpointedReplica(UniversalReplica):
         self._applied = 0  # updates[:applied] are folded into _state
         #: (index, state) pairs, ascending; index 0 is the base state.
         self._checkpoints: list[tuple[int, Any]] = [(0, self._state)]
-        self.rollbacks = 0  # late-message rollbacks (bench metric)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        super().bind_metrics(registry)
+        #: late-message rollbacks (bench metric).
+        self._rollbacks = registry.counter(
+            "repro_replica_rollbacks_total",
+            help="checkpoint rollbacks forced by late messages (updates "
+            "stamped before an already-replayed prefix)",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+
+    @property
+    def rollbacks(self) -> int:
+        """Deprecated: reads ``repro_replica_rollbacks_total``."""
+        return int(self._rollbacks.value)
 
     # The base state replay starts from (overridden by the GC subclass).
     def _base_state(self) -> Any:
@@ -70,7 +85,7 @@ class CheckpointedReplica(UniversalReplica):
         if pos < self._applied:
             # Late message: the cached state replayed updates that sort
             # after it.  Roll back to the nearest checkpoint not past pos.
-            self.rollbacks += 1
+            self._rollbacks.inc()
             while self._checkpoints and self._checkpoints[-1][0] > pos:
                 self._checkpoints.pop()
             if self._checkpoints:
@@ -88,7 +103,7 @@ class CheckpointedReplica(UniversalReplica):
             i += 1
             if i % interval == 0:
                 self._checkpoints.append((i, state))
-        self.replayed_updates += i - self._applied
+        self._replayed.inc(i - self._applied)
         self._applied, self._state = i, state
         return state
 
@@ -138,10 +153,24 @@ class GarbageCollectedReplica(CheckpointedReplica):
         self.heard: list[int] = [0] * n
         self._base: Any = spec.initial_state()
         self._stable_uids: list[tuple[int, int]] = []
-        self.collected = 0
         self._since_gc = 0
         #: largest (clock, pid) folded into the base state.
         self._gc_frontier: tuple[int, int] | None = None
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        super().bind_metrics(registry)
+        #: log entries folded away by stable-prefix GC.
+        self._collected = registry.counter(
+            "repro_replica_collected_entries_total",
+            help="update-log entries garbage-collected into the base state "
+            "(the stable prefix of Section VII-C)",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+
+    @property
+    def collected(self) -> int:
+        """Deprecated: reads ``repro_replica_collected_entries_total``."""
+        return int(self._collected.value)
 
     def _base_state(self) -> Any:
         return self._base
@@ -225,7 +254,7 @@ class GarbageCollectedReplica(CheckpointedReplica):
         for i, s in self._checkpoints:
             if i <= len(self.updates):
                 self._applied, self._state = i, s
-        self.collected += cut
+        self._collected.inc(cut)
         return cut
 
     def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:

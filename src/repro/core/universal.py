@@ -35,6 +35,7 @@ import bisect
 from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.adt import UQADT, Update
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.replica import Replica
 from repro.util.clocks import LamportClock
 
@@ -85,8 +86,23 @@ class UniversalReplica(Replica):
         self.relay = relay
         self._known: set[tuple[int, int]] = set()
         self._last_meta: dict[str, Any] = {}
-        #: replay effort accounting for the complexity benches.
-        self.replayed_updates = 0
+
+    # -- observability ---------------------------------------------------------------
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        super().bind_metrics(registry)
+        #: replay effort accounting (Section VII-C query replay cost).
+        self._replayed = registry.counter(
+            "repro_replica_replayed_updates_total",
+            help="updates folded while answering queries (Section VII-C "
+            "replay cost of Algorithm 1 and its optimizations)",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+
+    @property
+    def replayed_updates(self) -> int:
+        """Deprecated: reads ``repro_replica_replayed_updates_total``."""
+        return int(self._replayed.value)
 
     # -- Algorithm 1 ---------------------------------------------------------------
 
@@ -173,7 +189,7 @@ class UniversalReplica(Replica):
 
     def _replay_state(self) -> Any:
         """Full replay — lines 14-17 (optionally batch-folded)."""
-        self.replayed_updates += len(self.updates)
+        self._replayed.inc(len(self.updates))
         if self.batch_replay:
             return self.spec.apply_batch(
                 self.spec.initial_state(), [u for _, _, u in self.updates]

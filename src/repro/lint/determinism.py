@@ -14,6 +14,7 @@ no uuid4/wall-clock anywhere").
 | SIM102 | every RNG is an injected, seeded ``np.random.Generator``        |
 | SIM103 | no ordering decision built from bare ``set`` iteration          |
 | SIM104 | no ``id()``-based ordering (CPython address = nondeterminism)   |
+| SIM105 | instrumentation classes hold no wall-clock *references*         |
 """
 
 from __future__ import annotations
@@ -203,6 +204,52 @@ def sim103_set_order(module: ModuleInfo) -> Iterator[Finding]:
                         "list comprehension over a bare set produces a "
                         "hash-order-dependent sequence; iterate sorted(...)",
                     )
+
+
+#: Class-name suffixes marking telemetry machinery (the ``repro.obs``
+#: naming convention): these classes must live entirely on virtual time.
+INSTRUMENTATION_SUFFIXES = ("Tracer", "Registry", "Collector")
+
+
+@register("SIM105", "instrumentation classes stay on the virtual clock")
+def sim105_instrumentation_wall_clock(module: ModuleInfo) -> Iterator[Finding]:
+    """Flag wall-clock *references* smuggled into instrumentation classes.
+
+    SIM101 catches wall-clock calls; a bare reference — ``time.monotonic``
+    as a default argument, ``time.perf_counter`` stashed on ``self`` —
+    defers the call past the linter's sight and resurfaces at record time.
+    Outside instrumentation that is the sanctioned injectable-timer idiom
+    (the bench harness holds exactly such a reference so tests can swap in
+    a fake).  Inside a tracer or metrics registry it means simulated
+    telemetry silently mixes wall time into virtual-time artifacts: traces
+    stop being a pure function of the seed.  Instrumentation must take
+    timestamps as arguments (``Cluster.now``), never capture a clock.
+    """
+    for info in module.classes:
+        if not info.node.name.endswith(INSTRUMENTATION_SUFFIXES):
+            continue
+        call_funcs: set[ast.expr] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                call_funcs.add(node.func)
+        for node in ast.walk(info.node):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if node in call_funcs:
+                continue  # an actual call: SIM101's territory
+            dotted = module.resolve_call(node)
+            if dotted is None:
+                continue
+            if dotted in WALL_CLOCK_CALLS or dotted.startswith("secrets."):
+                yield _finding(
+                    module,
+                    node,
+                    "SIM105",
+                    f"reference to {dotted!r} inside instrumentation class "
+                    f"{info.node.name!r}: tracers and registries must be "
+                    "stamped with virtual time (Cluster.now) by their "
+                    "callers, not capture a wall clock for later",
+                )
 
 
 @register("SIM104", "no id()-based identity ordering")

@@ -1,0 +1,52 @@
+"""repro.obs — observability for the simulated replication stack.
+
+Three layers, each usable alone:
+
+* :mod:`repro.obs.metrics` — a Prometheus-flavoured metrics registry
+  (counters, gauges, histograms with labeled series; text + JSON
+  exposition).  The runtime's ad-hoc counters (``Network.sent_count``,
+  ``UniversalReplica.replayed_updates``, …) are now deprecated properties
+  reading these instruments.
+* :mod:`repro.obs.tracer` — a virtual-time tracer (no-op by default)
+  emitting structured records for the message lifecycle, operations,
+  crashes/recoveries and anti-entropy; exportable as a Chrome trace-event
+  file that loads in Perfetto.
+* :mod:`repro.obs.report` — folds a finished cluster (trace + registry +
+  tracer) into one machine-readable JSON run report; also the
+  ``python -m repro.obs`` CLI.
+
+Only the leaf modules are imported here: ``repro.sim.cluster`` imports
+this package at module load, so pulling :mod:`repro.obs.report` (which
+imports the cluster) back in would create a cycle.  Import the report
+layer explicitly: ``from repro.obs.report import run_report``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    CLUSTER_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    SimTracer,
+    TraceRecord,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CLUSTER_TRACK",
+    "NULL_TRACER",
+    "NullTracer",
+    "SimTracer",
+    "TraceRecord",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,80 @@
+"""CLI: render machine-readable run reports and Perfetto traces.
+
+::
+
+    python -m repro.obs report --seed 0 --out report.json --trace trace.json
+
+runs the canonical chaos scenario (crash + recover + anti-entropy over a
+lossy network) with tracing enabled and emits the run report; ``--trace``
+additionally writes a Chrome-trace-event file loadable at
+https://ui.perfetto.dev, ``--metrics`` the Prometheus text exposition, and
+``--validate`` checks the report against the documented schema (non-zero
+exit on violation) — the CI ``obs-smoke`` contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.report import run_report, validate_report
+from repro.obs.scenario import chaos_scenario
+from repro.obs.tracer import write_chrome_trace
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability reports for simulated runs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report",
+        help="run the traced chaos scenario and emit its JSON run report",
+    )
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--procs", type=int, default=3)
+    rep.add_argument("--ops", type=int, default=40)
+    rep.add_argument("--drop", type=float, default=0.15,
+                     help="lossy-network drop probability (default 0.15)")
+    rep.add_argument("--out", help="report JSON path (default: stdout)")
+    rep.add_argument("--trace", help="also write a Perfetto/Chrome trace here")
+    rep.add_argument("--metrics",
+                     help="also write the Prometheus text exposition here")
+    rep.add_argument("--validate", action="store_true",
+                     help="validate the report against the schema")
+    args = parser.parse_args(argv)
+
+    cluster = chaos_scenario(
+        seed=args.seed, procs=args.procs, ops=args.ops,
+        drop_probability=args.drop,
+    )
+    doc = run_report(cluster)
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    if args.trace:
+        write_chrome_trace(args.trace, cluster.tracer)
+        print(f"perfetto trace written to {args.trace}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(cluster.metrics.to_prometheus_text())
+        print(f"metrics written to {args.metrics}")
+    if args.validate:
+        errors = validate_report(doc)
+        if errors:
+            for error in errors:
+                print(f"schema violation: {error}", file=sys.stderr)
+            return 1
+        print("report validates against the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

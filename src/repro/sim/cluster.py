@@ -34,6 +34,8 @@ import numpy as np
 from repro.core.adt import Query, Update, _canonical
 from repro.core.history import Event, History
 from repro.core.criteria.witness import SUCWitness
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.sim.network import LatencyModel, Network
 from repro.sim.replica import Replica
 
@@ -145,23 +147,79 @@ class Cluster:
         fifo: bool = False,
         network_cls: type[Network] = Network,
         network_kwargs: Mapping[str, Any] | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.n = n
         self.rng = np.random.default_rng(seed)
+        #: run-wide observability: one shared metrics registry (the network
+        #: and every replica are re-homed onto it) and one virtual-time
+        #: tracer (no-op unless the caller passes e.g. ``SimTracer()``).
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
         #: ``network_cls``/``network_kwargs`` select the channel fault model
         #: (e.g. :class:`~repro.sim.network.LossyNetwork` with a drop
         #: probability); the default is the paper's reliable network.
         self.network = network_cls(
             n, latency=latency, rng=self.rng, fifo=fifo, **(network_kwargs or {})
         )
+        self.network.tracer = tracer
+        self.network.bind_metrics(self.metrics)
         self._replica_factory = replica_factory
         self.replicas: list[Replica] = [replica_factory(pid, n) for pid in range(n)]
+        for replica in self.replicas:
+            replica.bind_metrics(self.metrics)
         self.now: float = 0.0
         self.trace = Trace()
         self.crashed: set[int] = set()
-        self.dropped_to_crashed = 0
-        self.recovered_count = 0
         self._eid = itertools.count()
+        self._bind_cluster_metrics()
+
+    def _bind_cluster_metrics(self) -> None:
+        """Create the cluster's own instruments on the shared registry."""
+        m = self.metrics
+        self._dropped = m.counter(
+            "repro_cluster_dropped_to_crashed_total",
+            help="messages addressed to a crashed process and discarded",
+        ).labels()
+        self._recovered = m.counter(
+            "repro_cluster_recoveries_total",
+            help="crash-recovery restarts performed",
+        ).labels()
+        self._crashes = m.counter(
+            "repro_cluster_crashes_total", help="processes crashed by the adversary",
+        ).labels()
+        updates = m.counter(
+            "repro_cluster_updates_total",
+            help="update operations issued", label_names=("pid",),
+        )
+        queries = m.counter(
+            "repro_cluster_queries_total",
+            help="query operations issued", label_names=("pid",),
+        )
+        # Per-pid series cached up front: hot paths index, never dict-lookup.
+        self._update_series = [updates.labels(pid=p) for p in range(self.n)]
+        self._query_series = [queries.labels(pid=p) for p in range(self.n)]
+        self._replay_hist = m.histogram(
+            "repro_cluster_query_replayed_updates",
+            help="updates replayed to answer one query (replay amplification)",
+        ).labels()
+        self._time_gauge = m.gauge(
+            "repro_cluster_virtual_time",
+            help="the cluster's virtual clock (Cluster.now)",
+        ).labels()
+
+    # -- deprecated counter aliases (registry-backed) ---------------------------------
+
+    @property
+    def dropped_to_crashed(self) -> int:
+        """Deprecated: reads ``repro_cluster_dropped_to_crashed_total``."""
+        return int(self._dropped.value)
+
+    @property
+    def recovered_count(self) -> int:
+        """Deprecated: reads ``repro_cluster_recoveries_total``."""
+        return int(self._recovered.value)
 
     # -- application-level operations (wait-free) -----------------------------------
 
@@ -172,23 +230,33 @@ class Cluster:
         for payload in payloads:
             self.network.broadcast(pid, payload, self.now)
         self._drain_outbox(replica)
-        self.trace.append(
-            OpRecord(next(self._eid), pid, update, self.now, dict(replica.witness_meta()))
-        )
+        meta = dict(replica.witness_meta())
+        self._update_series[pid].inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "op.update", self.now, pid=pid,
+                attrs={"update": str(update), "timestamp": meta.get("timestamp")},
+            )
+        self.trace.append(OpRecord(next(self._eid), pid, update, self.now, meta))
 
     def query(self, pid: int, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         """Issue query ``name(*args)`` at ``pid``; returns its output."""
         replica = self._live_replica(pid)
+        before = getattr(replica, "replayed_updates", 0)
         output = replica.on_query(name, args)
         self._drain_outbox(replica)
-        self.trace.append(
-            OpRecord(
-                next(self._eid),
-                pid,
-                Query(name, args, output),
-                self.now,
-                dict(replica.witness_meta()),
+        meta = dict(replica.witness_meta())
+        replayed = getattr(replica, "replayed_updates", 0) - before
+        self._query_series[pid].inc()
+        self._replay_hist.observe(replayed)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "op.query", self.now, pid=pid,
+                attrs={"query": name, "replayed": replayed,
+                       "timestamp": meta.get("timestamp")},
             )
+        self.trace.append(
+            OpRecord(next(self._eid), pid, Query(name, args, output), self.now, meta)
         )
         return output
 
@@ -201,9 +269,20 @@ class Cluster:
         if msg is None:
             return False
         self.now = max(self.now, msg.deliver_at)
+        self._time_gauge.set(self.now)
         if msg.dst in self.crashed:
-            self.dropped_to_crashed += 1
+            self._dropped.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "message.drop_to_crashed", self.now, pid=msg.dst,
+                    attrs={"src": msg.src, "seq": msg.seq},
+                )
             return True
+        if self.tracer.enabled:
+            self.tracer.span(
+                "message.deliver", msg.sent_at, self.now, pid=msg.dst,
+                attrs={"src": msg.src, "seq": msg.seq},
+            )
         replica = self.replicas[msg.dst]
         extra = replica.on_message(msg.src, msg.payload)
         for payload in extra or ():
@@ -237,6 +316,7 @@ class Cluster:
         if dt < 0:
             raise ValueError("time cannot flow backwards")
         self.now += dt
+        self._time_gauge.set(self.now)
 
     # -- faults ------------------------------------------------------------------------
 
@@ -263,12 +343,22 @@ class Cluster:
         if pid in self.crashed:
             return
         self.crashed.add(pid)
+        dropped_out = 0
         if drop_outgoing:
-            self.network.drop_messages(lambda m: m.src == pid)
+            dropped_out = self.network.drop_messages(lambda m: m.src == pid)
         for src, dst in list(self.network._holds):
             if pid in (src, dst):
                 self.network.release(src, dst, self.now)
-        self.dropped_to_crashed += self.network.drop_messages(lambda m: m.dst == pid)
+        dropped_in = self.network.drop_messages(lambda m: m.dst == pid)
+        self._dropped.inc(dropped_in)
+        self._crashes.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "replica.crash", self.now, pid=pid,
+                attrs={"drop_outgoing": drop_outgoing,
+                       "dropped_inbound": dropped_in,
+                       "dropped_outgoing": dropped_out},
+            )
 
     def recover(self, pid: int, *, fsync_point: int | None = None) -> Replica:
         """Restart crashed process ``pid`` from its durable log.
@@ -290,13 +380,28 @@ class Cluster:
             raise ValueError(f"process {pid} is not crashed")
         snapshot = persist.replica_snapshot(self.replicas[pid], fsync_point=fsync_point)
         fresh = self._replica_factory(pid, self.n)
+        fresh.bind_metrics(self.metrics)
         persist.restore_replica(fresh, snapshot)
         self.replicas[pid] = fresh
         self.crashed.discard(pid)
-        self.recovered_count += 1
+        self._recovered.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "replica.recover", self.now, pid=pid,
+                attrs={"fsync_point": fsync_point,
+                       "restored_log": getattr(fresh, "log_length", None)},
+            )
         sync = getattr(fresh, "sync_request", None)
         if sync is not None:
             self.network.broadcast(pid, sync(), self.now)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "sync.request", self.now, pid=pid, attrs={"reason": "recover"}
+                )
+        # Restore hooks may queue directed sends (e.g. a subclass pulling
+        # state from a peer); without this drain they sat stranded in the
+        # outbox until the replica's next hook call.
+        self._drain_outbox(fresh)
         return fresh
 
     def hold(self, src: int, dst: int) -> None:
@@ -304,10 +409,18 @@ class Cluster:
         self._check_live_endpoint(src)
         self._check_live_endpoint(dst)
         self.network.hold(src, dst)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "channel.hold", self.now, attrs={"src": src, "dst": dst}
+            )
 
     def release(self, src: int, dst: int) -> None:
         """Release a held channel at the current virtual time."""
         self.network.release(src, dst, self.now)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "channel.release", self.now, attrs={"src": src, "dst": dst}
+            )
 
     def partition(self, groups: Iterable[Iterable[int]]) -> None:
         """Block all traffic between the given groups (until healed).
@@ -317,11 +430,19 @@ class Cluster:
         must otherwise be disjoint (validated by the network).
         """
         live = [[pid for pid in g if pid not in self.crashed] for g in groups]
-        self.network.partition([g for g in live if g])
+        filtered = [g for g in live if g]
+        self.network.partition(filtered)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "channel.partition", self.now,
+                attrs={"groups": [sorted(g) for g in filtered]},
+            )
 
     def heal(self) -> None:
         """End every partition/hold; parked messages become deliverable."""
         self.network.heal(self.now)
+        if self.tracer.enabled:
+            self.tracer.event("channel.heal", self.now)
 
     def anti_entropy(self, *, rounds: int = 3) -> int:
         """Run sync rounds until replicas agree (or ``rounds`` exhausted).
@@ -334,16 +455,27 @@ class Cluster:
         """
         performed = 0
         for _ in range(rounds):
-            requested = False
+            requested = 0
+            round_start = self.now
             for pid in self.alive():
                 sync = getattr(self.replicas[pid], "sync_request", None)
                 if sync is not None:
                     self.network.broadcast(pid, sync(), self.now)
-                    requested = True
+                    requested += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "sync.request", self.now, pid=pid,
+                            attrs={"reason": "anti-entropy"},
+                        )
             if not requested:
                 break
             self.run()
             performed += 1
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "anti_entropy.round", round_start, self.now,
+                    attrs={"round": performed, "requests": requested},
+                )
             if len({_canonical(s) for s in self.states().values()}) <= 1:
                 break
         return performed

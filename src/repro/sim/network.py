@@ -33,6 +33,20 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer
+
+
+def _payload_bits(payload: Any) -> int | None:
+    """Wire-size estimate for trace attributes; ``None`` when the payload
+    is outside :func:`~repro.analysis.metrics.payload_size_bits`'s codec."""
+    from repro.analysis.metrics import payload_size_bits
+
+    try:
+        return payload_size_bits(payload)
+    except TypeError:
+        return None
+
 
 @dataclass(frozen=True, slots=True)
 class Message:
@@ -167,8 +181,42 @@ class Network:
         self.invariants: ChannelInvariantChecker | None = (
             ChannelInvariantChecker() if (fifo and check_invariants) else None
         )
-        self.sent_count = 0
-        self.delivered_count = 0
+        #: virtual-time tracer; the cluster swaps its own in when tracing.
+        self.tracer: NullTracer = NULL_TRACER
+        #: observability home: private until the cluster re-binds it onto
+        #: the shared per-run registry.
+        self.metrics = MetricsRegistry()
+        self.bind_metrics(self.metrics)
+
+    # -- observability -----------------------------------------------------------
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """(Re-)home the network's instruments on ``registry``.
+
+        Subclasses creating extra instruments (loss, duplication) override
+        this; it runs from ``__init__`` before subclass state exists, so
+        overrides may use only the registry argument.
+        """
+        self.metrics = registry
+        self._sent = registry.counter(
+            "repro_network_messages_sent_total",
+            help="point-to-point sends (a broadcast is n-1 of these; "
+            "Section VII-C: one broadcast per update)",
+        ).labels()
+        self._delivered = registry.counter(
+            "repro_network_messages_delivered_total",
+            help="messages handed to the cluster for delivery",
+        ).labels()
+
+    @property
+    def sent_count(self) -> int:
+        """Deprecated: reads ``repro_network_messages_sent_total``."""
+        return int(self._sent.value)
+
+    @property
+    def delivered_count(self) -> int:
+        """Deprecated: reads ``repro_network_messages_delivered_total``."""
+        return int(self._delivered.value)
 
     # -- sending ---------------------------------------------------------------
 
@@ -184,7 +232,13 @@ class Network:
             deliver_at = max(deliver_at, floor)
             self._last_fifo_deliver_at[(src, dst)] = deliver_at
         msg = Message(src, dst, payload, now, deliver_at, next(self._seq))
-        self.sent_count += 1
+        self._sent.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "message.send", now, pid=src,
+                attrs={"dst": dst, "seq": msg.seq, "deliver_at": deliver_at,
+                       "bits": _payload_bits(payload)},
+            )
         self._commit(msg)
         return msg
 
@@ -224,7 +278,7 @@ class Network:
                 self.invariants.observe(msg)
             prev = self._last_delivered_at.get(chan, -np.inf)
             self._last_delivered_at[chan] = max(prev, msg.deliver_at)
-        self.delivered_count += 1
+        self._delivered.inc()
         return msg
 
     def peek_time(self) -> float | None:
@@ -384,11 +438,27 @@ class LossyNetwork(Network):
         if not 0 <= drop_probability <= 1:
             raise ValueError(f"drop probability must be in [0, 1], got {drop_probability}")
         self.drop_probability = drop_probability
-        self.lost_count = 0
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        super().bind_metrics(registry)
+        self._lost = registry.counter(
+            "repro_network_messages_lost_total",
+            help="messages dropped in transit by the lossy-channel adversary",
+        ).labels()
+
+    @property
+    def lost_count(self) -> int:
+        """Deprecated: reads ``repro_network_messages_lost_total``."""
+        return int(self._lost.value)
 
     def _commit(self, msg: Message) -> None:
         if msg.src != msg.dst and self.rng.random() < self.drop_probability:
-            self.lost_count += 1
+            self._lost.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "message.lost", msg.sent_at, pid=msg.src,
+                    attrs={"dst": msg.dst, "seq": msg.seq},
+                )
             return
         super()._commit(msg)
 
@@ -420,7 +490,18 @@ class DuplicatingNetwork(Network):
                 f"duplicate probability must be in [0, 1], got {duplicate_probability}"
             )
         self.duplicate_probability = duplicate_probability
-        self.duplicated_count = 0
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        super().bind_metrics(registry)
+        self._duplicated = registry.counter(
+            "repro_network_messages_duplicated_total",
+            help="extra deliveries injected by the duplicating adversary",
+        ).labels()
+
+    @property
+    def duplicated_count(self) -> int:
+        """Deprecated: reads ``repro_network_messages_duplicated_total``."""
+        return int(self._duplicated.value)
 
     def _commit(self, msg: Message) -> None:
         super()._commit(msg)
@@ -433,5 +514,10 @@ class DuplicatingNetwork(Network):
             dup = Message(
                 msg.src, msg.dst, msg.payload, msg.sent_at, deliver_at, next(self._seq)
             )
-            self.duplicated_count += 1
+            self._duplicated.inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "message.duplicated", msg.sent_at, pid=msg.src,
+                    attrs={"dst": msg.dst, "seq": dup.seq, "of_seq": msg.seq},
+                )
             super()._commit(dup)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Hashable, Sequence
 
 from repro.core.adt import Update
+from repro.obs.metrics import MetricsRegistry
 
 
 class Replica:
@@ -44,6 +45,23 @@ class Replica:
         #: quorum baseline) need point-to-point replies, which the plain
         #: broadcast-only return channel cannot express.
         self.outbox: list[tuple[int | None, Any]] = []
+        #: observability home: a private registry at construction so a
+        #: stand-alone replica accounts for itself; the cluster re-binds
+        #: every replica onto the shared per-run registry.
+        self.metrics = MetricsRegistry()
+        self.bind_metrics(self.metrics)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """(Re-)home this replica's instruments on ``registry``.
+
+        Called once during construction with a private registry, and again
+        by :class:`~repro.sim.cluster.Cluster` to move the replica onto
+        the run-wide registry.  Overrides must create their instruments
+        here (idempotent registration makes re-binding safe) and may rely
+        only on ``self.pid`` — the hook runs before subclass ``__init__``
+        bodies.
+        """
+        self.metrics = registry
 
     def send_to(self, dst: int | None, payload: Any) -> None:
         """Queue a point-to-point send (or a broadcast when ``dst`` is

@@ -1,0 +1,15 @@
+# uqlint fixture: SIM105 — an instrumentation class smuggling a wall-clock
+# reference.  No call happens here (so SIM101 stays quiet); the clock is
+# captured as a default argument and fires later, at record time.
+import time
+
+
+class LeakyTracer:
+    """Stamps records with a deferred wall-clock read."""
+
+    def __init__(self, timer=time.monotonic):
+        self.timer = timer
+        self.records = []
+
+    def event(self, name):
+        self.records.append((name, self.timer))

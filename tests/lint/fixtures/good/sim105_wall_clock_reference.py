@@ -1,0 +1,17 @@
+# uqlint fixture: SIM105 (clean) — instrumentation takes virtual-time
+# stamps from its caller; the injectable-timer reference lives outside any
+# instrumentation class (the sanctioned bench-harness idiom).
+import time
+
+# Module-level injectable timer: allowed, it is not inside a Tracer/Registry.
+default_timer = time.monotonic
+
+
+class VirtualTimeTracer:
+    """Records whatever timestamp the caller hands in (Cluster.now)."""
+
+    def __init__(self):
+        self.records = []
+
+    def event(self, name, ts):
+        self.records.append((name, ts))

@@ -1,0 +1,163 @@
+"""The metrics registry: instruments, labeled series, exposition formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_counts_up(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", help="ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.value("ops_total") == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("per_pid_total", label_names=("pid",))
+        c.labels(pid=0).inc(2)
+        c.labels(pid=1).inc(3)
+        assert reg.value("per_pid_total", pid=0) == 2
+        assert reg.value("per_pid_total", pid=1) == 3
+        assert c.total() == 5
+
+    def test_labels_must_match_declaration(self):
+        c = MetricsRegistry().counter("l_total", label_names=("pid",))
+        with pytest.raises(ValueError, match="requires labels"):
+            c.labels(wrong=1)
+        with pytest.raises(ValueError, match="requires labels"):
+            c.labels(pid=1, extra=2)
+
+    def test_unlabeled_metric_rejects_default_when_labeled(self):
+        c = MetricsRegistry().counter("l_total", label_names=("pid",))
+        with pytest.raises(ValueError, match="use .labels"):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        series = h.labels()
+        assert series.count == 4
+        assert series.sum == pytest.approx(106.2)
+        assert series.cumulative_buckets() == [(1.0, 2), (10.0, 3), (float("inf"), 4)]
+
+    def test_bucket_edge_is_inclusive(self):
+        # Prometheus semantics: le is an upper *inclusive* bound.
+        h = MetricsRegistry().histogram("edge", buckets=(5.0,))
+        h.observe(5.0)
+        assert h.labels().cumulative_buckets()[0] == (5.0, 1)
+
+    def test_buckets_must_ascend(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="ascending"):
+            reg.histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="ascending"):
+            reg.histogram("dup", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("same_total", label_names=("pid",))
+        b = reg.counter("same_total", label_names=("pid",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("thing")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing_total", label_names=("pid",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("thing_total", label_names=("node",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("9starts-with-digit")
+        with pytest.raises(ValueError, match="invalid label name"):
+            reg.counter("ok_total", label_names=("bad-label",))
+
+    def test_value_defaults_for_missing_series(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope", default=42) == 42
+        c = reg.counter("l_total", label_names=("pid",))
+        c.labels(pid=0).inc()
+        assert reg.value("l_total", default=-1, pid=9) == -1
+
+    def test_flat_includes_labels_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", label_names=("pid",)).labels(pid=3).inc(7)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        flat = reg.flat()
+        assert flat['ops_total{pid="3"}'] == 7
+        assert flat["lat_count"] == 1
+        assert flat["lat_sum"] == 0.5
+
+
+class TestExposition:
+    def make(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        c = reg.counter("msgs_total", help="messages", label_names=("pid",))
+        c.labels(pid=1).inc(3)
+        c.labels(pid=0).inc(2)
+        reg.gauge("t", help="virtual time").set(4.5)
+        reg.histogram("replay", buckets=(10.0,)).observe(3)
+        return reg
+
+    def test_prometheus_text(self):
+        text = self.make().to_prometheus_text()
+        assert "# HELP msgs_total messages" in text
+        assert "# TYPE msgs_total counter" in text
+        assert 'msgs_total{pid="0"} 2' in text
+        assert 'msgs_total{pid="1"} 3' in text
+        assert "t 4.5" in text
+        assert 'replay_bucket{le="10"} 1' in text
+        assert 'replay_bucket{le="+Inf"} 1' in text
+        assert "replay_count 1" in text
+
+    def test_series_output_sorted_by_label_values(self):
+        text = self.make().to_prometheus_text()
+        assert text.index('pid="0"') < text.index('pid="1"')
+
+    def test_json_round_trips(self):
+        doc = json.loads(self.make().to_json_text())
+        assert doc["format"] == "repro-metrics-v1"
+        series = doc["metrics"]["msgs_total"]["series"]
+        assert {"labels": {"pid": "0"}, "value": 2} in series
+        hist = doc["metrics"]["replay"]["series"][0]
+        assert hist["count"] == 1 and hist["buckets"][-1][0] == "+Inf"
+
+    def test_exposition_is_deterministic(self):
+        assert self.make().to_prometheus_text() == self.make().to_prometheus_text()
+        assert self.make().to_json_text() == self.make().to_json_text()
+
+    def test_default_buckets_ascend(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

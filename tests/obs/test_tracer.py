@@ -1,0 +1,131 @@
+"""Tracers and the Chrome-trace-event (Perfetto) export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    CLUSTER_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    SimTracer,
+    TraceRecord,
+    chrome_trace_json,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class TestNullTracer:
+    def test_is_disabled_and_stateless(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.event("message.send", 1.0, pid=0, attrs={"dst": 1})
+        NULL_TRACER.span("op.query", 1.0, 2.0, pid=0)
+        assert NULL_TRACER.records() == []
+        assert NULL_TRACER.counts() == {}
+
+    def test_has_no_instance_dict(self):
+        # The hot-path guard relies on the no-op tracer staying this cheap.
+        with pytest.raises(AttributeError):
+            NullTracer().stash = 1
+
+
+class TestSimTracer:
+    def test_records_events_and_spans(self):
+        t = SimTracer()
+        assert t.enabled is True
+        t.event("replica.crash", 3.0, pid=2, attrs={"drop_outgoing": True})
+        t.span("message.deliver", 1.0, 4.0, pid=0, attrs={"src": 1})
+        assert len(t) == 2
+        crash, deliver = t.records()
+        assert not crash.is_span and crash.end is None
+        assert crash.category == "replica"
+        assert deliver.is_span and deliver.end == 4.0
+        assert deliver.attrs == {"src": 1}
+
+    def test_span_must_not_end_before_start(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            SimTracer().span("x", 5.0, 4.0)
+
+    def test_zero_length_span_allowed(self):
+        t = SimTracer()
+        t.span("anti_entropy.round", 2.0, 2.0)
+        assert t.records()[0].is_span
+
+    def test_counts_and_filtered_iteration(self):
+        t = SimTracer()
+        t.event("message.send", 1.0, pid=0)
+        t.event("message.send", 2.0, pid=1)
+        t.event("op.update", 2.0, pid=0)
+        assert t.counts() == {"message.send": 2, "op.update": 1}
+        assert [r.start for r in t.iter_records("message.send")] == [1.0, 2.0]
+
+    def test_default_pid_is_cluster_track(self):
+        t = SimTracer()
+        t.event("channel.partition", 0.0)
+        assert t.records()[0].pid == CLUSTER_TRACK
+
+
+class TestChromeExport:
+    def make(self) -> SimTracer:
+        t = SimTracer()
+        t.event("op.update", 2.0, pid=1, attrs={"update": "ins(3)"})
+        t.span("message.deliver", 1.0, 3.0, pid=0, attrs={"src": 1, "seq": 0})
+        t.event("replica.crash", 0.5, pid=1)
+        return t
+
+    def test_structure(self):
+        doc = to_chrome_trace(self.make())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        # One process_name record per track, sorted by pid.
+        assert [m["pid"] for m in meta] == [0, 1]
+        assert all(m["name"] == "process_name" for m in meta)
+        body = [e for e in events if e["ph"] != "M"]
+        # Non-metadata events are ordered by virtual start time.
+        assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+        instants = [e for e in body if e["ph"] == "i"]
+        spans = [e for e in body if e["ph"] == "X"]
+        assert len(instants) == 2 and all(e["s"] == "p" for e in instants)
+        (span,) = spans
+        assert span["ts"] == pytest.approx(1.0 * 1e6)
+        assert span["dur"] == pytest.approx(2.0 * 1e6)
+        assert span["args"] == {"src": 1, "seq": 0}
+        assert span["cat"] == "message"
+        assert doc["otherData"]["clock"] == "virtual"
+
+    def test_cluster_track_labeled(self):
+        t = SimTracer()
+        t.event("channel.heal", 1.0)
+        doc = to_chrome_trace(t)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["pid"] == CLUSTER_TRACK
+        assert meta[0]["args"]["name"] == "cluster"
+
+    def test_time_scale(self):
+        doc = to_chrome_trace(self.make(), time_scale=10.0)
+        body = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert body[0]["ts"] == pytest.approx(5.0)
+
+    def test_json_helpers_round_trip(self, tmp_path):
+        t = self.make()
+        doc = json.loads(chrome_trace_json(t))
+        assert doc == json.loads(json.dumps(to_chrome_trace(t)))
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), t)
+        assert json.loads(path.read_text())["traceEvents"]
+        with open(tmp_path / "fh.json", "w") as fh:
+            write_chrome_trace(fh, t)
+        assert json.loads((tmp_path / "fh.json").read_text()) == doc
+
+    def test_null_tracer_exports_empty(self):
+        assert to_chrome_trace(NULL_TRACER)["traceEvents"] == []
+
+
+class TestTraceRecord:
+    def test_frozen(self):
+        record = TraceRecord("op.query", 1.0, None, 0)
+        with pytest.raises(AttributeError):
+            record.start = 2.0

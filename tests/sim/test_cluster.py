@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.universal import UniversalReplica
 from repro.sim import Cluster
-from repro.sim.cluster import CrashedProcessError
+from repro.sim.cluster import CrashedProcessError, OpRecord
 from repro.sim.network import FixedLatency
 from repro.specs import SetSpec
 from repro.specs import set_spec as S
@@ -159,3 +159,53 @@ class TestTrace:
         c.query(0, "read")
         assert len(c.trace.updates()) == 1
         assert len(c.trace.queries()) == 1
+
+    def test_suc_witness_names_record_missing_timestamp(self):
+        c = make()
+        c.update(0, S.insert(1))
+        record = c.trace.records[-1]
+        meta = dict(record.meta)
+        del meta["timestamp"]
+        c.trace.records[-1] = OpRecord(
+            record.eid, record.pid, record.label, record.time, meta
+        )
+        with pytest.raises(ValueError, match=rf"record {record.eid} lacks a timestamp"):
+            c.trace.suc_witness()
+
+    def test_suc_witness_requires_query_visibility(self):
+        c = make()
+        c.update(0, S.insert(1))
+        c.query(0, "read")
+        record = c.trace.records[-1]
+        meta = dict(record.meta)
+        del meta["visible"]
+        c.trace.records[-1] = OpRecord(
+            record.eid, record.pid, record.label, record.time, meta
+        )
+        with pytest.raises(
+            ValueError, match=rf"query record {record.eid} lacks visibility"
+        ):
+            c.trace.suc_witness()
+
+    def test_to_history_orders_every_process_chain(self):
+        c = make()
+        script = [(0, 1), (1, 2), (0, 3), (2, 4), (1, 5), (0, 6)]
+        for pid, value in script:
+            c.update(pid, S.insert(value))
+        c.query(1, "read")
+        h = c.trace.to_history()
+        by_pid: dict[int, list] = {}
+        for ev in h.events:
+            by_pid.setdefault(ev.pid, []).append(ev)
+        # Same process: totally ordered by invocation order (and only
+        # forward — program order is irreflexive and antisymmetric).
+        for chain in by_pid.values():
+            for i, a in enumerate(chain):
+                for b in chain[i + 1:]:
+                    assert h.precedes(a, b)
+                    assert not h.precedes(b, a)
+        # Different processes: never ordered, regardless of wall order.
+        for a in h.events:
+            for b in h.events:
+                if a.pid != b.pid:
+                    assert not h.precedes(a, b)

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 from repro.core.adt import Update
+from repro.core.universal import UniversalReplica
 from repro.sim import Cluster
 from repro.sim.replica import Replica
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
 
 
 class EchoReplica(Replica):
@@ -75,3 +78,54 @@ class TestOutbox:
         c.update(0, S.insert(1))
         c.run()
         assert c.query(1, "read") == frozenset({1})
+
+
+class PullOnRestoreReplica(UniversalReplica):
+    """Test double: its restore path queues a directed send (a state pull
+    aimed at one peer), the way a smarter recovery protocol would."""
+
+    def load_log(self, entries):
+        count = super().load_log(entries)
+        self.send_to((self.pid + 1) % self.n, ("pull", self.pid))
+        return count
+
+    def on_message(self, src: int, payload):
+        if isinstance(payload, tuple) and payload and payload[0] == "pull":
+            self.pulls_seen.append((src, payload))
+            return ()
+        return super().on_message(src, payload)
+
+    @property
+    def pulls_seen(self) -> list:
+        if not hasattr(self, "_pulls_seen"):
+            self._pulls_seen = []
+        return self._pulls_seen
+
+
+class TestRecoverDrainsOutbox:
+    """Regression: ``Cluster.recover`` never drained the fresh replica's
+    outbox, so sends queued by restore hooks sat stranded until the
+    replica's next (unrelated) hook call."""
+
+    def make(self, n=3):
+        spec = SetSpec()
+        return Cluster(n, lambda p, total: PullOnRestoreReplica(p, total, spec))
+
+    def test_restore_time_sends_are_shipped(self):
+        c = self.make()
+        c.update(0, S.insert(1))
+        c.run()
+        c.crash(0)
+        fresh = c.recover(0)
+        assert fresh.outbox == []
+        c.run()
+        assert (0, ("pull", 0)) in c.replicas[1].pulls_seen
+
+    def test_pull_not_delivered_to_bystanders(self):
+        c = self.make()
+        c.update(0, S.insert(1))
+        c.run()
+        c.crash(0)
+        c.recover(0)
+        c.run()
+        assert c.replicas[2].pulls_seen == []

@@ -67,6 +67,13 @@ def test_gc_bounds_log(benchmark, save_result):
     assert naive_series[-1][1] == CHECKPOINTS[-1]
     # GC'd log is bounded by the in-flight window, far below the history.
     assert gc_series[-1][1] <= CHECKPOINTS[-1] // 4
+    # The dedup structures obey the same bound: ids at or below the GC
+    # floor are covered implicitly, so the enumerated known set must not
+    # quietly re-grow O(total updates) (it did before it was pruned —
+    # GC's memory bound was cosmetic).
+    assert all(
+        r.known_ids_tracked <= CHECKPOINTS[-1] // 4 for r in c_gc.replicas
+    ), [r.known_ids_tracked for r in c_gc.replicas]
     # And the semantics did not change.
     assert {_canonical(s) for s in c_gc.states().values()} == {
         _canonical(s) for s in c_naive.states().values()

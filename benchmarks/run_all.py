@@ -251,6 +251,22 @@ def main(timer: Callable[[], float] | None = None) -> None:
             title=f"replay fold, {m.LOG_LEN} updates — {name}"))
 
     print("=" * 72)
+    print("SYNC — anti-entropy request size: v1 known-set vs v2 digest")
+    print("=" * 72)
+    m = load("bench_sync_scalability")
+    c, series = m.run_payload_series()
+    rows = [[ops, v1, v2] for ops, v1, v2 in series]
+    save("sync_scalability", format_table(
+        ["updates issued", "v1 request bits", "v2 request bits"], rows,
+        title="anti-entropy request size: known-set (v1) vs digest (v2)"))
+    universal["sync_scalability"] = c.metrics.flat()
+    c, pages = m.run_paged_repair()
+    save("sync_pages", format_table(
+        ["page", "entries"], [[i, p] for i, p in enumerate(pages)],
+        title=f"sync-resp pages during crash repair (bound {m.PAGE_SIZE})"))
+    universal["sync_paged_repair"] = c.metrics.flat()
+
+    print("=" * 72)
     print("FAULT — crash→recover→converge under adversarial channels")
     print("=" * 72)
     m = load("bench_fault_recovery")

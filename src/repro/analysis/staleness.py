@@ -64,7 +64,14 @@ def staleness_report(trace: Trace) -> StalenessReport:
         visible = r.meta.get("visible")
         if visible is None:
             raise ValueError(f"query record {r.eid} lacks visibility metadata")
-        missing = set(issued) - {tuple(u) for u in visible}
+        # GC replicas report the folded prefix as a completeness floor
+        # (every update with clock <= floor is in the base state, hence
+        # visible) instead of enumerating its uids.
+        floor = int(r.meta.get("visible_floor", 0) or 0)
+        seen = {tuple(u) for u in visible}
+        missing = {
+            uid for uid in issued if uid not in seen and uid[0] > floor
+        }
         version_lags.append(len(missing))
         if missing:
             oldest = min(issued[uid] for uid in missing)
@@ -103,6 +110,9 @@ def inclusion_latencies(trace: Trace) -> dict[tuple[int, int], float]:
             confirmations[uid] = {r.pid}  # issuer sees its own update
             continue
         visible = {tuple(u) for u in r.meta.get("visible", ())}
+        floor = int(r.meta.get("visible_floor", 0) or 0)
+        if floor:
+            visible.update(uid for uid in issued if uid[0] <= floor)
         for uid in visible:
             if uid in confirmations and uid not in first_seen_everywhere:
                 confirmations[uid].add(r.pid)

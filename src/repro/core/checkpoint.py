@@ -34,6 +34,7 @@ import bisect
 from typing import Any, Hashable, Sequence
 
 from repro.core.adt import UQADT
+from repro.core.sync import StateHandoff, StateTransferRequired, SyncDigest
 from repro.core.universal import Stamped, UniversalReplica
 from repro.obs.metrics import MetricsRegistry
 
@@ -49,8 +50,13 @@ class CheckpointedReplica(UniversalReplica):
         *,
         checkpoint_interval: int = 64,
         track_witness: bool = True,
+        sync_page_size: int = 64,
     ) -> None:
-        super().__init__(pid, n, spec, track_witness=track_witness)
+        super().__init__(
+            pid, n, spec,
+            track_witness=track_witness,
+            sync_page_size=sync_page_size,
+        )
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint interval must be positive")
         self.checkpoint_interval = checkpoint_interval
@@ -134,6 +140,7 @@ class GarbageCollectedReplica(CheckpointedReplica):
         gc_interval: int = 128,
         track_witness: bool = False,
         relay: bool = False,
+        sync_page_size: int = 64,
     ) -> None:
         if relay:
             raise ValueError(
@@ -145,6 +152,7 @@ class GarbageCollectedReplica(CheckpointedReplica):
             pid, n, spec,
             checkpoint_interval=checkpoint_interval,
             track_witness=track_witness,
+            sync_page_size=sync_page_size,
         )
         if gc_interval <= 0:
             raise ValueError("gc interval must be positive")
@@ -152,10 +160,23 @@ class GarbageCollectedReplica(CheckpointedReplica):
         #: highest clock heard from each peer (own entry tracks own clock).
         self.heard: list[int] = [0] * n
         self._base: Any = spec.initial_state()
-        self._stable_uids: list[tuple[int, int]] = []
         self._since_gc = 0
         #: largest (clock, pid) folded into the base state.
         self._gc_frontier: tuple[int, int] | None = None
+        #: completeness floor of the base state: every update (from any
+        #: author) with clock <= this is folded into ``_base``.  Unlike
+        #: the frontier it advances even when a collection folds nothing
+        #: (min(heard) grew past an empty stretch), and it is what lets
+        #: ``_known`` stay pruned: ids at or below the floor are known
+        #: implicitly.
+        self._gc_clock_floor = 0
+        #: crash-recovery honesty guard: after a truncated restore this
+        #: replica may have *lost its own updates* with clocks at or below
+        #: the recorded value, so its own ``heard`` column (a completeness
+        #: claim about its own authorship) must not advance past the
+        #: restored log until a state transfer certifies a floor covering
+        #: the gap.  0 = no suspicion.
+        self._own_suspect_below = 0
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
         super().bind_metrics(registry)
@@ -164,6 +185,19 @@ class GarbageCollectedReplica(CheckpointedReplica):
             "repro_replica_collected_entries_total",
             help="update-log entries garbage-collected into the base state "
             "(the stable prefix of Section VII-C)",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+        #: anti-entropy v2 state transfer accounting.
+        self._state_transfers = registry.counter(
+            "repro_sync_state_transfers_total",
+            help="base-state handoffs sent to requesters whose coverage "
+            "ended below this replica's GC floor",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+        self._state_installs = registry.counter(
+            "repro_sync_state_installs_total",
+            help="transferred base states installed (the requester side "
+            "of a state transfer)",
             label_names=("pid",),
         ).labels(pid=self.pid)
 
@@ -177,7 +211,7 @@ class GarbageCollectedReplica(CheckpointedReplica):
 
     def on_update(self, update) -> Sequence[Any]:
         out = super().on_update(update)
-        self.heard[self.pid] = self.clock.value
+        self._advance_own_heard()
         self._maybe_gc()
         return out
 
@@ -185,21 +219,33 @@ class GarbageCollectedReplica(CheckpointedReplica):
         if isinstance(payload, tuple) and payload and payload[0] == self.HEARTBEAT:
             _, cl, j = payload
             self.clock.merge(cl)
-            self.heard[j] = max(self.heard[j], cl)
+            if src == j:
+                # Only the author's own channel carries the FIFO
+                # completeness claim; a forwarded heartbeat would assert
+                # another channel's delivery order.
+                self.heard[j] = max(self.heard[j], cl)
             self._maybe_gc()
             return ()
         if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
-            # Other control payloads (the anti-entropy handshake): the base
-            # class dispatches them; any update they unfold is re-routed
-            # through this method, so the frontier check still applies.
+            # Other control payloads (the anti-entropy handshake): the
+            # base class dispatches them; sync-resp entries go through
+            # _ingest_synced, which tolerates sub-floor duplicates and
+            # never advances ``heard`` (a paged update arrives on the
+            # responder's channel, not its author's, so it carries no
+            # FIFO completeness claim).
             return super().on_message(src, payload)
         cl, j, _u = payload
-        if self._gc_frontier is not None and (cl, j) <= self._gc_frontier:
+        if cl <= self._gc_clock_floor:
             raise StabilityViolation(
                 f"update stamped {(cl, j)} arrived under the collected "
-                f"frontier {self._gc_frontier}; use FIFO channels with GC"
+                f"floor {self._gc_clock_floor}; use FIFO channels with GC"
             )
-        self.heard[j] = max(self.heard[j], cl)
+        if src == j:
+            # As with heartbeats: the claim "every j-update with a smaller
+            # clock has been delivered" is only sound on j's own FIFO
+            # channel.  Before v2, a sync-resp entry relayed by a peer
+            # advanced ``heard`` too, silently over-advancing the frontier.
+            self.heard[j] = max(self.heard[j], cl)
         out = super().on_message(src, payload)
         self._maybe_gc()
         return out
@@ -210,8 +256,15 @@ class GarbageCollectedReplica(CheckpointedReplica):
         Callers broadcast it via the cluster's network; it carries no
         update, so it does not appear in the distributed history.
         """
-        self.heard[self.pid] = self.clock.value
+        self._advance_own_heard()
         return (self.HEARTBEAT, self.clock.value, self.pid)
+
+    def _advance_own_heard(self) -> None:
+        """Advance the own ``heard`` column to the clock — unless a
+        truncated restore left this replica unsure it still has all of
+        its own pre-crash updates (see ``_own_suspect_below``)."""
+        if not self._own_suspect_below:
+            self.heard[self.pid] = max(self.heard[self.pid], self.clock.value)
 
     def _maybe_gc(self) -> None:
         self._since_gc += 1
@@ -229,6 +282,14 @@ class GarbageCollectedReplica(CheckpointedReplica):
         sort into or before the prefix.
         """
         frontier = min(self.heard)
+        if frontier > self._gc_clock_floor:
+            # The floor is a completeness claim, not a fold marker: every
+            # update with clock <= min(heard) is known (FIFO + Lamport
+            # monotonicity), so it may advance even when nothing in the
+            # live log falls under it.  _known no longer needs to
+            # enumerate ids at or below it.
+            self._gc_clock_floor = frontier
+            self._known = {uid for uid in self._known if uid[0] > frontier}
         cut = bisect.bisect_left(
             self.updates, (frontier + 1,), key=lambda s: (s[0], s[1])
         )
@@ -238,8 +299,6 @@ class GarbageCollectedReplica(CheckpointedReplica):
         state = self._base
         for cl, j, update in self.updates[:cut]:
             state = self.spec.apply(state, update)
-            if self.track_witness:
-                self._stable_uids.append((cl, j))
             self._gc_frontier = (cl, j)
         self._base = state
         del self.updates[:cut]
@@ -260,11 +319,166 @@ class GarbageCollectedReplica(CheckpointedReplica):
     def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         out = super().on_query(name, args)
         if self.track_witness and self._last_meta:
-            visible = set(self._last_meta.get("visible", frozenset()))
-            visible.update(self._stable_uids)
-            self._last_meta["visible"] = frozenset(visible)
+            # The folded prefix is reported as a floor instead of an
+            # enumerated uid list (which would grow forever and defeat
+            # GC's space bound): every update with clock <= the floor was
+            # visible.  Trace consumers expand it against the recorded
+            # update timestamps.
+            self._last_meta["visible_floor"] = self._gc_clock_floor
         return out
+
+    # -- anti-entropy v2: digests, state transfer, durable state --------------------
+
+    def _sync_digest(self) -> SyncDigest:
+        """Floors from the ``heard`` vector (the same reliable-FIFO
+        argument that makes the stable prefix stable certifies "I know
+        every j-update with clock <= heard[j]"), exception runs for the
+        handful of ids learned above it (paged in by earlier sync
+        rounds), and consent to install a state transfer."""
+        return SyncDigest.from_uids(
+            self._known, self.n,
+            floors=tuple(self.heard),
+            accepts_state=True,
+        )
+
+    def _covers_uid(self, cl: int, j: int) -> bool:
+        """Ids at or below the GC floor are known implicitly: they are
+        folded into the base state and pruned from ``_known``."""
+        return cl <= self._gc_clock_floor or (cl, j) in self._known
+
+    def _serve_sync(self, requester: int, digest: SyncDigest) -> None:
+        floor = self._gc_clock_floor
+        if floor > 0 and any(
+            digest.coverage_floor(j) < floor for j in range(self.n)
+        ):
+            # The requester is missing updates at or below our floor.
+            # Those are folded into the base state and cannot be
+            # enumerated, let alone paged — hand the compacted state off.
+            if not digest.accepts_state:
+                raise StateTransferRequired(
+                    f"replica {requester} is missing updates at or below "
+                    f"replica {self.pid}'s GC floor {floor}, which only a "
+                    "state transfer can repair, but its digest does not "
+                    "accept one (a v1 requester, or a replica without a "
+                    "base state)"
+                )
+            handoff = StateHandoff(
+                base=self._base,
+                clock_floor=floor,
+                frontier=self._gc_frontier,
+                heard=tuple(self.heard),
+            )
+            self.send_to(requester, handoff.payload(self.pid))
+            self._state_transfers.inc()
+        super()._serve_sync(requester, digest)
+
+    def _on_sync_state(self, src: int, payload: tuple) -> Sequence[Any]:
+        sender, handoff = StateHandoff.parse(payload)
+        if self.install_gc_state(
+            base=handoff.base,
+            clock_floor=handoff.clock_floor,
+            frontier=handoff.frontier,
+        ):
+            self._state_installs.inc()
+        return ()
+
+    def install_gc_state(
+        self,
+        *,
+        base: Any,
+        clock_floor: int,
+        frontier: tuple[int, int] | None = None,
+    ) -> bool:
+        """Adopt a compacted base state certified complete to
+        ``clock_floor`` (from a state transfer or a durable snapshot).
+
+        Safe because the sender's floor is a completeness claim over
+        *every* author: the handed-off base contains every update with
+        clock <= floor, so our live entries at or below it are duplicates
+        of folded content and our own base (complete to a lower floor) is
+        subsumed.  The clock is merged up to the floor first — a replica
+        that adopted a floor and then stamped an update at or below it
+        would violate its own peers' stability check.  Returns False (and
+        installs nothing) when our floor is already at least as high.
+        """
+        self.clock.merge(clock_floor)
+        if clock_floor <= self._gc_clock_floor:
+            return False
+        cut = bisect.bisect_left(
+            self.updates, (clock_floor + 1,), key=lambda s: (s[0], s[1])
+        )
+        del self.updates[:cut]
+        self._base = base
+        self._gc_clock_floor = clock_floor
+        if frontier is not None:
+            previous = self._gc_frontier
+            self._gc_frontier = (
+                frontier if previous is None else max(previous, frontier)
+            )
+        for j in range(self.n):
+            self.heard[j] = max(self.heard[j], clock_floor)
+        self._known = {uid for uid in self._known if uid[0] > clock_floor}
+        # Cached replay structures predate the new base; rebuild from it.
+        self._applied, self._state = 0, base
+        self._checkpoints = [(0, base)]
+        if self._own_suspect_below and clock_floor >= self._own_suspect_below:
+            # The floor certifies every update (ours included) at or
+            # below it, so the amnesia gap is provably repaired.
+            self._own_suspect_below = 0
+        return True
+
+    def durable_gc_state(self) -> dict[str, Any]:
+        """The GC-specific durable state for a snapshot: the compacted
+        base, its completeness floor, the fold frontier and the ``heard``
+        vector.  The base is an atomically-rewritten compacted segment in
+        the on-disk model — unlike live log entries it is never truncated
+        by a missed fsync (see :mod:`repro.sim.persist`)."""
+        return {
+            "base": self._base,
+            "clock_floor": self._gc_clock_floor,
+            "frontier": self._gc_frontier,
+            "heard": tuple(self.heard),
+        }
+
+    def finish_restore(
+        self, pre_crash_clock: int, heard: Sequence[int] | None = None
+    ) -> None:
+        """Re-derive sound ``heard`` claims after a snapshot restore.
+
+        With a complete snapshot (``heard`` given) the stored vector is
+        adopted verbatim.  After a *truncated* restore the stored vector
+        may over-claim — the lost log tail could contain updates the
+        claims cover — so each column is rewound to what the surviving
+        state proves: the floor (base completeness) raised by the highest
+        surviving log clock per author (sound because truncation keeps a
+        global ``(clock, pid)``-prefix, hence a per-author clock-prefix).
+        If the pre-crash clock exceeds the rewound own column, this
+        replica may have lost *its own* updates, and the own column is
+        frozen until a state transfer certifies a floor above the gap.
+        """
+        if heard is not None:
+            for j, claimed in enumerate(heard[: self.n]):
+                self.heard[j] = max(self.heard[j], int(claimed))
+            return
+        for j in range(self.n):
+            self.heard[j] = max(self.heard[j], self._gc_clock_floor)
+        for cl, j, _u in self.updates:
+            self.heard[j] = max(self.heard[j], cl)
+        if pre_crash_clock > self.heard[self.pid]:
+            self._own_suspect_below = pre_crash_clock
 
     @property
     def live_log_length(self) -> int:
         return len(self.updates)
+
+    @property
+    def gc_clock_floor(self) -> int:
+        """Completeness floor of the base state: every update with clock
+        at or below it (from any author) has been folded into ``_base``."""
+        return self._gc_clock_floor
+
+    @property
+    def known_ids_tracked(self) -> int:
+        """Ids enumerated in ``_known`` (the floor covers the rest) —
+        the quantity satellite benchmarks assert stays bounded."""
+        return len(self._known)

@@ -33,9 +33,15 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a cycle:
 
 
 def _visibility(trace: "Trace"):
-    """(per-record timestamp, per-query visible-uid set) or raise."""
+    """(per-record timestamp, per-query visible-uid set) or raise.
+
+    A GC replica reports the folded prefix as a ``visible_floor``
+    (completeness claim: every update with clock at or below it is in the
+    base state) rather than enumerating its uids; the floor is expanded
+    here against all update timestamps in the trace.
+    """
     timestamps = {}
-    visible = {}
+    update_uids = set()
     for r in trace.records:
         ts = r.meta.get("timestamp")
         if ts is None:
@@ -44,11 +50,20 @@ def _visibility(trace: "Trace"):
                 f"need a witness-tracking replica"
             )
         timestamps[r.eid] = tuple(ts)
-        if not r.is_update:
-            vis = r.meta.get("visible")
-            if vis is None:
-                raise ValueError(f"query record {r.eid} lacks visibility metadata")
-            visible[r.eid] = frozenset(tuple(u) for u in vis)
+        if r.is_update:
+            update_uids.add(tuple(ts))
+    visible = {}
+    for r in trace.records:
+        if r.is_update:
+            continue
+        vis = r.meta.get("visible")
+        if vis is None:
+            raise ValueError(f"query record {r.eid} lacks visibility metadata")
+        seen = {tuple(u) for u in vis}
+        floor = int(r.meta.get("visible_floor", 0) or 0)
+        if floor:
+            seen.update(uid for uid in update_uids if uid[0] <= floor)
+        visible[r.eid] = frozenset(seen)
     return timestamps, visible
 
 

@@ -1,0 +1,252 @@
+"""Anti-entropy v2: compact digests, paged responses, state transfer.
+
+The v1 handshake shipped ``frozenset(self._known)`` — every update id the
+replica had ever seen, O(total updates) bits per sync request.  Section
+VII-C's complexity stance ("each message only contains the information to
+identify the update and a timestamp") and the ROADMAP's heavy-traffic
+north star both demand a summary whose size tracks the *live* window, not
+the history.  This module defines that summary and the wire tags of the
+v2 handshake; the replica-side behaviour lives in
+:class:`repro.core.universal.UniversalReplica` (digest construction,
+paging) and :class:`repro.core.checkpoint.GarbageCollectedReplica`
+(completeness floors, state transfer).
+
+A :class:`SyncDigest` describes a replica's knowledge per author process
+``j`` as
+
+* a **floor** — "I know *every* update authored by ``j`` with Lamport
+  clock ``<= floors[j]``".  Floors are completeness claims and are only
+  sound where the replica can actually certify completeness: a
+  garbage-collected replica's ``heard`` vector over reliable FIFO
+  channels (per-sender delivery order + Lamport monotonicity — the same
+  argument that makes the stable prefix stable).  Plain replicas always
+  advertise floor 0.
+* an **exception set** above the floor — maximal runs ``(lo, hi)`` of
+  *consecutive integer clocks* the replica knows from ``j``.  Every
+  integer inside a run is a real update id (runs are built from the known
+  set), so a responder may enumerate them.
+
+Lamport clocks stride under merges, so interval runs alone are not a
+compact encoding of a long history — the floors are what keep a
+garbage-collected replica's digest at O(n_procs + stragglers): everything
+at or below ``heard[j]`` collapses into one integer, and only ids learned
+out-of-band (paged in by a previous sync round, hence above ``heard``)
+remain as exceptions.
+
+Wire formats (all tuples tagged with a leading string, like the v1
+handshake, so they can never be confused with ``(clock, pid, update)``
+triples):
+
+* ``(SYNC_REQ, requester, floors, intervals, accepts_state)`` — v2
+  request; v1's ``(SYNC_REQ, requester, frozenset_of_ids)`` is still
+  parsed (as an all-floors-zero digest that cannot accept state).
+* ``(SYNC_RESP, (stamped, ...))`` — one bounded page of missing updates;
+  a repair that used to be one unbounded message is now a sequence of
+  independent pages (no reassembly protocol: each page folds through the
+  normal dedup/insert path).
+* ``(SYNC_STATE, sender, {"base", "clock_floor", "frontier", "heard"})``
+  — state transfer: the responder's compacted base state and the
+  completeness floor it certifies, sent when the requester is missing
+  updates the responder has already folded away and can no longer
+  enumerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+#: control-payload tags of the anti-entropy handshake.
+SYNC_REQ = "sync-req"
+SYNC_RESP = "sync-resp"
+SYNC_STATE = "sync-state"
+
+#: Coalesced runs of consecutive integer clocks: ``((lo, hi), ...)``.
+Intervals = tuple[tuple[int, int], ...]
+
+
+class SyncProtocolError(RuntimeError):
+    """A sync payload violated the anti-entropy protocol."""
+
+
+class StateTransferRequired(SyncProtocolError):
+    """The requester is missing updates at or below the responder's GC
+    floor, which the responder has folded into its base state and cannot
+    enumerate — only a state transfer can repair it, and the requester's
+    digest declared it cannot install one (``accepts_state=False``).
+
+    Before v2 this was the silent-divergence path: ``_on_sync_request``
+    served whatever was still in the live log and dropped the rest on the
+    floor.
+    """
+
+
+def coalesce(clocks: Iterable[int]) -> Intervals:
+    """Maximal runs of consecutive integers, as ``((lo, hi), ...)``."""
+    runs: list[tuple[int, int]] = []
+    lo = hi = None
+    for c in sorted(set(clocks)):
+        if hi is not None and c == hi + 1:
+            hi = c
+            continue
+        if lo is not None:
+            runs.append((lo, hi))
+        lo = hi = c
+    if lo is not None:
+        runs.append((lo, hi))
+    return tuple(runs)
+
+
+@dataclass(frozen=True)
+class SyncDigest:
+    """A replica's knowledge summary: per-author floors + exception runs."""
+
+    floors: tuple[int, ...]
+    intervals: tuple[Intervals, ...]
+    accepts_state: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.floors) != len(self.intervals):
+            raise SyncProtocolError(
+                f"digest floors ({len(self.floors)}) and intervals "
+                f"({len(self.intervals)}) disagree on the process count"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.floors)
+
+    @classmethod
+    def from_uids(
+        cls,
+        uids: Iterable[tuple[int, int]],
+        n: int,
+        *,
+        floors: tuple[int, ...] | None = None,
+        accepts_state: bool = False,
+    ) -> "SyncDigest":
+        """Digest a set of known ``(clock, pid)`` ids, keeping only ids
+        strictly above the given floors as exception runs."""
+        if floors is None:
+            floors = (0,) * n
+        per_pid: list[list[int]] = [[] for _ in range(n)]
+        for cl, j in uids:
+            if cl > floors[j]:
+                per_pid[j].append(cl)
+        return cls(
+            floors=tuple(floors),
+            intervals=tuple(coalesce(clocks) for clocks in per_pid),
+            accepts_state=accepts_state,
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def covers(self, cl: int, j: int) -> bool:
+        """Does this digest claim knowledge of update id ``(cl, j)``?"""
+        if cl <= self.floors[j]:
+            return True
+        for lo, hi in self.intervals[j]:
+            if lo > cl:
+                return False
+            if cl <= hi:
+                return True
+        return False
+
+    def coverage_floor(self, j: int) -> int:
+        """The largest clock ``C`` such that this digest claims *every*
+        ``j``-update with clock ``<= C`` (floor extended by any exception
+        runs adjacent to it)."""
+        floor = self.floors[j]
+        for lo, hi in self.intervals[j]:
+            if lo > floor + 1:
+                break
+            floor = max(floor, hi)
+        return floor
+
+    def exceptions(self) -> Iterator[tuple[int, int]]:
+        """Every above-floor id the digest claims, as ``(clock, pid)``.
+        Each one is a real update id (runs are built from a known set)."""
+        for j, runs in enumerate(self.intervals):
+            for lo, hi in runs:
+                for cl in range(lo, hi + 1):
+                    yield (cl, j)
+
+    # -- wire codec ---------------------------------------------------------------
+
+    def request_payload(self, requester: int) -> tuple:
+        """The v2 sync-request wire tuple for this digest."""
+        return (SYNC_REQ, requester, self.floors, self.intervals,
+                self.accepts_state)
+
+
+def parse_sync_request(payload: tuple) -> tuple[int, SyncDigest]:
+    """``(requester, digest)`` from a v1 or v2 sync-request payload.
+
+    v1 requests (``(SYNC_REQ, pid, frozenset_of_ids)``) are upgraded to an
+    all-floors-zero digest that cannot accept a state transfer — exactly
+    the claims a v1 known-set makes.
+    """
+    if not (isinstance(payload, tuple) and payload and payload[0] == SYNC_REQ):
+        raise SyncProtocolError(f"not a sync request: {payload!r}")
+    if len(payload) == 3 and isinstance(payload[2], (set, frozenset)):
+        requester = int(payload[1])
+        known = payload[2]
+        n = max((j for _, j in known), default=requester) + 1
+        n = max(n, requester + 1)
+        return requester, SyncDigest.from_uids(known, n)
+    if len(payload) == 5:
+        _, requester, floors, intervals, accepts_state = payload
+        return int(requester), SyncDigest(
+            floors=tuple(int(f) for f in floors),
+            intervals=tuple(
+                tuple((int(lo), int(hi)) for lo, hi in runs)
+                for runs in intervals
+            ),
+            accepts_state=bool(accepts_state),
+        )
+    raise SyncProtocolError(f"malformed sync request: {payload!r}")
+
+
+def pages(entries: list, page_size: int) -> Iterator[tuple]:
+    """Split a missing-update list into bounded sync-resp batches."""
+    if page_size <= 0:
+        raise ValueError("sync page size must be positive")
+    for start in range(0, len(entries), page_size):
+        yield tuple(entries[start:start + page_size])
+
+
+@dataclass(frozen=True)
+class StateHandoff:
+    """Decoded contents of a ``SYNC_STATE`` payload."""
+
+    base: object
+    clock_floor: int
+    frontier: tuple[int, int] | None
+    heard: tuple[int, ...] = field(default=())
+
+    def payload(self, sender: int) -> tuple:
+        return (SYNC_STATE, sender, {
+            "base": self.base,
+            "clock_floor": self.clock_floor,
+            "frontier": self.frontier,
+            "heard": tuple(self.heard),
+        })
+
+    @classmethod
+    def parse(cls, payload: tuple) -> tuple[int, "StateHandoff"]:
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == SYNC_STATE
+            and isinstance(payload[2], dict)
+        ):
+            raise SyncProtocolError(f"malformed state transfer: {payload!r}")
+        state = payload[2]
+        frontier = state.get("frontier")
+        return int(payload[1]), cls(
+            base=state["base"],
+            clock_floor=int(state["clock_floor"]),
+            frontier=None if frontier is None else
+            (int(frontier[0]), int(frontier[1])),
+            heard=tuple(int(h) for h in state.get("heard", ())),
+        )

@@ -35,6 +35,13 @@ import bisect
 from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.adt import UQADT, Update
+from repro.core import sync as sync_protocol
+from repro.core.sync import (
+    SyncDigest,
+    SyncProtocolError,
+    pages,
+    parse_sync_request,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.replica import Replica
 from repro.util.clocks import LamportClock
@@ -46,18 +53,23 @@ Stamped = tuple[int, int, Update]
 class UniversalReplica(Replica):
     """One process's state of Algorithm 1 for an arbitrary UQ-ADT.
 
-    Beyond the paper's lines 1-20, the replica speaks a small anti-entropy
-    dialect used by crash-recovery and lossy-channel repair: a peer may
-    broadcast a :meth:`sync_request` carrying its set of known update ids;
+    Beyond the paper's lines 1-20, the replica speaks the anti-entropy v2
+    dialect of :mod:`repro.core.sync`, used by crash-recovery and
+    lossy-channel repair: a peer broadcasts a :meth:`sync_request`
+    carrying a compact :class:`~repro.core.sync.SyncDigest` of its
+    knowledge (per-author completeness floors plus exception runs);
     receivers reply point-to-point with the updates the requester lacks,
-    and counter-request anything the requester knows that they do not.
-    Control payloads are tuples tagged with a leading string, so they can
-    never be confused with ``(clock, pid, update)`` wire triples.
+    split into pages of at most ``sync_page_size`` entries, and
+    counter-request when the digest claims ids they do not know.  v1
+    requests (a frozenset of every known id) are still served.  Control
+    payloads are tuples tagged with a leading string, so they can never
+    be confused with ``(clock, pid, update)`` wire triples.
     """
 
-    #: control-payload tags (anti-entropy handshake).
-    SYNC_REQ = "sync-req"
-    SYNC_RESP = "sync-resp"
+    #: control-payload tags (anti-entropy handshake; see repro.core.sync).
+    SYNC_REQ = sync_protocol.SYNC_REQ
+    SYNC_RESP = sync_protocol.SYNC_RESP
+    SYNC_STATE = sync_protocol.SYNC_STATE
 
     def __init__(
         self,
@@ -68,9 +80,15 @@ class UniversalReplica(Replica):
         track_witness: bool = True,
         relay: bool = False,
         batch_replay: bool = True,
+        sync_page_size: int = 64,
     ) -> None:
         super().__init__(pid, n)
         self.spec = spec
+        if sync_page_size <= 0:
+            raise ValueError("sync page size must be positive")
+        #: bound on sync-resp batch size: one repair round never ships an
+        #: unbounded message, however far behind the requester is.
+        self.sync_page_size = sync_page_size
         #: fold the log with :meth:`UQADT.apply_batch` (vectorized /
         #: single-pass per spec) instead of one ``apply`` call per update.
         self.batch_replay = batch_replay
@@ -98,6 +116,34 @@ class UniversalReplica(Replica):
             "replay cost of Algorithm 1 and its optimizations)",
             label_names=("pid",),
         ).labels(pid=self.pid)
+        #: anti-entropy accounting (digest size, paging, redundancy).
+        self._sync_requests = registry.counter(
+            "repro_sync_requests_total",
+            help="anti-entropy sync requests issued",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+        self._sync_request_bits = registry.counter(
+            "repro_sync_request_bits_total",
+            help="estimated wire bits of issued sync-request digests "
+            "(v2 target: O(n_procs + stragglers), not O(history))",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+        self._sync_pages = registry.counter(
+            "repro_sync_pages_sent_total",
+            help="bounded sync-resp pages served to requesters",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+        self._sync_shipped = registry.counter(
+            "repro_sync_updates_shipped_total",
+            help="updates shipped inside sync-resp pages",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
+        self._sync_redundant = registry.counter(
+            "repro_sync_redundant_updates_total",
+            help="sync-resp entries that were already known (or already "
+            "folded into the base state) on arrival",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
 
     @property
     def replayed_updates(self) -> int:
@@ -121,10 +167,12 @@ class UniversalReplica(Replica):
         if isinstance(payload, tuple) and payload and payload[0] == self.SYNC_RESP:
             extra: list[Any] = []
             for stamped in payload[1]:
-                extra.extend(self.on_message(src, stamped))
+                extra.extend(self._ingest_synced(src, stamped))
             return extra
+        if isinstance(payload, tuple) and payload and payload[0] == self.SYNC_STATE:
+            return self._on_sync_state(src, payload)
         cl, j, update = payload
-        if (cl, j) in self._known:
+        if self._covers_uid(cl, j):
             return ()  # relayed / network duplicate
         self._known.add((cl, j))
         self.clock.merge(cl)  # line 9
@@ -135,19 +183,82 @@ class UniversalReplica(Replica):
 
     def sync_request(self) -> tuple:
         """The pull half of the anti-entropy handshake: broadcast this and
-        every receiver replies with the updates this replica is missing."""
-        return (self.SYNC_REQ, self.pid, frozenset(self._known))
+        every receiver pages back the updates this replica's digest does
+        not cover (plus a state transfer if it certifies a higher floor)."""
+        payload = self._sync_digest().request_payload(self.pid)
+        self._sync_requests.inc()
+        # Lazy import: analysis imports the sim layer for its cluster-wide
+        # helpers; importing it at module load would be cyclic in spirit
+        # (core must stay importable without the sim stack warmed up).
+        from repro.analysis.metrics import payload_size_bits
+
+        self._sync_request_bits.inc(payload_size_bits(payload))
+        return payload
+
+    def _sync_digest(self) -> SyncDigest:
+        """This replica's knowledge summary.  Plain Algorithm 1 cannot
+        certify completeness (channels may lose or reorder), so it claims
+        floor 0 everywhere and lists its known ids as exception runs."""
+        return SyncDigest.from_uids(self._known, self.n)
+
+    def _covers_uid(self, cl: int, j: int) -> bool:
+        """Is update id ``(cl, j)`` already incorporated locally?"""
+        return (cl, j) in self._known
 
     def _on_sync_request(self, payload: tuple) -> Sequence[Any]:
-        _, requester, known = payload
-        missing = [s for s in self.updates if (s[0], s[1]) not in known]
-        if missing:
-            self.send_to(requester, (self.SYNC_RESP, tuple(missing)))
-        if known - self._known:
+        requester, digest = parse_sync_request(payload)
+        self._serve_sync(requester, digest)
+        if self._digest_claims_unknown(digest):
             # The requester has updates we lack (e.g. restored from its
             # durable log after a crash): pull them back.
             self.send_to(requester, self.sync_request())
         return ()
+
+    def _serve_sync(self, requester: int, digest: SyncDigest) -> None:
+        """Page the live updates the digest does not cover back to the
+        requester (the GC subclass prepends a state transfer when the
+        requester's coverage ends below the collected floor)."""
+        missing = [s for s in self.updates if not digest.covers(s[0], s[1])]
+        for page in pages(missing, self.sync_page_size):
+            self._sync_pages.inc()
+            self._sync_shipped.inc(len(page))
+            self.send_to(requester, (self.SYNC_RESP, page))
+
+    def _digest_claims_unknown(self, digest: SyncDigest) -> bool:
+        """Does the requester's digest *enumerate* an id this replica
+        lacks?  Deliberately ignores the requester's floors: a floor
+        claims ids without naming them, so "your floor is above mine"
+        cannot be answered with a targeted pull — and since ingesting
+        pages never moves a floor, floor-triggered counter-requests
+        between two replicas with incomparable floors would ping-pong
+        forever.  Floor asymmetry is repaired by the all-to-all rounds of
+        :meth:`repro.sim.cluster.Cluster.anti_entropy`, where the
+        lower-floored replica issues its own request and receives pages
+        or a state transfer."""
+        return any(
+            not self._covers_uid(cl, j) for cl, j in digest.exceptions()
+        )
+
+    def _ingest_synced(self, src: int, stamped: Stamped) -> Sequence[Any]:
+        """Fold one sync-resp entry.  Unlike a live broadcast this must
+        tolerate benign duplicates — a second responder may page an update
+        another page (or an installed state transfer) already delivered —
+        so covered entries are counted and dropped, never an error."""
+        cl, j, update = stamped
+        if self._covers_uid(cl, j):
+            self._sync_redundant.inc()
+            return ()
+        self._known.add((cl, j))
+        self.clock.merge(cl)
+        self._insert((cl, j, update))
+        return [stamped] if self.relay else ()
+
+    def _on_sync_state(self, src: int, payload: tuple) -> Sequence[Any]:
+        raise SyncProtocolError(
+            f"replica {self.pid} received a state transfer from {src} but "
+            "keeps no base state to install; only garbage-collected "
+            "replicas advertise accepts_state in their digests"
+        )
 
     def load_log(self, entries: Iterable[Stamped]) -> int:
         """Rebuild from a durable update log (crash-recovery).
@@ -159,7 +270,7 @@ class UniversalReplica(Replica):
         """
         loaded = 0
         for cl, j, update in entries:
-            if (cl, j) in self._known:
+            if self._covers_uid(cl, j):
                 continue
             self._known.add((cl, j))
             self.clock.merge(cl)

@@ -108,6 +108,26 @@ def run_report(
             }
         )
 
+    # Anti-entropy v2 accounting (all counters default to 0 when no sync
+    # traffic — or no sync-capable replica — occurred in the run).
+    sync = {
+        "requests": int(registry.total("repro_sync_requests_total")),
+        "request_bits": int(registry.total("repro_sync_request_bits_total")),
+        "pages": int(registry.total("repro_sync_pages_sent_total")),
+        "updates_shipped": int(
+            registry.total("repro_sync_updates_shipped_total")
+        ),
+        "redundant_updates": int(
+            registry.total("repro_sync_redundant_updates_total")
+        ),
+        "state_transfers": int(
+            registry.total("repro_sync_state_transfers_total")
+        ),
+        "state_installs": int(
+            registry.total("repro_sync_state_installs_total")
+        ),
+    }
+
     updates = len(cluster.trace.updates())
     queries = len(cluster.trace.queries())
     total_replayed = int(registry.total("repro_replica_replayed_updates_total"))
@@ -132,6 +152,7 @@ def run_report(
         "convergence": conv,
         "staleness": stale,
         "messages": messages,
+        "sync": sync,
         "replay": replay,
         "replicas": replicas,
         "trace": {
@@ -185,6 +206,14 @@ _REQUIRED: dict[str, tuple[Any, ...]] = {
     "messages.sends_per_update": (float,),
     "messages.broadcast_optimal": (bool,),
     "messages.max_timestamp_bits": (int,),
+    "sync": (dict,),
+    "sync.requests": (int,),
+    "sync.request_bits": (int,),
+    "sync.pages": (int,),
+    "sync.updates_shipped": (int,),
+    "sync.redundant_updates": (int,),
+    "sync.state_transfers": (int,),
+    "sync.state_installs": (int,),
     "replay": (dict,),
     "replay.updates": (int,),
     "replay.queries": (int,),

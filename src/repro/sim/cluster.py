@@ -103,7 +103,11 @@ class Trace:
         Requires every record's ``meta`` to carry ``"timestamp"`` (the
         ``(clock, pid)`` stamp) and every query's to carry ``"visible"``
         (the frozenset of visible updates' timestamps) — Algorithm 1
-        replicas provide both.
+        replicas provide both.  Garbage-collected replicas additionally
+        report ``"visible_floor"``: every update with clock at or below
+        it was folded into the base state (hence visible) without being
+        enumerated; the floor is expanded here against the recorded
+        update timestamps.
         """
         if history is None:
             history = self.to_history()
@@ -129,7 +133,13 @@ class Trace:
             uids = r.meta.get("visible")
             if uids is None:
                 raise ValueError(f"query record {r.eid} lacks visibility metadata")
-            visibility[ev] = frozenset(update_by_uid[tuple(u)] for u in uids)
+            visible = {update_by_uid[tuple(u)] for u in uids}
+            floor = int(r.meta.get("visible_floor", 0) or 0)
+            if floor:
+                visible.update(
+                    ev_u for uid, ev_u in update_by_uid.items() if uid[0] <= floor
+                )
+            visibility[ev] = frozenset(visible)
         order = tuple(sorted(history.events, key=lambda e: timestamps[e]))
         return SUCWitness(order=order, visibility=visibility)
 
@@ -283,6 +293,22 @@ class Cluster:
                 "message.deliver", msg.sent_at, self.now, pid=msg.dst,
                 attrs={"src": msg.src, "seq": msg.seq},
             )
+            # Anti-entropy v2 payloads, matched by wire tag (string
+            # literals: importing repro.core.sync here would cycle
+            # through repro.sim's package init).
+            p = msg.payload
+            if isinstance(p, tuple) and p:
+                if p[0] == "sync-resp":
+                    self.tracer.event(
+                        "sync.page", self.now, pid=msg.dst,
+                        attrs={"src": msg.src, "entries": len(p[1])},
+                    )
+                elif p[0] == "sync-state":
+                    self.tracer.event(
+                        "sync.state_transfer", self.now, pid=msg.dst,
+                        attrs={"src": msg.src,
+                               "clock_floor": p[2].get("clock_floor")},
+                    )
         replica = self.replicas[msg.dst]
         extra = replica.on_message(msg.src, msg.payload)
         for payload in extra or ():

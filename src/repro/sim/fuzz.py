@@ -315,6 +315,164 @@ def chaos_smoke(
     return {"runs": runs, "first_seed": start_seed, "last_seed": seed - 1}
 
 
+def gc_state_transfer_scenario(seed: int, *, verbose: bool = False) -> dict:
+    """One seeded GC crash/partition run that must exercise state transfer.
+
+    The scenario drives the one repair path reliable broadcast cannot
+    cover and v1 anti-entropy silently got wrong: a replica that crashed,
+    lost part of its durable log to a missed fsync, and stayed
+    partitioned while the survivors garbage-collected past its gap.
+
+    Timeline (3 garbage-collected replicas over reliable FIFO channels —
+    the only channel model stable-prefix GC supports; a crash here does
+    *not* drop in-flight traffic, which would break receiver-side FIFO
+    completeness claims the same way ``relay`` does):
+
+    1. mixed traffic + heartbeats, everyone garbage-collects;
+    2. the victim crashes; survivors keep updating;
+    3. the victim recovers from a heavily fsync-truncated snapshot — its
+       recovery sync request goes in flight — and is immediately
+       partitioned away, parking that request;
+    4. survivors update, heartbeat and collect until their GC floor
+       reaches the victim's pre-crash clock (covering its lost entries);
+    5. heal: the parked request is served — the survivors' floor now
+       exceeds the victim's coverage, forcing a base-state handoff —
+       and anti-entropy rounds converge the cluster.
+
+    Raises ``AssertionError`` (naming the seed) if the run fails to
+    exercise a state transfer or the replicas do not converge to
+    identical states.
+    """
+    from repro.core.checkpoint import GarbageCollectedReplica
+    from repro.specs import SetSpec
+    from repro.specs import set_spec as S
+
+    rng = np.random.default_rng(seed)
+    spec = SetSpec()
+    procs = 3
+    cluster = Cluster(
+        procs,
+        # Manual collect_garbage() calls keep the timeline deterministic.
+        lambda p, n: GarbageCollectedReplica(
+            p, n, spec, gc_interval=10_000, sync_page_size=4
+        ),
+        seed=seed,
+        fifo=True,
+    )
+
+    def gossip_round(pids: Sequence[int]) -> None:
+        for pid in pids:
+            cluster.update(pid, S.insert(int(rng.integers(8))))
+        cluster.run()
+        for pid in pids:
+            hb = cluster.replicas[pid].heartbeat()
+            cluster.network.broadcast(pid, hb, cluster.now)
+        cluster.run()
+
+    # Phase 1: everyone talks, everyone collects a stable prefix — then
+    # keeps talking, so the victim dies with live log entries *above* its
+    # own GC floor (the entries a missed fsync can destroy) while the
+    # survivors' heard[victim] tracks its latest clock.
+    for _ in range(4):
+        gossip_round(range(procs))
+    for pid in range(procs):
+        cluster.replicas[pid].collect_garbage()
+    for _ in range(2):
+        gossip_round(range(procs))
+
+    victim = int(rng.integers(procs))
+    survivors = [p for p in range(procs) if p != victim]
+    pre_crash_clock = cluster.replicas[victim].clock.value
+    pre_crash_log = len(cluster.replicas[victim].updates)
+    assert pre_crash_log > 0, (
+        f"gc seed {seed}: victim p{victim} has an empty live log; nothing "
+        f"can be lost to truncation and the scenario proves nothing"
+    )
+    cluster.crash(victim)
+    gossip_round(survivors)
+
+    # Phase 3: recover from a heavily truncated snapshot; the recovery
+    # sync request goes in flight and is immediately parked by the
+    # partition (the victim rejoins the network but not the survivors).
+    cluster.recover(victim, fsync_point=min(1, pre_crash_log))
+    cluster.partition([survivors, [victim]])
+    for _ in range(2):
+        cluster.update(victim, S.insert(int(rng.integers(8))))
+
+    # Phase 4: survivors garbage-collect past the victim's lost entries.
+    # Their floor is pinned at heard[victim] == the victim's pre-crash
+    # clock, so it covers everything the truncation destroyed.
+    for _ in range(6):
+        gossip_round(survivors)
+        for p in survivors:
+            cluster.replicas[p].collect_garbage()
+    floors = [cluster.replicas[p].gc_clock_floor for p in survivors]
+    assert all(floor >= pre_crash_clock for floor in floors), (
+        f"gc seed {seed}: survivors' GC floors {floors} never reached the "
+        f"victim's pre-crash clock {pre_crash_clock}; scenario cannot "
+        f"exercise state transfer"
+    )
+
+    # Phase 5: heal and converge.
+    cluster.heal()
+    cluster.run()
+    cluster.anti_entropy(rounds=5)
+
+    transfers = int(cluster.metrics.total("repro_sync_state_transfers_total"))
+    installs = int(cluster.metrics.total("repro_sync_state_installs_total"))
+    assert transfers >= 1 and installs >= 1, (
+        f"gc seed {seed}: no state transfer happened (transfers="
+        f"{transfers}, installs={installs}) — the scenario regressed"
+    )
+    states = {_canonical(s) for s in cluster.states().values()}
+    assert len(states) == 1, (
+        f"gc seed {seed}: replicas diverged after state transfer + "
+        f"anti-entropy (victim p{victim}, pre-crash clock "
+        f"{pre_crash_clock})"
+    )
+    stats = {
+        "seed": seed,
+        "victim": victim,
+        "state_transfers": transfers,
+        "state_installs": installs,
+        "pages": int(cluster.metrics.total("repro_sync_pages_sent_total")),
+    }
+    if verbose:
+        print(
+            f"gc seed {seed}: victim p{victim} ok ({transfers} transfers, "
+            f"{installs} installs, {stats['pages']} pages)"
+        )
+    return stats
+
+
+def gc_chaos_smoke(
+    budget_seconds: float = 30.0,
+    *,
+    start_seed: int = 0,
+    verbose: bool = False,
+    clock: Callable[[], float] | None = None,
+) -> dict:
+    """Seeded GC state-transfer scenarios until the budget is spent.
+
+    The GC companion to :func:`chaos_smoke`: every seed must exercise a
+    base-state handoff and converge (see
+    :func:`gc_state_transfer_scenario`).  Always completes at least one
+    seed.
+    """
+    if clock is None:
+        import time
+
+        clock = time.monotonic  # injection point; see chaos_smoke
+    deadline = clock() + budget_seconds
+    seed = start_seed
+    runs = 0
+    while runs == 0 or clock() < deadline:
+        gc_state_transfer_scenario(seed, verbose=verbose)
+        runs += 1
+        seed += 1
+    return {"runs": runs, "first_seed": start_seed, "last_seed": seed - 1}
+
+
 def _main(argv: Sequence[str] | None = None) -> int:
     import argparse
 
@@ -329,7 +487,22 @@ def _main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--ops", type=int, default=30)
     parser.add_argument("--seed", type=int, default=0, help="first seed")
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--gc", action="store_true",
+        help="run the GC state-transfer scenario (crash + fsync-truncated "
+        "recovery + partition past the GC floor) instead of the generic "
+        "fuzzed chaos runs",
+    )
     args = parser.parse_args(argv)
+    if args.gc:
+        stats = gc_chaos_smoke(
+            args.budget, start_seed=args.seed, verbose=args.verbose,
+        )
+        print(
+            f"gc chaos smoke: {stats['runs']} state-transfer runs ok "
+            f"(seeds {stats['first_seed']}..{stats['last_seed']})"
+        )
+        return 0
     stats = chaos_smoke(
         args.budget,
         procs=args.procs,

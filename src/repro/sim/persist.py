@@ -127,7 +127,8 @@ def trace_from_json(text: str) -> Trace:
     return trace
 
 
-_REPLICA_FORMAT = "repro-replica-log-v1"
+_REPLICA_FORMAT = "repro-replica-log-v2"
+_REPLICA_FORMAT_V1 = "repro-replica-log-v1"
 
 
 def replica_snapshot(replica, *, fsync_point: int | None = None) -> str:
@@ -138,6 +139,18 @@ def replica_snapshot(replica, *, fsync_point: int | None = None) -> str:
     The replica must be of the :class:`~repro.core.universal.
     UniversalReplica` family (an ``updates`` log of ``(clock, pid, update)``
     triples and a ``clock``).
+
+    Format v2 additionally records:
+
+    * ``complete`` — whether the snapshot holds the *whole* log (no
+      fsync truncation), so restore knows whether stored completeness
+      claims can be trusted verbatim;
+    * ``gc`` — for garbage-collected replicas (anything exposing
+      ``durable_gc_state``): the compacted base state, its clock floor,
+      the fold frontier and the ``heard`` vector.  Without it a
+      crash+recover silently rewinds every collected update — the
+      compacted base is modeled as an atomically-rewritten segment, so
+      the fsync point never truncates it.
     """
     entries = list(replica.updates)
     if fsync_point is not None:
@@ -148,8 +161,18 @@ def replica_snapshot(replica, *, fsync_point: int | None = None) -> str:
         "format": _REPLICA_FORMAT,
         "pid": replica.pid,
         "clock": replica.clock.value,
+        "complete": len(entries) == len(replica.updates),
         "entries": [encode_value(tuple(e)) for e in entries],
     }
+    durable_gc = getattr(replica, "durable_gc_state", None)
+    if durable_gc is not None:
+        gc = durable_gc()
+        doc["gc"] = {
+            "base": encode_value(gc["base"]),
+            "clock_floor": int(gc["clock_floor"]),
+            "frontier": encode_value(gc["frontier"]),
+            "heard": encode_value(tuple(gc["heard"])),
+        }
     return json.dumps(doc)
 
 
@@ -157,18 +180,49 @@ def restore_replica(replica, text: str) -> int:
     """Load a :func:`replica_snapshot` into a fresh replica of the same pid.
 
     Restores the clock first (no timestamp reuse after log amnesia), then
+    installs the compacted GC state if the snapshot carries one, then
     folds the surviving entries through the replica's ``load_log``.
+    Garbage-collected replicas finally re-derive their ``heard`` claims
+    (``finish_restore``): trusted verbatim from a complete snapshot,
+    rewound to what the surviving prefix proves after a truncated one.
     Returns the number of log entries restored.
     """
     doc = json.loads(text)
-    if not isinstance(doc, dict) or doc.get("format") != _REPLICA_FORMAT:
+    if not isinstance(doc, dict) or doc.get("format") not in (
+        _REPLICA_FORMAT, _REPLICA_FORMAT_V1,
+    ):
         raise ValueError(f"not a {_REPLICA_FORMAT} file")
     if int(doc["pid"]) != replica.pid:
         raise ValueError(
             f"snapshot belongs to process {doc['pid']}, not {replica.pid}"
         )
     replica.clock.merge(int(doc["clock"]))
-    return replica.load_log(decode_value(e) for e in doc["entries"])
+    gc_doc = doc.get("gc")
+    if gc_doc is not None:
+        install = getattr(replica, "install_gc_state", None)
+        if install is None:
+            raise ValueError(
+                "snapshot carries a compacted base state (GC section) but "
+                f"the target replica ({type(replica).__name__}) cannot "
+                "install one; restore into a GarbageCollectedReplica"
+            )
+        frontier = decode_value(gc_doc["frontier"])
+        install(
+            base=decode_value(gc_doc["base"]),
+            clock_floor=int(gc_doc["clock_floor"]),
+            frontier=None if frontier is None else tuple(frontier),
+        )
+    loaded = replica.load_log(decode_value(e) for e in doc["entries"])
+    finish = getattr(replica, "finish_restore", None)
+    if finish is not None:
+        complete = bool(doc.get("complete", False))
+        stored_heard = gc_doc.get("heard") if gc_doc is not None else None
+        finish(
+            int(doc["clock"]),
+            heard=decode_value(stored_heard)
+            if complete and stored_heard is not None else None,
+        )
+    return loaded
 
 
 def save_trace(trace: Trace, path) -> None:

@@ -1,0 +1,378 @@
+"""Tests for the anti-entropy v2 protocol: digests, paging, state transfer.
+
+Covers the wire codec in :mod:`repro.core.sync`, the replica-side
+behaviour in :class:`~repro.core.universal.UniversalReplica` /
+:class:`~repro.core.checkpoint.GarbageCollectedReplica`, and the three
+divergence bugs this protocol fixes (snapshot losing the compacted
+prefix, the unbounded known set, and silently-incomplete sync responses
+for sub-floor gaps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import GarbageCollectedReplica, StabilityViolation
+from repro.core.sync import (
+    SYNC_REQ,
+    StateHandoff,
+    StateTransferRequired,
+    SyncDigest,
+    SyncProtocolError,
+    coalesce,
+    pages,
+    parse_sync_request,
+)
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.specs import SetSpec
+from repro.specs import set_spec as S
+
+SPEC = SetSpec()
+
+
+def gc_cluster(n=3, gc_interval=10_000, **kw):
+    """A FIFO cluster of GC replicas; GC is triggered manually."""
+    kw.setdefault("fifo", True)
+    return Cluster(
+        n,
+        lambda pid, total: GarbageCollectedReplica(
+            pid, total, SPEC, gc_interval=gc_interval, **kw.pop("replica_kw", {})
+        ),
+        **kw,
+    )
+
+
+def gossip(c: Cluster, pids=None) -> None:
+    """One update + heartbeat round, fully delivered."""
+    for pid in pids if pids is not None else range(c.n):
+        c.update(pid, S.insert(pid))
+    c.run()
+    for pid in pids if pids is not None else range(c.n):
+        c.network.broadcast(pid, c.replicas[pid].heartbeat(), c.now)
+    c.run()
+
+
+class TestCoalesce:
+    def test_empty(self):
+        assert coalesce([]) == ()
+
+    def test_single_run(self):
+        assert coalesce([3, 1, 2]) == ((1, 3),)
+
+    def test_gaps_split_runs(self):
+        assert coalesce([1, 2, 5, 7, 8, 9]) == ((1, 2), (5, 5), (7, 9))
+
+    def test_duplicates_collapse(self):
+        assert coalesce([4, 4, 5]) == ((4, 5),)
+
+
+class TestSyncDigest:
+    def test_from_uids_keeps_only_above_floor(self):
+        d = SyncDigest.from_uids(
+            {(1, 0), (2, 0), (7, 0), (3, 1)}, 2, floors=(2, 0)
+        )
+        assert d.intervals == (((7, 7),), ((3, 3),))
+
+    def test_covers_floor_and_runs(self):
+        d = SyncDigest(floors=(4, 0), intervals=(((7, 9),), ()))
+        assert d.covers(3, 0) and d.covers(4, 0)
+        assert not d.covers(5, 0)
+        assert d.covers(8, 0)
+        assert not d.covers(10, 0)
+        assert not d.covers(1, 1)
+
+    def test_coverage_floor_extended_by_adjacent_runs(self):
+        d = SyncDigest(floors=(4, 0), intervals=(((5, 6), (8, 9)), ()))
+        # 5..6 touches the floor and extends it; 8..9 is past a gap at 7.
+        assert d.coverage_floor(0) == 6
+        assert d.coverage_floor(1) == 0
+
+    def test_exceptions_enumerate_every_run_point(self):
+        d = SyncDigest(floors=(0, 0), intervals=(((2, 4),), ((9, 9),)))
+        assert set(d.exceptions()) == {(2, 0), (3, 0), (4, 0), (9, 1)}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SyncProtocolError):
+            SyncDigest(floors=(0,), intervals=((), ()))
+
+    def test_request_payload_round_trip(self):
+        d = SyncDigest.from_uids(
+            {(5, 0), (6, 0), (9, 1)}, 2, floors=(4, 2), accepts_state=True
+        )
+        requester, parsed = parse_sync_request(d.request_payload(1))
+        assert requester == 1
+        assert parsed == d
+
+    def test_v1_known_set_still_parses(self):
+        known = frozenset({(1, 0), (2, 1), (3, 1)})
+        requester, d = parse_sync_request((SYNC_REQ, 0, known))
+        assert requester == 0
+        assert d.floors == (0, 0)
+        assert not d.accepts_state
+        assert all(d.covers(cl, j) for cl, j in known)
+        assert not d.covers(4, 1)
+
+    def test_malformed_request_rejected(self):
+        with pytest.raises(SyncProtocolError):
+            parse_sync_request(("something-else", 0, frozenset()))
+        with pytest.raises(SyncProtocolError):
+            parse_sync_request((SYNC_REQ, 0))
+
+
+class TestPages:
+    def test_splits_into_bounded_batches(self):
+        batches = list(pages(list(range(10)), 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [x for b in batches for x in b] == list(range(10))
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(pages([1], 0))
+
+
+class TestStateHandoff:
+    def test_round_trip(self):
+        h = StateHandoff(
+            base=frozenset({1}), clock_floor=7, frontier=(7, 2), heard=(7, 8, 7)
+        )
+        sender, parsed = StateHandoff.parse(h.payload(2))
+        assert sender == 2
+        assert parsed == h
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SyncProtocolError):
+            StateHandoff.parse(("sync-state", 0, "not-a-dict"))
+
+
+class TestPagedSync:
+    def test_crash_repair_ships_bounded_pages(self):
+        c = Cluster(
+            3,
+            lambda p, n: UniversalReplica(p, n, SPEC, sync_page_size=4),
+            fifo=True,
+        )
+        c.crash(2)
+        for i in range(10):
+            c.update(0, S.insert(i))
+        c.run()
+        c.recover(2)
+        c.run()
+        assert c.query(2, "read") == c.query(0, "read")
+        shipped = c.metrics.total("repro_sync_updates_shipped_total")
+        pages_sent = c.metrics.total("repro_sync_pages_sent_total")
+        assert shipped >= 10
+        # Every page below the bound: 10+ entries need at least ceil(10/4).
+        assert pages_sent >= 3
+
+    def test_redundant_sync_entries_counted_not_reapplied(self):
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SPEC), fifo=True)
+        c.update(0, S.insert(1))
+        c.run()
+        # Both replicas know everything; a sync round ships nothing new,
+        # but hand-deliver a duplicate page to exercise the skip path.
+        r1 = c.replicas[1]
+        entry = c.replicas[0].updates[0]
+        r1.on_message(0, ("sync-resp", (entry,)))
+        assert c.metrics.total("repro_sync_redundant_updates_total") == 1
+        assert len(r1.updates) == 1
+
+    def test_sync_request_metrics_counted(self):
+        c = Cluster(2, lambda p, n: UniversalReplica(p, n, SPEC))
+        c.replicas[0].sync_request()
+        assert c.metrics.total("repro_sync_requests_total") == 1
+        assert c.metrics.total("repro_sync_request_bits_total") > 0
+
+
+class TestGCDigest:
+    def test_floors_come_from_heard(self):
+        c = gc_cluster()
+        for _ in range(3):
+            gossip(c)
+        r0 = c.replicas[0]
+        d = r0._sync_digest()
+        assert d.accepts_state
+        assert d.floors == tuple(r0.heard)
+        assert all(f > 0 for f in d.floors)
+
+    def test_known_pruned_below_floor(self):
+        # Satellite regression: before v2 the known set (dedup structure)
+        # grew O(total updates) forever, making GC's bound cosmetic.
+        c = gc_cluster()
+        for _ in range(5):
+            gossip(c)
+        r0 = c.replicas[0]
+        before = r0.known_ids_tracked
+        r0.collect_garbage()
+        assert r0.gc_clock_floor > 0
+        assert r0.known_ids_tracked < before
+        assert all(uid[0] > r0.gc_clock_floor for uid in r0._known)
+
+    def test_covers_uid_implicit_below_floor(self):
+        c = gc_cluster()
+        for _ in range(3):
+            gossip(c)
+        r0 = c.replicas[0]
+        r0.collect_garbage()
+        assert r0._covers_uid(1, 1)  # folded, pruned, still covered
+        assert not r0._covers_uid(r0.clock.value + 10, 1)
+
+
+class TestStateTransfer:
+    def _collected_cluster(self):
+        c = gc_cluster()
+        for _ in range(4):
+            gossip(c)
+        for r in c.replicas:
+            r.collect_garbage()
+        assert all(r.gc_clock_floor > 0 for r in c.replicas)
+        return c
+
+    def test_sub_floor_gap_without_consent_is_detected(self):
+        # Satellite regression: v1 answered a requester missing sub-floor
+        # updates with whatever was still in the live log — an incomplete
+        # response and silent divergence.  The gap must now be *detected*.
+        c = self._collected_cluster()
+        r0 = c.replicas[0]
+        v1_request = (SYNC_REQ, 1, frozenset())  # claims nothing, v1 dialect
+        with pytest.raises(StateTransferRequired):
+            r0.on_message(1, v1_request)
+
+    def test_consenting_requester_gets_state(self):
+        c = self._collected_cluster()
+        r0 = c.replicas[0]
+        empty = SyncDigest.from_uids((), c.n, accepts_state=True)
+        r0.on_message(1, empty.request_payload(1))
+        sent = [payload for dst, payload in r0.outbox if dst == 1]
+        assert any(p[0] == "sync-state" for p in sent)
+        assert c.metrics.total("repro_sync_state_transfers_total") == 1
+
+    def test_install_gc_state_adopts_floor(self):
+        c = self._collected_cluster()
+        r0, r1 = c.replicas[0], c.replicas[1]
+        handoff = StateHandoff(**r0.durable_gc_state())
+        fresh = GarbageCollectedReplica(1, c.n, SPEC)
+        assert fresh.install_gc_state(
+            base=handoff.base, clock_floor=handoff.clock_floor,
+            frontier=handoff.frontier,
+        )
+        assert fresh.gc_clock_floor == r0.gc_clock_floor
+        assert fresh.clock.value >= handoff.clock_floor
+        assert all(h >= handoff.clock_floor for h in fresh.heard)
+        assert fresh.local_state() == r0._base
+
+    def test_install_refuses_lower_floor(self):
+        c = self._collected_cluster()
+        r0 = c.replicas[0]
+        floor = r0.gc_clock_floor
+        assert not r0.install_gc_state(base=frozenset(), clock_floor=floor)
+        assert r0.gc_clock_floor == floor
+        assert r0._base != frozenset() or not r0.updates
+
+    def test_covered_sync_entries_are_benign_duplicates(self):
+        # A page may re-ship entries at or below the requester's floor
+        # (the responder saw an older digest); they must be counted as
+        # redundant, not raise StabilityViolation.
+        c = self._collected_cluster()
+        r0 = c.replicas[0]
+        stale_entry = (1, 1, S.insert(1))
+        r0._ingest_synced(1, stale_entry)
+        assert c.metrics.total("repro_sync_redundant_updates_total") >= 1
+
+    def test_direct_update_below_floor_still_violates(self):
+        c = self._collected_cluster()
+        r0 = c.replicas[0]
+        with pytest.raises(StabilityViolation):
+            r0.on_message(1, (1, 1, S.insert(1)))
+
+
+class TestRecoveryRegression:
+    def test_gc_crash_recover_converges(self):
+        # Satellite regression: replica_snapshot lost _base/_gc_frontier/
+        # heard, so GC past an update + crash + recover silently rewound
+        # the collected prefix and the cluster diverged.
+        c = gc_cluster()
+        for _ in range(4):
+            gossip(c)
+        for r in c.replicas:
+            r.collect_garbage()
+        assert c.replicas[2].gc_clock_floor > 0
+        assert c.replicas[2].collected > 0
+        c.crash(2)
+        c.recover(2)  # complete snapshot: pure codec round-trip
+        c.run()
+        c.anti_entropy()
+        states = set(map(repr, c.states().values()))
+        assert len(states) == 1
+        # The recovered replica kept its compacted prefix.
+        assert c.replicas[2].gc_clock_floor > 0
+
+    def test_snapshot_round_trips_gc_state(self):
+        from repro.sim.persist import replica_snapshot, restore_replica
+
+        c = gc_cluster()
+        for _ in range(4):
+            gossip(c)
+        r2 = c.replicas[2]
+        r2.collect_garbage()
+        snap = replica_snapshot(r2)
+        fresh = GarbageCollectedReplica(2, c.n, SPEC)
+        restore_replica(fresh, snap)
+        assert fresh.gc_clock_floor == r2.gc_clock_floor
+        assert fresh._base == r2._base
+        assert fresh._gc_frontier == r2._gc_frontier
+        assert list(fresh.heard) == list(r2.heard)
+        assert fresh.local_state() == r2.local_state()
+
+    def test_gc_snapshot_needs_gc_capable_target(self):
+        from repro.sim.persist import replica_snapshot, restore_replica
+
+        c = gc_cluster()
+        for _ in range(4):
+            gossip(c)
+        r2 = c.replicas[2]
+        r2.collect_garbage()
+        snap = replica_snapshot(r2)
+        with pytest.raises(ValueError, match="compacted"):
+            restore_replica(UniversalReplica(2, c.n, SPEC), snap)
+
+    def test_truncated_restore_freezes_own_heard(self):
+        from repro.sim.persist import replica_snapshot, restore_replica
+
+        c = gc_cluster()
+        for _ in range(2):
+            gossip(c)
+        for r in c.replicas:
+            r.collect_garbage()
+        for _ in range(2):
+            gossip(c)  # live entries above the floor, lost below
+        r2 = c.replicas[2]
+        pre_crash_clock = r2.clock.value
+        snap = replica_snapshot(r2, fsync_point=0)
+        fresh = GarbageCollectedReplica(2, c.n, SPEC)
+        restore_replica(fresh, snap)
+        # The stored heard vector over-claims; the rewound one must not,
+        # and the own column is frozen (the replica may have lost its own
+        # updates) until a state transfer certifies a covering floor.
+        assert fresh.heard[2] < pre_crash_clock
+        assert fresh._own_suspect_below == pre_crash_clock
+        frozen = fresh.heard[2]
+        fresh.heartbeat()
+        assert fresh.heard[2] == frozen
+        fresh.install_gc_state(
+            base=frozenset(), clock_floor=pre_crash_clock
+        )
+        assert fresh._own_suspect_below == 0
+
+    def test_complete_restore_trusts_stored_heard(self):
+        from repro.sim.persist import replica_snapshot, restore_replica
+
+        c = gc_cluster()
+        for _ in range(3):
+            gossip(c)
+        r2 = c.replicas[2]
+        snap = replica_snapshot(r2)  # complete: no truncation
+        fresh = GarbageCollectedReplica(2, c.n, SPEC)
+        restore_replica(fresh, snap)
+        assert list(fresh.heard) == list(r2.heard)
+        assert fresh._own_suspect_below == 0

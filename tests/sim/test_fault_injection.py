@@ -336,3 +336,108 @@ class TestGCUnderPartition:
         r.collect_garbage()
         with pytest.raises(StabilityViolation):
             r.on_message(1, (2, 1, S.insert(2)))
+
+
+class TestGCUnderHoldsAndCrashes:
+    """Satellite: frontier safety under hold/release schedules and
+    crashed-peer heartbeats (the claims GC's stability argument rests on
+    must survive every FIFO-preserving adversary move)."""
+
+    def gc_cluster(self, n=3, **kw):
+        return Cluster(
+            n,
+            lambda pid, total: GarbageCollectedReplica(
+                pid, total, SPEC, gc_interval=8, track_witness=False
+            ),
+            fifo=True,
+            **kw,
+        )
+
+    def test_hold_release_cycle_no_spurious_violation(self):
+        c = self.gc_cluster(seed=11)
+        for i in range(40):
+            c.update(i % 3, S.insert(i % 7) if i % 2 else S.delete(i % 7))
+            if i == 8:
+                c.hold(0, 1)
+                c.hold(2, 1)
+            if i == 24:
+                c.release(0, 1)
+                c.release(2, 1)
+            if i % 4 == 0:
+                c.run()  # would raise StabilityViolation on a regression
+        c.heal()
+        c.run()
+        c.anti_entropy()
+        assert len(states_of(c)) == 1
+        assert sum(r.collected for r in c.replicas) > 0
+
+    def test_held_heartbeats_cannot_outrun_their_updates(self):
+        # A held channel parks updates and heartbeats alike; releasing
+        # must deliver them in send order, so heard never claims a clock
+        # whose update is still parked on the same channel.
+        c = self.gc_cluster(seed=3)
+        c.update(0, S.insert(1))
+        c.run()
+        c.hold(0, 1)
+        c.update(0, S.insert(2))
+        c.network.broadcast(0, c.replicas[0].heartbeat(), c.now)
+        hb_clock = c.replicas[0].clock.value
+        c.run()
+        # The heartbeat is parked with its update: p1 heard nothing new.
+        assert c.replicas[1].heard[0] < hb_clock
+        c.release(0, 1)
+        c.run()
+        assert c.replicas[1].heard[0] >= hb_clock
+        c.heal()
+        c.run()
+        assert len(states_of(c)) == 1
+
+    def test_crashed_peer_heartbeats_dropped_not_counted(self):
+        # An in-flight heartbeat from a peer that crashes mid-broadcast
+        # (drop_outgoing) must be dropped, not advance heard: counting it
+        # would let the frontier pass updates the crash destroyed.
+        c = self.gc_cluster(seed=9)
+        for _ in range(2):
+            for pid in range(3):
+                c.update(pid, S.insert(pid))
+            c.run()
+        heard_before = list(c.replicas[0].heard)
+        c.update(2, S.insert(6))  # in flight, then lost with the crash
+        c.network.broadcast(2, c.replicas[2].heartbeat(), c.now)
+        c.crash(2, drop_outgoing=True)
+        c.run()
+        assert c.replicas[0].heard[2] == heard_before[2]
+
+    def test_heartbeats_to_crashed_process_dropped(self):
+        c = self.gc_cluster(seed=9)
+        c.crash(2)
+        c.network.broadcast(0, c.replicas[0].heartbeat(), c.now)
+        before = c.dropped_to_crashed
+        c.run()
+        assert c.dropped_to_crashed > before
+
+
+class TestGCStateTransferScenario:
+    """Satellite: the CI chaos scenario — GC + crash + fsync-truncated
+    recovery + partition/heal — must exercise state transfer and
+    converge (see :func:`repro.sim.fuzz.gc_state_transfer_scenario`)."""
+
+    def test_scenario_converges_and_transfers(self):
+        from repro.sim.fuzz import gc_state_transfer_scenario
+
+        stats = gc_state_transfer_scenario(0)
+        assert stats["state_transfers"] >= 1
+        assert stats["state_installs"] >= 1
+
+    def test_scenario_across_seeds(self):
+        from repro.sim.fuzz import gc_state_transfer_scenario
+
+        for seed in range(1, 4):
+            gc_state_transfer_scenario(seed)
+
+    def test_gc_smoke_budget_loop(self):
+        from repro.sim.fuzz import gc_chaos_smoke
+
+        ticks = iter([0.0, 100.0, 200.0])
+        stats = gc_chaos_smoke(50.0, clock=lambda: next(ticks))
+        assert stats["runs"] == 1  # fake clock: one run, then budget spent

@@ -31,9 +31,15 @@ from repro.specs import counter as C
 SPEC = CounterSpec()
 SIZES = (100, 400, 1600)
 
+# fast_path=False: the counter commutes, so the universal replicas would
+# otherwise auto-activate the commutative fast path and measure it instead
+# of the replay machinery this bench characterizes (the fast path itself
+# is the `fast` variant of benchmarks/bench_throughput.py).
 FACTORIES = {
-    "naive": lambda p, n: UniversalReplica(p, n, SPEC, track_witness=False),
-    "checkpoint": lambda p, n: CheckpointedReplica(p, n, SPEC, track_witness=False),
+    "naive": lambda p, n: UniversalReplica(
+        p, n, SPEC, track_witness=False, fast_path=False),
+    "checkpoint": lambda p, n: CheckpointedReplica(
+        p, n, SPEC, track_witness=False, fast_path=False),
     "undo": lambda p, n: UndoReplica(p, n, SPEC, track_witness=False),
     "commutative": lambda p, n: CommutativeReplica(p, n, SPEC),
 }

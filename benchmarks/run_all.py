@@ -141,6 +141,21 @@ def main(timer: Callable[[], float] | None = None) -> None:
             kind, m.SIZES[0]).metrics.flat()
 
     print("=" * 72)
+    print("THROUGHPUT — sustained replay hot path (VII-C, all variants)")
+    print("=" * 72)
+    m = load("bench_throughput")
+    measurements = {kind: m.measure(kind, timer) for kind in m.VARIANTS}
+    save("throughput", m.results_table(measurements))
+    for kind, result in measurements.items():
+        universal[f"throughput_{kind}"] = {
+            **result["cluster"].metrics.flat(),
+            "ops_per_sec": result["ops_per_sec"],
+            "query_p50_us": result["query_p50_us"],
+            "query_p99_us": result["query_p99_us"],
+            "replayed_per_query": result["replayed_per_query"],
+        }
+
+    print("=" * 72)
     print("ALG2-PERF — O(1) memory vs the generic construction")
     print("=" * 72)
     m = load("bench_alg2_memory")

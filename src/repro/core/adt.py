@@ -138,6 +138,20 @@ class UQADT:
             state = self.apply(state, update)
         return state
 
+    def probe_updates(self) -> Sequence[Update]:
+        """A small generator set of updates exercising the spec's algebra.
+
+        Used by tooling that checks *declared* properties against observed
+        behaviour — most importantly ``uqlint``'s UQ006 rule, which tries
+        every pair from this set in both orders to catch a spec declaring
+        :attr:`commutative_updates` whose ``apply`` is order-sensitive.
+        The set should cover the interesting conflicts (an insert and a
+        delete of the same element, two writes to the same key...); a pair
+        of probes commuting is evidence, not proof.  Specs declaring
+        commutativity without providing probes are flagged as unverifiable.
+        """
+        return ()
+
     # -- derived machinery -----------------------------------------------------
 
     def evaluate(self, state: Any, query: Query) -> Any:

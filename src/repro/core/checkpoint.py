@@ -8,10 +8,14 @@ implemented here.
 
 :class:`CheckpointedReplica`
     Keeps the state of an already-replayed prefix plus periodic
-    checkpoints.  A query only folds in the updates that arrived since the
-    last one (amortized O(new updates)).  A *late* message — one whose
-    timestamp sorts before already-replayed updates — rolls back to the
-    nearest checkpoint at or before its insertion point.
+    checkpoints in a dyadically-thinned
+    :class:`~repro.core.ckpt_tree.CheckpointTree` (O(log n) retained
+    states, densest near the replay tip).  A query only folds in the
+    updates that arrived since the last one (amortized O(new updates)).
+    A *late* message — one whose timestamp sorts before already-replayed
+    updates — rolls back to the nearest surviving checkpoint with one
+    bisect + slice delete, so the re-replay that follows is proportional
+    to the message's lateness, not the history length.
 
 :class:`GarbageCollectedReplica`
     Additionally tracks, per peer, the highest Lamport clock heard from it.
@@ -26,21 +30,39 @@ implemented here.
     in-flight message could be stamped below an already-heard clock and
     sort under the collected prefix — the replica detects that and raises
     :class:`StabilityViolation` rather than silently diverging.
+
+Both classes inherit the commutative fast path from
+:class:`~repro.core.universal.UniversalReplica`: on a spec declaring
+``commutative_updates`` queries are answered from the arrival-order fold
+and the checkpoint machinery idles (the sorted log, checkpoint floor
+shifting and state transfers keep working, so GC composes with the fast
+path).  Pass ``fast_path=False`` to exercise the replay machinery on a
+commutative spec.
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left
 from typing import Any, Hashable, Sequence
 
 from repro.core.adt import UQADT
+from repro.core.ckpt_tree import CheckpointTree
 from repro.core.sync import StateHandoff, StateTransferRequired, SyncDigest
 from repro.core.universal import Stamped, UniversalReplica
 from repro.obs.metrics import MetricsRegistry
 
 
 class CheckpointedReplica(UniversalReplica):
-    """Algorithm 1 with cached replay prefix and periodic checkpoints."""
+    """Algorithm 1 with cached replay prefix and a checkpoint tree."""
+
+    __slots__ = (
+        "checkpoint_interval",
+        "_state",
+        "_applied",
+        "_ckpts",
+        "_rollbacks",
+        "_rollback_replayed",
+    )
 
     def __init__(
         self,
@@ -51,19 +73,20 @@ class CheckpointedReplica(UniversalReplica):
         checkpoint_interval: int = 64,
         track_witness: bool = True,
         sync_page_size: int = 64,
+        fast_path: bool | None = None,
     ) -> None:
         super().__init__(
             pid, n, spec,
             track_witness=track_witness,
             sync_page_size=sync_page_size,
+            fast_path=fast_path,
         )
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint interval must be positive")
         self.checkpoint_interval = checkpoint_interval
         self._state: Any = spec.initial_state()
         self._applied = 0  # updates[:applied] are folded into _state
-        #: (index, state) pairs, ascending; index 0 is the base state.
-        self._checkpoints: list[tuple[int, Any]] = [(0, self._state)]
+        self._ckpts = CheckpointTree(self._state)
 
     def bind_metrics(self, registry: MetricsRegistry) -> None:
         super().bind_metrics(registry)
@@ -74,43 +97,76 @@ class CheckpointedReplica(UniversalReplica):
             "stamped before an already-replayed prefix)",
             label_names=("pid",),
         ).labels(pid=self.pid)
+        #: how much cached work each rollback discarded — the updates
+        #: between the surviving checkpoint and the old replay tip, which
+        #: the next query must fold again.
+        self._rollback_replayed = registry.counter(
+            "repro_replica_rollback_replayed_updates_total",
+            help="already-replayed updates invalidated by rollbacks (and "
+            "hence re-applied by the next query)",
+            label_names=("pid",),
+        ).labels(pid=self.pid)
 
     @property
     def rollbacks(self) -> int:
         """Deprecated: reads ``repro_replica_rollbacks_total``."""
         return int(self._rollbacks.value)
 
+    @property
+    def rollback_replayed(self) -> int:
+        """Reads ``repro_replica_rollback_replayed_updates_total``."""
+        return int(self._rollback_replayed.value)
+
+    def checkpoint_indices(self) -> list[int]:
+        """Retained checkpoint positions (for tests and benchmarks)."""
+        return self._ckpts.indices()
+
     # The base state replay starts from (overridden by the GC subclass).
     def _base_state(self) -> Any:
         return self.spec.initial_state()
 
-    def _insert(self, stamped: Stamped) -> None:
-        key = (stamped[0], stamped[1])
-        pos = bisect.bisect_left(self.updates, key, key=lambda s: (s[0], s[1]))
-        self.updates.insert(pos, stamped)
+    def _after_insert(self, pos: int, stamped: Stamped) -> None:
+        if self._fast_path:
+            # Arrival-order fold answers queries; the replay cache idles.
+            self._fast_state = self.spec.apply(self._fast_state, stamped[2])
+            return
         if pos < self._applied:
             # Late message: the cached state replayed updates that sort
-            # after it.  Roll back to the nearest checkpoint not past pos.
+            # after it.  Roll back to the nearest checkpoint not past pos
+            # (a checkpoint *at* pos is still valid: it folds exactly the
+            # entries now sorting before the newcomer).
             self._rollbacks.inc()
-            while self._checkpoints and self._checkpoints[-1][0] > pos:
-                self._checkpoints.pop()
-            if self._checkpoints:
-                self._applied, self._state = self._checkpoints[-1]
-            else:  # pragma: no cover - base checkpoint is never popped
-                self._applied, self._state = 0, self._base_state()
+            idx, state = self._ckpts.rollback(pos)
+            self._rollback_replayed.inc(self._applied - idx)
+            self._applied, self._state = idx, state
 
     def _replay_state(self) -> Any:
         state = self._state
         i = self._applied
+        start = i
         log = self.updates
         interval = self.checkpoint_interval
+        apply = self.spec.apply
+        record = self._ckpts.record
         while i < len(log):
-            state = self.spec.apply(state, log[i][2])
+            state = apply(state, log[i][2])
             i += 1
             if i % interval == 0:
-                self._checkpoints.append((i, state))
-        self._replayed.inc(i - self._applied)
+                record(i, state)
+        self._replayed.inc(i - start)
         self._applied, self._state = i, state
+        return state
+
+    def _peek_state(self) -> Any:
+        """Introspection fold: reuses the cached prefix but mutates
+        nothing and charges nothing (see the base-class docstring)."""
+        if self._fast_path:
+            return self._fast_state
+        state = self._state
+        log = self.updates
+        apply = self.spec.apply
+        for i in range(self._applied, len(log)):
+            state = apply(state, log[i][2])
         return state
 
 
@@ -128,6 +184,19 @@ class GarbageCollectedReplica(CheckpointedReplica):
     state; :attr:`collected` counts discarded log entries.
     """
 
+    __slots__ = (
+        "gc_interval",
+        "heard",
+        "_base",
+        "_since_gc",
+        "_gc_frontier",
+        "_gc_clock_floor",
+        "_own_suspect_below",
+        "_collected",
+        "_state_transfers",
+        "_state_installs",
+    )
+
     HEARTBEAT = "hb"
 
     def __init__(
@@ -141,6 +210,7 @@ class GarbageCollectedReplica(CheckpointedReplica):
         track_witness: bool = False,
         relay: bool = False,
         sync_page_size: int = 64,
+        fast_path: bool | None = None,
     ) -> None:
         if relay:
             raise ValueError(
@@ -153,6 +223,7 @@ class GarbageCollectedReplica(CheckpointedReplica):
             checkpoint_interval=checkpoint_interval,
             track_witness=track_witness,
             sync_page_size=sync_page_size,
+            fast_path=fast_path,
         )
         if gc_interval <= 0:
             raise ValueError("gc interval must be positive")
@@ -290,9 +361,9 @@ class GarbageCollectedReplica(CheckpointedReplica):
             # enumerate ids at or below it.
             self._gc_clock_floor = frontier
             self._known = {uid for uid in self._known if uid[0] > frontier}
-        cut = bisect.bisect_left(
-            self.updates, (frontier + 1,), key=lambda s: (s[0], s[1])
-        )
+        # (frontier + 1,) sorts before (frontier + 1, 0): the cut is the
+        # first entry with clock > frontier.
+        cut = bisect_left(self._keys, (frontier + 1,))
         if cut == 0:
             return 0
         # Fold the prefix into the base state.
@@ -302,17 +373,24 @@ class GarbageCollectedReplica(CheckpointedReplica):
             self._gc_frontier = (cl, j)
         self._base = state
         del self.updates[:cut]
-        # Shift cached replay structures left by `cut`.
-        self._applied = max(0, self._applied - cut)
-        shifted = [(i - cut, s) for i, s in self._checkpoints if i - cut >= 0]
-        self._checkpoints = shifted if shifted else [(0, self._base)]
-        if not any(i == 0 for i, _ in self._checkpoints):
-            self._checkpoints.insert(0, (0, self._base))
-        # The cached state may predate the fold; recompute conservatively.
-        self._applied, self._state = self._checkpoints[0]
-        for i, s in self._checkpoints:
-            if i <= len(self.updates):
-                self._applied, self._state = i, s
+        del self._keys[:cut]
+        self._visible_cache = None
+        if self._fast_path:
+            # The arrival-order fold already contains the collected
+            # prefix; only the log representation changed.
+            pass
+        else:
+            # Shift cached replay structures left by `cut`.  The cached
+            # state (old base + updates[:applied]) equals the new base
+            # plus the surviving applied entries, so when the applied
+            # prefix covers the cut only its index moves; otherwise the
+            # cache is a strict sub-prefix of the new base and restarts
+            # from it.
+            self._ckpts.shift_left(cut, self._base)
+            if self._applied >= cut:
+                self._applied -= cut
+            else:
+                self._applied, self._state = 0, self._base
         self._collected.inc(cut)
         return cut
 
@@ -404,10 +482,10 @@ class GarbageCollectedReplica(CheckpointedReplica):
         self.clock.merge(clock_floor)
         if clock_floor <= self._gc_clock_floor:
             return False
-        cut = bisect.bisect_left(
-            self.updates, (clock_floor + 1,), key=lambda s: (s[0], s[1])
-        )
+        cut = bisect_left(self._keys, (clock_floor + 1,))
         del self.updates[:cut]
+        del self._keys[:cut]
+        self._visible_cache = None
         self._base = base
         self._gc_clock_floor = clock_floor
         if frontier is not None:
@@ -420,7 +498,14 @@ class GarbageCollectedReplica(CheckpointedReplica):
         self._known = {uid for uid in self._known if uid[0] > clock_floor}
         # Cached replay structures predate the new base; rebuild from it.
         self._applied, self._state = 0, base
-        self._checkpoints = [(0, base)]
+        self._ckpts.reset(base)
+        if self._fast_path:
+            # The handed-off base replaces our arrival-order fold's view
+            # of the collected prefix wholesale; refold the surviving
+            # live entries on top of it.
+            self._fast_state = self.spec.apply_batch(
+                base, [u for _, _, u in self.updates]
+            )
         if self._own_suspect_below and clock_floor >= self._own_suspect_below:
             # The floor certifies every update (ours included) at or
             # below it, so the amnesia gap is provably repaired.

@@ -1,0 +1,157 @@
+"""Dyadically-thinned checkpoint store for incremental replay.
+
+:class:`~repro.core.checkpoint.CheckpointedReplica` used to keep *every*
+``checkpoint_interval``-th intermediate state in a linear list: memory
+grew linearly with the log, and a late message popped the list entry by
+entry to find a survivor.  :class:`CheckpointTree` replaces that list with
+a store that keeps checkpoints *dense near the replay tip and sparse far
+behind it* — the classic dyadic/geometric retention scheme (the same idea
+as multi-level undo snapshots or reverse-mode autodiff checkpointing):
+
+* ``record(index, state)`` appends a checkpoint and then *thins*: an
+  interior checkpoint is dropped when merging its two adjacent gaps still
+  leaves a gap no larger than the distance from there to the tip.  At the
+  fixpoint consecutive distances-to-tip at least double every two kept
+  entries, so at most ``O(log n)`` checkpoints survive for a length-``n``
+  replayed prefix.
+* ``rollback(pos)`` — a late message landed at ``pos`` — discards the
+  checkpoints above ``pos`` with one :func:`bisect.bisect_right` + slice
+  delete and returns the best survivor, instead of popping one entry at a
+  time.  Because gaps shrink toward the tip, the re-replay that follows is
+  proportional to the message's *lateness* (distance from the tip), not to
+  the full history.
+* ``shift_left(cut, base_state)`` renumbers after stable-prefix GC folded
+  the first ``cut`` log entries into a new base state (the surviving
+  checkpoints' states already contain that prefix, so only their indices
+  move).
+
+Entries are kept in two parallel lists (indices and states) rather than
+``(index, state)`` tuples: the index list is what every bisect touches,
+and a flat ``list[int]`` keeps that search allocation-free.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterator
+
+
+class CheckpointTree:
+    """O(log n) checkpoints over a replayed prefix, densest near the tip.
+
+    Invariant: indices are strictly increasing and index 0 (the base
+    state) is always present, so :meth:`rollback` and
+    :meth:`best_at_or_below` always find a survivor.
+    """
+
+    __slots__ = ("_indices", "_states")
+
+    def __init__(self, base_state: Any) -> None:
+        self._indices: list[int] = [0]
+        self._states: list[Any] = [base_state]
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __iter__(self) -> Iterator[tuple[int, Any]]:
+        return iter(zip(self._indices, self._states))
+
+    @property
+    def base_state(self) -> Any:
+        return self._states[0]
+
+    @property
+    def tip_index(self) -> int:
+        """Highest checkpointed replay position."""
+        return self._indices[-1]
+
+    def indices(self) -> list[int]:
+        """The retained checkpoint positions, ascending (for inspection)."""
+        return list(self._indices)
+
+    # -- updates ---------------------------------------------------------------
+
+    def record(self, index: int, state: Any) -> None:
+        """Checkpoint ``state`` as the fold of the first ``index`` updates.
+
+        Indices must arrive in increasing order between rollbacks;
+        re-recording at or below the tip is ignored (the caller replayed
+        nothing new).
+        """
+        if index <= self._indices[-1]:
+            return
+        self._indices.append(index)
+        self._states.append(state)
+        self._thin()
+
+    def _thin(self) -> None:
+        """Restore the dyadic retention invariant after an append.
+
+        Drop an interior checkpoint ``i`` whenever the merged gap
+        ``idx[i+1] - idx[i-1]`` is at most the distance from ``idx[i+1]``
+        to the tip: any rollback landing inside the merged gap is already
+        that late, so re-replaying the gap does not change the asymptotic
+        cost.  At the fixpoint ``d(i-1) > 2 * d(i+1)`` for every interior
+        ``i`` (``d`` = distance to tip), giving the O(log n) size bound.
+        """
+        idx = self._indices
+        states = self._states
+        tip = idx[-1]
+        changed = True
+        while changed:
+            changed = False
+            i = 1
+            while i < len(idx) - 1:
+                if idx[i + 1] - idx[i - 1] <= tip - idx[i + 1]:
+                    del idx[i]
+                    del states[i]
+                    changed = True
+                else:
+                    i += 1
+
+    def rollback(self, pos: int) -> tuple[int, Any]:
+        """A late message was inserted at ``pos``: invalidate everything
+        above it and return the surviving ``(index, state)`` to resume
+        replay from.  O(log n): one bisect plus a slice delete."""
+        cut = bisect_right(self._indices, pos)
+        del self._indices[cut:]
+        del self._states[cut:]
+        return self._indices[-1], self._states[-1]
+
+    def best_at_or_below(self, pos: int) -> tuple[int, Any]:
+        """The deepest checkpoint not past ``pos``, without invalidating."""
+        i = bisect_right(self._indices, pos) - 1
+        return self._indices[i], self._states[i]
+
+    def shift_left(self, cut: int, base_state: Any) -> None:
+        """Renumber after GC folded the log's first ``cut`` entries into
+        ``base_state``.
+
+        A surviving checkpoint's state is the fold of the old base plus
+        the first ``index`` log entries; since the collected prefix is
+        exactly the first ``cut`` of those, that same state equals the new
+        base folded with the first ``index - cut`` *remaining* entries —
+        only the index changes.  Checkpoints inside the collected prefix
+        are subsumed by the new base and dropped.
+        """
+        if cut <= 0:
+            return
+        idx = self._indices
+        states = self._states
+        keep = bisect_right(idx, cut)  # first strictly-above-cut entry
+        new_indices = [0]
+        new_states = [base_state]
+        for i in range(keep, len(idx)):
+            new_indices.append(idx[i] - cut)
+            new_states.append(states[i])
+        self._indices = new_indices
+        self._states = new_states
+
+    def reset(self, base_state: Any) -> None:
+        """Forget everything; keep only a fresh base checkpoint at 0
+        (used when a state transfer replaces the base wholesale)."""
+        self._indices = [0]
+        self._states = [base_state]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointTree(indices={self._indices!r})"

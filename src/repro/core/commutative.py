@@ -12,6 +12,12 @@ queries, O(state) memory, one broadcast per update.  The constructor
 refuses non-commutative specifications, because for those apply-on-receipt
 famously diverges (tested in ``tests/core/test_commutative.py`` with the
 set's insert/delete conflict).
+
+This is the *log-free* end of the fast-path spectrum:
+:class:`~repro.core.universal.UniversalReplica` gets the same O(1) query
+cost automatically on commutative specs but keeps the sorted log for
+anti-entropy, persistence and GC.  Use this class when those services are
+not needed and O(state) memory is the point.
 """
 
 from __future__ import annotations
@@ -25,6 +31,17 @@ from repro.util.clocks import LamportClock
 
 class CommutativeReplica(Replica):
     """Apply-on-receipt replica for commutative UQ-ADTs."""
+
+    __slots__ = (
+        "spec",
+        "clock",
+        "_state",
+        "applied",
+        "track_witness",
+        "_last_meta",
+        "_visible",
+        "_visible_cache",
+    )
 
     def __init__(
         self,
@@ -47,15 +64,18 @@ class CommutativeReplica(Replica):
         self.track_witness = track_witness
         self._last_meta: dict[str, Any] = {}
         self._visible: set[tuple[int, int]] = set()
+        #: quiescent queries share one frozenset (allocation-free capture).
+        self._visible_cache: frozenset[tuple[int, int]] | None = None
 
     def on_update(self, update: Update) -> Sequence[Any]:
-        ts = self.clock.tick()
+        cl = self.clock.tick_value()
         self._state = self.spec.apply(self._state, update)
         self.applied += 1
         if self.track_witness:
-            self._visible.add((ts.clock, ts.pid))
-            self._last_meta = {"timestamp": (ts.clock, ts.pid)}
-        return [(ts.clock, ts.pid, update)]
+            self._visible.add((cl, self.pid))
+            self._visible_cache = None
+            self._last_meta = {"timestamp": (cl, self.pid)}
+        return [(cl, self.pid, update)]
 
     def on_message(self, src: int, payload) -> Sequence[Any]:
         cl, j, update = payload
@@ -64,14 +84,18 @@ class CommutativeReplica(Replica):
         self.applied += 1
         if self.track_witness:
             self._visible.add((cl, j))
+            self._visible_cache = None
         return ()
 
     def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if self.track_witness:
-            ts = self.clock.tick()
+            cl = self.clock.tick_value()
+            visible = self._visible_cache
+            if visible is None:
+                visible = self._visible_cache = frozenset(self._visible)
             self._last_meta = {
-                "timestamp": (ts.clock, ts.pid),
-                "visible": frozenset(self._visible),
+                "timestamp": (cl, self.pid),
+                "visible": visible,
             }
         return self.spec.observe(self._state, name, args)
 

@@ -15,13 +15,15 @@ instead of O(log) replay.  Queries are then O(1): they observe the
 maintained state.
 
 Only specifications flagged ``invertible_updates`` (e.g. the counter and
-the append-only log) qualify; the constructor refuses others.
+the append-only log) qualify; the constructor refuses others.  The
+commutative fast path is deliberately disabled here — undo/redo *is* this
+replica's incremental-maintenance strategy, and the benches compare it
+against the fast path as a distinct point in the design space.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Any, Hashable, Sequence
+from typing import Any, Hashable
 
 from repro.core.adt import UQADT
 from repro.core.universal import Stamped, UniversalReplica
@@ -29,6 +31,8 @@ from repro.core.universal import Stamped, UniversalReplica
 
 class UndoReplica(UniversalReplica):
     """Algorithm 1 with Karsenty–Beaudouin-Lafon undo/redo maintenance."""
+
+    __slots__ = ("_state", "undone_redone")
 
     def __init__(
         self,
@@ -43,15 +47,15 @@ class UndoReplica(UniversalReplica):
                 f"{spec.name!r} updates are not invertible; the undo "
                 f"optimization requires T(T(s,u),u⁻¹)=s for all s"
             )
-        super().__init__(pid, n, spec, track_witness=track_witness)
+        super().__init__(pid, n, spec, track_witness=track_witness,
+                         fast_path=False)
         self._state: Any = spec.initial_state()
         self.undone_redone = 0  # total undo+redo steps (bench metric)
 
-    def _insert(self, stamped: Stamped) -> None:
-        key = (stamped[0], stamped[1])
-        pos = bisect.bisect_left(self.updates, key, key=lambda s: (s[0], s[1]))
-        displaced = self.updates[pos:]
-        # Undo the displaced suffix, newest first.
+    def _after_insert(self, pos: int, stamped: Stamped) -> None:
+        # The newcomer already sits at ``pos``; everything after it is the
+        # displaced suffix.  Undo it newest-first, apply, redo.
+        displaced = self.updates[pos + 1:]
         state = self._state
         for _, _, u in reversed(displaced):
             state = self.spec.unapply(state, u)
@@ -59,11 +63,13 @@ class UndoReplica(UniversalReplica):
         for _, _, u in displaced:
             state = self.spec.apply(state, u)
         self.undone_redone += 2 * len(displaced) + 1
-        self.updates.insert(pos, stamped)
         self._state = state
 
     def _replay_state(self) -> Any:
         # The state is maintained incrementally; queries cost O(1).
+        return self._state
+
+    def _peek_state(self) -> Any:
         return self._state
 
     def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:

@@ -23,7 +23,27 @@ visibility relation), which is exactly how Proposition 4's proof certifies
 correctness.  Witness tracking is optional (``track_witness=False``) for
 performance benchmarking of the algorithm proper.
 
-Subclasses implement the Section VII-C optimizations:
+Two hot-path refinements live here beside the verbatim algorithm:
+
+* **The commutative fast path** (Section VII-C: "if all the update
+  operations commute ... a naive implementation, that applies the updates
+  on a replica as soon as the notification is received, achieves update
+  consistency").  When the spec declares ``commutative_updates`` — or the
+  caller forces ``fast_path=True`` — the replica *additionally* maintains
+  the arrival-order fold of every known update and answers queries from
+  it in O(1), skipping the sorted-log replay entirely.  The sorted log,
+  the ``(clock, pid)`` keys and the witness metadata are maintained
+  exactly as before: anti-entropy, persistence, GC and SUC witnesses are
+  oblivious to which path answered the query.  Pass ``fast_path=False``
+  to benchmark the replay machinery itself on a commutative spec.
+* **Replay-cost accounting is charged to queries only.**
+  ``repro_replica_replayed_updates_total`` is the Section VII-C query
+  replay cost that benches and the run report consume; introspection
+  (:meth:`local_state`, convergence checks, anti-entropy's agreement
+  test) goes through the side-effect-free :meth:`_peek_state` and leaves
+  the counter untouched.
+
+Subclasses implement the remaining Section VII-C optimizations:
 :class:`repro.core.checkpoint.CheckpointedReplica` (cached intermediate
 states, recomputed only when a late message arrives) and
 :class:`repro.core.undo.UndoReplica` (Karsenty–Beaudouin-Lafon undo/redo).
@@ -31,7 +51,7 @@ states, recomputed only when a late message arrives) and
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left
 from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.adt import UQADT, Update
@@ -47,6 +67,9 @@ from repro.sim.replica import Replica
 from repro.util.clocks import LamportClock
 
 #: A timestamped update as shipped on the wire: ``(clock, pid, update)``.
+#: Plain tuples, not dataclasses: these are the hottest objects in the
+#: repo (one per update per replica) and tuple allocation + indexing beats
+#: any attribute access on the replay path.
 Stamped = tuple[int, int, Update]
 
 
@@ -66,6 +89,28 @@ class UniversalReplica(Replica):
     be confused with ``(clock, pid, update)`` wire triples.
     """
 
+    __slots__ = (
+        "spec",
+        "sync_page_size",
+        "batch_replay",
+        "clock",
+        "updates",
+        "track_witness",
+        "relay",
+        "_keys",
+        "_known",
+        "_last_meta",
+        "_fast_path",
+        "_fast_state",
+        "_visible_cache",
+        "_replayed",
+        "_sync_requests",
+        "_sync_request_bits",
+        "_sync_pages",
+        "_sync_shipped",
+        "_sync_redundant",
+    )
+
     #: control-payload tags (anti-entropy handshake; see repro.core.sync).
     SYNC_REQ = sync_protocol.SYNC_REQ
     SYNC_RESP = sync_protocol.SYNC_RESP
@@ -81,6 +126,7 @@ class UniversalReplica(Replica):
         relay: bool = False,
         batch_replay: bool = True,
         sync_page_size: int = 64,
+        fast_path: bool | None = None,
     ) -> None:
         super().__init__(pid, n)
         self.spec = spec
@@ -94,6 +140,10 @@ class UniversalReplica(Replica):
         self.batch_replay = batch_replay
         self.clock = LamportClock(pid)
         self.updates: list[Stamped] = []
+        #: parallel ``(clock, pid)`` key list for ``updates``: bisecting a
+        #: flat tuple list needs no per-comparison key callable, and the
+        #: witness/visibility machinery reads it without rebuilding pairs.
+        self._keys: list[tuple[int, int]] = []
         self.track_witness = track_witness
         #: epidemic relay: re-broadcast first-seen updates.  Algorithm 1
         #: assumes *reliable* broadcast — all-or-nothing delivery even when
@@ -104,6 +154,22 @@ class UniversalReplica(Replica):
         self.relay = relay
         self._known: set[tuple[int, int]] = set()
         self._last_meta: dict[str, Any] = {}
+        #: cached witness visibility set (satellite of Section VII-C
+        #: witness cost): rebuilt lazily after a log change, so quiescent
+        #: queries share one frozenset instead of allocating O(log) each.
+        self._visible_cache: frozenset[tuple[int, int]] | None = None
+        if fast_path is None:
+            fast_path = bool(spec.commutative_updates)
+        elif fast_path and not spec.commutative_updates:
+            raise ValueError(
+                f"{spec.name!r} does not declare commutative_updates; the "
+                f"arrival-order fast path would diverge on it — run uqlint "
+                f"UQ006 if the spec should be declaring commutativity"
+            )
+        #: Section VII-C commutative fast path: maintain the arrival-order
+        #: fold beside the sorted log and answer queries from it in O(1).
+        self._fast_path = fast_path
+        self._fast_state: Any = spec.initial_state() if fast_path else None
 
     # -- observability ---------------------------------------------------------------
 
@@ -150,16 +216,22 @@ class UniversalReplica(Replica):
         """Deprecated: reads ``repro_replica_replayed_updates_total``."""
         return int(self._replayed.value)
 
+    @property
+    def fast_path(self) -> bool:
+        """True when queries are answered from the arrival-order fold."""
+        return self._fast_path
+
     # -- Algorithm 1 ---------------------------------------------------------------
 
     def on_update(self, update: Update) -> Sequence[Any]:
-        ts = self.clock.tick()  # line 5
-        stamped: Stamped = (ts.clock, ts.pid, update)
-        self._known.add((ts.clock, ts.pid))
+        cl = self.clock.tick_value()  # line 5
+        pid = self.pid
+        stamped: Stamped = (cl, pid, update)
+        self._known.add((cl, pid))
         self._insert(stamped)  # instantaneous self-delivery
         if self.track_witness:
-            self._last_meta = {"timestamp": (ts.clock, ts.pid)}
-        return [stamped]  # line 6: broadcast
+            self._last_meta = {"timestamp": (cl, pid)}
+        return (stamped,)  # line 6: broadcast
 
     def on_message(self, src: int, payload: Any) -> Sequence[Any]:
         if isinstance(payload, tuple) and payload and payload[0] == self.SYNC_REQ:
@@ -177,7 +249,7 @@ class UniversalReplica(Replica):
         self._known.add((cl, j))
         self.clock.merge(cl)  # line 9
         self._insert((cl, j, update))  # line 10
-        return [payload] if self.relay else ()
+        return (payload,) if self.relay else ()
 
     # -- anti-entropy (crash-recovery & lossy-channel repair) -----------------------
 
@@ -251,7 +323,7 @@ class UniversalReplica(Replica):
         self._known.add((cl, j))
         self.clock.merge(cl)
         self._insert((cl, j, update))
-        return [stamped] if self.relay else ()
+        return (stamped,) if self.relay else ()
 
     def _on_sync_state(self, src: int, payload: tuple) -> Sequence[Any]:
         raise SyncProtocolError(
@@ -279,12 +351,17 @@ class UniversalReplica(Replica):
         return loaded
 
     def on_query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
-        ts = self.clock.tick()  # line 13
-        state = self._replay_state()  # lines 14-17
+        cl = self.clock.tick_value()  # line 13
+        if self._fast_path:
+            # Commutative fast path: the arrival-order fold equals the
+            # sorted-log fold (updates commute), zero replay work.
+            state = self._fast_state
+        else:
+            state = self._replay_state()  # lines 14-17
         if self.track_witness:
             self._last_meta = {
-                "timestamp": (ts.clock, ts.pid),
-                "visible": frozenset((cl, j) for cl, j, _ in self.updates),
+                "timestamp": (cl, self.pid),
+                "visible": self._visible_uids(),
             }
         return self.spec.observe(state, name, args)  # line 18
 
@@ -293,13 +370,35 @@ class UniversalReplica(Replica):
     def _insert(self, stamped: Stamped) -> None:
         """Insert keeping the ``(clock, pid)`` sort (line 15's order).
 
-        ``(clock, pid)`` pairs are unique across updates, so the comparison
-        never reaches the (orderless) update payload.
+        ``(clock, pid)`` pairs are unique across updates, so the order is
+        total without ever comparing the (orderless) update payload.  The
+        common case — a fresh update sorting after everything known —
+        appends in O(1); late messages bisect the flat key list.
         """
-        bisect.insort(self.updates, stamped, key=lambda s: (s[0], s[1]))
+        key = (stamped[0], stamped[1])
+        keys = self._keys
+        if not keys or key > keys[-1]:
+            keys.append(key)
+            self.updates.append(stamped)
+            pos = len(keys) - 1
+        else:
+            pos = bisect_left(keys, key)
+            keys.insert(pos, key)
+            self.updates.insert(pos, stamped)
+        self._visible_cache = None
+        self._after_insert(pos, stamped)
+
+    def _after_insert(self, pos: int, stamped: Stamped) -> None:
+        """Hook running after ``stamped`` landed at ``pos`` in the sorted
+        log.  The base class feeds the commutative fast-path fold;
+        subclasses add rollback (checkpoint) or undo/redo maintenance."""
+        if self._fast_path:
+            self._fast_state = self.spec.apply(self._fast_state, stamped[2])
 
     def _replay_state(self) -> Any:
-        """Full replay — lines 14-17 (optionally batch-folded)."""
+        """Full replay — lines 14-17 (optionally batch-folded).  Charges
+        the folded updates to the Section VII-C replay-cost counter; only
+        queries may call this (introspection uses :meth:`_peek_state`)."""
         self._replayed.inc(len(self.updates))
         if self.batch_replay:
             return self.spec.apply_batch(
@@ -310,10 +409,40 @@ class UniversalReplica(Replica):
             state = self.spec.apply(state, update)
         return state
 
+    def _peek_state(self) -> Any:
+        """The state a read-all query would observe, *without* charging
+        the query replay-cost counter or mutating any replay cache.
+
+        Introspection — :meth:`local_state`, convergence checks, the
+        anti-entropy agreement test — used to run through
+        :meth:`_replay_state` and inflate
+        ``repro_replica_replayed_updates_total``, corrupting the
+        per-query replay-cost metric the benches gate on.
+        """
+        if self._fast_path:
+            return self._fast_state
+        if self.batch_replay:
+            return self.spec.apply_batch(
+                self.spec.initial_state(), [u for _, _, u in self.updates]
+            )
+        state = self.spec.initial_state()
+        for _, _, update in self.updates:
+            state = self.spec.apply(state, update)
+        return state
+
+    def _visible_uids(self) -> frozenset[tuple[int, int]]:
+        """The witness visibility set: every known update's ``(clock,
+        pid)``.  Cached until the log changes, so a run of quiescent
+        queries shares a single frozenset (allocation-free capture)."""
+        cache = self._visible_cache
+        if cache is None:
+            cache = self._visible_cache = frozenset(self._keys)
+        return cache
+
     # -- introspection --------------------------------------------------------------
 
     def local_state(self) -> Any:
-        return self._replay_state()
+        return self._peek_state()
 
     def witness_meta(self) -> dict[str, Any]:
         meta, self._last_meta = self._last_meta, {}
@@ -324,4 +453,4 @@ class UniversalReplica(Replica):
         return len(self.updates)
 
     def known_timestamps(self) -> list[tuple[int, int]]:
-        return [(cl, j) for cl, j, _ in self.updates]
+        return list(self._keys)

@@ -26,7 +26,12 @@ from repro.lint.engine import (
 
 # Importing the rule modules populates the registry (side-effect imports,
 # kept explicit and last so `registered_rules` above is already bound).
-from repro.lint import determinism, discipline, purity  # noqa: E402,F401
+from repro.lint import (  # noqa: E402,F401
+    commutativity,
+    determinism,
+    discipline,
+    purity,
+)
 
 __all__ = [
     "Finding",

@@ -1,7 +1,12 @@
 """uqlint engine: findings, pragmas, per-module analysis context, registry.
 
 The linter is a plain :mod:`ast` walker — no imports of the linted code are
-ever executed, so it is safe to run on broken or hostile trees.  Each rule
+ever executed, so it is safe to run on broken or hostile trees.  (One
+documented exception: :mod:`repro.lint.commutativity`'s UQ006 is a
+*behavioural* cross-check and imports a module, but only when its dotted
+name resolves — via :func:`importlib.util.find_spec` — to the very file
+being linted, i.e. only code already importable from the current
+environment.)  Each rule
 is a callable class with a stable ``code`` (``UQ0xx`` / ``SIM1xx`` /
 ``REP2xx``); the engine parses each file once, derives the shared facts the
 rules need (import aliases, class bases, pragma lines) and hands every rule

@@ -172,19 +172,38 @@ def uq004_update_helper_return(module: ModuleInfo) -> Iterator[Finding]:
 
 
 def _mentions_update(annotation: ast.expr | None) -> bool:
+    """True when the annotation promises a *single* ``Update`` value.
+
+    Only the top level counts: ``Sequence[Update]`` / ``list[Update]``
+    promise a collection, where returning a tuple/list display of
+    ``Update(...)`` calls is exactly right (e.g. ``probe_updates``), so
+    container annotations must not trip the bare-literal check.
+    ``Update | None`` and ``Optional[Update]`` still qualify.
+    """
     if annotation is None:
         return False
-    for node in ast.walk(annotation):
-        if isinstance(node, ast.Name) and node.id == "Update":
-            return True
-        if isinstance(node, ast.Attribute) and node.attr == "Update":
-            return True
-        if (
-            isinstance(node, ast.Constant)
-            and isinstance(node.value, str)
-            and "Update" in node.value  # string annotations: "Update | None"
-        ):
-            return True
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:  # string annotation: "Update | None" — re-parse and recurse
+            annotation = ast.parse(annotation.value.strip(), mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "Update"
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "Update"
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _mentions_update(annotation.left) or _mentions_update(
+            annotation.right
+        )
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        base_name = (
+            base.id if isinstance(base, ast.Name)
+            else base.attr if isinstance(base, ast.Attribute) else ""
+        )
+        if base_name == "Optional":
+            return _mentions_update(annotation.slice)
+        return False  # Sequence[Update] etc.: a collection, not an Update
     return False
 
 

@@ -32,7 +32,17 @@ from repro.obs.metrics import MetricsRegistry
 
 
 class Replica:
-    """Base class for per-process replica algorithms."""
+    """Base class for per-process replica algorithms.
+
+    The class (and the hot replica implementations built on it) declares
+    ``__slots__``: a simulation holds one replica per process but the
+    replicas hold millions of stamped log entries, and keeping the
+    per-instance dict off the core classes keeps attribute access on the
+    replay path one pointer chase shorter.  Experimental subclasses that
+    omit ``__slots__`` simply get a ``__dict__`` back — nothing breaks.
+    """
+
+    __slots__ = ("pid", "n", "outbox", "metrics")
 
     def __init__(self, pid: int, n: int) -> None:
         if not 0 <= pid < n:

@@ -62,6 +62,10 @@ class CounterSpec(UQADT):
             u.args[0] if u.name == "inc" else -u.args[0] for u in updates
         )
 
+    def probe_updates(self) -> Sequence[Update]:
+        # Mixed signs and magnitudes: addition commutes regardless.
+        return (inc(1), inc(3), dec(2), dec(1))
+
     def observe(self, state: int, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return state

@@ -39,6 +39,10 @@ class GSetSpec(UQADT):
             return state | {v}
         raise ValueError(f"unknown g-set update {update.name!r} (g-set has no delete)")
 
+    def probe_updates(self) -> Sequence[Update]:
+        # Re-inserting an element is the only interesting interaction.
+        return (insert("a"), insert("b"), insert("a"))
+
     def observe(self, state: frozenset, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return frozenset(state)

@@ -61,6 +61,11 @@ class MapSpec(UQADT):
             return new
         raise ValueError(f"unknown map update {update.name!r}")
 
+    def probe_updates(self) -> Sequence[Update]:
+        # Two puts to the same key, and a put/remove pair: order decides
+        # the surviving value, so commutativity checkers must reject both.
+        return (put("k", 1), put("k", 2), remove("k"), put("j", 3))
+
     def observe(self, state: dict, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         if name == "get":
             (k,) = args

@@ -41,6 +41,10 @@ class MaxRegisterSpec(UQADT):
             return v if v > state else state
         raise ValueError(f"unknown max-register update {update.name!r}")
 
+    def probe_updates(self) -> Sequence[Update]:
+        # Ascending, descending and duplicate writes: max commutes.
+        return (write_max(1.0), write_max(3.0), write_max(1.0))
+
     def observe(self, state: float, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return state

@@ -74,6 +74,11 @@ class SetSpec(UQADT):
         added = (v for v, present in decided.items() if present)
         return frozenset(kept) | frozenset(added)
 
+    def probe_updates(self) -> Sequence[Update]:
+        # insert("a") / delete("a") is the canonical order-sensitive pair
+        # (Example 1): a probe set any commutativity checker must reject.
+        return (insert("a"), delete("a"), insert("b"))
+
     def observe(self, state: frozenset, name: str, args: tuple[Hashable, ...] = ()) -> object:
         if name == "read":
             return frozenset(state)

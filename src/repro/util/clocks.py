@@ -86,6 +86,18 @@ class LamportClock:
         self._value += 1
         return Timestamp(self._value, self._pid)
 
+    def tick_value(self) -> int:
+        """Advance for a local event and return the bare clock integer.
+
+        Hot-path variant of :meth:`tick`: the replicas stamp millions of
+        events per run and only need the ``(clock, pid)`` pair they build
+        themselves, so the :class:`Timestamp` allocation (plus its
+        ``__post_init__`` validation) is pure overhead there.  Semantics
+        are identical — ``tick().clock == tick_value()`` step for step.
+        """
+        self._value += 1
+        return self._value
+
     def merge(self, other: int | Timestamp) -> None:
         """Incorporate a received clock value (message reception rule)."""
         value = other.clock if isinstance(other, Timestamp) else int(other)

@@ -104,6 +104,67 @@ class TestCheckpointedReplica:
             assert naive.query(pid, "read") == opt.query(pid, "read")
 
 
+class TestRollbackAccounting:
+    """Satellite regressions for checkpoint-tree rollback: boundary hits,
+    repeated rollbacks, and the rollback-replay counter."""
+
+    def warm_replica(self, n_updates=8, interval=2):
+        r = CheckpointedReplica(
+            0, 2, SPEC, checkpoint_interval=interval, track_witness=False
+        )
+        for i in range(n_updates):
+            r.on_update(S.insert(i))
+        r.on_query("read")  # replay once: checkpoints recorded
+        return r
+
+    @staticmethod
+    def from_scratch(r):
+        """Algorithm 1 verbatim over the replica's current log."""
+        state = SPEC.initial_state()
+        for _, _, update in r.updates:
+            state = SPEC.apply(state, update)
+        return SPEC.observe(state, "read", ())
+
+    def test_late_message_exactly_on_checkpoint_boundary(self):
+        r = self.warm_replica()
+        boundary = r.checkpoint_indices()[-2]  # a retained interior index
+        assert 0 < boundary < len(r.updates)
+        # Local keys are (1,0)..(n,0); a remote update with clock ==
+        # boundary sorts to insert position == boundary — exactly on it.
+        r.on_message(1, (boundary, 1, S.insert(99)))
+        assert r.rollbacks == 1
+        # The boundary checkpoint folds positions strictly below the
+        # insert, so it survives: only entries past it were invalidated.
+        assert r.rollback_replayed == 8 - boundary
+        assert r.checkpoint_indices()[-1] == boundary
+        assert r.on_query("read") == self.from_scratch(r)
+
+    def test_repeated_rollbacks_match_from_scratch_replay(self):
+        r = self.warm_replica(n_updates=12, interval=3)
+        for clock in (9, 5, 2):  # successively earlier late arrivals
+            r.on_message(1, (clock, 1, S.insert(100 + clock)))
+            assert r.on_query("read") == self.from_scratch(r)
+        assert r.rollbacks == 3
+
+    def test_rollback_counter_matches_reapplied_updates(self):
+        # Every log entry is replayed once when a query first covers it,
+        # plus once more per rollback invalidation — so at quiescence the
+        # replay total telescopes to log length + rollback_replayed.
+        r = self.warm_replica(n_updates=12, interval=3)
+        for clock in (9, 5, 2):
+            r.on_message(1, (clock, 1, S.insert(100 + clock)))
+            r.on_query("read")
+        assert r.rollback_replayed > 0
+        assert r.replayed_updates == len(r.updates) + r.rollback_replayed
+
+    def test_quiescent_rollback_counter_stays_zero(self):
+        r = self.warm_replica()
+        r.on_query("read")
+        r.on_query("read")
+        assert r.rollback_replayed == 0
+        assert r.rollbacks == 0
+
+
 class TestGarbageCollection:
     def gc_cluster(self, n=3, gc_interval=5, **kw):
         kw.setdefault("fifo", True)

@@ -1,0 +1,157 @@
+"""Unit tests for the dyadic checkpoint store behind incremental replay."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ckpt_tree import CheckpointTree
+
+
+def filled(n: int, every: int = 1) -> CheckpointTree:
+    t = CheckpointTree("s0")
+    for i in range(every, n + 1, every):
+        t.record(i, f"s{i}")
+    return t
+
+
+class TestRecord:
+    def test_base_always_present(self):
+        t = CheckpointTree("s0")
+        assert t.indices() == [0]
+        assert t.base_state == "s0"
+        assert t.tip_index == 0
+
+    def test_records_ascending(self):
+        t = filled(4)
+        assert t.tip_index == 4
+        assert t.indices()[0] == 0
+        assert t.indices() == sorted(t.indices())
+
+    def test_stale_record_ignored(self):
+        t = filled(8)
+        t.record(8, "dupe")
+        t.record(3, "stale")
+        assert t.tip_index == 8
+        assert dict(iter(t))[8] == "s8"
+
+    def test_retention_is_logarithmic(self):
+        # 100k recorded positions must retain O(log n) checkpoints.
+        t = filled(100_000)
+        assert len(t) <= 2 * math.log2(100_000) + 8
+
+    def test_denser_near_the_tip(self):
+        t = filled(10_000)
+        idx = t.indices()
+        gaps = [b - a for a, b in zip(idx, idx[1:])]
+        # Gaps shrink (weakly) toward the tip: the last gap is the smallest,
+        # the first the largest.
+        assert gaps[-1] == min(gaps)
+        assert gaps[0] == max(gaps)
+
+    def test_thinning_invariant(self):
+        # At the fixpoint no interior entry is droppable: merging its two
+        # gaps would always exceed the distance from there to the tip.
+        t = filled(5_000, every=7)
+        idx = t.indices()
+        tip = idx[-1]
+        for i in range(1, len(idx) - 1):
+            assert idx[i + 1] - idx[i - 1] > tip - idx[i + 1]
+
+
+class TestRollback:
+    def test_rollback_returns_deepest_survivor(self):
+        t = filled(100)
+        index, state = t.rollback(57)
+        assert index <= 57
+        assert state == f"s{index}"
+        assert t.tip_index == index
+
+    def test_rollback_to_base(self):
+        t = filled(100)
+        index, state = t.rollback(0)
+        assert (index, state) == (0, "s0")
+        assert t.indices() == [0]
+
+    def test_rollback_on_checkpoint_boundary_keeps_it(self):
+        # A hit exactly *on* a retained index must survive: the checkpoint
+        # is the fold of updates strictly before it, so an insert at that
+        # position invalidates nothing at or below.
+        t = filled(100)
+        boundary = t.indices()[-2]
+        index, _ = t.rollback(boundary)
+        assert index == boundary
+
+    def test_best_at_or_below_does_not_invalidate(self):
+        t = filled(100)
+        before = t.indices()
+        index, state = t.best_at_or_below(57)
+        assert index <= 57 and state == f"s{index}"
+        assert t.indices() == before
+
+    def test_repeated_rollbacks_never_lose_the_base(self):
+        t = filled(200)
+        for pos in (150, 90, 40, 7, 0):
+            index, state = t.rollback(pos)
+            assert index <= pos
+            assert t.indices()[0] == 0
+        assert t.base_state == "s0"
+
+
+class TestGCIntegration:
+    def test_shift_left_renumbers(self):
+        t = CheckpointTree("base")
+        for i in (10, 20, 30, 40):
+            t.record(i, f"s{i}")
+        kept = [i for i in t.indices() if i > 25]
+        t.shift_left(25, "folded")
+        assert t.indices() == [0] + [i - 25 for i in kept]
+        assert t.base_state == "folded"
+
+    def test_shift_left_drops_subsumed_checkpoints(self):
+        t = CheckpointTree("base")
+        t.record(10, "s10")
+        t.record(20, "s20")
+        t.shift_left(20, "folded")  # cut lands exactly on a checkpoint
+        assert t.indices() == [0]
+        assert t.base_state == "folded"
+
+    def test_shift_left_zero_is_noop(self):
+        t = filled(50)
+        before = t.indices()
+        t.shift_left(0, "ignored")
+        assert t.indices() == before
+        assert t.base_state == "s0"
+
+    def test_reset(self):
+        t = filled(50)
+        t.reset("transferred")
+        assert t.indices() == [0]
+        assert t.base_state == "transferred"
+        assert t.tip_index == 0
+
+
+@given(
+    st.lists(st.integers(1, 500), min_size=1, max_size=60),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_record_rollback_interleaving(increments, data):
+    """Whatever the interleaving, the survivor returned by rollback is the
+    deepest retained checkpoint at or below the hit, indices stay strictly
+    ascending, and the base never disappears."""
+    t = CheckpointTree(0)
+    tip = 0
+    for step, inc in enumerate(increments):
+        tip += inc
+        t.record(tip, tip)  # state mirrors index for easy checking
+        if step % 3 == 2:
+            pos = data.draw(st.integers(0, tip), label="rollback pos")
+            index, state = t.rollback(pos)
+            assert index == state <= pos
+            tip = index
+        idx = t.indices()
+        assert idx[0] == 0
+        assert all(a < b for a, b in zip(idx, idx[1:]))
+        assert all(i == s for i, s in t)

@@ -1,0 +1,259 @@
+"""Differential fuzz for the commutative fast path (Section VII-C).
+
+"If all the update operations commute ... a naive implementation, that
+applies the updates on a replica as soon as the notification is received,
+achieves update consistency."  The fast path trusts that claim; these
+tests earn it: every scenario runs the *same* seeded schedule twice —
+once with the arrival-order fast path, once with ``fast_path=False``
+(sorted-log replay) — and requires identical observable behaviour, under
+chaos adversaries, crash/recovery through the durable-log codec, and
+stable-prefix GC with anti-entropy state transfer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import update_consistent_convergence
+from repro.core.checkpoint import CheckpointedReplica, GarbageCollectedReplica
+from repro.core.commutative import CommutativeReplica
+from repro.core.undo import UndoReplica
+from repro.core.universal import UniversalReplica
+from repro.sim import Cluster
+from repro.sim.fuzz import AdversaryFuzzer
+from repro.sim.network import ExponentialLatency, LossyNetwork
+from repro.specs import CounterSpec, GSetSpec, MapSpec, SetSpec
+from repro.specs import counter as C
+from repro.specs import gset as G
+
+N = 3
+SEEDS = st.integers(0, 10_000)
+
+SPECS = {"counter": CounterSpec(), "gset": GSetSpec()}
+
+
+def make_script(kind: str, seed: int, n_ops: int = 25) -> list:
+    rng = np.random.default_rng(seed)
+    script = []
+    for _ in range(n_ops):
+        pid = int(rng.integers(N))
+        if kind == "counter":
+            k = int(rng.integers(1, 5))
+            op = C.dec(k) if rng.random() < 0.4 else C.inc(k)
+        else:
+            op = G.insert(int(rng.integers(8)))
+        script.append((pid, op))
+    return script
+
+
+def chaos_cluster(kind: str, seed: int, fast: bool, replica_cls=UniversalReplica):
+    spec = SPECS[kind]
+    # Only the base replica exposes epidemic relay; the checkpoint/GC
+    # variants repair loss through anti-entropy alone (stable-prefix GC
+    # even forbids relay — a relayed duplicate under the collected
+    # frontier would look like a stability violation).
+    kwargs = {"relay": True} if replica_cls is UniversalReplica else {}
+    return Cluster(
+        N,
+        lambda p, n: replica_cls(
+            p, n, spec, fast_path=None if fast else False, **kwargs
+        ),
+        seed=seed,
+        fifo=True,
+        network_cls=LossyNetwork,
+        network_kwargs={"drop_probability": 0.1},
+    )
+
+
+def run_chaos(cluster: Cluster, kind: str, seed: int) -> dict:
+    fuzzer = AdversaryFuzzer(
+        cluster,
+        seed=seed,
+        crash_budget=1,
+        allow_message_loss=True,
+        recover_probability=0.3,
+    )
+    fuzzer.run_workload(make_script(kind, seed), anti_entropy_rounds=5)
+    return cluster.states()
+
+
+class TestDifferentialFuzz:
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    @pytest.mark.parametrize("kind", list(SPECS))
+    def test_fast_path_equals_sorted_replay_under_chaos(self, kind, seed):
+        """Same seed, same adversary, same script: the arrival-order fold
+        and the sorted-log replay must agree at every surviving replica
+        (crashes recover through the durable-log codec mid-run)."""
+        fast = chaos_cluster(kind, seed, fast=True)
+        assert all(r.fast_path for r in fast.replicas)
+        slow = chaos_cluster(kind, seed, fast=False)
+        assert not any(r.fast_path for r in slow.replicas)
+        spec = SPECS[kind]
+        fast_states = run_chaos(fast, kind, seed)
+        slow_states = run_chaos(slow, kind, seed)
+        assert set(fast_states) == set(slow_states)
+        for pid in fast_states:
+            assert spec.canonical(fast_states[pid]) == spec.canonical(
+                slow_states[pid]
+            ), f"pid {pid} diverged on seed {seed}"
+
+    @given(SEEDS)
+    @settings(max_examples=10, deadline=None)
+    @pytest.mark.parametrize("kind", list(SPECS))
+    def test_fast_path_matches_agreed_linearization(self, kind, seed):
+        """On a fault-free (but reordering) network the fast path must land
+        on the timestamp linearization — the state sorted replay defines."""
+        spec = SPECS[kind]
+        c = Cluster(
+            N,
+            lambda p, n: UniversalReplica(p, n, spec),
+            seed=seed,
+            latency=ExponentialLatency(5.0),
+        )
+        assert all(r.fast_path for r in c.replicas)
+        for pid, op in make_script(kind, seed):
+            c.update(pid, op)
+        c.run()
+        ok, expected, states = update_consistent_convergence(c, spec)
+        assert ok
+        assert all(
+            spec.canonical(s) == spec.canonical(expected)
+            for s in states.values()
+        )
+
+    @given(SEEDS)
+    @settings(max_examples=8, deadline=None)
+    @pytest.mark.parametrize(
+        "replica_cls", [CheckpointedReplica, GarbageCollectedReplica]
+    )
+    def test_optimized_variants_differential(self, replica_cls, seed):
+        """The fast path composes with checkpointing and stable-prefix GC
+        (whose recovery path includes anti-entropy v2 state transfer for
+        compacted replicas)."""
+        kind = "counter"
+        spec = SPECS[kind]
+        fast = chaos_cluster(kind, seed, fast=True, replica_cls=replica_cls)
+        slow = chaos_cluster(kind, seed, fast=False, replica_cls=replica_cls)
+        fast_states = run_chaos(fast, kind, seed)
+        slow_states = run_chaos(slow, kind, seed)
+        assert set(fast_states) == set(slow_states)
+        for pid in fast_states:
+            assert spec.canonical(fast_states[pid]) == spec.canonical(
+                slow_states[pid]
+            ), f"{replica_cls.__name__} pid {pid} diverged on seed {seed}"
+
+    @given(SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_fast_path_agrees_with_commutative_replica(self, seed):
+        """The log-free :class:`CommutativeReplica` is the fast path taken
+        to its limit; on a commutative spec all three agree."""
+        spec = SPECS["counter"]
+        script = make_script("counter", seed)
+        finals = []
+        for factory in (
+            lambda p, n: UniversalReplica(p, n, spec),
+            lambda p, n: UniversalReplica(p, n, spec, fast_path=False),
+            lambda p, n: CommutativeReplica(p, n, spec),
+        ):
+            c = Cluster(N, factory, seed=seed, latency=ExponentialLatency(3.0))
+            for pid, op in script:
+                c.update(pid, op)
+            c.run()
+            finals.append({p: spec.canonical(s) for p, s in c.states().items()})
+        assert finals[0] == finals[1] == finals[2]
+
+
+class TestCrashRecovery:
+    def test_truncated_log_recovery_differential(self):
+        """A crash that beat the last fsync: restore through ``load_log``
+        with a truncated snapshot, repair via anti-entropy, and require
+        fast and sorted-replay runs to agree state-for-state."""
+        spec = SPECS["counter"]
+
+        def run(fast: bool):
+            c = Cluster(
+                N,
+                lambda p, n: UniversalReplica(
+                    p, n, spec, relay=True, fast_path=None if fast else False
+                ),
+                seed=7,
+                fifo=True,
+            )
+            for i in range(10):
+                c.update(i % N, C.inc(1))
+            c.run()
+            c.crash(1)
+            for i in range(5):
+                c.update(i % 2 * 2, C.dec(1))  # survivors 0 and 2
+            c.run()
+            c.recover(1, fsync_point=4)  # lost everything past entry 4
+            c.run()
+            c.anti_entropy(rounds=4)
+            return {p: spec.canonical(s) for p, s in c.states().items()}
+
+        fast_states = run(True)
+        slow_states = run(False)
+        assert fast_states == slow_states
+        assert len(set(fast_states.values())) == 1  # and they converged
+
+    def test_gc_state_transfer_refolds_fast_state(self):
+        """A recovering replica whose peers already collected its gap gets
+        a base-state handoff; the arrival-order fold must be rebuilt from
+        the transferred base, not left stale."""
+        spec = SPECS["counter"]
+        c = Cluster(
+            N,
+            lambda p, n: GarbageCollectedReplica(
+                p, n, spec, gc_interval=4, checkpoint_interval=2
+            ),
+            seed=11,
+            fifo=True,
+        )
+        for i in range(12):
+            c.update(i % N, C.inc(1))
+            c.run()
+        c.crash(1)
+        for i in range(8):
+            c.update((i % 2) * 2, C.inc(1))
+            c.run()
+        for pid in (0, 2):
+            c.replicas[pid].collect_garbage()
+        c.recover(1, fsync_point=2)
+        c.run()
+        c.anti_entropy(rounds=5)
+        states = {p: spec.canonical(s) for p, s in c.states().items()}
+        assert len(set(states.values())) == 1
+        assert states[1] == 20
+        assert c.replicas[1].fast_path
+
+
+class TestActivation:
+    def test_auto_active_only_on_commutative_specs(self):
+        for spec, expect in (
+            (CounterSpec(), True),
+            (GSetSpec(), True),
+            (SetSpec(), False),
+            (MapSpec(), False),
+        ):
+            r = UniversalReplica(0, 2, spec)
+            assert r.fast_path is expect, spec.name
+
+    @pytest.mark.parametrize("spec_cls", [SetSpec, MapSpec])
+    @pytest.mark.parametrize(
+        "replica_cls",
+        [UniversalReplica, CheckpointedReplica, GarbageCollectedReplica],
+    )
+    def test_forcing_fast_path_on_order_sensitive_spec_raises(
+        self, spec_cls, replica_cls
+    ):
+        with pytest.raises(ValueError, match="commutative"):
+            replica_cls(0, 2, spec_cls(), fast_path=True)
+
+    def test_undo_replica_opts_out(self):
+        # Undo/redo *is* its own incremental strategy; the arrival-order
+        # fold would be redundant work on top of it.
+        r = UndoReplica(0, 2, CounterSpec())
+        assert r.fast_path is False

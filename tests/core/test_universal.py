@@ -65,6 +65,118 @@ class TestLocalBehaviour:
             assert ts == sorted(ts)
 
 
+class TestReplayAccounting:
+    """Satellite regression: only real query replays may charge the
+    Section VII-C replay counter — introspection is free."""
+
+    def test_local_state_does_not_inflate_replay_counter(self):
+        c = cluster()
+        for i in range(5):
+            c.update(0, S.insert(i))
+        c.run()
+        r0 = c.replicas[0]
+        before = r0.replayed_updates
+        r0.local_state()
+        r0.local_state()
+        assert r0.replayed_updates == before
+
+    def test_cluster_states_does_not_inflate_replay_counter(self):
+        c = cluster()
+        for i in range(5):
+            c.update(i % 3, S.insert(i))
+        c.run()
+        totals = [r.replayed_updates for r in c.replicas]
+        c.states()  # convergence introspection sweeps every replica
+        assert [r.replayed_updates for r in c.replicas] == totals
+
+    def test_query_still_charges_full_replay(self):
+        c = cluster()
+        for i in range(5):
+            c.update(0, S.insert(i))
+        c.run()
+        r0 = c.replicas[0]
+        before = r0.replayed_updates
+        c.query(0, "read")
+        assert r0.replayed_updates == before + len(r0.updates)
+
+    def test_local_state_agrees_with_query(self):
+        c = cluster()
+        for i in range(5):
+            c.update(i % 3, S.insert(i))
+        c.run()
+        for pid in range(3):
+            r = c.replicas[pid]
+            assert SPEC.observe(r.local_state(), "read", ()) == c.query(
+                pid, "read"
+            )
+
+
+class TestWitnessCapture:
+    """Satellite regression: witness visibility capture is allocation-free
+    at quiescence (queries share one cached frozenset) and invisible in
+    the witness output."""
+
+    @staticmethod
+    def captured_visible(c):
+        """The visibility frozensets the trace captured, in query order."""
+        return [
+            rec.meta["visible"] for rec in c.trace if not rec.is_update
+        ]
+
+    def test_quiescent_queries_share_the_visibility_frozenset(self):
+        c = cluster()
+        for i in range(4):
+            c.update(0, S.insert(i))
+        c.run()
+        c.query(0, "read")
+        c.query(0, "read")
+        first, second = self.captured_visible(c)
+        assert first is second  # no per-query allocation at quiescence
+
+    def test_cache_invalidated_by_new_arrivals(self):
+        c = cluster()
+        for i in range(4):
+            c.update(0, S.insert(i))
+        c.run()
+        c.query(0, "read")
+        c.update(1, S.insert(99))
+        c.run()
+        c.query(0, "read")
+        stale, fresh = self.captured_visible(c)
+        assert fresh is not stale
+        assert len(fresh) == len(stale) + 1
+
+    def test_witness_identical_with_and_without_fast_path(self):
+        # The commutative fast path answers queries from the arrival-order
+        # fold but must leave witness capture untouched: the same schedule
+        # run on both paths yields byte-identical SUC witnesses.
+        from repro.specs import CounterSpec
+        from repro.specs import counter as C
+
+        spec = CounterSpec()
+
+        def run(fast: bool):
+            c = Cluster(
+                2,
+                lambda pid, n: UniversalReplica(pid, n, spec, fast_path=fast),
+            )
+            c.update(0, C.inc(1))
+            c.query(1, "read")
+            c.run()
+            c.update(1, C.dec(2))
+            c.query(0, "read")
+            c.run()
+            c.query(1, "read")
+            h = c.trace.to_history()
+            return h, c.trace.suc_witness(h)
+
+        h_fast, w_fast = run(True)
+        h_slow, w_slow = run(False)
+        assert repr(w_fast) == repr(w_slow)
+        assert verify_suc_witness(h_fast, spec, w_fast)
+        assert verify_suc_witness(h_slow, spec, w_slow)
+
+
 class TestConvergence:
     def test_same_final_state_everywhere(self):
         c = cluster(n=4, latency=ExponentialLatency(2.0), seed=8)

@@ -1,0 +1,20 @@
+# uqlint fixture: UQ006 — a spec declaring commutativity with no probes.
+# Never imported; parsed as text by tests/lint/test_fixtures.py.
+
+
+class UQADT:
+    pass
+
+
+class BlindCounterSpec(UQADT):
+    name = "blind-counter"
+    commutative_updates = True  # claimed, but nothing to verify it against
+
+    def initial_state(self):
+        return 0
+
+    def apply(self, state, update):
+        return state + update.args[0]
+
+    def observe(self, state, name, args=()):
+        return state

@@ -1,0 +1,29 @@
+# uqlint fixture: UQ006 good twin — the declaration ships its probe set.
+# Never imported; parsed as text by tests/lint/test_fixtures.py.
+
+
+class UQADT:
+    pass
+
+
+class Update:
+    def __init__(self, name, args=()):
+        self.name = name
+        self.args = args
+
+
+class ProbedCounterSpec(UQADT):
+    name = "probed-counter"
+    commutative_updates = True
+
+    def initial_state(self):
+        return 0
+
+    def apply(self, state, update):
+        return state + update.args[0]
+
+    def probe_updates(self):
+        return (Update("inc", (1,)), Update("inc", (2,)))
+
+    def observe(self, state, name, args=()):
+        return state

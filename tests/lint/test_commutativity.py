@@ -1,0 +1,168 @@
+"""UQ006 — the behavioural commutativity cross-check.
+
+The fixture corpus covers the static half (declaration without probes);
+these tests exercise the import-and-probe half, which needs real
+importable packages: each test writes a small spec package under a tmp
+directory, puts it on ``sys.path`` and lints the files on disk.
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+_ids = itertools.count()
+
+_LYING_SPEC = '''
+from repro.core.adt import UQADT, Update
+
+
+def push(v):
+    return Update("push", (v,))
+
+
+class LyingStackSpec(UQADT):
+    """Append-only stack: push order is the state, nothing commutes."""
+
+    name = "lying-stack"
+    commutative_updates = True  # a lie the probe set exposes
+
+    def initial_state(self):
+        return ()
+
+    def apply(self, state, update):
+        return state + (update.args[0],)
+
+    def observe(self, state, name, args=()):
+        return state
+
+    def probe_updates(self):
+        return (push(1), push(2))
+'''
+
+_HONEST_SPEC = '''
+from repro.core.adt import UQADT, Update
+
+
+def bump(k):
+    return Update("bump", (k,))
+
+
+class HonestCounterSpec(UQADT):
+    name = "honest-counter"
+    commutative_updates = True
+
+    def initial_state(self):
+        return 0
+
+    def apply(self, state, update):
+        return state + update.args[0]
+
+    def observe(self, state, name, args=()):
+        return state
+
+    def probe_updates(self):
+        return (bump(1), bump(3), bump(-2))
+'''
+
+_EMPTY_PROBES_SPEC = '''
+from repro.core.adt import UQADT
+
+
+class VacuousSpec(UQADT):
+    name = "vacuous"
+    commutative_updates = True
+
+    def initial_state(self):
+        return 0
+
+    def apply(self, state, update):
+        return state
+
+    def observe(self, state, name, args=()):
+        return state
+
+    def probe_updates(self):
+        return ()
+'''
+
+
+def make_package(tmp_path: Path, monkeypatch, source: str) -> Path:
+    """A uniquely named importable package holding ``source``; returns the
+    module file's path.  Unique names keep ``importlib``'s module cache
+    from bleeding state between tests."""
+    name = f"uq006_case_{next(_ids)}"
+    pkg = tmp_path / name
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    module = pkg / "spec_under_test.py"
+    module.write_text(source)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    return module
+
+
+def uq006_findings(path: Path):
+    findings, checked = lint_paths([path], codes={"UQ006"})
+    assert checked == 1
+    return findings
+
+
+def test_lying_spec_is_flagged(tmp_path, monkeypatch):
+    module = make_package(tmp_path, monkeypatch, _LYING_SPEC)
+    (finding,) = uq006_findings(module)
+    assert finding.code == "UQ006"
+    assert "order-sensitive" in finding.message
+    assert "push" in finding.message
+
+
+def test_honest_spec_is_clean(tmp_path, monkeypatch):
+    module = make_package(tmp_path, monkeypatch, _HONEST_SPEC)
+    assert uq006_findings(module) == []
+
+
+def test_empty_probe_set_is_unverifiable(tmp_path, monkeypatch):
+    module = make_package(tmp_path, monkeypatch, _EMPTY_PROBES_SPEC)
+    (finding,) = uq006_findings(module)
+    assert "probe_updates() returns nothing" in finding.message
+
+
+def test_missing_probes_flagged_even_when_unimportable(tmp_path):
+    # No __init__.py, not on sys.path: the static half still fires.
+    module = tmp_path / "orphan_spec.py"
+    module.write_text(
+        "class UQADT:\n    pass\n\n"
+        "class OrphanSpec(UQADT):\n"
+        "    commutative_updates = True\n"
+    )
+    (finding,) = uq006_findings(module)
+    assert "defines no probe_updates" in finding.message
+
+
+def test_lie_outside_a_package_is_not_probed(tmp_path):
+    # The behavioural half refuses to import a module whose dotted name
+    # does not resolve to the linted file; probes are defined, so the
+    # static half stays quiet too.  Other rules still see the file.
+    module = tmp_path / "free_floating.py"
+    module.write_text(_LYING_SPEC)
+    assert uq006_findings(module) == []
+
+
+def test_pragma_suppresses_the_finding(tmp_path, monkeypatch):
+    source = _LYING_SPEC.replace(
+        "commutative_updates = True  # a lie the probe set exposes",
+        "commutative_updates = True  # uqlint: disable=UQ006 -- test double",
+    )
+    module = make_package(tmp_path, monkeypatch, source)
+    assert uq006_findings(module) == []
+
+
+@pytest.mark.parametrize("rel", ["src/repro/specs", "src/repro/core"])
+def test_shipped_tree_passes_uq006(rel):
+    repo = Path(__file__).resolve().parents[2]
+    findings, checked = lint_paths([repo / rel], codes={"UQ006"})
+    assert checked > 0
+    assert findings == [], [f.render() for f in findings]

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples lint all clean
+.PHONY: install test bench artifacts examples lint serve loadtest all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,17 @@ examples:
 		echo "=== $$ex ==="; \
 		$(PYTHON) $$ex || exit 1; \
 	done
+
+# One asyncio replica with an HTTP object front-end on localhost:8080
+# (see README "Serving an object over HTTP" for the multi-replica form).
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.net serve --object set \
+		--pid 0 --peers 127.0.0.1:9000 --http-port 8080
+
+# Closed-loop load against a fresh in-process 3-replica asyncio cluster;
+# exits non-zero below 500 sustained ops/sec (the CI floor).
+loadtest:
+	PYTHONPATH=src $(PYTHON) benchmarks/load_harness.py --check
 
 all: test bench artifacts
 

@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Load harness for the asyncio backend: simulated users over real HTTP.
+
+Boots a :class:`repro.net.harness.LocalCluster` and aims a fleet of
+simulated users at its HTTP front-ends: each user owns one keep-alive
+connection to a round-robin-assigned replica and issues a closed-loop
+mix of updates and queries (one outstanding request at a time, like a
+real client).  Users ramp in over a configurable window rather than
+arriving at once, so the cluster sees an increasing-offered-load curve
+instead of a thundering herd.
+
+Per-operation latency is measured client-side (request write to response
+parse) and reported two ways:
+
+* exact percentiles (p50/p99, computed from the raw sample list) in the
+  returned summary — these land in ``BENCH_universal.json`` as the
+  ``net_load_*`` entries via ``benchmarks/run_all.py``;
+* a ``repro_net_op_latency_seconds`` histogram on the cluster's
+  :class:`~repro.obs.metrics.MetricsRegistry`, alongside the node-side
+  frame/sync counters, for the flat metrics artifact.
+
+Throughput here is a *wait-free* number: a 200 on an update means the
+replica applied and broadcast it, not that any peer acknowledged — the
+paper's trade.  Convergence is validated once, after the load stops.
+
+Run: ``python benchmarks/load_harness.py --users 100 --duration 3``
+(or ``make loadtest``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Any
+
+#: latency buckets for the registry histogram (seconds).
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Exact (nearest-rank) percentile of ``samples``; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+async def _user(
+    user_id: int,
+    client,
+    *,
+    start_delay: float,
+    stop: asyncio.Event,
+    latencies: list[float],
+    errors: list[str],
+    hist,
+    counters: dict[str, int],
+) -> None:
+    """One closed-loop simulated user: ramp delay, then op after op."""
+    await asyncio.sleep(start_delay)
+    value = user_id * 1_000_000  # distinct key space per user
+    i = 0
+    while not stop.is_set():
+        t0 = time.perf_counter()
+        try:
+            if i % 5 == 4:
+                await client.query("read")
+                counters["queries"] += 1
+            else:
+                await client.update("insert", value + i)
+                counters["updates"] += 1
+        except (RuntimeError, OSError) as exc:
+            errors.append(f"user {user_id} op {i}: {exc}")
+            if len(errors) > 100:
+                return
+            await asyncio.sleep(0.01)
+            continue
+        finally:
+            i += 1
+        dt = time.perf_counter() - t0
+        latencies.append(dt)
+        hist.observe(dt)
+
+
+async def run_load_async(
+    *,
+    users: int = 100,
+    duration: float = 3.0,
+    ramp: float = 1.0,
+    replicas: int = 3,
+    sync_interval: float = 0.1,
+    settle_timeout: float = 20.0,
+) -> dict[str, Any]:
+    """Run one load experiment; returns the summary document."""
+    from repro.core.universal import UniversalReplica
+    from repro.net.harness import LocalCluster
+    from repro.specs import SetSpec
+
+    spec = SetSpec()
+    cluster = LocalCluster(
+        replicas,
+        lambda pid, n: UniversalReplica(pid, n, spec),
+        sync_interval=sync_interval,
+    )
+    hist = cluster.registry.histogram(
+        "repro_net_op_latency_seconds",
+        help="client-observed HTTP operation latency",
+        buckets=LATENCY_BUCKETS,
+    ).labels()
+    await cluster.start()
+    latencies: list[float] = []
+    errors: list[str] = []
+    counters = {"updates": 0, "queries": 0}
+    stop = asyncio.Event()
+    clients = [cluster.client(u % replicas) for u in range(users)]
+    try:
+        tasks = [
+            asyncio.ensure_future(_user(
+                u, clients[u],
+                start_delay=(u / users) * ramp,
+                stop=stop, latencies=latencies, errors=errors,
+                hist=hist, counters=counters,
+            ))
+            for u in range(users)
+        ]
+        t_start = time.perf_counter()
+        await asyncio.sleep(ramp + duration)
+        stop.set()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        elapsed = time.perf_counter() - t_start
+        converged = None
+        try:
+            await cluster.settle(timeout=settle_timeout)
+            converged = True
+        except TimeoutError:
+            converged = False
+    finally:
+        for client in clients:
+            await client.close()
+        await cluster.stop()
+    ops = len(latencies)
+    return {
+        "format": "repro-net-load-v1",
+        "users": users,
+        "replicas": replicas,
+        "ramp_seconds": ramp,
+        "measured_seconds": round(elapsed, 3),
+        "ops": ops,
+        "updates": counters["updates"],
+        "queries": counters["queries"],
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "ops_per_sec": round(ops / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "max_ms": round(max(latencies, default=0.0) * 1e3, 3),
+        "converged": converged,
+        "metrics": cluster.registry.flat(),
+    }
+
+
+def run_load(**kwargs: Any) -> dict[str, Any]:
+    """Synchronous wrapper (what ``run_all.py`` calls)."""
+    return asyncio.run(run_load_async(**kwargs))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=100)
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="seconds at full user count (after the ramp)")
+    parser.add_argument("--ramp", type=float, default=1.0,
+                        help="seconds over which users arrive")
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless >=500 ops/sec, no errors "
+                             "and the cluster converged")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON summary here")
+    args = parser.parse_args(argv)
+    summary = run_load(users=args.users, duration=args.duration,
+                       ramp=args.ramp, replicas=args.replicas)
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    if args.check:
+        ok = (summary["ops_per_sec"] >= 500
+              and summary["errors"] == 0
+              and summary["converged"] is True)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

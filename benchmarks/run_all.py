@@ -326,6 +326,31 @@ def main(timer: Callable[[], float] | None = None) -> None:
     save_json("run_report.json", doc)
     universal["obs_chaos"] = cluster.metrics.flat()
 
+    print("=" * 72)
+    print("NET — asyncio backend under simulated users (load harness)")
+    print("=" * 72)
+    m = load("load_harness")
+    net = m.run_load(users=30, duration=1.0, ramp=0.5)
+    save("net_load", format_table(
+        ["metric", "value"],
+        [["users", net["users"]],
+         ["replicas", net["replicas"]],
+         ["ops", net["ops"]],
+         ["ops/sec", net["ops_per_sec"]],
+         ["p50 latency (ms)", net["p50_ms"]],
+         ["p99 latency (ms)", net["p99_ms"]],
+         ["errors", net["errors"]],
+         ["converged", net["converged"]]],
+        title="HTTP front-end, closed-loop users, ramped arrival"))
+    universal["net_load"] = {
+        **net["metrics"],
+        "ops_per_sec": net["ops_per_sec"],
+        "p50_ms": net["p50_ms"],
+        "p99_ms": net["p99_ms"],
+        "errors": net["errors"],
+        "converged": bool(net["converged"]),
+    }
+
     save_json("BENCH_universal.json", {
         "format": "repro-bench-metrics-v1",
         "benches": universal,

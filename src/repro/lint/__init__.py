@@ -31,6 +31,7 @@ from repro.lint import (  # noqa: E402,F401
     determinism,
     discipline,
     purity,
+    sansio,
 )
 
 __all__ = [

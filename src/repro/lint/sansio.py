@@ -1,0 +1,100 @@
+"""REP204 — the protocol layer is sans-io.
+
+The whole point of :mod:`repro.proto` is that one protocol state machine
+is driven by *two* backends — the deterministic simulator and the asyncio
+transport — and that every chaos/fuzz/persistence test of the first
+validates the code that runs in the second.  That guarantee dies the
+moment protocol code touches a socket, an event loop, a file or a clock
+directly: the behaviour would depend on which backend (or which machine)
+is running it, and the sim↔net differential test would be comparing two
+different programs.
+
+The rule therefore bans *imports* of I/O, scheduling and wall-clock
+modules — and calls to the ``open`` builtin — inside protocol code.  A
+module counts as protocol code when its path contains a ``proto``
+directory segment, or when it defines a class with ``ProtocolCore`` among
+its (transitive, syntactic) bases — so a core subclass in some other
+package is held to the same contract.
+
+| code   | invariant                                                      |
+|--------|----------------------------------------------------------------|
+| REP204 | protocol modules import no I/O / asyncio / socket / wall-clock |
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ModuleInfo, register
+
+#: Top-level modules whose import marks I/O, scheduling or wall-clock
+#: dependence — everything a sans-io state machine must receive as events
+#: or emit as effects instead of doing itself.
+BANNED_TOPLEVEL = frozenset(
+    {
+        # event loops & network
+        "asyncio", "socket", "socketserver", "selectors", "ssl",
+        "http", "urllib", "ftplib", "smtplib", "requests", "aiohttp",
+        # filesystem & processes
+        "io", "os", "pathlib", "shutil", "tempfile", "subprocess",
+        "signal", "fcntl",
+        # concurrency & scheduling
+        "threading", "multiprocessing", "concurrent", "sched", "queue",
+        # clocks
+        "time", "datetime",
+    }
+)
+
+
+def _is_protocol_module(module: ModuleInfo) -> bool:
+    """Path under a ``proto`` package, or defines a ProtocolCore subclass."""
+    parts = module.path.replace("\\", "/").split("/")
+    if "proto" in parts[:-1]:
+        return True
+    return any(
+        "ProtocolCore" in module._transitive_bases(cls) for cls in module.classes
+    )
+
+
+@register("REP204", "protocol modules are sans-io")
+def rep204_sans_io(module: ModuleInfo) -> Iterator[Finding]:
+    if not _is_protocol_module(module):
+        return
+    why = (
+        "the protocol layer is sans-io: both backends (the deterministic "
+        "simulator and repro.net) must be able to drive it, so I/O, "
+        "scheduling and clocks arrive as events and leave as effects"
+    )
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in BANNED_TOPLEVEL:
+                    yield Finding(
+                        path=module.path, line=node.lineno, col=node.col_offset,
+                        code="REP204",
+                        message=f"import of {alias.name!r} in protocol code: {why}",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                continue  # relative: stays inside the protocol package
+            top = (node.module or "").split(".")[0]
+            if top in BANNED_TOPLEVEL:
+                yield Finding(
+                    path=module.path, line=node.lineno, col=node.col_offset,
+                    code="REP204",
+                    message=f"import from {node.module!r} in protocol code: {why}",
+                )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+            and module.imports.get("open", "open") == "open"
+        ):
+            yield Finding(
+                path=module.path, line=node.lineno, col=node.col_offset,
+                code="REP204",
+                message=f"open() in protocol code: {why} — persistence is a "
+                        "Persist effect the backend interprets",
+            )

@@ -1,0 +1,84 @@
+"""Length-prefixed framing for the TCP peer links.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+canonical :func:`repro.proto.wire.encode_payload` JSON.  The framing
+layer is deliberately dumb: it moves one encoded value per frame and
+knows nothing about what the value means (hellos, protocol payloads,
+HTTP — those are :mod:`repro.net.node`'s vocabulary).
+
+The length cap rejects obviously corrupt or hostile prefixes before
+allocating; 16 MiB comfortably covers the largest legitimate frame (a
+state-transfer payload for a long-lived object) while keeping a garbage
+prefix from requesting a multi-gigabyte read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any
+
+from repro.proto.wire import decode_payload, encode_payload
+
+#: Hard cap on one frame's body size (corrupt-prefix guard).
+MAX_FRAME = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A frame violated the framing contract (oversized or truncated)."""
+
+
+def encode_frame(value: Any) -> bytes:
+    """One value as a wire frame: ``len(body)`` big-endian + body."""
+    body = encode_payload(value)
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame of {len(body)} bytes exceeds cap {MAX_FRAME}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> tuple[Any, bytes]:
+    """Decode one frame from ``data``; returns ``(value, rest)``.
+
+    Synchronous twin of :func:`read_frame` for tests and for parsing
+    recorded byte streams.  Raises :class:`FrameError` when ``data`` does
+    not start with a complete frame.
+    """
+    if len(data) < _LEN.size:
+        raise FrameError("truncated length prefix")
+    (length,) = _LEN.unpack_from(data)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame of {length} bytes exceeds cap {MAX_FRAME}")
+    end = _LEN.size + length
+    if len(data) < end:
+        raise FrameError(f"truncated frame body ({len(data) - _LEN.size}/{length})")
+    return decode_payload(data[_LEN.size:end]), data[end:]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise FrameError("connection closed mid-prefix") from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame of {length} bytes exceeds cap {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    return decode_payload(body)
+
+
+def write_frame(writer: asyncio.StreamWriter, value: Any) -> None:
+    """Queue one frame on ``writer`` (no await: callers drain separately).
+
+    Submitting without awaiting is what keeps a burst of updates a single
+    synchronous event-loop turn — the property the sim↔net differential
+    test leans on for deterministic Lamport stamps.
+    """
+    writer.write(encode_frame(value))

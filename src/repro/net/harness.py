@@ -1,0 +1,159 @@
+"""A whole replicated object on localhost: n nodes, one event loop.
+
+:class:`LocalCluster` is the asyncio twin of the simulator's
+:class:`~repro.sim.cluster.Cluster` — same factory signature, same
+``submit``/``query`` surface — except time is real and the network is the
+kernel's loopback.  It exists for the integration tests (the sim↔net
+differential test drives both through the same workload), the CI
+net-smoke job and the load harness; production-shaped deployments run one
+:class:`~repro.net.node.ReplicaNode` per process via ``python -m
+repro.net serve``.
+
+Crash testing mirrors the sim's model: :meth:`kill` closes the node's
+sockets mid-flight without flushing its durable image (the unflushed log
+tail is lost), :meth:`restart` boots a fresh node from whatever the disk
+still holds — on a *new* ephemeral port, which also exercises the peers'
+link-repair path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Hashable
+
+from repro.core.adt import Update, _canonical
+from repro.net.http import HttpClient
+from repro.net.node import ReplicaNode
+from repro.obs.metrics import MetricsRegistry
+
+
+class LocalCluster:
+    """``n`` ReplicaNodes on 127.0.0.1 with ephemeral ports."""
+
+    def __init__(
+        self,
+        n: int,
+        replica_factory: Callable[[int, int], Any],
+        *,
+        data_dir: str | None = None,
+        sync_interval: float = 0.1,
+        http: bool = True,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.n = n
+        self._factory = replica_factory
+        self.data_dir = data_dir
+        self.sync_interval = sync_interval
+        self.http = http
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.nodes: dict[int, ReplicaNode] = {}
+        self.dead: set[int] = set()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot every node and connect the full mesh."""
+        for pid in range(self.n):
+            self.nodes[pid] = self._build_node(pid)
+        for node in self.nodes.values():
+            await node.listen(http_port=0 if self.http else None)
+        peers = self._address_book()
+        for node in self.nodes.values():
+            node.set_peers(peers)
+        for node in self.nodes.values():
+            await node.start()
+
+    async def stop(self) -> None:
+        for pid, node in self.nodes.items():
+            if pid not in self.dead:
+                await node.stop()
+        await asyncio.sleep(0)
+
+    def kill(self, pid: int) -> None:
+        """Crash node ``pid``: sockets die mid-flight, no final flush."""
+        self.nodes[pid].kill()
+        self.dead.add(pid)
+
+    async def restart(self, pid: int) -> ReplicaNode:
+        """Boot a fresh node for ``pid`` from its on-disk image (if any),
+        re-announce its new ephemeral address to the survivors."""
+        node = self._build_node(pid)
+        self.nodes[pid] = node
+        self.dead.discard(pid)
+        await node.listen(http_port=0 if self.http else None)
+        peers = self._address_book()
+        for n in self.nodes.values():
+            n.set_peers(peers)
+        await node.start()
+        return node
+
+    # -- application surface ---------------------------------------------------------
+
+    def submit(self, pid: int, update: Update) -> dict[str, Any]:
+        """Issue ``update`` at node ``pid``; returns witness metadata."""
+        return self._live(pid).submit(update)
+
+    def query(self, pid: int, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        return self._live(pid).query(name, args)
+
+    def client(self, pid: int) -> HttpClient:
+        """A keep-alive HTTP client bound to node ``pid``'s front-end."""
+        node = self.nodes[pid]
+        if node.http_port is None:
+            raise RuntimeError("cluster started with http=False")
+        return HttpClient(node.host, node.http_port)
+
+    # -- convergence ------------------------------------------------------------------
+
+    def alive(self) -> list[int]:
+        return [pid for pid in range(self.n) if pid not in self.dead]
+
+    def states(self) -> dict[int, Any]:
+        return {pid: self.nodes[pid].local_state() for pid in self.alive()}
+
+    def converged(self) -> bool:
+        """All live nodes report canonically equal local state."""
+        return len({_canonical(s) for s in self.states().values()}) <= 1
+
+    async def settle(self, timeout: float = 10.0) -> None:
+        """Drive anti-entropy until every live node agrees (twice in a
+        row — one agreement can be a coincidence mid-gossip).
+
+        Raises ``TimeoutError`` with the divergent states on expiry.
+        """
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        agreed_once = False
+        while loop.time() < deadline:
+            if self.converged():
+                if agreed_once:
+                    return
+                agreed_once = True
+            else:
+                agreed_once = False
+                for pid in self.alive():
+                    self.nodes[pid].sync_now()
+            await asyncio.sleep(self.sync_interval / 2)
+        raise TimeoutError(f"no convergence within {timeout}s: {self.states()!r}")
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _build_node(self, pid: int) -> ReplicaNode:
+        return ReplicaNode(
+            pid, self.n, self._factory,
+            data_dir=self.data_dir,
+            sync_interval=self.sync_interval,
+            registry=self.registry,
+        )
+
+    def _address_book(self) -> dict[int, tuple[str, int]]:
+        return {
+            pid: (node.host, node.peer_port)
+            for pid, node in self.nodes.items()
+            if node.peer_port is not None and pid not in self.dead
+        }
+
+    def _live(self, pid: int) -> ReplicaNode:
+        if pid in self.dead:
+            raise RuntimeError(f"node {pid} is dead")
+        return self.nodes[pid]

@@ -1,0 +1,233 @@
+"""A minimal HTTP/1.1 front-end for a :class:`~repro.net.node.ReplicaNode`.
+
+Hand-rolled on asyncio streams (the toolchain ships no third-party HTTP
+server), supporting exactly what the object API needs: request-line +
+headers, ``Content-Length`` bodies, keep-alive connections (the load
+harness reuses one connection per simulated user).  JSON in, JSON out;
+values round-trip through the :mod:`repro.proto.wire` codec so query
+outputs like frozensets survive.
+
+Routes::
+
+    GET  /healthz        -> {"ok": true, "pid": 0, "n": 3}
+    GET  /state          -> {"state": <encoded local state>}
+    GET  /witness        -> {"witness": {...}}   (timestamp, visibility, of the
+                            last local op whose witness was not already claimed;
+                            POST /update claims its own in the response)
+    GET  /metrics        -> {"metrics": {...}}   (registry.flat())
+    POST /update         <- {"name": "insert", "args": [1]}
+    POST /query          <- {"name": "contains", "args": [1]}
+    GET  /query/<name>   -> shorthand for a zero-argument query
+
+Updates complete locally (wait-free) — a 200 means the update was applied
+and broadcast, not that any peer acknowledged it.  That *is* the paper's
+contract: update consistency trades immediate agreement for wait-free
+termination, and convergence is the network's job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.core.adt import Update
+from repro.proto.wire import decode_value, encode_value
+
+if TYPE_CHECKING:
+    from repro.net.node import ReplicaNode
+
+#: request bodies beyond this are rejected (absurd for an object op).
+MAX_BODY = 1 * 1024 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+async def serve_http(node: "ReplicaNode", host: str, port: int):
+    """Start the front-end; returns the asyncio server."""
+
+    async def handler(reader, writer):
+        await _serve_connection(node, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)
+
+
+async def _serve_connection(node: "ReplicaNode", reader, writer) -> None:
+    try:
+        while True:
+            request = await _read_request(reader)
+            if request is None:
+                break
+            method, path, headers, body = request
+            status, doc = _route(node, method, path, body)
+            payload = json.dumps(doc).encode("utf-8")
+            keep = headers.get("connection", "keep-alive").lower() != "close"
+            writer.write(
+                b"HTTP/1.1 %d %s\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: %d\r\n"
+                b"Connection: %s\r\n\r\n"
+                % (status, _REASONS[status].encode(), len(payload),
+                   b"keep-alive" if keep else b"close")
+            )
+            writer.write(payload)
+            await writer.drain()
+            if not keep:
+                break
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+
+
+async def _read_request(reader):
+    """Parse one request; ``None`` on clean EOF before a request line."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY:
+        raise ConnectionError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def _route(node: "ReplicaNode", method: str, path: str, body: bytes):
+    """Dispatch one request; returns ``(status, json_document)``."""
+    from repro.net.node import NodeStoppedError
+
+    path = path.split("?", 1)[0]
+    try:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"ok": True, "pid": node.pid, "n": node.n}
+            if path == "/state":
+                return 200, {"state": encode_value(node.local_state())}
+            if path == "/witness":
+                return 200, {"witness": encode_value(node.witness_meta())}
+            if path == "/metrics":
+                return 200, {"metrics": node.registry.flat()}
+            if path.startswith("/query/"):
+                name = path[len("/query/"):]
+                output = node.query(name)
+                return 200, {"output": encode_value(output)}
+            return 404, {"error": f"no route {path}"}
+        if method == "POST":
+            if path not in ("/update", "/query"):
+                return 404, {"error": f"no route {path}"}
+            try:
+                doc = json.loads(body.decode("utf-8") or "{}")
+                name = doc["name"]
+                args = tuple(decode_value(doc.get("args", [])))
+            except (ValueError, KeyError, TypeError) as exc:
+                return 400, {"error": f"bad request body: {exc}"}
+            if path == "/update":
+                update = Update(name, args)
+                spec = getattr(node.core.replica, "spec", None)
+                if spec is not None:
+                    # Fail fast on junk at the edge by probing a throwaway
+                    # state; the replica itself never validates (wait-free,
+                    # lazy replay), so a typo'd name would otherwise poison
+                    # the log and break every later query.
+                    spec.apply(spec.initial_state(), update)
+                meta = node.submit(update)
+                ts = meta.get("timestamp")
+                return 200, {"ok": True,
+                             "timestamp": None if ts is None else list(ts)}
+            output = node.query(name, args)
+            return 200, {"output": encode_value(output)}
+        return 405, {"error": f"method {method} not allowed"}
+    except NodeStoppedError as exc:
+        return 503, {"error": str(exc)}
+    except Exception as exc:  # spec rejections (unknown op, bad args) land here
+        return 400, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+# -- a matching client (smoke tests, load harness) ------------------------------
+
+
+class HttpClient:
+    """One keep-alive connection speaking the front-end's dialect."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self, method: str, path: str, doc: Any | None = None
+    ) -> tuple[int, Any]:
+        """One request/response on the persistent connection."""
+        await self._ensure()
+        assert self._reader is not None and self._writer is not None
+        body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+        self._writer.write(
+            b"%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n"
+            b"Content-Type: application/json\r\n\r\n"
+            % (method.encode(), path.encode(), self.host.encode(), len(body))
+        )
+        if body:
+            self._writer.write(body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        payload = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(payload.decode("utf-8"))
+
+    async def update(self, name: str, *args: Any) -> Any:
+        status, doc = await self.request(
+            "POST", "/update", {"name": name, "args": encode_value(list(args))}
+        )
+        if status != 200:
+            raise RuntimeError(f"update {name} failed ({status}): {doc}")
+        return doc
+
+    async def query(self, name: str, *args: Any) -> Any:
+        status, doc = await self.request(
+            "POST", "/query", {"name": name, "args": encode_value(list(args))}
+        )
+        if status != 200:
+            raise RuntimeError(f"query {name} failed ({status}): {doc}")
+        return decode_value(doc["output"])
+
+    async def state(self) -> Any:
+        status, doc = await self.request("GET", "/state")
+        if status != 200:
+            raise RuntimeError(f"state failed ({status}): {doc}")
+        return decode_value(doc["state"])
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None

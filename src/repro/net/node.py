@@ -1,0 +1,314 @@
+"""One replica process over real sockets: the asyncio effect interpreter.
+
+:class:`ReplicaNode` is the network twin of the simulator's
+:class:`~repro.sim.cluster.Cluster` — the same
+:class:`~repro.proto.core.ProtocolCore` drives the same replica
+algorithms, and the node's only job is to interpret the returned effects:
+
+* :class:`~repro.proto.effects.Broadcast` / ``Send`` — frame the payload
+  (:mod:`repro.net.framing`) onto persistent TCP links, one outbound
+  connection per peer.  Link loss is tolerated, not hidden: a frame to a
+  dead peer is dropped, exactly the asynchronous-network model the paper
+  assumes, and the periodic anti-entropy tick repairs the divergence.
+* :class:`~repro.proto.effects.Persist` — mark the durable image dirty; a
+  background task rewrites the snapshot file (atomic tmp+rename) on a
+  short throttle.  :meth:`kill` skips the final flush — a crash loses the
+  unflushed tail, which is precisely the ``fsync_point`` recovery model.
+* :class:`~repro.proto.effects.Timer` — schedule a one-shot follow-up
+  :meth:`~repro.proto.core.ProtocolCore.sync_tick`.
+
+Everything runs on one event loop and every core call is synchronous, so
+no lock ever guards replica state — wait-freedom by construction, same as
+the sim.  :meth:`submit` and :meth:`query` never await: a burst of
+operations issued in one event-loop turn interleaves with no delivery,
+which is what makes the sim↔net differential test's Lamport stamps
+deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Any, Callable, Hashable
+
+from repro.net.framing import FrameError, read_frame, write_frame
+from repro.obs.metrics import MetricsRegistry
+from repro.proto.core import ProtocolCore
+from repro.proto.effects import Broadcast, Effect, Send, Timer
+
+#: frame kinds on the peer wire (the body of every peer frame is a tuple).
+HELLO = "hello"
+MSG = "msg"
+
+
+class NodeStoppedError(RuntimeError):
+    """An operation was invoked on a stopped (killed) node."""
+
+
+class ReplicaNode:
+    """One process of a replicated object, reachable over TCP.
+
+    Lifecycle::
+
+        node = ReplicaNode(pid, n, factory, data_dir=...)
+        await node.listen()            # bind peer + HTTP sockets
+        node.set_peers({...})          # pid -> (host, peer_port)
+        await node.start()             # connect, recover from disk, tick
+
+    ``submit``/``query`` are the application surface (the HTTP front-end
+    in :mod:`repro.net.http` calls them); both are synchronous and
+    wait-free.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        replica_factory: Callable[[int, int], Any],
+        *,
+        host: str = "127.0.0.1",
+        data_dir: str | None = None,
+        sync_interval: float = 0.25,
+        flush_interval: float = 0.05,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.pid = pid
+        self.n = n
+        self.host = host
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.core = ProtocolCore(pid, n, replica_factory, registry=self.registry)
+        self.data_dir = data_dir
+        self.sync_interval = sync_interval
+        self.flush_interval = flush_interval
+        self.peers: dict[int, tuple[str, int]] = {}
+        self.peer_port: int | None = None
+        self.http_port: int | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._servers: list[asyncio.base_events.Server] = []
+        self._tasks: set[asyncio.Task] = set()
+        self._dirty = False
+        self._stopped = False
+        m = self.registry
+        self._sent = m.counter(
+            "repro_net_frames_sent_total", help="peer frames queued on TCP links",
+        ).labels()
+        self._received = m.counter(
+            "repro_net_frames_received_total", help="peer frames delivered",
+        ).labels()
+        self._drops = m.counter(
+            "repro_net_frames_dropped_total",
+            help="frames dropped for lack of a live link (async-network loss)",
+        ).labels()
+        self._flushes = m.counter(
+            "repro_net_snapshot_flushes_total", help="durable images written",
+        ).labels()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> str | None:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, f"replica-{self.pid}.json")
+
+    async def listen(self, *, peer_port: int = 0, http_port: int | None = 0) -> None:
+        """Bind the peer socket (and the HTTP front-end unless disabled)."""
+        server = await asyncio.start_server(
+            self._serve_peer, self.host, peer_port
+        )
+        self._servers.append(server)
+        self.peer_port = server.sockets[0].getsockname()[1]
+        if http_port is not None:
+            from repro.net.http import serve_http
+
+            http_server = await serve_http(self, self.host, http_port)
+            self._servers.append(http_server)
+            self.http_port = http_server.sockets[0].getsockname()[1]
+
+    def set_peers(self, peers: dict[int, tuple[str, int]]) -> None:
+        """Install the peer address book (``pid -> (host, peer_port)``)."""
+        self.peers = {p: addr for p, addr in peers.items() if p != self.pid}
+
+    async def start(self) -> None:
+        """Connect to peers, recover from disk if an image exists, start
+        the periodic anti-entropy tick and the snapshot flusher."""
+        await self.connect()
+        path = self.snapshot_path
+        if path is not None and os.path.exists(path):
+            with open(path) as fh:
+                self._apply_effects(self.core.recover(fh.read()))
+        self._spawn(self._sync_loop())
+        if self.data_dir is not None:
+            os.makedirs(self.data_dir, exist_ok=True)
+            self._spawn(self._flush_loop())
+
+    async def connect(self) -> None:
+        """Dial every peer not currently connected (best-effort)."""
+        for dst in self.peers:
+            if dst not in self._writers:
+                await self._dial(dst)
+
+    async def stop(self) -> None:
+        """Graceful shutdown: flush the durable image, then close."""
+        if self.data_dir is not None and not self._stopped:
+            self._flush_snapshot()
+        self.kill()
+        await asyncio.sleep(0)  # let cancelled tasks unwind
+
+    def kill(self) -> None:
+        """Abrupt crash: close everything, *without* a final flush — the
+        unflushed tail of the log is lost, as a real power cut loses it."""
+        self._stopped = True
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        for server in self._servers:
+            server.close()
+        self._servers.clear()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    # -- application surface (wait-free, synchronous) -------------------------------
+
+    def submit(self, update: Any) -> dict[str, Any]:
+        """Issue one update locally; returns the replica's witness metadata
+        (timestamp etc.).  Never awaits."""
+        self._check_running()
+        self._apply_effects(self.core.submit(update))
+        return self.core.witness_meta()
+
+    def query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
+        """Answer one query from local state.  Never awaits."""
+        self._check_running()
+        output, effects = self.core.query(name, args)
+        if effects:
+            self._apply_effects(effects)
+        return output
+
+    def local_state(self) -> Any:
+        return self.core.local_state()
+
+    def witness_meta(self) -> dict[str, Any]:
+        return self.core.witness_meta()
+
+    def sync_now(self) -> None:
+        """Force one anti-entropy round out of band (tests, admin)."""
+        self._check_running()
+        self._apply_effects(self.core.sync_tick())
+
+    # -- the effect interpreter ------------------------------------------------------
+
+    def _apply_effects(self, effects: tuple[Effect, ...]) -> None:
+        for eff in effects:
+            cls = eff.__class__
+            if cls is Broadcast:
+                for dst in self.peers:
+                    self._ship(dst, eff.payload)
+            elif cls is Send:
+                self._ship(eff.dst, eff.payload)
+            elif cls is Timer:
+                self._spawn(self._one_shot_tick(eff.kind))
+            else:  # Persist: mark dirty; the flusher owns the disk.
+                self._dirty = True
+
+    def _ship(self, dst: int, payload: Any) -> None:
+        writer = self._writers.get(dst)
+        if writer is not None and writer.is_closing():
+            self._writers.pop(dst, None)  # stale link (peer died/moved)
+            writer = None
+        if writer is None:
+            self._drops.inc()
+            self._spawn(self._dial(dst))  # repair the link for next time
+            return
+        try:
+            write_frame(writer, (MSG, self.pid, payload))
+            self._sent.inc()
+        except (ConnectionError, RuntimeError):
+            self._drops.inc()
+            self._writers.pop(dst, None)
+
+    # -- peer links ------------------------------------------------------------------
+
+    async def _dial(self, dst: int) -> None:
+        if self._stopped or dst in self._writers:
+            return
+        addr = self.peers.get(dst)
+        if addr is None:
+            return
+        try:
+            _, writer = await asyncio.open_connection(*addr)
+        except OSError:
+            return  # peer down; anti-entropy retries via _ship
+        if dst in self._writers or self._stopped:  # lost the race
+            writer.close()
+            return
+        write_frame(writer, (HELLO, self.pid))
+        self._writers[dst] = writer
+
+    async def _serve_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopped:
+                try:
+                    frame = await read_frame(reader)
+                except FrameError:
+                    break
+                if frame is None:
+                    break
+                kind = frame[0]
+                if kind == MSG:
+                    _, src, payload = frame
+                    self._received.inc()
+                    self._apply_effects(self.core.deliver(int(src), payload))
+                # HELLO (or anything unknown) needs no reply.
+        finally:
+            writer.close()
+
+    # -- periodic work -----------------------------------------------------------------
+
+    async def _sync_loop(self) -> None:
+        while not self._stopped:
+            await asyncio.sleep(self.sync_interval)
+            if self.core.sync_capable:
+                self._apply_effects(self.core.sync_tick())
+
+    async def _one_shot_tick(self, kind: str) -> None:
+        await asyncio.sleep(self.sync_interval / 2)
+        if not self._stopped:
+            self._apply_effects(self.core.sync_tick(kind))
+
+    async def _flush_loop(self) -> None:
+        while not self._stopped:
+            await asyncio.sleep(self.flush_interval)
+            if self._dirty:
+                self._flush_snapshot()
+
+    def _flush_snapshot(self) -> None:
+        path = self.snapshot_path
+        if path is None:
+            return
+        os.makedirs(self.data_dir, exist_ok=True)  # type: ignore[arg-type]
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(self.core.snapshot())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._dirty = False
+        self._flushes.inc()
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _spawn(self, coro) -> None:
+        if self._stopped:
+            coro.close()
+            return
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _check_running(self) -> None:
+        if self._stopped:
+            raise NodeStoppedError(f"node {self.pid} has been stopped")

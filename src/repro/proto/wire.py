@@ -1,0 +1,212 @@
+"""The pure wire/value codec of the protocol layer.
+
+Everything the protocol ships — ``(clock, pid, update)`` triples, sync
+digests, state-transfer dicts, heartbeats — and everything it persists —
+the durable replica image read back by crash-recovery — round-trips
+through the functions here.  The codec builds only plain data (no pickle,
+no code execution), so decoding untrusted bytes is safe, and its output is
+deterministic (sets are sorted by a stable key), so two encodings of the
+same value are byte-identical — a property both the persistence tests and
+the sim↔net differential test rely on.
+
+Python value shapes JSON cannot express natively (tuples, frozensets,
+dicts with non-string keys, :class:`~repro.core.adt.Update` /
+:class:`~repro.core.adt.Query` operations) each get a small
+``{"@": tag, ...}`` wrapper.
+
+This module is the historical home of ``repro.sim.persist``'s codec; the
+sim module re-exports it unchanged.  It moved here because the *network*
+backend needs it too: :mod:`repro.net` frames :func:`encode_payload`
+bytes over TCP, and its durable store writes :func:`replica_snapshot`
+images.  Keeping one codec is what makes the two backends
+wire-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.adt import Query, Update
+
+#: durable replica image formats (see :func:`replica_snapshot`).
+REPLICA_FORMAT = "repro-replica-log-v2"
+REPLICA_FORMAT_V1 = "repro-replica-log-v1"
+
+
+def encode_value(value: Any) -> Any:
+    """Lower a Python value to a JSON-compatible structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Update):
+        return {"@": "update", "name": value.name, "args": encode_value(value.args)}
+    if isinstance(value, Query):
+        return {
+            "@": "query", "name": value.name,
+            "args": encode_value(value.args), "output": encode_value(value.output),
+        }
+    if isinstance(value, tuple):
+        return {"@": "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        # Deterministic output: sort by a stable key.
+        items = sorted((encode_value(v) for v in value), key=repr)
+        return {"@": "frozenset", "items": items}
+    if isinstance(value, set):
+        items = sorted((encode_value(v) for v in value), key=repr)
+        return {"@": "set", "items": items}
+    if isinstance(value, dict):
+        # Deterministic output: insertion order must not leak into the
+        # bytes (two structurally equal dicts encode identically).
+        items = sorted(
+            ([encode_value(k), encode_value(v)] for k, v in value.items()),
+            key=lambda kv: repr(kv[0]),
+        )
+        return {"@": "dict", "items": items}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    raise TypeError(f"cannot persist value of type {type(value).__name__}")
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(data, list):
+        return [decode_value(v) for v in data]
+    if not isinstance(data, dict):
+        return data
+    tag = data.get("@")
+    if tag == "update":
+        return Update(data["name"], decode_value(data["args"]))
+    if tag == "query":
+        return Query(
+            data["name"], decode_value(data["args"]), decode_value(data["output"])
+        )
+    if tag == "tuple":
+        return tuple(decode_value(v) for v in data["items"])
+    if tag == "frozenset":
+        return frozenset(decode_value(v) for v in data["items"])
+    if tag == "set":
+        return set(decode_value(v) for v in data["items"])
+    if tag == "dict":
+        return {decode_value(k): decode_value(v) for k, v in data["items"]}
+    raise ValueError(f"unknown tag {tag!r} in encoded value")
+
+
+# -- network payload codec -----------------------------------------------------
+
+
+def encode_payload(payload: Any) -> bytes:
+    """One protocol payload as canonical UTF-8 JSON bytes.
+
+    Covers every payload shape the replicas emit: wire triples, sync
+    requests/responses/state transfers, heartbeats, and anything built
+    from the :func:`encode_value` vocabulary.  The transport frames these
+    bytes (see :mod:`repro.net.framing`); the codec itself knows nothing
+    about sockets.
+    """
+    return json.dumps(
+        encode_value(payload), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return decode_value(json.loads(data.decode("utf-8")))
+
+
+# -- the durable replica image -------------------------------------------------
+
+
+def replica_snapshot(replica: Any, *, fsync_point: int | None = None) -> str:
+    """Serialize a replica's durable state (update log + Lamport clock).
+
+    ``fsync_point`` caps how many log entries survived the crash (``None``
+    = the whole log was fsynced).  The clock always survives in full (a
+    write-ahead cell, fsynced at every tick): a recovering process must
+    never reuse a ``(clock, pid)`` timestamp that copies of its pre-crash
+    broadcasts may still carry.  The replica must be of the
+    :class:`~repro.core.universal.UniversalReplica` family (an ``updates``
+    log of ``(clock, pid, update)`` triples and a ``clock``).
+
+    Format v2 additionally records:
+
+    * ``complete`` — whether the snapshot holds the *whole* log (no
+      fsync truncation), so restore knows whether stored completeness
+      claims can be trusted verbatim;
+    * ``gc`` — for garbage-collected replicas (anything exposing
+      ``durable_gc_state``): the compacted base state, its clock floor,
+      the fold frontier and the ``heard`` vector.  Without it a
+      crash+recover silently rewinds every collected update — the
+      compacted base is modeled as an atomically-rewritten segment, so
+      the fsync point never truncates it.
+    """
+    entries = list(replica.updates)
+    if fsync_point is not None:
+        if fsync_point < 0:
+            raise ValueError(f"fsync point must be non-negative, got {fsync_point}")
+        entries = entries[:fsync_point]
+    doc = {
+        "format": REPLICA_FORMAT,
+        "pid": replica.pid,
+        "clock": replica.clock.value,
+        "complete": len(entries) == len(replica.updates),
+        "entries": [encode_value(tuple(e)) for e in entries],
+    }
+    durable_gc = getattr(replica, "durable_gc_state", None)
+    if durable_gc is not None:
+        gc = durable_gc()
+        doc["gc"] = {
+            "base": encode_value(gc["base"]),
+            "clock_floor": int(gc["clock_floor"]),
+            "frontier": encode_value(gc["frontier"]),
+            "heard": encode_value(tuple(gc["heard"])),
+        }
+    return json.dumps(doc)
+
+
+def restore_replica(replica: Any, text: str) -> int:
+    """Load a :func:`replica_snapshot` into a fresh replica of the same pid.
+
+    Restores the clock first (no timestamp reuse after log amnesia), then
+    installs the compacted GC state if the snapshot carries one, then
+    folds the surviving entries through the replica's ``load_log``.
+    Garbage-collected replicas finally re-derive their ``heard`` claims
+    (``finish_restore``): trusted verbatim from a complete snapshot,
+    rewound to what the surviving prefix proves after a truncated one.
+    Returns the number of log entries restored.
+    """
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or doc.get("format") not in (
+        REPLICA_FORMAT, REPLICA_FORMAT_V1,
+    ):
+        raise ValueError(f"not a {REPLICA_FORMAT} file")
+    if int(doc["pid"]) != replica.pid:
+        raise ValueError(
+            f"snapshot belongs to process {doc['pid']}, not {replica.pid}"
+        )
+    replica.clock.merge(int(doc["clock"]))
+    gc_doc = doc.get("gc")
+    if gc_doc is not None:
+        install = getattr(replica, "install_gc_state", None)
+        if install is None:
+            raise ValueError(
+                "snapshot carries a compacted base state (GC section) but "
+                f"the target replica ({type(replica).__name__}) cannot "
+                "install one; restore into a GarbageCollectedReplica"
+            )
+        frontier = decode_value(gc_doc["frontier"])
+        install(
+            base=decode_value(gc_doc["base"]),
+            clock_floor=int(gc_doc["clock_floor"]),
+            frontier=None if frontier is None else tuple(frontier),
+        )
+    loaded = replica.load_log(decode_value(e) for e in doc["entries"])
+    finish = getattr(replica, "finish_restore", None)
+    if finish is not None:
+        complete = bool(doc.get("complete", False))
+        stored_heard = gc_doc.get("heard") if gc_doc is not None else None
+        finish(
+            int(doc["clock"]),
+            heard=decode_value(stored_heard)
+            if complete and stored_heard is not None else None,
+        )
+    return loaded

@@ -36,6 +36,8 @@ from repro.core.history import Event, History
 from repro.core.criteria.witness import SUCWitness
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.proto.core import ProtocolCore
+from repro.proto.effects import ONLY_PERSIST_MESSAGE, Broadcast, Effect, Send
 from repro.sim.network import LatencyModel, Network
 from repro.sim.replica import Replica
 
@@ -145,7 +147,20 @@ class Trace:
 
 
 class Cluster:
-    """``n`` replicas of one object over a simulated asynchronous network."""
+    """``n`` replicas of one object over a simulated asynchronous network.
+
+    Since the sans-io refactor the cluster is a thin *effect interpreter*
+    over :class:`repro.proto.core.ProtocolCore`: every application
+    operation, delivery, sync round and recovery goes through a core's
+    typed event methods, and the cluster's only job is to map the
+    returned :class:`~repro.proto.effects.Broadcast` /
+    :class:`~repro.proto.effects.Send` effects onto the simulated network
+    (``Persist`` is moot — the sim's durable image is taken on demand by
+    :meth:`recover` — and ``Timer`` is owned by the experiment script).
+    The asyncio backend (:mod:`repro.net`) interprets the same effects
+    over TCP, so every chaos/fuzz/persistence scenario here exercises
+    exactly the code that runs on the wire.
+    """
 
     def __init__(
         self,
@@ -176,9 +191,12 @@ class Cluster:
         self.network.tracer = tracer
         self.network.bind_metrics(self.metrics)
         self._replica_factory = replica_factory
-        self.replicas: list[Replica] = [replica_factory(pid, n) for pid in range(n)]
-        for replica in self.replicas:
-            replica.bind_metrics(self.metrics)
+        #: one protocol state machine per process (the sans-io cores the
+        #: cluster interprets effects for).
+        self.cores: list[ProtocolCore] = [
+            ProtocolCore(pid, n, replica_factory, registry=self.metrics)
+            for pid in range(n)
+        ]
         self.now: float = 0.0
         self.trace = Trace()
         self.crashed: set[int] = set()
@@ -219,6 +237,16 @@ class Cluster:
             help="the cluster's virtual clock (Cluster.now)",
         ).labels()
 
+    # -- views --------------------------------------------------------------------------
+
+    @property
+    def replicas(self) -> list[Replica]:
+        """The live replica objects, indexed by pid (a fresh view — the
+        instances change when :meth:`recover` rebuilds one).  Tests and
+        analysis introspect replicas through this; the cluster itself
+        speaks only to the cores."""
+        return [core.replica for core in self.cores]
+
     # -- deprecated counter aliases (registry-backed) ---------------------------------
 
     @property
@@ -235,12 +263,9 @@ class Cluster:
 
     def update(self, pid: int, update: Update) -> None:
         """Issue ``update`` at process ``pid``; completes locally."""
-        replica = self._live_replica(pid)
-        payloads = replica.on_update(update)
-        for payload in payloads:
-            self.network.broadcast(pid, payload, self.now)
-        self._drain_outbox(replica)
-        meta = dict(replica.witness_meta())
+        core = self._live_core(pid)
+        self._apply_effects(pid, core.submit(update))
+        meta = core.witness_meta()
         self._update_series[pid].inc()
         if self.tracer.enabled:
             self.tracer.event(
@@ -251,12 +276,13 @@ class Cluster:
 
     def query(self, pid: int, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         """Issue query ``name(*args)`` at ``pid``; returns its output."""
-        replica = self._live_replica(pid)
-        before = getattr(replica, "replayed_updates", 0)
-        output = replica.on_query(name, args)
-        self._drain_outbox(replica)
-        meta = dict(replica.witness_meta())
-        replayed = getattr(replica, "replayed_updates", 0) - before
+        core = self._live_core(pid)
+        before = core.replayed_updates
+        output, effects = core.query(name, args)
+        if effects:
+            self._apply_effects(pid, effects)
+        meta = core.witness_meta()
+        replayed = core.replayed_updates - before
         self._query_series[pid].inc()
         self._replay_hist.observe(replayed)
         if self.tracer.enabled:
@@ -309,11 +335,9 @@ class Cluster:
                         attrs={"src": msg.src,
                                "clock_floor": p[2].get("clock_floor")},
                     )
-        replica = self.replicas[msg.dst]
-        extra = replica.on_message(msg.src, msg.payload)
-        for payload in extra or ():
-            self.network.broadcast(msg.dst, payload, self.now)
-        self._drain_outbox(replica)
+        effects = self.cores[msg.dst].deliver(msg.src, msg.payload)
+        if effects is not ONLY_PERSIST_MESSAGE:
+            self._apply_effects(msg.dst, effects)
         return True
 
     def run(self, max_steps: int = 10_000_000) -> int:
@@ -339,7 +363,7 @@ class Cluster:
         pop_next = self.network.pop_next
         broadcast = self.network.broadcast
         send = self.network.send
-        replicas = self.replicas
+        cores = self.cores
         crashed = self.crashed
         dropped = self._dropped
         now = self.now
@@ -356,18 +380,15 @@ class Cluster:
                 if dst in crashed:
                     dropped.inc()
                     continue
-                replica = replicas[dst]
-                extra = replica.on_message(msg.src, msg.payload)
-                for payload in extra or ():
-                    broadcast(dst, payload, now)
-                outbox = getattr(replica, "outbox", None)
-                if outbox:
-                    for out_dst, payload in outbox:
-                        if out_dst is None:
-                            broadcast(dst, payload, now)
-                        else:
-                            send(dst, out_dst, payload, now)
-                    outbox.clear()
+                effects = cores[dst].deliver(msg.src, msg.payload)
+                if effects is ONLY_PERSIST_MESSAGE:
+                    continue  # the common quiescent delivery: nothing to ship
+                for eff in effects:
+                    cls = eff.__class__
+                    if cls is Broadcast:
+                        broadcast(dst, eff.payload, now)
+                    elif cls is Send:
+                        send(dst, eff.dst, eff.payload, now)
         finally:
             # A handler may raise (e.g. StabilityViolation): keep the
             # cluster clock and its gauge consistent regardless.
@@ -424,9 +445,7 @@ class Cluster:
         dropped_out = 0
         if drop_outgoing:
             dropped_out = self.network.drop_messages(lambda m: m.src == pid)
-        for src, dst in list(self.network._holds):
-            if pid in (src, dst):
-                self.network.release(src, dst, self.now)
+        self.network.dissolve_holds(pid, self.now)
         dropped_in = self.network.drop_messages(lambda m: m.dst == pid)
         self._dropped.inc(dropped_in)
         self._crashes.inc()
@@ -442,45 +461,38 @@ class Cluster:
         """Restart crashed process ``pid`` from its durable log.
 
         Models crash-*recovery*: the dead replica's update log is read back
-        through the :mod:`repro.sim.persist` codec (the on-disk image),
+        through the :mod:`repro.proto.wire` codec (the on-disk image),
         truncated to ``fsync_point`` entries if the crash beat the last
         fsync (``None`` = everything survived; the Lamport clock always
-        survives, see :func:`~repro.sim.persist.replica_snapshot`).  A
-        fresh replica is built from the factory, reloaded, and rejoins by
-        broadcasting an anti-entropy sync request — peers send back what it
-        missed while down, and pull anything only its log still has (its
-        own pre-crash updates whose broadcast was lost).
+        survives, see :func:`~repro.proto.wire.replica_snapshot`).  The
+        core rebuilds a fresh replica from the factory, reloads it, and
+        rejoins by broadcasting an anti-entropy sync request — peers send
+        back what it missed while down, and pull anything only its log
+        still has (its own pre-crash updates whose broadcast was lost).
         """
-        from repro.sim import persist
-
         self._check_pid(pid)
         if pid not in self.crashed:
             raise ValueError(f"process {pid} is not crashed")
-        snapshot = persist.replica_snapshot(self.replicas[pid], fsync_point=fsync_point)
-        fresh = self._replica_factory(pid, self.n)
-        fresh.bind_metrics(self.metrics)
-        persist.restore_replica(fresh, snapshot)
-        self.replicas[pid] = fresh
+        core = self.cores[pid]
+        snapshot = core.snapshot(fsync_point=fsync_point)
+        effects = core.recover(snapshot)
         self.crashed.discard(pid)
         self._recovered.inc()
         if self.tracer.enabled:
             self.tracer.event(
                 "replica.recover", self.now, pid=pid,
                 attrs={"fsync_point": fsync_point,
-                       "restored_log": getattr(fresh, "log_length", None)},
+                       "restored_log": core.log_length},
             )
-        sync = getattr(fresh, "sync_request", None)
-        if sync is not None:
-            self.network.broadcast(pid, sync(), self.now)
-            if self.tracer.enabled:
+            if core.sync_capable:
                 self.tracer.event(
                     "sync.request", self.now, pid=pid, attrs={"reason": "recover"}
                 )
-        # Restore hooks may queue directed sends (e.g. a subclass pulling
-        # state from a peer); without this drain they sat stranded in the
-        # outbox until the replica's next hook call.
-        self._drain_outbox(fresh)
-        return fresh
+        # The effect batch carries the rejoin sync broadcast *and* any
+        # directed sends the restore hooks queued (e.g. a subclass pulling
+        # state from a peer); interpreting it ships both.
+        self._apply_effects(pid, effects)
+        return core.replica
 
     def hold(self, src: int, dst: int) -> None:
         """Park src→dst traffic; endpoints must be live processes."""
@@ -536,9 +548,9 @@ class Cluster:
             requested = 0
             round_start = self.now
             for pid in self.alive():
-                sync = getattr(self.replicas[pid], "sync_request", None)
-                if sync is not None:
-                    self.network.broadcast(pid, sync(), self.now)
+                effects = self.cores[pid].sync_tick()
+                if effects:
+                    self._apply_effects(pid, effects)
                     requested += 1
                     if self.tracer.enabled:
                         self.tracer.event(
@@ -558,6 +570,18 @@ class Cluster:
                 break
         return performed
 
+    def heartbeat(self, pid: int) -> bool:
+        """Broadcast one liveness heartbeat from ``pid`` (gossip round).
+
+        Returns False when the replica type has no heartbeat dialect —
+        ticking any process is always safe.
+        """
+        effects = self._live_core(pid).sync_tick("heartbeat")
+        if not effects:
+            return False
+        self._apply_effects(pid, effects)
+        return True
+
     # -- inspection ----------------------------------------------------------------------
 
     def alive(self) -> list[int]:
@@ -566,14 +590,37 @@ class Cluster:
 
     def states(self) -> dict[int, Any]:
         """Local state of every correct replica."""
-        return {pid: self.replicas[pid].local_state() for pid in self.alive()}
+        return {pid: self.cores[pid].local_state() for pid in self.alive()}
 
     def quiescent(self) -> bool:
         """No deliverable message remains (held ones may)."""
         return self.network.peek_time() is None
 
+    def _apply_effects(self, pid: int, effects: Iterable[Effect]) -> None:
+        """Interpret one effect batch from process ``pid``'s core.
+
+        ``Broadcast``/``Send`` map onto the simulated network at the
+        current virtual time.  ``Persist`` is moot here (the sim's durable
+        image is taken on demand by :meth:`recover`) and ``Timer`` is
+        owned by the experiment script, so both are ignored.
+        """
+        broadcast = self.network.broadcast
+        send = self.network.send
+        now = self.now
+        for eff in effects:
+            cls = eff.__class__
+            if cls is Broadcast:
+                broadcast(pid, eff.payload, now)
+            elif cls is Send:
+                send(pid, eff.dst, eff.payload, now)
+
     def _drain_outbox(self, replica: Replica) -> None:
-        """Ship directed sends queued by the last hook call."""
+        """Ship directed sends queued outside the event methods.
+
+        Compatibility shim for callers that drive a replica's hooks
+        directly (the quorum object's client helpers do); cluster-internal
+        paths go through the cores and :meth:`_apply_effects`.
+        """
         outbox = getattr(replica, "outbox", None)
         if not outbox:
             return
@@ -584,11 +631,11 @@ class Cluster:
                 self.network.send(replica.pid, dst, payload, self.now)
         outbox.clear()
 
-    def _live_replica(self, pid: int) -> Replica:
+    def _live_core(self, pid: int) -> ProtocolCore:
         self._check_pid(pid)
         if pid in self.crashed:
             raise CrashedProcessError(f"process {pid} has crashed")
-        return self.replicas[pid]
+        return self.cores[pid]
 
     def _check_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:

@@ -365,8 +365,7 @@ def gc_state_transfer_scenario(seed: int, *, verbose: bool = False) -> dict:
             cluster.update(pid, S.insert(int(rng.integers(8))))
         cluster.run()
         for pid in pids:
-            hb = cluster.replicas[pid].heartbeat()
-            cluster.network.broadcast(pid, hb, cluster.now)
+            cluster.heartbeat(pid)
         cluster.run()
 
     # Phase 1: everyone talks, everyone collects a stable prefix — then

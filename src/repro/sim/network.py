@@ -407,6 +407,19 @@ class Network:
         for src, dst in list(self._holds):
             self.release(src, dst, now)
 
+    def dissolve_holds(self, pid: int, now: float) -> None:
+        """Release every hold with ``pid`` as an endpoint.
+
+        The crash path uses this: a dead process stops being a
+        hold/partition endpoint, so traffic it already sent is released
+        (subject to channel reliability) rather than stranded forever.
+        Public API so the cluster never reaches into ``_holds``.
+        """
+        self._check_pid(pid)
+        for src, dst in list(self._holds):
+            if pid in (src, dst):
+                self.release(src, dst, now)
+
     def _check_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:
             raise ValueError(f"pid {pid} out of range for {self.n} processes")

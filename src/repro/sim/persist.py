@@ -18,6 +18,14 @@ always persisted in full (a write-ahead cell, fsynced at every tick): a
 recovering process must never reuse a ``(clock, pid)`` timestamp that
 copies of its pre-crash broadcasts may still carry.
 
+The value codec and the durable replica image now live in
+:mod:`repro.proto.wire` — the sans-io protocol package — because the real
+transport (:mod:`repro.net`) frames the same encodings over TCP and its
+durable store writes the same snapshot format; one codec is what makes
+the two backends wire- and disk-compatible.  This module keeps the
+*trace* codec (traces are a simulator artifact) and re-exports the moved
+functions under their historical names.
+
 Security note: the decoder builds only plain data (no pickle, no code
 execution), so loading untrusted trace files is safe.
 """
@@ -25,66 +33,28 @@ execution), so loading untrusted trace files is safe.
 from __future__ import annotations
 
 import json
-from typing import Any
 
 from repro.core.adt import Query, Update
+from repro.proto.wire import (  # noqa: F401  (re-exported compatibility surface)
+    decode_value,
+    encode_value,
+    replica_snapshot,
+    restore_replica,
+)
 from repro.sim.cluster import OpRecord, Trace
 
 _FORMAT = "repro-trace-v1"
 
-
-def encode_value(value: Any) -> Any:
-    """Lower a Python value to a JSON-compatible structure."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, Update):
-        return {"@": "update", "name": value.name, "args": encode_value(value.args)}
-    if isinstance(value, Query):
-        return {
-            "@": "query", "name": value.name,
-            "args": encode_value(value.args), "output": encode_value(value.output),
-        }
-    if isinstance(value, tuple):
-        return {"@": "tuple", "items": [encode_value(v) for v in value]}
-    if isinstance(value, frozenset):
-        # Deterministic file output: sort by a stable key.
-        items = sorted((encode_value(v) for v in value), key=repr)
-        return {"@": "frozenset", "items": items}
-    if isinstance(value, set):
-        items = sorted((encode_value(v) for v in value), key=repr)
-        return {"@": "set", "items": items}
-    if isinstance(value, dict):
-        return {
-            "@": "dict",
-            "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
-        }
-    if isinstance(value, list):
-        return [encode_value(v) for v in value]
-    raise TypeError(f"cannot persist value of type {type(value).__name__}")
-
-
-def decode_value(data: Any) -> Any:
-    """Inverse of :func:`encode_value`."""
-    if isinstance(data, list):
-        return [decode_value(v) for v in data]
-    if not isinstance(data, dict):
-        return data
-    tag = data.get("@")
-    if tag == "update":
-        return Update(data["name"], decode_value(data["args"]))
-    if tag == "query":
-        return Query(
-            data["name"], decode_value(data["args"]), decode_value(data["output"])
-        )
-    if tag == "tuple":
-        return tuple(decode_value(v) for v in data["items"])
-    if tag == "frozenset":
-        return frozenset(decode_value(v) for v in data["items"])
-    if tag == "set":
-        return set(decode_value(v) for v in data["items"])
-    if tag == "dict":
-        return {decode_value(k): decode_value(v) for k, v in data["items"]}
-    raise ValueError(f"unknown tag {tag!r} in trace file")
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "replica_snapshot",
+    "restore_replica",
+    "trace_to_json",
+    "trace_from_json",
+    "save_trace",
+    "load_trace",
+]
 
 
 def trace_to_json(trace: Trace, *, indent: int | None = None) -> str:
@@ -125,104 +95,6 @@ def trace_from_json(text: str) -> Trace:
             )
         )
     return trace
-
-
-_REPLICA_FORMAT = "repro-replica-log-v2"
-_REPLICA_FORMAT_V1 = "repro-replica-log-v1"
-
-
-def replica_snapshot(replica, *, fsync_point: int | None = None) -> str:
-    """Serialize a replica's durable state (update log + Lamport clock).
-
-    ``fsync_point`` caps how many log entries survived the crash (``None``
-    = the whole log was fsynced).  The clock always survives in full.
-    The replica must be of the :class:`~repro.core.universal.
-    UniversalReplica` family (an ``updates`` log of ``(clock, pid, update)``
-    triples and a ``clock``).
-
-    Format v2 additionally records:
-
-    * ``complete`` — whether the snapshot holds the *whole* log (no
-      fsync truncation), so restore knows whether stored completeness
-      claims can be trusted verbatim;
-    * ``gc`` — for garbage-collected replicas (anything exposing
-      ``durable_gc_state``): the compacted base state, its clock floor,
-      the fold frontier and the ``heard`` vector.  Without it a
-      crash+recover silently rewinds every collected update — the
-      compacted base is modeled as an atomically-rewritten segment, so
-      the fsync point never truncates it.
-    """
-    entries = list(replica.updates)
-    if fsync_point is not None:
-        if fsync_point < 0:
-            raise ValueError(f"fsync point must be non-negative, got {fsync_point}")
-        entries = entries[:fsync_point]
-    doc = {
-        "format": _REPLICA_FORMAT,
-        "pid": replica.pid,
-        "clock": replica.clock.value,
-        "complete": len(entries) == len(replica.updates),
-        "entries": [encode_value(tuple(e)) for e in entries],
-    }
-    durable_gc = getattr(replica, "durable_gc_state", None)
-    if durable_gc is not None:
-        gc = durable_gc()
-        doc["gc"] = {
-            "base": encode_value(gc["base"]),
-            "clock_floor": int(gc["clock_floor"]),
-            "frontier": encode_value(gc["frontier"]),
-            "heard": encode_value(tuple(gc["heard"])),
-        }
-    return json.dumps(doc)
-
-
-def restore_replica(replica, text: str) -> int:
-    """Load a :func:`replica_snapshot` into a fresh replica of the same pid.
-
-    Restores the clock first (no timestamp reuse after log amnesia), then
-    installs the compacted GC state if the snapshot carries one, then
-    folds the surviving entries through the replica's ``load_log``.
-    Garbage-collected replicas finally re-derive their ``heard`` claims
-    (``finish_restore``): trusted verbatim from a complete snapshot,
-    rewound to what the surviving prefix proves after a truncated one.
-    Returns the number of log entries restored.
-    """
-    doc = json.loads(text)
-    if not isinstance(doc, dict) or doc.get("format") not in (
-        _REPLICA_FORMAT, _REPLICA_FORMAT_V1,
-    ):
-        raise ValueError(f"not a {_REPLICA_FORMAT} file")
-    if int(doc["pid"]) != replica.pid:
-        raise ValueError(
-            f"snapshot belongs to process {doc['pid']}, not {replica.pid}"
-        )
-    replica.clock.merge(int(doc["clock"]))
-    gc_doc = doc.get("gc")
-    if gc_doc is not None:
-        install = getattr(replica, "install_gc_state", None)
-        if install is None:
-            raise ValueError(
-                "snapshot carries a compacted base state (GC section) but "
-                f"the target replica ({type(replica).__name__}) cannot "
-                "install one; restore into a GarbageCollectedReplica"
-            )
-        frontier = decode_value(gc_doc["frontier"])
-        install(
-            base=decode_value(gc_doc["base"]),
-            clock_floor=int(gc_doc["clock_floor"]),
-            frontier=None if frontier is None else tuple(frontier),
-        )
-    loaded = replica.load_log(decode_value(e) for e in doc["entries"])
-    finish = getattr(replica, "finish_restore", None)
-    if finish is not None:
-        complete = bool(doc.get("complete", False))
-        stored_heard = gc_doc.get("heard") if gc_doc is not None else None
-        finish(
-            int(doc["clock"]),
-            heard=decode_value(stored_heard)
-            if complete and stored_heard is not None else None,
-        )
-    return loaded
 
 
 def save_trace(trace: Trace, path) -> None:

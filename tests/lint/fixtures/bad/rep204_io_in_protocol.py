@@ -1,0 +1,17 @@
+# uqlint fixture: REP204 — protocol code importing the event loop, the
+# socket layer and the wall clock.  A core that can do its own I/O no
+# longer behaves identically under the simulator and the real transport.
+
+import asyncio
+import socket
+import time
+from datetime import datetime
+
+
+class EagerProtocolCore(ProtocolCore):  # noqa: F821 - fixture, never run
+    """A core that schedules and transmits for itself (all banned)."""
+
+    loop_factory = asyncio.new_event_loop
+    address_family = socket.AF_INET
+    clock_reference = time.monotonic
+    epoch = datetime

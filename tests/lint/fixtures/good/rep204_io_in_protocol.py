@@ -1,0 +1,19 @@
+# uqlint fixture: REP204 good twin — a protocol core extension that stays
+# sans-io: pure data in (events), pure data out (effects); the backend
+# owns every socket, file and clock.
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Throttle:
+    """A pure description of a pacing decision (the backend applies it)."""
+
+    delay_hint: float
+
+
+class PacedProtocolCore(ProtocolCore):  # noqa: F821 - fixture, never run
+    """Asks the backend for pacing via effects instead of sleeping."""
+
+    def pacing(self) -> Throttle:
+        return Throttle(delay_hint=0.5)

@@ -1,0 +1,74 @@
+"""Framing: length-prefixed frames survive the wire intact."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.adt import Update
+from repro.net.framing import (
+    MAX_FRAME,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+def test_round_trip_with_rest():
+    payload = ("msg", 0, (1, 0, Update("insert", (7,))))
+    data = encode_frame(payload) + b"trailing"
+    value, rest = decode_frame(data)
+    assert value == payload
+    assert rest == b"trailing"
+
+
+def test_back_to_back_frames():
+    data = encode_frame(1) + encode_frame(2)
+    first, rest = decode_frame(data)
+    second, rest = decode_frame(rest)
+    assert (first, second, rest) == (1, 2, b"")
+
+
+def test_truncated_prefix_raises():
+    with pytest.raises(FrameError):
+        decode_frame(b"\x00\x00")
+
+
+def test_truncated_body_raises():
+    data = encode_frame("hello")
+    with pytest.raises(FrameError):
+        decode_frame(data[:-1])
+
+
+def test_oversized_length_rejected_before_allocation():
+    bogus = (MAX_FRAME + 1).to_bytes(4, "big") + b"x"
+    with pytest.raises(FrameError):
+        decode_frame(bogus)
+
+
+def _feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_read_frame_from_stream():
+    async def scenario():
+        reader = _feed(encode_frame({"a": 1}) + encode_frame({"b": 2}))
+        assert await read_frame(reader) == {"a": 1}
+        assert await read_frame(reader) == {"b": 2}
+        assert await read_frame(reader) is None  # clean EOF
+
+    asyncio.run(scenario())
+
+
+def test_read_frame_mid_frame_eof_raises():
+    async def scenario():
+        reader = _feed(encode_frame("payload")[:-2])
+        with pytest.raises(FrameError):
+            await read_frame(reader)
+
+    asyncio.run(scenario())

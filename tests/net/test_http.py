@@ -1,0 +1,105 @@
+"""The HTTP object front-end: routes, codecs, error shapes."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.universal import UniversalReplica
+from repro.net.harness import LocalCluster
+from repro.proto.wire import decode_value
+from repro.specs.map_spec import MapSpec
+from repro.specs.set_spec import SetSpec
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def with_cluster(spec_factory, scenario):
+    async def body():
+        cluster = LocalCluster(
+            3,
+            lambda pid, n: UniversalReplica(pid, n, spec_factory()),
+            sync_interval=0.05,
+            http=True,
+        )
+        await cluster.start()
+        clients = [cluster.client(pid) for pid in range(3)]
+        try:
+            await scenario(cluster, clients)
+        finally:
+            for c in clients:
+                await c.close()
+            await cluster.stop()
+
+    run(body())
+
+
+def test_update_then_query_through_http():
+    async def scenario(cluster, clients):
+        doc = await clients[0].update("insert", 5)
+        assert doc["ok"] is True
+        assert doc["timestamp"] == [1, 0]  # JSON has no tuples on this path
+        assert await clients[0].query("contains", 5) is True
+        assert await clients[0].query("read") == {5}
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_updates_at_one_front_end_reach_the_others():
+    async def scenario(cluster, clients):
+        await clients[0].update("insert", 1)
+        await cluster.settle(timeout=10)
+        assert await clients[1].query("contains", 1) is True
+        assert await clients[2].state() == {1}
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_map_object_round_trips_structured_values():
+    async def scenario(cluster, clients):
+        await clients[0].update("put", "k", 7)
+        assert await clients[0].query("get", "k") == 7
+        assert await clients[0].query("keys") == frozenset({"k"})
+
+    with_cluster(MapSpec, scenario)
+
+
+def test_healthz_witness_and_metrics_routes():
+    async def scenario(cluster, clients):
+        status, doc = await clients[1].request("GET", "/healthz")
+        assert (status, doc["ok"], doc["pid"], doc["n"]) == (200, True, 1, 3)
+        # POST /update claims its own witness in the response, so probe
+        # /witness after a query (queries leave theirs unclaimed)
+        await clients[1].update("insert", 3)
+        await clients[1].query("read")
+        status, doc = await clients[1].request("GET", "/witness")
+        witness = decode_value(doc["witness"])
+        assert status == 200 and "timestamp" in witness
+        status, doc = await clients[1].request("GET", "/metrics")
+        assert status == 200 and isinstance(doc["metrics"], dict)
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_unknown_route_and_bad_body():
+    async def scenario(cluster, clients):
+        status, _ = await clients[0].request("GET", "/nope")
+        assert status == 404
+        status, doc = await clients[0].request("POST", "/update", {"args": [1]})
+        assert status == 400 and "error" in doc
+        status, _ = await clients[0].request("POST", "/update",
+                                             {"name": "no_such_op", "args": []})
+        assert status == 400
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_zero_arg_query_shorthand():
+    async def scenario(cluster, clients):
+        await clients[0].update("insert", 2)
+        status, doc = await clients[0].request("GET", "/query/read")
+        assert status == 200
+        assert doc["output"] == {"@": "frozenset", "items": [2]}
+
+    with_cluster(SetSpec, scenario)

@@ -1,0 +1,116 @@
+"""The asyncio backend end to end: replication, crash, recovery.
+
+Real sockets on loopback, real timers — these are integration tests of
+the effect interpreter, kept short (sub-second sync intervals) so the
+suite stays fast.  Protocol semantics are pinned by the proto unit tests
+and the sim↔net differential test; here we check the *backend*: frames
+arrive, links repair, durable images survive a kill.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.universal import UniversalReplica
+from repro.net.harness import LocalCluster
+from repro.net.node import NodeStoppedError
+from repro.specs.set_spec import SetSpec, insert
+
+
+def make_cluster(tmp_path=None, *, http: bool = False, n: int = 3) -> LocalCluster:
+    spec = SetSpec()
+    return LocalCluster(
+        n,
+        lambda pid, k: UniversalReplica(pid, k, spec),
+        data_dir=None if tmp_path is None else str(tmp_path),
+        sync_interval=0.05,
+        http=http,
+    )
+
+
+def test_updates_replicate_across_the_mesh():
+    async def scenario():
+        cluster = make_cluster()
+        await cluster.start()
+        try:
+            for pid in range(3):
+                cluster.submit(pid, insert(pid))
+            await cluster.settle(timeout=10)
+            assert cluster.states() == {0: {0, 1, 2}, 1: {0, 1, 2}, 2: {0, 1, 2}}
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_submit_returns_witness_metadata():
+    async def scenario():
+        cluster = make_cluster()
+        await cluster.start()
+        try:
+            meta = cluster.submit(0, insert(9))
+            assert meta["timestamp"] == (1, 0)
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_kill_then_restart_recovers_from_disk(tmp_path):
+    async def scenario():
+        cluster = make_cluster(tmp_path)
+        await cluster.start()
+        try:
+            for v in range(6):
+                cluster.submit(v % 3, insert(v))
+            await cluster.settle(timeout=10)
+            # let the flusher write node 2's durable image, then crash it
+            await asyncio.sleep(0.2)
+            cluster.kill(2)
+            with pytest.raises(NodeStoppedError):
+                cluster.nodes[2].submit(insert(99))
+            cluster.submit(0, insert(100))  # progress while one replica is down
+            node = await cluster.restart(2)
+            await cluster.settle(timeout=10)
+            expected = set(range(6)) | {100}
+            assert cluster.states() == {0: expected, 1: expected, 2: expected}
+            assert node.core.log_length == len(expected)
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_restart_without_disk_rejoins_via_anti_entropy():
+    async def scenario():
+        cluster = make_cluster()  # no data_dir: recovery is pure gossip
+        await cluster.start()
+        try:
+            cluster.submit(0, insert(1))
+            await cluster.settle(timeout=10)
+            cluster.kill(1)
+            cluster.submit(2, insert(2))
+            await cluster.restart(1)
+            await cluster.settle(timeout=10)
+            assert cluster.states()[1] == {1, 2}
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_dead_node_is_not_queryable():
+    async def scenario():
+        cluster = make_cluster()
+        await cluster.start()
+        try:
+            cluster.kill(0)
+            with pytest.raises(RuntimeError):
+                cluster.submit(0, insert(1))
+            assert cluster.alive() == [1, 2]
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,174 @@
+"""ProtocolCore: events in, effects out, no semantics added.
+
+These tests pin the sans-io contract — effect shapes, ordering, the
+zero-allocation hot path, and crash-recovery through the durable image —
+without any backend in the loop: that is the point of the layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import GarbageCollectedReplica
+from repro.core.universal import UniversalReplica
+from repro.proto import (
+    Broadcast,
+    CrashRecovered,
+    MessageReceived,
+    Persist,
+    ProtocolCore,
+    QueryAnswered,
+    QuerySubmitted,
+    SyncTick,
+    Timer,
+    UpdateSubmitted,
+)
+from repro.proto.effects import ONLY_PERSIST_MESSAGE
+from repro.specs.set_spec import SetSpec, insert
+
+
+def make_core(pid: int = 0, n: int = 3) -> ProtocolCore:
+    spec = SetSpec()
+    return ProtocolCore(pid, n, lambda p, k: UniversalReplica(p, k, spec))
+
+
+def make_gc_core(pid: int = 0, n: int = 3) -> ProtocolCore:
+    spec = SetSpec()
+    return ProtocolCore(
+        pid, n, lambda p, k: GarbageCollectedReplica(p, k, spec)
+    )
+
+
+class TestSubmit:
+    def test_update_broadcasts_then_persists(self):
+        core = make_core()
+        effects = core.submit(insert(1))
+        kinds = [type(e) for e in effects]
+        assert kinds == [Broadcast, Persist]
+        assert effects[-1].reason == "update"
+
+    def test_broadcast_carries_the_wire_triple(self):
+        core = make_core()
+        (bcast, _) = core.submit(insert(7))
+        clock, pid, update = bcast.payload
+        assert (clock, pid) == (1, 0)
+        assert update == insert(7)
+
+    def test_state_advances_locally(self):
+        core = make_core()
+        core.submit(insert(1))
+        core.submit(insert(2))
+        assert core.local_state() == {1, 2}
+
+
+class TestDeliver:
+    def test_quiescent_delivery_returns_the_shared_tuple(self):
+        a, b = make_core(0), make_core(1)
+        (bcast, _) = a.submit(insert(1))
+        effects = b.deliver(0, bcast.payload)
+        # identity, not equality: the hot path must not allocate
+        assert effects is ONLY_PERSIST_MESSAGE
+        assert b.local_state() == {1}
+
+    def test_handle_and_deliver_agree(self):
+        a = make_core(0)
+        (bcast, _) = a.submit(insert(1))
+        b1, b2 = make_core(1), make_core(1)
+        assert b1.handle(MessageReceived(0, bcast.payload)) is ONLY_PERSIST_MESSAGE
+        assert b2.deliver(0, bcast.payload) is ONLY_PERSIST_MESSAGE
+        assert b1.local_state() == b2.local_state() == {1}
+
+
+class TestQuery:
+    def test_query_answers_without_effects(self):
+        core = make_core()
+        core.submit(insert(4))
+        output, effects = core.query("read")
+        assert output == {4}
+        assert effects == ()
+
+    def test_handle_prepends_query_answered(self):
+        core = make_core()
+        core.submit(insert(4))
+        effects = core.handle(QuerySubmitted("contains", (4,)))
+        assert isinstance(effects[0], QueryAnswered)
+        assert effects[0].output is True
+
+
+class TestSyncTick:
+    def test_sync_emits_one_broadcast(self):
+        core = make_core()
+        effects = core.sync_tick()
+        assert [type(e) for e in effects] == [Broadcast]
+
+    def test_handle_dispatches_sync_tick(self):
+        core = make_core()
+        assert [type(e) for e in core.handle(SyncTick())] == [Broadcast]
+
+    def test_heartbeat_unsupported_is_a_noop(self):
+        core = make_core()  # plain UniversalReplica: no heartbeat dialect
+        assert core.sync_tick("heartbeat") == ()
+
+    def test_heartbeat_on_gc_replica_broadcasts(self):
+        core = make_gc_core()
+        assert [type(e) for e in core.sync_tick("heartbeat")] == [Broadcast]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_core().sync_tick("bogus")
+
+
+class TestRecover:
+    def test_roundtrip_restores_log_and_clock(self):
+        core = make_core()
+        core.submit(insert(1))
+        core.submit(insert(2))
+        snapshot = core.snapshot()
+        effects = core.recover(snapshot)
+        assert core.local_state() == {1, 2}
+        assert core.replica.clock.value == 2
+        kinds = [type(e) for e in effects]
+        # rejoin sync broadcast first, persist, then the timer request
+        assert kinds == [Broadcast, Persist, Timer]
+        assert effects[1].reason == "recover"
+
+    def test_fsync_truncation_loses_tail_but_not_clock(self):
+        core = make_core()
+        core.submit(insert(1))
+        core.submit(insert(2))
+        core.recover(core.snapshot(fsync_point=1))
+        assert core.local_state() == {1}
+        assert core.replica.clock.value == 2  # write-ahead clock survives
+
+    def test_recover_rebuilds_a_fresh_replica(self):
+        core = make_core()
+        core.submit(insert(1))
+        old = core.replica
+        core.handle(CrashRecovered(core.snapshot()))
+        assert core.replica is not old
+
+    def test_handle_update_event_matches_submit(self):
+        c1, c2 = make_core(), make_core()
+        e1 = c1.handle(UpdateSubmitted(insert(9)))
+        e2 = c2.submit(insert(9))
+        assert e1 == e2
+
+
+class TestIntrospection:
+    def test_sync_capable(self):
+        assert make_core().sync_capable
+
+    def test_witness_meta_has_timestamp(self):
+        core = make_core()
+        core.submit(insert(1))
+        assert core.witness_meta()["timestamp"] == (1, 0)
+
+    def test_log_length_tracks_submissions(self):
+        core = make_core()
+        assert core.log_length == 0
+        core.submit(insert(1))
+        assert core.log_length == 1
+
+    def test_handle_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            make_core().handle("not an event")

@@ -8,26 +8,44 @@ enforces all three mechanically with a Python-AST rule engine:
 
 * **UQ0xx** (:mod:`repro.lint.purity`) — UQ-ADT purity;
 * **SIM1xx** (:mod:`repro.lint.determinism`) — simulation determinism;
-* **REP2xx** (:mod:`repro.lint.discipline`) — replica discipline.
+* **REP2xx** (:mod:`repro.lint.discipline`) — replica discipline;
+* **ASY3xx** (:mod:`repro.lint.asyncatomic`) — asyncio await-point atomicity;
+* **EFX4xx** (:mod:`repro.lint.contract`) — protocol effect-contract
+  exhaustiveness (whole-program).
+
+Since v2 the engine is two-phase: phase 1 parses every input file into a
+per-module symbol table, phase 2 runs per-module rules *and* cross-module
+project rules over the assembled :class:`~repro.lint.engine.ProjectInfo`.
 
 Run it with ``python -m repro.lint [paths] --format text|json``; suppress
 individual findings with ``# uqlint: disable=CODE -- justification``.
+``--select`` accepts exact codes or family prefixes (``ASY,UQ001``).
 The rule catalog lives in ``docs/lint.md``.
 """
 
 from __future__ import annotations
 
 from repro.lint.engine import (
+    FAMILIES,
     Finding,
+    ModuleInfo,
+    ProjectInfo,
+    catalog,
+    expand_selection,
+    family_of,
     lint_paths,
     lint_source,
+    lint_sources,
+    registered_project_rules,
     registered_rules,
 )
 
 # Importing the rule modules populates the registry (side-effect imports,
 # kept explicit and last so `registered_rules` above is already bound).
 from repro.lint import (  # noqa: E402,F401
+    asyncatomic,
     commutativity,
+    contract,
     determinism,
     discipline,
     purity,
@@ -35,8 +53,16 @@ from repro.lint import (  # noqa: E402,F401
 )
 
 __all__ = [
+    "FAMILIES",
     "Finding",
+    "ModuleInfo",
+    "ProjectInfo",
+    "catalog",
+    "expand_selection",
+    "family_of",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "registered_project_rules",
     "registered_rules",
 ]

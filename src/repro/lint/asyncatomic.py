@@ -1,0 +1,607 @@
+"""ASY3xx — asyncio atomicity (await-point hazards in the net backend).
+
+Algorithm 1's correctness argument assumes each replica handles one event
+*atomically*: the paper's processes are sequential, and the simulator
+enforces that by construction (one delivery at a time, synchronous
+hooks).  The asyncio backend preserves the property only as long as no
+coroutine yields the event loop in the middle of a read-modify-write on
+shared replica state — every ``await`` is a point where another handler
+(a peer frame, an HTTP request, a timer tick) may interleave.  These
+rules make the await-point discipline mechanical:
+
+| code   | hazard                                                          |
+|--------|-----------------------------------------------------------------|
+| ASY301 | await-point TOCTOU: ``self.*``/module-global state read before  |
+|        | an ``await`` and written after it without re-validation, inside |
+|        | ``*Node``/``*Handler``/``*Server`` classes and serve/handle     |
+|        | coroutines                                                      |
+| ASY302 | a coroutine is called but never awaited (the call allocates a   |
+|        | coroutine object and silently does nothing) — whole-program:    |
+|        | imported coroutines are resolved through the project model      |
+| ASY303 | ``asyncio.create_task``/``ensure_future`` result dropped: the   |
+|        | event loop keeps only a weak reference, so the task can be      |
+|        | garbage-collected mid-flight                                    |
+| ASY304 | blocking call (``time.sleep``, ``open()``, sync sockets,        |
+|        | ``subprocess``) inside ``async def`` stalls the whole loop —    |
+|        | every replica duty (frames, sync ticks, HTTP) stops             |
+| ASY305 | a synchronous lock held across an ``await`` (use ``async with`` |
+|        | on an ``asyncio.Lock``, or drop the lock before yielding)       |
+
+The analysis is a linear *segmentation* of each ``async def`` body: the
+statements are flattened into an evaluation-ordered token stream of
+state loads, state stores and yield points (``await`` / ``async for`` /
+``async with``), and the rules reason about what crosses a yield.  The
+classic safe pattern — re-reading the state after the await before
+acting on it — is recognised and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    ProjectInfo,
+    register,
+    register_project,
+)
+
+#: classes whose async methods must respect await-point atomicity (the
+#: backend effect interpreters and request handlers).
+GUARDED_CLASS_SUFFIXES = ("Node", "Handler", "Server")
+
+#: module-level coroutines treated as handlers (the hand-rolled HTTP
+#: front-end uses free functions, not classes).
+GUARDED_FUNC_PREFIXES = ("serve", "_serve", "handle", "_handle", "on_", "_on_")
+
+#: method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "extend",
+        "insert",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: dotted call targets that block the event loop when run on it.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.fsync",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: constructors of synchronous (thread) locks.
+_SYNC_LOCKS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Condition",
+    }
+)
+
+#: nested scopes whose bodies do not run inline with the coroutine.
+_NESTED_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _finding(module: ModuleInfo, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=message,
+    )
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Every node of ``root``'s own scope, skipping nested def bodies."""
+    for child in ast.iter_child_nodes(root):
+        if isinstance(child, _NESTED_DEFS):
+            continue
+        yield child
+        yield from _own_nodes(child)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``x`` for a direct ``self.x`` attribute access."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _self_root(node: ast.expr) -> str | None:
+    """Innermost ``self.x`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr
+        node = node.value
+    return None
+
+
+def _name_root(node: ast.expr) -> str | None:
+    """Innermost bare name of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# -- the token stream (shared by ASY301 / ASY305) ------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _Tok:
+    kind: str  # "await" | "load" | "store"
+    key: str  # "a:<attr>" for self state, "g:<name>" for module globals
+    node: ast.AST
+
+
+class _TokenStream:
+    """Flatten one coroutine body into evaluation-ordered state accesses.
+
+    Assignment values are emitted before their targets, so
+    ``self.x = await f()`` correctly places the store *after* the yield
+    point; mutator calls (``self.tasks.add(...)``) count as stores.
+    """
+
+    def __init__(
+        self,
+        fn: ast.AsyncFunctionDef,
+        module_globals: frozenset[str],
+    ) -> None:
+        self.out: list[_Tok] = []
+        self._module_globals = module_globals
+        self._locals: set[str] = {a.arg for a in _all_args(fn)}
+        self._globals_declared: set[str] = set()
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                self._locals.add(node.id)
+            elif isinstance(node, ast.Global):
+                self._globals_declared.update(node.names)
+        self._locals -= self._globals_declared
+        for stmt in fn.body:
+            self._emit(stmt)
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit(self, node: ast.AST) -> None:
+        if isinstance(node, _NESTED_DEFS):
+            return
+        if isinstance(node, ast.Await):
+            self._emit(node.value)
+            self.out.append(_Tok("await", "", node))
+        elif isinstance(node, ast.AsyncFor):
+            self._emit(node.iter)
+            self.out.append(_Tok("await", "", node))
+            self._store_target(node.target)
+            for stmt in node.body:
+                self._emit(stmt)
+            for stmt in node.orelse:
+                self._emit(stmt)
+        elif isinstance(node, ast.AsyncWith):
+            for item in node.items:
+                self._emit(item.context_expr)
+                if item.optional_vars is not None:
+                    self._store_target(item.optional_vars)
+            self.out.append(_Tok("await", "", node))
+            for stmt in node.body:
+                self._emit(stmt)
+        elif isinstance(node, ast.Assign):
+            self._emit(node.value)
+            for target in node.targets:
+                self._store_target(target)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._emit(node.value)
+            self._store_target(node.target)
+        elif isinstance(node, ast.AugAssign):
+            self._emit(node.value)
+            self._emit_load_of_target(node.target)
+            self._store_target(node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._store_target(target)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            root: str | None = None
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                root = _self_root(func.value)
+                if root is not None:
+                    key = f"a:{root}"
+                else:
+                    gname = _name_root(func.value)
+                    if gname is not None and self._is_global(gname):
+                        root, key = gname, f"g:{gname}"
+            if root is not None:
+                for arg in node.args:
+                    self._emit(arg)
+                for kw in node.keywords:
+                    self._emit(kw.value)
+                self.out.append(_Tok("store", key, node))
+            else:
+                self._emit(func)
+                for arg in node.args:
+                    self._emit(arg)
+                for kw in node.keywords:
+                    self._emit(kw.value)
+        elif isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                self.out.append(_Tok("load", f"a:{attr}", node))
+            else:
+                self._emit(node.value)
+        elif isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and self._is_global(node.id):
+                self.out.append(_Tok("load", f"g:{node.id}", node))
+        else:
+            for child in ast.iter_child_nodes(node):
+                self._emit(child)
+
+    def _emit_load_of_target(self, target: ast.expr) -> None:
+        root = _self_root(target)
+        if root is not None:
+            self.out.append(_Tok("load", f"a:{root}", target))
+            return
+        gname = _name_root(target)
+        if gname is not None and self._is_global(gname):
+            self.out.append(_Tok("load", f"g:{gname}", target))
+
+    def _store_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store_target(elt)
+        elif isinstance(target, ast.Starred):
+            self._store_target(target.value)
+        elif isinstance(target, ast.Name):
+            if target.id in self._globals_declared and self._is_global(target.id):
+                self.out.append(_Tok("store", f"g:{target.id}", target))
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _self_root(target)
+            if root is not None:
+                self.out.append(_Tok("store", f"a:{root}", target))
+                return
+            gname = _name_root(target)
+            if gname is not None and self._is_global(gname):
+                self.out.append(_Tok("store", f"g:{gname}", target))
+
+    def _is_global(self, name: str) -> bool:
+        return name in self._module_globals and name not in self._locals
+
+
+def _all_args(fn: ast.AsyncFunctionDef) -> list[ast.arg]:
+    a = fn.args
+    args = [*a.posonlyargs, *a.args, *a.kwonlyargs]
+    if a.vararg is not None:
+        args.append(a.vararg)
+    if a.kwarg is not None:
+        args.append(a.kwarg)
+    return args
+
+
+def _module_globals(module: ModuleInfo) -> frozenset[str]:
+    """Module-level data bindings (plain assignments, not defs/imports)."""
+    return frozenset(
+        name
+        for name, node in module.symbols.items()
+        if isinstance(node, (ast.Assign, ast.AnnAssign))
+    )
+
+
+def _guarded_coroutines(
+    module: ModuleInfo,
+) -> Iterator[tuple[str, ast.AsyncFunctionDef]]:
+    for cls in module.classes:
+        names = (cls.node.name, *cls.base_names)
+        if not any(n.endswith(GUARDED_CLASS_SUFFIXES) for n in names if n):
+            continue
+        for sub in cls.node.body:
+            if isinstance(sub, ast.AsyncFunctionDef):
+                yield f"{cls.node.name}.{sub.name}", sub
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.AsyncFunctionDef) and stmt.name.startswith(GUARDED_FUNC_PREFIXES):
+            yield stmt.name, stmt
+
+
+@register("ASY301", "no await-point TOCTOU on shared replica state")
+def asy301_await_toctou(module: ModuleInfo) -> Iterator[Finding]:
+    """Read-before-await, write-after-await on the same ``self`` attribute
+    (or module global) without re-reading it after the yield.
+
+    The event loop may run any other handler at the await, so the write
+    acts on state observed *before* the interleaving — the exact torn
+    critical section Algorithm 1's atomic-handler assumption forbids.
+    Re-validating (loading the attribute again between the last await and
+    the write) is the sanctioned pattern and is not flagged.
+    """
+    globals_ = _module_globals(module)
+    for qual, fn in _guarded_coroutines(module):
+        tokens = _TokenStream(fn, globals_).out
+        awaits = [i for i, tok in enumerate(tokens) if tok.kind == "await"]
+        if not awaits:
+            continue
+        for i, tok in enumerate(tokens):
+            if tok.kind != "store":
+                continue
+            prior = [w for w in awaits if w < i]
+            if not prior:
+                continue
+            w_last = prior[-1]
+            stale_read = next(
+                (
+                    tokens[j]
+                    for j in range(w_last)
+                    if tokens[j].kind == "load" and tokens[j].key == tok.key
+                ),
+                None,
+            )
+            if stale_read is None:
+                continue
+            revalidated = any(
+                tokens[j].kind == "load" and tokens[j].key == tok.key
+                for j in range(w_last + 1, i)
+            )
+            if revalidated:
+                continue
+            what = f"self.{tok.key[2:]}" if tok.key.startswith("a:") else tok.key[2:]
+            yield _finding(
+                module,
+                tok.node,
+                "ASY301",
+                f"{qual} reads {what} (line {getattr(stale_read.node, 'lineno', '?')}) "
+                f"before an await and writes it afterwards: the event loop may "
+                f"interleave another handler at the await, so the write acts on "
+                f"stale state (await-point TOCTOU) — re-read {what} after the "
+                f"await before writing, as Algorithm 1 assumes atomic event "
+                f"handling",
+            )
+
+
+@register_project("ASY302", "coroutines must be awaited or scheduled")
+def asy302_unawaited_coroutine(project: ProjectInfo) -> Iterator[Finding]:
+    """A bare-statement call to an ``async def`` — local, ``self.``-bound or
+    imported (resolved through the project model) — creates a coroutine
+    object and drops it: the body never runs, and Python only surfaces a
+    ``RuntimeWarning`` at GC time, typically long after the lost effect
+    mattered.  Await it, or hand it to a task the caller retains.
+    """
+    for module in project.modules:
+        for call, cls_name in _bare_calls(module.tree, None):
+            target = _async_call_target(project, module, call, cls_name)
+            if target is None:
+                continue
+            yield _finding(
+                module,
+                call,
+                "ASY302",
+                f"coroutine {target!r} is called but never awaited: the call "
+                f"only builds a coroutine object — await it, or schedule it "
+                f"with a retained asyncio task",
+            )
+
+
+def _bare_calls(node: ast.AST, cls_name: str | None) -> Iterator[tuple[ast.Call, str | None]]:
+    for child in ast.iter_child_nodes(node):
+        inner_cls = child.name if isinstance(child, ast.ClassDef) else cls_name
+        if isinstance(child, ast.Expr) and isinstance(child.value, ast.Call):
+            yield child.value, inner_cls
+        yield from _bare_calls(child, inner_cls)
+
+
+def _async_call_target(
+    project: ProjectInfo,
+    module: ModuleInfo,
+    call: ast.Call,
+    cls_name: str | None,
+) -> str | None:
+    """Dotted description of the coroutine this call builds, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        local = module.functions.get(func.id)
+        if isinstance(local, ast.AsyncFunctionDef):
+            return func.id
+        dotted = module.imports.get(func.id)
+        if dotted is not None:
+            hit = project.resolve_symbol(dotted, origin=module)
+            if hit is not None and isinstance(hit[1], ast.AsyncFunctionDef):
+                return dotted
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        owner = func.value.id
+        if owner == "self" and cls_name is not None:
+            method = module.functions.get(f"{cls_name}.{func.attr}")
+            if isinstance(method, ast.AsyncFunctionDef):
+                return f"self.{func.attr}"
+            return None
+        dotted_mod = module.imports.get(owner)
+        if dotted_mod is not None:
+            hit = project.resolve_symbol(f"{dotted_mod}.{func.attr}", origin=module)
+            if hit is not None and isinstance(hit[1], ast.AsyncFunctionDef):
+                return f"{dotted_mod}.{func.attr}"
+    return None
+
+
+@register("ASY303", "retain every created task (GC-cancellation hazard)")
+def asy303_task_not_retained(module: ModuleInfo) -> Iterator[Finding]:
+    """The event loop holds only a *weak* reference to tasks: a
+    ``create_task``/``ensure_future`` whose result is immediately dropped
+    can be garbage-collected mid-execution, silently cancelling the
+    timer/flush/sync work it carried (the asyncio docs' own warning).
+    """
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+            continue
+        call = node.value
+        dotted = module.resolve_call(call.func)
+        loopish = (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "create_task"
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id.endswith("loop")
+        )
+        if dotted in ("asyncio.create_task", "asyncio.ensure_future") or loopish:
+            yield _finding(
+                module,
+                node,
+                "ASY303",
+                "task created and immediately dropped: the event loop keeps "
+                "only a weak reference, so the task may be garbage-collected "
+                "mid-flight — keep it in a collection (and discard on done) "
+                "like ReplicaNode._spawn does",
+            )
+
+
+@register("ASY304", "no blocking calls inside async def")
+def asy304_blocking_call(module: ModuleInfo) -> Iterator[Finding]:
+    """``time.sleep``, ``open()``, sync sockets and ``subprocess`` inside a
+    coroutine stall the entire event loop: peer frames, sync ticks and
+    HTTP requests all stop for the duration.  Use the asyncio equivalent
+    (``asyncio.sleep``, ``asyncio.to_thread``, loop executors).
+    """
+    open_is_builtin = module.imports.get("open", "open") == "open"
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            continue
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_call(node.func)
+            if dotted in BLOCKING_CALLS:
+                hint = (
+                    "await asyncio.sleep(...)"
+                    if dotted == "time.sleep"
+                    else "await asyncio.to_thread(...) or a loop executor"
+                )
+                yield _finding(
+                    module,
+                    node,
+                    "ASY304",
+                    f"blocking call {dotted}() inside async def {fn.name}: it "
+                    f"stalls the whole event loop (frames, sync ticks, HTTP) "
+                    f"— use {hint}",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "open"
+                and open_is_builtin
+                and "open" not in module.functions
+            ):
+                yield _finding(
+                    module,
+                    node,
+                    "ASY304",
+                    f"blocking open() inside async def {fn.name}: file I/O "
+                    f"stalls the event loop — use await asyncio.to_thread(...) "
+                    f"or do the I/O outside the coroutine",
+                )
+
+
+@register("ASY305", "never hold a synchronous lock across an await")
+def asy305_lock_across_await(module: ModuleInfo) -> Iterator[Finding]:
+    """A thread lock held over a yield point blocks every other coroutine
+    that wants it for the full await duration — and deadlocks outright if
+    the awaited work needs the same lock.  Use ``async with`` on an
+    ``asyncio.Lock``, or release before yielding.
+    """
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            continue
+        # (a) `with lock:` blocks containing a yield point.
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                if not _is_sync_lock(item.context_expr, module):
+                    continue
+                if any(
+                    isinstance(sub, (ast.Await, ast.AsyncFor, ast.AsyncWith))
+                    for sub in _own_nodes(node)
+                ):
+                    yield _finding(
+                        module,
+                        node,
+                        "ASY305",
+                        f"synchronous lock held across an await in {fn.name}: "
+                        f"the lock stays taken while the event loop runs other "
+                        f"handlers — use `async with` on an asyncio.Lock, or "
+                        f"release before awaiting",
+                    )
+        # (b) explicit acquire()/release() bracketing a yield point.
+        held: set[str] = set()
+        reported: set[str] = set()
+        for sub in _own_nodes(fn):
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                owner = ast.unparse(sub.func.value)
+                if sub.func.attr == "acquire":
+                    held.add(owner)
+                elif sub.func.attr == "release":
+                    held.discard(owner)
+            elif isinstance(sub, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+                for owner in sorted(held - reported):
+                    reported.add(owner)
+                    yield _finding(
+                        module,
+                        sub,
+                        "ASY305",
+                        f"{owner}.acquire() is still held at this await in "
+                        f"{fn.name}: release before yielding, or use an "
+                        f"asyncio.Lock with `async with`",
+                    )
+
+
+def _is_sync_lock(expr: ast.expr, module: ModuleInfo) -> bool:
+    if isinstance(expr, ast.Call):
+        if module.resolve_call(expr.func) in _SYNC_LOCKS:
+            return True
+        expr = expr.func
+    term = _terminal_name(expr)
+    if term is None:
+        return False
+    t = term.lower()
+    return (
+        t in ("lock", "mutex")
+        or t.endswith(("_lock", "_mutex"))
+        or t.startswith(("lock_", "mutex_"))
+    )

@@ -3,11 +3,17 @@
 Usage::
 
     python -m repro.lint [paths...] [--format text|json] [--select CODES]
-                         [--list-rules]
+                         [--list-rules] [--no-project]
 
 Paths default to ``src``.  Exit status: 0 when no findings, 1 when any
 finding is reported, 2 on bad invocation.  ``--format json`` emits a
 machine-readable document (consumed by the CI ``static-analysis`` job).
+
+``--select`` accepts exact codes and rule-family prefixes, mixed freely:
+``--select ASY,UQ001`` runs every ASY3xx rule plus UQ001.  ``--no-project``
+skips the phase-2 whole-program rules (per-module analysis only), which
+is occasionally useful when linting a loose file that is not part of the
+``src`` tree.
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ import sys
 from typing import Sequence
 
 import repro.lint  # noqa: F401  (imports the rule modules -> populates registry)
-from repro.lint.engine import lint_paths, registered_rules
+from repro.lint.engine import (
+    FAMILIES,
+    catalog,
+    expand_selection,
+    family_of,
+    lint_paths,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,8 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "uqlint: AST-based protocol-invariant linter for UQ-ADT purity "
-            "(UQ0xx), simulation determinism (SIM1xx) and replica "
-            "discipline (REP2xx)."
+            "(UQ0xx), simulation determinism (SIM1xx), replica/sans-io "
+            "discipline (REP2xx), asyncio atomicity (ASY3xx) and effect-"
+            "contract exhaustiveness (EFX4xx)."
         ),
     )
     parser.add_argument(
@@ -46,14 +59,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="CODES",
         default=None,
-        help="comma-separated rule codes to run (default: all)",
+        help=(
+            "comma-separated rule codes and/or family prefixes to run "
+            "(e.g. 'ASY,UQ001'; default: all)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalog and exit",
+        help="print the rule catalog, grouped by family, and exit",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip phase-2 whole-program rules (per-module analysis only)",
     )
     return parser
+
+
+def _print_catalog() -> None:
+    by_family: dict[str, list[tuple[str, str, bool]]] = {}
+    for code, summary, is_project in catalog():
+        by_family.setdefault(family_of(code), []).append((code, summary, is_project))
+    for family in sorted(by_family):
+        heading = FAMILIES.get(family, "")
+        print(f"{family} — {heading}" if heading else family)
+        for code, summary, is_project in by_family[family]:
+            scope = "project" if is_project else "module"
+            print(f"  {code}  [{scope}]  {summary}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -61,20 +94,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for code, summary, _rule in registered_rules():
-            print(f"{code}  {summary}")
+        _print_catalog()
         return 0
 
     codes = None
     if args.select is not None:
-        codes = {c.strip().upper() for c in args.select.split(",") if c.strip()}
-        known = {code for code, _s, _r in registered_rules()}
-        unknown = codes - known
-        if unknown:
-            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        try:
+            codes = expand_selection(args.select.split(","))
+        except ValueError as exc:
+            parser.error(str(exc))
 
     try:
-        findings, checked = lint_paths(args.paths, codes=codes)
+        findings, checked = lint_paths(args.paths, codes=codes, project=not args.no_project)
     except FileNotFoundError as exc:
         parser.error(str(exc))
         return 2  # unreachable; parser.error raises SystemExit(2)

@@ -1,4 +1,4 @@
-"""uqlint engine: findings, pragmas, per-module analysis context, registry.
+"""uqlint engine: findings, pragmas, the two-phase project model, registries.
 
 The linter is a plain :mod:`ast` walker — no imports of the linted code are
 ever executed, so it is safe to run on broken or hostile trees.  (One
@@ -8,9 +8,20 @@ name resolves — via :func:`importlib.util.find_spec` — to the very file
 being linted, i.e. only code already importable from the current
 environment.)  Each rule
 is a callable class with a stable ``code`` (``UQ0xx`` / ``SIM1xx`` /
-``REP2xx``); the engine parses each file once, derives the shared facts the
-rules need (import aliases, class bases, pragma lines) and hands every rule
-the same :class:`ModuleInfo`.
+``REP2xx`` / ``ASY3xx`` / ``EFX4xx``); the engine parses each file once,
+derives the shared facts the rules need (import aliases, class bases,
+symbol tables, pragma lines) and hands every rule the same
+:class:`ModuleInfo`.
+
+Since uqlint v2 the engine runs in **two phases**.  Phase 1 parses every
+file into a :class:`ModuleInfo` (per-module symbol table, import aliases,
+class taxonomy).  Phase 2 assembles them into a :class:`ProjectInfo` —
+dotted module names, a cross-module symbol index, the import graph — and
+runs two registries over the result: the classic *per-module* rules (one
+module at a time, exactly as in v1) and the *project* rules
+(:func:`register_project`), which see the whole program at once and can
+therefore check cross-module contracts such as effect-dispatch
+exhaustiveness (EFX4xx) or imported-coroutine awaiting (ASY302).
 
 Suppression follows the classic per-line pragma model::
 
@@ -31,7 +42,7 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 #: Pseudo-code reported when a file cannot be parsed at all.
 PARSE_ERROR_CODE = "LINT000"
@@ -70,6 +81,25 @@ class ClassInfo:
     base_names: tuple[str, ...]
 
 
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path (phase-1 project indexing).
+
+    ``src/repro/net/node.py`` -> ``repro.net.node``; the name is derived
+    from the path segments after the last ``src`` directory (the repo's
+    package root convention), falling back to the bare stem for loose
+    files such as fixtures.  ``__init__.py`` names the package itself.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if "src" in parts[:-1]:
+        idx = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[idx + 1 :]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or Path(path).stem
+
+
 class ModuleInfo:
     """Everything the rules need to know about one parsed file."""
 
@@ -77,14 +107,39 @@ class ModuleInfo:
         self.path = path
         self.source = source
         self.tree = tree
+        #: dotted module name (``repro.net.node``) — the project-model key.
+        self.name = module_name_for(path)
         #: local name -> dotted module/object path (import tracking).
         self.imports: dict[str, str] = {}
         self.classes: list[ClassInfo] = []
+        #: top-level symbol table: name -> defining node (functions,
+        #: classes, plain assignments).  Methods appear qualified as
+        #: ``Class.method`` in :attr:`functions`.
+        self.symbols: dict[str, ast.AST] = {}
+        #: (possibly qualified) function name -> def node, covering
+        #: top-level functions and immediate class methods.
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
         self._collect()
 
     # -- derivation ------------------------------------------------------------
 
     def _collect(self) -> None:
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.symbols[stmt.name] = stmt
+                self.functions[stmt.name] = stmt
+            elif isinstance(stmt, ast.ClassDef):
+                self.symbols[stmt.name] = stmt
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.functions[f"{stmt.name}.{sub.name}"] = sub
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.symbols[target.id] = stmt
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    self.symbols[stmt.target.id] = stmt
         for node in ast.walk(self.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -93,10 +148,9 @@ class ModuleInfo:
                     target = alias.name if alias.asname else alias.name.split(".")[0]
                     self.imports[local] = target
             elif isinstance(node, ast.ImportFrom):
-                if node.level:  # relative import: keep the tail only
-                    prefix = node.module or ""
-                else:
-                    prefix = node.module or ""
+                # Relative imports keep the tail only; the project model
+                # retries them under the origin package (resolve_symbol).
+                prefix = node.module or ""
                 for alias in node.names:
                     if alias.name == "*":
                         continue
@@ -104,9 +158,7 @@ class ModuleInfo:
                     dotted = f"{prefix}.{alias.name}" if prefix else alias.name
                     self.imports[local] = dotted
             elif isinstance(node, ast.ClassDef):
-                self.classes.append(
-                    ClassInfo(node, tuple(_base_name(b) for b in node.bases))
-                )
+                self.classes.append(ClassInfo(node, tuple(_base_name(b) for b in node.bases)))
 
     # -- class taxonomy --------------------------------------------------------
 
@@ -174,6 +226,126 @@ def _base_name(node: ast.expr) -> str:
     return ""
 
 
+# -- the project model (phase 2) ----------------------------------------------
+
+
+class ProjectInfo:
+    """The whole linted program at once: every module plus cross-module
+    indexes.  Phase 1 builds one :class:`ModuleInfo` per file; this class
+    is what phase-2 (project) rules receive instead of a single module.
+
+    The model is purely syntactic, like everything else in uqlint: names
+    are resolved through the per-module import tables against the dotted
+    module names derived from file paths — no code is imported.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: list[ModuleInfo] = sorted(modules, key=lambda m: m.path)
+        self.by_name: dict[str, ModuleInfo] = {m.name: m for m in self.modules}
+
+    def module(self, dotted: str) -> ModuleInfo | None:
+        return self.by_name.get(dotted)
+
+    def import_graph(self) -> dict[str, set[str]]:
+        """Project-internal import edges: module name -> imported modules.
+
+        Only edges whose target parses as a module of *this* project are
+        kept — stdlib and third-party imports are not project edges.
+        """
+        graph: dict[str, set[str]] = {}
+        for mod in self.modules:
+            edges: set[str] = set()
+            for dotted in mod.imports.values():
+                hit = self._module_prefix(dotted)
+                if hit is not None and hit != mod.name:
+                    edges.add(hit)
+            graph[mod.name] = edges
+        return graph
+
+    def resolve_symbol(
+        self, dotted: str, *, origin: ModuleInfo | None = None
+    ) -> tuple[ModuleInfo, ast.AST] | None:
+        """Resolve ``pkg.mod.symbol`` (or ``Class.method``) to its def site.
+
+        ``origin`` enables package-relative resolution: a dotted path that
+        does not resolve absolutely is retried under the origin module's
+        package (covering ``from .sibling import name``).
+        """
+        hit = self._lookup(dotted)
+        if hit is None and origin is not None and "." in origin.name:
+            package = origin.name.rsplit(".", 1)[0]
+            hit = self._lookup(f"{package}.{dotted}")
+        return hit
+
+    def _lookup(self, dotted: str) -> tuple[ModuleInfo, ast.AST] | None:
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = self.by_name.get(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1 and rest[0] in mod.symbols:
+                return mod, mod.symbols[rest[0]]
+            if len(rest) == 2 and ".".join(rest) in mod.functions:
+                return mod, mod.functions[".".join(rest)]
+            return None
+        return None
+
+    def _module_prefix(self, dotted: str) -> str | None:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            name = ".".join(parts[:cut])
+            if name in self.by_name:
+                return name
+        return None
+
+
+# -- rule families ------------------------------------------------------------
+
+#: family prefix -> human summary (the ``--list-rules`` group headers).
+FAMILIES: dict[str, str] = {
+    "UQ": "UQ-ADT purity (Definition 1)",
+    "SIM": "simulation determinism",
+    "REP": "replica & sans-io protocol discipline",
+    "ASY": "asyncio atomicity (await-point hazards)",
+    "EFX": "protocol effect-contract exhaustiveness",
+    "LINT": "engine diagnostics",
+}
+
+
+def family_of(code: str) -> str:
+    """Leading alphabetic prefix of a rule code (``ASY301`` -> ``ASY``)."""
+    alpha = code.rstrip("0123456789")
+    return alpha.upper()
+
+
+def expand_selection(entries: Iterable[str]) -> set[str]:
+    """Expand a ``--select`` list of codes and family prefixes into codes.
+
+    Each entry is either an exact rule code (``UQ001``) or a family prefix
+    (``ASY``, matching every registered ``ASY3xx`` rule).  Unknown entries
+    raise ``ValueError`` — a typo'd selection silently linting nothing is
+    worse than an error.
+    """
+    known = {code for code, _s, _r in catalog()}
+    families = {family_of(code) for code in known}
+    selected: set[str] = set()
+    unknown: list[str] = []
+    for raw in entries:
+        entry = raw.strip().upper()
+        if not entry:
+            continue
+        if entry in known:
+            selected.add(entry)
+        elif entry in families:
+            selected.update(code for code in known if family_of(code) == entry)
+        else:
+            unknown.append(entry)
+    if unknown:
+        raise ValueError(f"unknown rule code(s) or families: {', '.join(sorted(unknown))}")
+    return selected
+
+
 # -- pragmas ------------------------------------------------------------------
 
 
@@ -194,28 +366,38 @@ def collect_pragmas(source: str) -> tuple[dict[int, set[str]], set[str]]:
     return per_line, file_wide
 
 
-def _suppressed(
-    finding: Finding, per_line: dict[int, set[str]], file_wide: set[str]
-) -> bool:
+def _suppressed(finding: Finding, per_line: dict[int, set[str]], file_wide: set[str]) -> bool:
     if "ALL" in file_wide or finding.code in file_wide:
         return True
     codes = per_line.get(finding.line, ())
     return "ALL" in codes or finding.code in codes
 
 
-# -- rule registry ------------------------------------------------------------
+# -- rule registries ----------------------------------------------------------
 
 Rule = Callable[[ModuleInfo], Iterable[Finding]]
+ProjectRule = Callable[[ProjectInfo], Iterable[Finding]]
 
 #: populated by the rule modules at import time (see :mod:`repro.lint`).
 _REGISTRY: list[tuple[str, str, Rule]] = []
+_PROJECT_REGISTRY: list[tuple[str, str, ProjectRule]] = []
 
 
 def register(code: str, summary: str) -> Callable[[Rule], Rule]:
-    """Class/function decorator adding a rule to the global registry."""
+    """Class/function decorator adding a per-module rule to the registry."""
 
     def deco(rule: Rule) -> Rule:
         _REGISTRY.append((code, summary, rule))
+        return rule
+
+    return deco
+
+
+def register_project(code: str, summary: str) -> Callable[[ProjectRule], ProjectRule]:
+    """Decorator adding a phase-2 (whole-program) rule to the registry."""
+
+    def deco(rule: ProjectRule) -> ProjectRule:
+        _PROJECT_REGISTRY.append((code, summary, rule))
         return rule
 
     return deco
@@ -225,35 +407,84 @@ def registered_rules() -> list[tuple[str, str, Rule]]:
     return sorted(_REGISTRY, key=lambda item: item[0])
 
 
+def registered_project_rules() -> list[tuple[str, str, ProjectRule]]:
+    return sorted(_PROJECT_REGISTRY, key=lambda item: item[0])
+
+
+def catalog() -> list[tuple[str, str, bool]]:
+    """Every registered rule as ``(code, summary, is_project_rule)``."""
+    merged = [(code, summary, False) for code, summary, _r in _REGISTRY]
+    merged += [(code, summary, True) for code, summary, _r in _PROJECT_REGISTRY]
+    return sorted(merged, key=lambda item: item[0])
+
+
 # -- entry points -------------------------------------------------------------
 
 
-def lint_source(
-    source: str, path: str = "<string>", *, codes: set[str] | None = None
-) -> list[Finding]:
-    """Lint one unit of source text; ``codes`` optionally restricts rules."""
+def _parse_module(source: str, path: str) -> ModuleInfo | Finding:
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code=PARSE_ERROR_CODE,
-                message=f"could not parse file: {exc.msg}",
-            )
-        ]
-    module = ModuleInfo(path, source, tree)
-    per_line, file_wide = collect_pragmas(source)
+        return Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR_CODE,
+            message=f"could not parse file: {exc.msg}",
+        )
+    return ModuleInfo(path, source, tree)
+
+
+def _run_rules(
+    modules: Sequence[ModuleInfo],
+    *,
+    codes: set[str] | None,
+    project: bool,
+) -> list[Finding]:
+    """Phase 2: per-module rules on each module, project rules on the whole."""
     findings: list[Finding] = []
-    for code, _summary, rule in registered_rules():
-        if codes is not None and code not in codes:
-            continue
-        findings.extend(rule(module))
-    findings = [f for f in findings if not _suppressed(f, per_line, file_wide)]
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    for module in modules:
+        for code, _summary, rule in registered_rules():
+            if codes is not None and code not in codes:
+                continue
+            findings.extend(rule(module))
+    if project:
+        info = ProjectInfo(modules)
+        for code, _summary, project_rule in registered_project_rules():
+            if codes is not None and code not in codes:
+                continue
+            findings.extend(project_rule(info))
     return findings
+
+
+def _suppress_and_sort(
+    findings: list[Finding],
+    pragmas: Mapping[str, tuple[dict[int, set[str]], set[str]]],
+) -> list[Finding]:
+    kept = [f for f in findings if not _suppressed(f, *pragmas.get(f.path, ({}, set())))]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    codes: set[str] | None = None,
+    project: bool = True,
+) -> list[Finding]:
+    """Lint one unit of source text; ``codes`` optionally restricts rules.
+
+    The text is treated as a one-module project, so project rules whose
+    facts are self-contained (e.g. an effect union and its interpreter in
+    the same file — the fixture corpus) still fire; pass
+    ``project=False`` for the phase-1-only behaviour.
+    """
+    parsed = _parse_module(source, path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    findings = _run_rules([parsed], codes=codes, project=project)
+    return _suppress_and_sort(findings, {path: collect_pragmas(source)})
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
@@ -269,15 +500,54 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Sequence[str | Path], *, codes: set[str] | None = None
+    paths: Sequence[str | Path],
+    *,
+    codes: set[str] | None = None,
+    project: bool = True,
 ) -> tuple[list[Finding], int]:
-    """Lint every ``.py`` file under ``paths``.
+    """Lint every ``.py`` file under ``paths`` (the two-phase pipeline).
 
-    Returns ``(findings, files_checked)``.
+    Phase 1 parses every file once into the project model; phase 2 runs
+    the per-module rules over each module and — unless ``project`` is
+    False — the whole-program rules over the assembled
+    :class:`ProjectInfo`.  Returns ``(findings, files_checked)``.
     """
     findings: list[Finding] = []
+    modules: list[ModuleInfo] = []
+    pragmas: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
     checked = 0
     for file in iter_python_files(paths):
         checked += 1
-        findings.extend(lint_source(file.read_text(), str(file), codes=codes))
-    return findings, checked
+        source = file.read_text()
+        parsed = _parse_module(source, str(file))
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+            continue
+        pragmas[str(file)] = collect_pragmas(source)
+        modules.append(parsed)
+    findings.extend(_run_rules(modules, codes=codes, project=project))
+    return _suppress_and_sort(findings, pragmas), checked
+
+
+def lint_sources(
+    sources: Mapping[str, str], *, codes: set[str] | None = None, project: bool = True
+) -> list[Finding]:
+    """Lint an in-memory ``{path: source}`` mapping as one project.
+
+    The testing twin of :func:`lint_paths`: mutation-style tests build a
+    synthetic project (e.g. an effects module plus two backends) without
+    touching the filesystem.
+    """
+    findings: list[Finding] = []
+    modules: list[ModuleInfo] = []
+    pragmas: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
+    for path in sorted(sources):
+        source = sources[path]
+        parsed = _parse_module(source, path)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+            continue
+        pragmas[path] = collect_pragmas(source)
+        modules.append(parsed)
+    findings.extend(_run_rules(modules, codes=codes, project=project))
+    return _suppress_and_sort(findings, pragmas)

@@ -28,17 +28,35 @@ deterministic.
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 from typing import Any, Callable, Hashable
 
 from repro.net.framing import FrameError, read_frame, write_frame
 from repro.obs.metrics import MetricsRegistry
 from repro.proto.core import ProtocolCore
-from repro.proto.effects import Broadcast, Effect, Send, Timer
+from repro.proto.effects import (
+    Broadcast,
+    Effect,
+    Persist,
+    QueryAnswered,
+    Send,
+    Timer,
+)
+
+_LOG = logging.getLogger("repro.net.node")
 
 #: frame kinds on the peer wire (the body of every peer frame is a tuple).
 HELLO = "hello"
 MSG = "msg"
+
+#: The effect contract (checked by uqlint EFX401): this backend dispatches
+#: on every member of the closed ``repro.proto.effects.Effect`` union.
+HANDLED_EFFECTS = (Broadcast, Send, Timer, Persist)
+#: ``QueryAnswered`` never reaches the interpreter loop with work to do:
+#: queries are answered synchronously inside :meth:`ReplicaNode.query`
+#: (the output is returned before the effects are applied).
+IGNORED_EFFECTS = (QueryAnswered,)
 
 
 class NodeStoppedError(RuntimeError):
@@ -86,6 +104,11 @@ class ReplicaNode:
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._servers: list[asyncio.base_events.Server] = []
         self._tasks: set[asyncio.Task] = set()
+        #: exceptions raised by background tasks (sync loop, flusher,
+        #: one-shot ticks).  asyncio drops these on the floor unless a
+        #: done-callback collects them; a crashed sync loop that nobody
+        #: notices is a replica that silently stops converging.
+        self.task_errors: list[BaseException] = []
         self._dirty = False
         self._stopped = False
         m = self.registry
@@ -101,6 +124,10 @@ class ReplicaNode:
         ).labels()
         self._flushes = m.counter(
             "repro_net_snapshot_flushes_total", help="durable images written",
+        ).labels()
+        self._task_errors = m.counter(
+            "repro_net_task_errors_total",
+            help="background tasks that died with a non-cancellation error",
         ).labels()
 
     # -- lifecycle -----------------------------------------------------------------
@@ -135,7 +162,9 @@ class ReplicaNode:
         await self.connect()
         path = self.snapshot_path
         if path is not None and os.path.exists(path):
-            with open(path) as fh:
+            # Boot-time one-shot read: start() runs before any traffic is
+            # served, so nothing else is on the loop to stall yet.
+            with open(path) as fh:  # uqlint: disable=ASY304 -- boot-time read
                 self._apply_effects(self.core.recover(fh.read()))
         self._spawn(self._sync_loop())
         if self.data_dir is not None:
@@ -209,8 +238,9 @@ class ReplicaNode:
                 self._ship(eff.dst, eff.payload)
             elif cls is Timer:
                 self._spawn(self._one_shot_tick(eff.kind))
-            else:  # Persist: mark dirty; the flusher owns the disk.
-                self._dirty = True
+            elif cls is Persist:
+                self._dirty = True  # the flusher owns the disk
+            # QueryAnswered: already consumed synchronously by query().
 
     def _ship(self, dst: int, payload: Any) -> None:
         writer = self._writers.get(dst)
@@ -307,7 +337,31 @@ class ReplicaNode:
             return
         task = asyncio.ensure_future(coro)
         self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+        task.add_done_callback(self._task_done)
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        """Done-callback for every background task: surface exceptions.
+
+        Without this, a task that dies (sync loop, flusher, one-shot
+        tick) vanishes silently — asyncio only mentions never-retrieved
+        exceptions at GC time, on stderr, long after the damage.  The
+        error is logged, counted, and kept on :attr:`task_errors` so
+        tests and operators can assert on it.
+        """
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        self.task_errors.append(exc)
+        self._task_errors.inc()
+        _LOG.error(
+            "node %d background task %s crashed: %r",
+            self.pid,
+            task.get_name(),
+            exc,
+        )
 
     def _check_running(self) -> None:
         if self._stopped:

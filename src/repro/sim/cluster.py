@@ -37,9 +37,26 @@ from repro.core.criteria.witness import SUCWitness
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.proto.core import ProtocolCore
-from repro.proto.effects import ONLY_PERSIST_MESSAGE, Broadcast, Effect, Send
+from repro.proto.effects import (
+    ONLY_PERSIST_MESSAGE,
+    Broadcast,
+    Effect,
+    Persist,
+    QueryAnswered,
+    Send,
+    Timer,
+)
 from repro.sim.network import LatencyModel, Network
 from repro.sim.replica import Replica
+
+#: The effect contract (checked by uqlint EFX401): which members of the
+#: closed ``repro.proto.effects.Effect`` union this backend dispatches on.
+HANDLED_EFFECTS = (Broadcast, Send)
+#: Deliberately uninterpreted here: the sim's durable image is taken on
+#: demand by :mod:`repro.sim.persist` (``Persist`` marks nothing), virtual
+#: time makes follow-up ticks explicit scenario steps (``Timer``), and
+#: query outputs are returned synchronously (``QueryAnswered``).
+IGNORED_EFFECTS = (Persist, Timer, QueryAnswered)
 
 
 class CrashedProcessError(RuntimeError):

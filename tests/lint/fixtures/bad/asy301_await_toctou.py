@@ -1,0 +1,12 @@
+# uqlint fixture: ASY301 — read-modify-write on shared node state torn by
+# an await.  The event loop may run any other handler (a peer frame, an
+# HTTP request) at the yield point, so the write acts on stale state.
+
+import asyncio
+
+
+class SessionNode:
+    async def rebalance(self, delta):
+        backlog = self.pending  # read before the yield point
+        await asyncio.sleep(0)  # another handler may mutate self.pending here
+        self.pending = backlog + delta  # write based on the stale read

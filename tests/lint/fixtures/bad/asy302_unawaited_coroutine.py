@@ -1,0 +1,15 @@
+# uqlint fixture: ASY302 — a coroutine called like a function.  The call
+# only builds a coroutine object; the body never runs, and Python merely
+# prints a RuntimeWarning at GC time, long after the lost effect mattered.
+
+import asyncio
+
+
+async def drain(queue):
+    while queue:
+        queue.pop()
+        await asyncio.sleep(0)
+
+
+def flush_all(queue):
+    drain(queue)  # coroutine object built and dropped: nothing drains

@@ -1,0 +1,14 @@
+# uqlint fixture: ASY303 — a task created and immediately dropped.  The
+# event loop holds only a weak reference to running tasks, so a dropped
+# handle can be garbage-collected mid-flight, silently cancelling the
+# work it carried (the asyncio docs' own warning).
+
+import asyncio
+
+
+def kick_off_sync(node):
+    asyncio.create_task(node.sync_loop())  # handle dropped: GC may cancel it
+
+
+def kick_off_flush(node):
+    asyncio.ensure_future(node.flush_loop())  # same hazard, older spelling

@@ -1,0 +1,16 @@
+# uqlint fixture: ASY304 — blocking calls inside async def.  Each one
+# stalls the entire event loop: peer frames, sync ticks and HTTP requests
+# all stop for the duration.
+
+import time
+
+
+async def throttle_frames(frames, ship):
+    for frame in frames:
+        time.sleep(0.01)  # blocks the loop, not just this coroutine
+        ship(frame)
+
+
+async def load_snapshot(path):
+    with open(path) as fh:  # synchronous file I/O on the loop thread
+        return fh.read()

@@ -1,0 +1,19 @@
+# uqlint fixture: ASY305 — synchronous (thread) locks held across a yield
+# point.  Every other coroutine wanting the lock blocks for the full await
+# duration — and the loop deadlocks outright if the awaited work needs it.
+
+import threading
+
+_table_lock = threading.Lock()
+
+
+async def refresh(table, key, fetch):
+    with _table_lock:  # taken on the loop thread...
+        value = await fetch(key)  # ...and still held across the yield
+        table[key] = value
+
+
+async def publish(lock, payload, send):
+    lock.acquire()
+    await send(payload)  # explicit acquire/release bracketing the await
+    lock.release()

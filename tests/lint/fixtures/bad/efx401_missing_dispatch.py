@@ -1,0 +1,31 @@
+# uqlint fixture: EFX401 — a backend that does not account for the whole
+# closed effect set.  Persist is neither dispatched nor recorded as a
+# deliberate ignore, so the two backends can silently diverge on it.
+
+from typing import Union
+
+
+class Send:
+    pass
+
+
+class Broadcast:
+    pass
+
+
+class Persist:
+    pass
+
+
+Effect = Union[Send, Broadcast, Persist]
+
+HANDLED_EFFECTS = (Send, Broadcast)
+# Persist is missing from both tuples: the contract is incomplete.
+
+
+def apply_effects(effects, ship, fanout):
+    for eff in effects:
+        if isinstance(eff, Send):
+            ship(eff)
+        elif isinstance(eff, Broadcast):
+            fanout(eff)

@@ -1,0 +1,30 @@
+# uqlint fixture: EFX402 — a contract declaration naming a class that is
+# not (or no longer) a member of the closed effect set: the declaration
+# is stale and proves nothing about the real union.
+
+from typing import Union
+
+
+class Send:
+    pass
+
+
+class Broadcast:
+    pass
+
+
+class Flush:  # once an effect; removed from the union long ago
+    pass
+
+
+Effect = Union[Send, Broadcast]
+
+HANDLED_EFFECTS = (Send, Broadcast, Flush)  # Flush is not an Effect member
+
+
+def apply_effects(effects, ship, fanout):
+    for eff in effects:
+        if isinstance(eff, Send):
+            ship(eff)
+        elif isinstance(eff, Broadcast):
+            fanout(eff)

@@ -1,0 +1,26 @@
+# uqlint fixture: EFX403 — the core event dispatcher misses an event
+# type: backends can construct SyncTick, but handle() falls through to
+# the TypeError, so anti-entropy silently never runs.
+
+from typing import Union
+
+
+class UpdateSubmitted:
+    pass
+
+
+class SyncTick:
+    pass
+
+
+Event = Union[UpdateSubmitted, SyncTick]
+
+
+class ProtocolCore:
+    def handle(self, event):
+        if isinstance(event, UpdateSubmitted):
+            return self._apply(event)
+        raise TypeError(f"unknown event: {event!r}")
+
+    def _apply(self, event):
+        return event

@@ -1,0 +1,9 @@
+# uqlint fixture: EFX404 — a raw payload handed to the protocol core.
+# The core speaks typed events only; a bare tuple bypasses the closed
+# vocabulary and the two backends stop meaning the same thing by it.
+
+from repro.proto.core import ProtocolCore  # resolved syntactically; never run
+
+
+def replay(core: ProtocolCore, value):
+    core.handle(("update", value))  # raw tuple instead of a typed event

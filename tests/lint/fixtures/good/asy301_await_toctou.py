@@ -1,0 +1,15 @@
+# uqlint fixture: good twin of bad/asy301_await_toctou.py — the state is
+# re-read after the last yield point before the write (the sanctioned
+# re-validation pattern), so the write never acts on stale observations.
+
+import asyncio
+
+
+class SessionNode:
+    async def rebalance(self, delta):
+        backlog = self.pending  # provisional read (cheap pre-check)
+        if not backlog:
+            return
+        await asyncio.sleep(0)
+        backlog = self.pending  # re-validated: re-read after the await
+        self.pending = backlog + delta

@@ -1,0 +1,20 @@
+# uqlint fixture: good twin of bad/asy302_unawaited_coroutine.py — the
+# coroutine is awaited, or scheduled as a task the caller retains.
+
+import asyncio
+
+
+async def drain(queue):
+    while queue:
+        queue.pop()
+        await asyncio.sleep(0)
+
+
+async def flush_all(queue):
+    await drain(queue)
+
+
+def schedule_flush(tasks, queue):
+    task = asyncio.create_task(drain(queue))
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)

@@ -1,0 +1,17 @@
+# uqlint fixture: good twin of bad/asy303_dropped_task.py — every created
+# task is retained in a collection (and discarded on completion), so the
+# event loop's weak reference is never the only one.
+
+import asyncio
+
+
+def kick_off_sync(node, tasks):
+    task = asyncio.create_task(node.sync_loop())
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)
+
+
+def kick_off_flush(node, tasks):
+    task = asyncio.ensure_future(node.flush_loop())
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)

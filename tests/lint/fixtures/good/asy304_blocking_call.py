@@ -1,0 +1,20 @@
+# uqlint fixture: good twin of bad/asy304_blocking_call.py — asyncio
+# equivalents: await asyncio.sleep for pacing, asyncio.to_thread for file
+# I/O (the blocking open() lives in a sync helper run off the loop).
+
+import asyncio
+
+
+async def throttle_frames(frames, ship):
+    for frame in frames:
+        await asyncio.sleep(0.01)
+        ship(frame)
+
+
+async def load_snapshot(path):
+    return await asyncio.to_thread(_read_file, path)
+
+
+def _read_file(path):
+    with open(path) as fh:
+        return fh.read()

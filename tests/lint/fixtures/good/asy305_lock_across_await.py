@@ -1,0 +1,20 @@
+# uqlint fixture: good twin of bad/asy305_lock_across_await.py — the
+# critical section is entered and left without yielding (awaits happen
+# outside the lock), or the explicit acquire is released before the await.
+
+import threading
+
+_table_lock = threading.Lock()
+
+
+async def refresh(table, key, fetch):
+    value = await fetch(key)  # yield first, with no lock held
+    with _table_lock:
+        table[key] = value  # purely synchronous critical section
+
+
+async def publish(lock, payload, send):
+    lock.acquire()
+    frame = encode(payload)  # noqa: F821 - fixture, never run
+    lock.release()
+    await send(frame)  # the lock is already released at the yield

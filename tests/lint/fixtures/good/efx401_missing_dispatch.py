@@ -1,0 +1,32 @@
+# uqlint fixture: good twin of bad/efx401_missing_dispatch.py — every
+# member of the closed effect set is either dispatched (and listed in
+# HANDLED_EFFECTS) or recorded as a deliberate ignore.
+
+from typing import Union
+
+
+class Send:
+    pass
+
+
+class Broadcast:
+    pass
+
+
+class Persist:
+    pass
+
+
+Effect = Union[Send, Broadcast, Persist]
+
+HANDLED_EFFECTS = (Send, Broadcast)
+#: durability is handled out of band by this backend's snapshotter.
+IGNORED_EFFECTS = (Persist,)
+
+
+def apply_effects(effects, ship, fanout):
+    for eff in effects:
+        if isinstance(eff, Send):
+            ship(eff)
+        elif isinstance(eff, Broadcast):
+            fanout(eff)

@@ -1,0 +1,27 @@
+# uqlint fixture: good twin of bad/efx402_stale_contract.py — the contract
+# names exactly the members of the closed effect set, with no overlap
+# between the handled and ignored tuples.
+
+from typing import Union
+
+
+class Send:
+    pass
+
+
+class Broadcast:
+    pass
+
+
+Effect = Union[Send, Broadcast]
+
+HANDLED_EFFECTS = (Send, Broadcast)
+IGNORED_EFFECTS = ()
+
+
+def apply_effects(effects, ship, fanout):
+    for eff in effects:
+        if isinstance(eff, Send):
+            ship(eff)
+        elif isinstance(eff, Broadcast):
+            fanout(eff)

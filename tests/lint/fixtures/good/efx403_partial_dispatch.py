@@ -1,0 +1,30 @@
+# uqlint fixture: good twin of bad/efx403_partial_dispatch.py — handle()
+# has a dispatch arm for every member of the closed event set.
+
+from typing import Union
+
+
+class UpdateSubmitted:
+    pass
+
+
+class SyncTick:
+    pass
+
+
+Event = Union[UpdateSubmitted, SyncTick]
+
+
+class ProtocolCore:
+    def handle(self, event):
+        if isinstance(event, UpdateSubmitted):
+            return self._apply(event)
+        if isinstance(event, SyncTick):
+            return self._sync(event)
+        raise TypeError(f"unknown event: {event!r}")
+
+    def _apply(self, event):
+        return event
+
+    def _sync(self, event):
+        return event

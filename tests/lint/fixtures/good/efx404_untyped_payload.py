@@ -1,0 +1,10 @@
+# uqlint fixture: good twin of bad/efx404_untyped_payload.py — the call
+# site constructs the matching typed event class, keeping both backends
+# on the one closed vocabulary.
+
+from repro.proto.core import ProtocolCore  # resolved syntactically; never run
+from repro.proto.events import UpdateSubmitted
+
+
+def replay(core: ProtocolCore, value):
+    core.handle(UpdateSubmitted(value))

@@ -1,0 +1,288 @@
+"""ASY3xx unit tests: the await-point token stream, guarded-scope
+selection, the re-validation escape hatch, and the whole-program ASY302
+resolution through the project model."""
+
+from __future__ import annotations
+
+from repro.lint import lint_source, lint_sources
+
+
+def codes(source: str, **kwargs) -> set[str]:
+    return {f.code for f in lint_source(source, **kwargs)}
+
+
+class TestAwaitToctou:
+    BAD = (
+        "import asyncio\n"
+        "class CacheNode:\n"
+        "    async def bump(self, k):\n"
+        "        seen = self.counts\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.counts = seen + [k]\n"
+    )
+
+    def test_read_await_write_is_flagged(self) -> None:
+        assert codes(self.BAD) == {"ASY301"}
+
+    def test_finding_points_at_the_write(self) -> None:
+        (finding,) = lint_source(self.BAD)
+        assert finding.line == 6
+
+    def test_unguarded_class_is_exempt(self) -> None:
+        # Same pattern in a class that is not a Node/Handler/Server: the
+        # atomicity obligation only binds the backend interpreters.
+        assert codes(self.BAD.replace("CacheNode", "CacheHelper")) == set()
+
+    def test_handler_suffix_is_guarded(self) -> None:
+        assert codes(self.BAD.replace("CacheNode", "FrameHandler")) == {"ASY301"}
+
+    def test_guarded_base_class_counts(self) -> None:
+        src = self.BAD.replace("class CacheNode:", "class Cache(ReplicaNode):")
+        assert "ASY301" in codes(src)
+
+    def test_revalidation_suppresses(self) -> None:
+        src = (
+            "import asyncio\n"
+            "class CacheNode:\n"
+            "    async def bump(self, k):\n"
+            "        seen = self.counts\n"
+            "        await asyncio.sleep(0)\n"
+            "        seen = self.counts\n"  # re-read after the yield
+            "        self.counts = seen + [k]\n"
+        )
+        assert codes(src) == set()
+
+    def test_store_from_await_value_is_clean(self) -> None:
+        # `self.x = await f()` has no pre-await read: nothing stale.
+        src = (
+            "class CacheNode:\n"
+            "    async def refresh(self, fetch):\n"
+            "        self.counts = await fetch()\n"
+        )
+        assert codes(src) == set()
+
+    def test_mutator_store_after_await_is_flagged(self) -> None:
+        src = (
+            "import asyncio\n"
+            "class QueueNode:\n"
+            "    async def push(self, item):\n"
+            "        if item in self.backlog:\n"
+            "            return\n"
+            "        await asyncio.sleep(0)\n"
+            "        self.backlog.append(item)\n"
+        )
+        assert codes(src) == {"ASY301"}
+
+    def test_module_global_in_serve_coroutine(self) -> None:
+        src = (
+            "import asyncio\n"
+            "_REGISTRY = []\n"
+            "async def serve_frame(frame):\n"
+            "    known = list(_REGISTRY)\n"
+            "    await asyncio.sleep(0)\n"
+            "    _REGISTRY.append(frame)\n"
+        )
+        assert codes(src) == {"ASY301"}
+
+    def test_local_shadow_of_global_is_clean(self) -> None:
+        src = (
+            "import asyncio\n"
+            "_REGISTRY = []\n"
+            "async def serve_frame(frame):\n"
+            "    _REGISTRY = []\n"  # local shadow, not the module global
+            "    known = list(_REGISTRY)\n"
+            "    await asyncio.sleep(0)\n"
+            "    _REGISTRY.append(frame)\n"
+        )
+        assert codes(src) == set()
+
+    def test_async_for_is_a_yield_point(self) -> None:
+        src = (
+            "class StreamNode:\n"
+            "    async def pump(self, frames):\n"
+            "        base = self.offset\n"
+            "        async for frame in frames:\n"
+            "            self.offset = base + 1\n"
+        )
+        assert codes(src) == {"ASY301"}
+
+    def test_nested_def_bodies_are_out_of_scope(self) -> None:
+        src = (
+            "import asyncio\n"
+            "class CacheNode:\n"
+            "    async def bump(self, k):\n"
+            "        seen = self.counts\n"
+            "        await asyncio.sleep(0)\n"
+            "        def later():\n"
+            "            self.counts = seen + [k]\n"  # runs who-knows-when
+            "        return later\n"
+        )
+        assert codes(src) == set()
+
+
+class TestUnawaitedCoroutine:
+    def test_local_coroutine_called_bare(self) -> None:
+        src = (
+            "async def tick():\n"
+            "    pass\n"
+            "def kick():\n"
+            "    tick()\n"
+        )
+        assert codes(src) == {"ASY302"}
+
+    def test_awaited_call_is_clean(self) -> None:
+        src = (
+            "async def tick():\n"
+            "    pass\n"
+            "async def kick():\n"
+            "    await tick()\n"
+        )
+        assert codes(src) == set()
+
+    def test_self_method_coroutine(self) -> None:
+        src = (
+            "class Pump:\n"
+            "    async def tick(self):\n"
+            "        pass\n"
+            "    def kick(self):\n"
+            "        self.tick()\n"
+        )
+        assert codes(src) == {"ASY302"}
+
+    def test_plain_method_call_is_clean(self) -> None:
+        src = (
+            "class Pump:\n"
+            "    def tick(self):\n"
+            "        pass\n"
+            "    def kick(self):\n"
+            "        self.tick()\n"
+        )
+        assert codes(src) == set()
+
+    def test_imported_coroutine_resolved_across_modules(self) -> None:
+        findings = lint_sources(
+            {
+                "src/app/aio.py": "async def pump():\n    pass\n",
+                "src/app/main.py": (
+                    "from app.aio import pump\n"
+                    "def run():\n"
+                    "    pump()\n"
+                ),
+            }
+        )
+        assert [(f.path, f.code) for f in findings] == [
+            ("src/app/main.py", "ASY302")
+        ]
+
+    def test_imported_plain_function_is_clean(self) -> None:
+        findings = lint_sources(
+            {
+                "src/app/util.py": "def pump():\n    pass\n",
+                "src/app/main.py": (
+                    "from app.util import pump\n"
+                    "def run():\n"
+                    "    pump()\n"
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_module_attribute_call_resolved(self) -> None:
+        findings = lint_sources(
+            {
+                "src/app/aio.py": "async def pump():\n    pass\n",
+                "src/app/main.py": (
+                    "from app import aio\n"
+                    "def run():\n"
+                    "    aio.pump()\n"
+                ),
+            }
+        )
+        assert {f.code for f in findings} == {"ASY302"}
+
+
+class TestDroppedTask:
+    def test_loop_create_task_is_flagged(self) -> None:
+        src = (
+            "def kick(loop, coro):\n"
+            "    loop.create_task(coro)\n"
+        )
+        assert codes(src) == {"ASY303"}
+
+    def test_retained_task_is_clean(self) -> None:
+        src = (
+            "import asyncio\n"
+            "def kick(tasks, coro):\n"
+            "    task = asyncio.create_task(coro)\n"
+            "    tasks.add(task)\n"
+        )
+        assert codes(src) == set()
+
+
+class TestBlockingCalls:
+    def test_fsync_in_async_def(self) -> None:
+        src = (
+            "import os\n"
+            "async def flush(fd):\n"
+            "    os.fsync(fd)\n"
+        )
+        assert codes(src) == {"ASY304"}
+
+    def test_open_in_sync_helper_is_clean(self) -> None:
+        src = (
+            "def read(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert codes(src) == set()
+
+    def test_open_in_nested_sync_def_is_clean(self) -> None:
+        src = (
+            "import asyncio\n"
+            "async def load(path):\n"
+            "    def read():\n"
+            "        with open(path) as fh:\n"
+            "            return fh.read()\n"
+            "    return await asyncio.to_thread(read)\n"
+        )
+        assert codes(src) == set()
+
+    def test_shadowed_open_is_clean(self) -> None:
+        src = (
+            "from app.store import open\n"
+            "async def load(path):\n"
+            "    return open(path)\n"
+        )
+        assert codes(src) == set()
+
+
+class TestLockAcrossAwait:
+    def test_clock_is_not_a_lock(self) -> None:
+        src = (
+            "import asyncio\n"
+            "async def tick(self_clock):\n"
+            "    with self_clock:\n"
+            "        await asyncio.sleep(0)\n"
+        )
+        # "clock" must not be matched by the lock-name heuristic.
+        assert codes(src.replace("self_clock", "clock")) == set()
+
+    def test_lock_released_before_await_is_clean(self) -> None:
+        src = (
+            "async def publish(lock, send, payload):\n"
+            "    lock.acquire()\n"
+            "    frame = [payload]\n"
+            "    lock.release()\n"
+            "    await send(frame)\n"
+        )
+        assert codes(src) == set()
+
+    def test_threading_lock_constructor_in_with(self) -> None:
+        src = (
+            "import asyncio\n"
+            "import threading\n"
+            "async def guard(send):\n"
+            "    with threading.Lock():\n"
+            "        await send(1)\n"
+        )
+        assert codes(src) == {"ASY305"}

@@ -65,6 +65,39 @@ def test_select_rejects_unknown_code() -> None:
     assert excinfo.value.code == 2
 
 
+def test_select_family_prefix_expands() -> None:
+    code, out = run_cli(str(FIXTURES / "bad"), "--select", "ASY", "--format", "json")
+    assert code == 1
+    doc = json.loads(out)
+    found = {f["code"] for f in doc["findings"]}
+    assert found == {"ASY301", "ASY302", "ASY303", "ASY304", "ASY305"}
+
+
+def test_select_mixes_families_and_codes() -> None:
+    code, out = run_cli(
+        str(FIXTURES / "bad"), "--select", "EFX,UQ001", "--format", "json"
+    )
+    assert code == 1
+    doc = json.loads(out)
+    found = {f["code"] for f in doc["findings"]}
+    assert "UQ001" in found
+    assert {"EFX401", "EFX402", "EFX403", "EFX404"} <= found
+    assert not any(c.startswith(("SIM", "ASY", "REP")) for c in found)
+
+
+def test_select_rejects_unknown_family() -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("--select", "ZZZ")
+    assert excinfo.value.code == 2
+
+
+def test_no_project_skips_whole_program_rules() -> None:
+    # EFX401 is a project rule: the bad fixture goes silent without phase 2.
+    bad = str(FIXTURES / "bad" / "efx401_missing_dispatch.py")
+    assert run_cli(bad)[0] == 1
+    assert run_cli(bad, "--no-project")[0] == 0
+
+
 def test_missing_path_is_a_usage_error(tmp_path: Path) -> None:
     with pytest.raises(SystemExit) as excinfo:
         run_cli(str(tmp_path / "does-not-exist"))
@@ -74,8 +107,27 @@ def test_missing_path_is_a_usage_error(tmp_path: Path) -> None:
 def test_list_rules_prints_catalog() -> None:
     code, out = run_cli("--list-rules")
     assert code == 0
-    for expected in ("UQ001", "UQ005", "SIM101", "SIM104", "REP201", "REP203"):
+    for expected in (
+        "UQ001", "UQ005", "SIM101", "SIM104", "REP201", "REP203",
+        "ASY301", "ASY305", "EFX401", "EFX404",
+    ):
         assert expected in out
+
+
+def test_list_rules_groups_by_family() -> None:
+    code, out = run_cli("--list-rules")
+    assert code == 0
+    lines = out.splitlines()
+    headers = [i for i, ln in enumerate(lines) if not ln.startswith(" ")]
+    # One header per family, in sorted family order, each with a summary.
+    assert [lines[i].split(" ")[0] for i in headers] == [
+        "ASY", "EFX", "REP", "SIM", "UQ",
+    ]
+    assert all("—" in lines[i] for i in headers)
+    # Project-scoped rules are marked; ASY302/EFX4xx run in phase 2.
+    assert any("ASY302" in ln and "[project]" in ln for ln in lines)
+    assert any("EFX401" in ln and "[project]" in ln for ln in lines)
+    assert any("UQ001" in ln and "[module]" in ln for ln in lines)
 
 
 def test_parse_error_is_reported_not_raised(tmp_path: Path) -> None:

@@ -1,11 +1,23 @@
-"""Engine unit tests: taint propagation, class taxonomy, import resolution."""
+"""Engine unit tests: taint propagation, class taxonomy, import resolution,
+and the v2 two-phase project model (module naming, cross-module symbol
+resolution, rule-family selection)."""
 
 from __future__ import annotations
 
 import ast
 
+import pytest
+
 from repro.lint import lint_source
-from repro.lint.engine import ModuleInfo
+from repro.lint.engine import (
+    ModuleInfo,
+    ProjectInfo,
+    catalog,
+    expand_selection,
+    family_of,
+    module_name_for,
+    registered_project_rules,
+)
 from repro.lint.mutation import find_mutations
 
 
@@ -108,6 +120,112 @@ class TestImports:
 
     def test_unknown_name_resolves_to_itself(self) -> None:
         assert self.resolve("", "helper()") == "helper"
+
+
+def module_of(path: str, source: str) -> ModuleInfo:
+    return ModuleInfo(path, source, ast.parse(source))
+
+
+class TestModuleNaming:
+    def test_src_rooted_path(self) -> None:
+        assert module_name_for("src/repro/net/node.py") == "repro.net.node"
+
+    def test_absolute_src_path(self) -> None:
+        assert module_name_for("/repo/src/repro/sim/cluster.py") == (
+            "repro.sim.cluster"
+        )
+
+    def test_init_names_the_package(self) -> None:
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_loose_file_is_its_stem(self) -> None:
+        assert module_name_for("tests/lint/fixtures/bad/uq001_state_store.py") == (
+            "uq001_state_store"
+        )
+
+
+class TestProjectModel:
+    def project(self) -> ProjectInfo:
+        return ProjectInfo(
+            [
+                module_of(
+                    "src/app/aio.py",
+                    "async def pump():\n    pass\nLIMIT = 3\n",
+                ),
+                module_of(
+                    "src/app/main.py",
+                    "from app.aio import pump\nimport app.aio\n",
+                ),
+            ]
+        )
+
+    def test_module_lookup_by_dotted_name(self) -> None:
+        assert self.project().module("app.aio") is not None
+        assert self.project().module("app.nope") is None
+
+    def test_resolve_function_symbol(self) -> None:
+        hit = self.project().resolve_symbol("app.aio.pump")
+        assert hit is not None
+        module, node = hit
+        assert module.name == "app.aio"
+        assert isinstance(node, ast.AsyncFunctionDef)
+
+    def test_resolve_data_symbol(self) -> None:
+        hit = self.project().resolve_symbol("app.aio.LIMIT")
+        assert hit is not None
+
+    def test_unresolvable_symbol_is_none(self) -> None:
+        assert self.project().resolve_symbol("app.aio.missing") is None
+        assert self.project().resolve_symbol("numpy.random.rand") is None
+
+    def test_import_graph_keeps_internal_edges_only(self) -> None:
+        graph = self.project().import_graph()
+        assert graph["app.main"] == {"app.aio"}
+        assert graph["app.aio"] == set()
+
+    def test_qualified_method_resolution(self) -> None:
+        project = ProjectInfo(
+            [
+                module_of(
+                    "src/app/core.py",
+                    "class Core:\n    def handle(self, e):\n        return e\n",
+                )
+            ]
+        )
+        hit = project.resolve_symbol("app.core.Core.handle")
+        assert hit is not None
+        assert isinstance(hit[1], ast.FunctionDef)
+
+
+class TestFamilies:
+    def test_family_of_strips_digits(self) -> None:
+        assert family_of("ASY301") == "ASY"
+        assert family_of("uq001") == "UQ"
+
+    def test_expand_exact_code(self) -> None:
+        assert expand_selection(["UQ001"]) == {"UQ001"}
+
+    def test_expand_family_prefix(self) -> None:
+        assert expand_selection(["ASY"]) == {
+            "ASY301", "ASY302", "ASY303", "ASY304", "ASY305",
+        }
+
+    def test_expand_mixed_and_case_insensitive(self) -> None:
+        expanded = expand_selection(["efx", " UQ001 "])
+        assert "UQ001" in expanded
+        assert {"EFX401", "EFX402", "EFX403", "EFX404"} <= expanded
+
+    def test_unknown_entry_raises(self) -> None:
+        with pytest.raises(ValueError, match="ZZZ"):
+            expand_selection(["ZZZ"])
+
+    def test_catalog_marks_project_rules(self) -> None:
+        by_code = {code: is_project for code, _s, is_project in catalog()}
+        assert by_code["EFX401"] is True
+        assert by_code["ASY302"] is True
+        assert by_code["UQ001"] is False
+        project_codes = {code for code, _s, _r in registered_project_rules()}
+        assert {c for c, p in by_code.items() if p} == project_codes
 
 
 class TestDeterminismEdges:

@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import lint_source, registered_rules
+from repro.lint import catalog, lint_source
 
 FIXTURES = Path(__file__).parent / "fixtures"
 BAD = sorted((FIXTURES / "bad").glob("*.py"))
@@ -51,7 +51,8 @@ def test_good_twin_is_clean(path: Path) -> None:
 
 
 def test_corpus_covers_every_rule() -> None:
-    rule_codes = {code for code, _summary, _rule in registered_rules()}
+    # catalog() merges per-module and project rules: both kinds need twins.
+    rule_codes = {code for code, _summary, _is_project in catalog()}
     bad_codes = {expected_code(p) for p in BAD}
     assert bad_codes == rule_codes, (
         f"missing bad fixtures for {sorted(rule_codes - bad_codes)}; "

@@ -46,6 +46,23 @@ def test_disable_all_suppresses_every_rule(path: Path) -> None:
     assert lint_source(source, str(path)) == []
 
 
+def test_project_rule_pragma_on_its_line() -> None:
+    # The v2 families obey the same per-line pragma as per-module rules,
+    # including project-scoped rules like EFX401 (findings land on lines).
+    path = FIXTURES / "bad" / "efx401_missing_dispatch.py"
+    source = suppress_lines(path.read_text(), "EFX401")
+    assert lint_source(source, str(path)) == []
+
+
+def test_asy_file_pragma_with_justification() -> None:
+    path = FIXTURES / "bad" / "asy301_await_toctou.py"
+    source = (
+        "# uqlint: disable-file=ASY301 -- scripted single-task demo\n"
+        + path.read_text()
+    )
+    assert lint_source(source, str(path)) == []
+
+
 def test_pragma_is_code_specific() -> None:
     path = FIXTURES / "bad" / "uq001_state_store.py"
     # Disabling an unrelated code must not silence the real finding.

@@ -114,3 +114,42 @@ def test_dead_node_is_not_queryable():
             await cluster.stop()
 
     asyncio.run(scenario())
+
+
+def test_background_task_exception_is_surfaced():
+    """A dying background task must not vanish: the done-callback records
+    the exception, bumps the metric and logs it (regression for silently
+    swallowed task errors — a dead sync loop looked exactly like health)."""
+
+    async def scenario():
+        cluster = make_cluster(n=2)
+        await cluster.start()
+        node = cluster.nodes[0]
+        try:
+            async def failing_timer():
+                raise RuntimeError("timer exploded")
+
+            node._spawn(failing_timer())
+            for _ in range(3):  # let the task run and the callback fire
+                await asyncio.sleep(0)
+            assert [type(e) for e in node.task_errors] == [RuntimeError]
+            assert str(node.task_errors[0]) == "timer exploded"
+            assert node.registry.value("repro_net_task_errors_total") == 1
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_cancelled_tasks_are_not_errors():
+    """Shutdown cancellation is the normal path, not a surfaced failure."""
+
+    async def scenario():
+        cluster = make_cluster(n=2)
+        await cluster.start()
+        node = cluster.nodes[0]
+        await cluster.stop()  # cancels the sync/flush loops
+        await asyncio.sleep(0)
+        assert node.task_errors == []
+
+    asyncio.run(scenario())

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples lint serve loadtest all clean
+.PHONY: install test bench artifacts examples lint serve loadtest soak all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -44,6 +44,12 @@ serve:
 # exits non-zero below 500 sustained ops/sec (the CI floor).
 loadtest:
 	PYTHONPATH=src $(PYTHON) benchmarks/load_harness.py --check
+
+# Soak mode: same harness with a per-second time-series (ops/sec, window
+# p50/p99, convergence-lag p99) in a validated repro-net-report-v1 doc.
+soak:
+	PYTHONPATH=src $(PYTHON) benchmarks/load_harness.py --soak --check \
+		--duration 10 --out net_soak.json
 
 all: test bench artifacts
 

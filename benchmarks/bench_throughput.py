@@ -205,8 +205,16 @@ def main(argv: list[str] | None = None) -> int:
         "--check", action="store_true",
         help="gate replayed-per-query against baselines/throughput.json",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="PREFIX",
+        help="cProfile the measurement loop; writes PREFIX.pstats and "
+             "PREFIX.collapsed (flamegraph.pl / speedscope input)",
+    )
     opts = parser.parse_args(argv)
-    measurements = {kind: measure(kind) for kind in VARIANTS}
+    from repro.obs.profiling import profiled
+
+    with profiled(opts.profile):
+        measurements = {kind: measure(kind) for kind in VARIANTS}
     print(results_table(measurements))
     if not opts.check:
         return 0

@@ -10,21 +10,34 @@ arriving at once, so the cluster sees an increasing-offered-load curve
 instead of a thundering herd.
 
 Per-operation latency is measured client-side (request write to response
-parse) and reported two ways:
+parse) and reported three ways:
 
-* exact percentiles (p50/p99, computed from the raw sample list) in the
-  returned summary — these land in ``BENCH_universal.json`` as the
-  ``net_load_*`` entries via ``benchmarks/run_all.py``;
+* **windowed, exact** — each reporting window's raw samples are flushed
+  into exact p50/p99 for that window (``--soak`` keeps every window as a
+  ``series`` row);
+* **whole-run, bounded** — a deterministic stride-decimation
+  :class:`Reservoir` (no RNG, evenly spaced subsample, fixed memory)
+  backs the summary percentiles, so a long soak cannot grow an unbounded
+  raw-latency list;
 * a ``repro_net_op_latency_seconds`` histogram on the cluster's
   :class:`~repro.obs.metrics.MetricsRegistry`, alongside the node-side
-  frame/sync counters, for the flat metrics artifact.
+  convergence-lag histogram the soak series derives its per-window
+  ``convergence_lag_p99_ms`` from (bucket-count deltas through
+  :func:`repro.obs.metrics.bucket_quantile`).
+
+The run emits a ``repro-net-report-v1`` document (validated by
+:func:`repro.obs.report.validate_net_report`): ``kind`` is ``load`` or
+``soak``, ``summary`` holds whole-run figures including convergence-lag
+percentiles and background ``task_errors``, ``series`` the per-window
+time-series.  ``benchmarks/run_all.py`` folds it into
+``BENCH_universal.json`` as ``net_load`` / ``net_soak``.
 
 Throughput here is a *wait-free* number: a 200 on an update means the
 replica applied and broadcast it, not that any peer acknowledged — the
 paper's trade.  Convergence is validated once, after the load stops.
 
 Run: ``python benchmarks/load_harness.py --users 100 --duration 3``
-(or ``make loadtest``).
+(or ``make loadtest``); add ``--soak`` for the per-second time-series.
 """
 
 from __future__ import annotations
@@ -40,6 +53,43 @@ from typing import Any
 LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
                    0.25, 0.5, 1.0)
 
+#: summary-percentile reservoir size (fixed memory for any run length).
+RESERVOIR_CAP = 4096
+
+
+class Reservoir:
+    """A deterministic bounded sample of a stream (stride decimation).
+
+    Accepts every ``stride``-th observation; when the retained list hits
+    ``cap``, every other retained sample is dropped and the stride
+    doubles.  At any moment the reservoir holds an evenly spaced
+    subsample of the whole stream — no RNG (the determinism lint's
+    preference, and reruns of a scripted workload sample identically),
+    O(cap) memory, O(1) amortized per observation.
+    """
+
+    __slots__ = ("cap", "stride", "_phase", "samples", "seen")
+
+    def __init__(self, cap: int = RESERVOIR_CAP) -> None:
+        if cap < 2:
+            raise ValueError(f"reservoir cap must be >= 2, got {cap}")
+        self.cap = cap
+        self.stride = 1
+        self._phase = 0
+        self.samples: list[float] = []
+        self.seen = 0
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        self._phase += 1
+        if self._phase < self.stride:
+            return
+        self._phase = 0
+        self.samples.append(value)
+        if len(self.samples) >= self.cap:
+            self.samples = self.samples[::2]
+            self.stride *= 2
+
 
 def percentile(samples: list[float], q: float) -> float:
     """Exact (nearest-rank) percentile of ``samples``; 0.0 when empty."""
@@ -50,16 +100,43 @@ def percentile(samples: list[float], q: float) -> float:
     return ordered[rank]
 
 
+class RunStats:
+    """Shared accumulator the user fleet writes and the reporter drains."""
+
+    __slots__ = ("reservoir", "window_lats", "window_errors", "errors",
+                 "counters", "max_latency", "ops")
+
+    def __init__(self) -> None:
+        self.reservoir = Reservoir()
+        self.window_lats: list[float] = []
+        self.window_errors = 0
+        self.errors: list[str] = []
+        self.counters = {"updates": 0, "queries": 0}
+        self.max_latency = 0.0
+        self.ops = 0
+
+    def observe(self, dt: float) -> None:
+        self.ops += 1
+        self.reservoir.add(dt)
+        self.window_lats.append(dt)
+        if dt > self.max_latency:
+            self.max_latency = dt
+
+    def take_window(self) -> tuple[list[float], int]:
+        """Drain the current window: ``(raw latencies, error count)``."""
+        lats, self.window_lats = self.window_lats, []
+        errs, self.window_errors = self.window_errors, 0
+        return lats, errs
+
+
 async def _user(
     user_id: int,
     client,
     *,
     start_delay: float,
     stop: asyncio.Event,
-    latencies: list[float],
-    errors: list[str],
+    stats: RunStats,
     hist,
-    counters: dict[str, int],
 ) -> None:
     """One closed-loop simulated user: ramp delay, then op after op."""
     await asyncio.sleep(start_delay)
@@ -70,21 +147,66 @@ async def _user(
         try:
             if i % 5 == 4:
                 await client.query("read")
-                counters["queries"] += 1
+                stats.counters["queries"] += 1
             else:
                 await client.update("insert", value + i)
-                counters["updates"] += 1
+                stats.counters["updates"] += 1
         except (RuntimeError, OSError) as exc:
-            errors.append(f"user {user_id} op {i}: {exc}")
-            if len(errors) > 100:
+            stats.errors.append(f"user {user_id} op {i}: {exc}")
+            stats.window_errors += 1
+            if len(stats.errors) > 100:
                 return
             await asyncio.sleep(0.01)
             continue
         finally:
             i += 1
         dt = time.perf_counter() - t0
-        latencies.append(dt)
+        stats.observe(dt)
         hist.observe(dt)
+
+
+async def _soak_reporter(
+    stop: asyncio.Event,
+    stats: RunStats,
+    registry,
+    series: list[dict[str, Any]],
+    *,
+    interval: float = 1.0,
+) -> None:
+    """Flush one ``series`` row per ``interval``: exact window latency
+    percentiles, the windowed convergence-lag p99 (bucket-count deltas on
+    the nodes' shared histogram), and error/task-error deltas."""
+    from repro.obs.metrics import bucket_quantile
+
+    lag_hist = registry.get("repro_net_convergence_lag_seconds")
+    lag_prev = lag_hist.combined_buckets() if lag_hist is not None else []
+    task_prev = int(registry.total("repro_net_task_errors_total"))
+    t0 = time.perf_counter()
+    while not stop.is_set():
+        try:
+            await asyncio.wait_for(stop.wait(), interval)
+            return  # the final partial window is folded by the caller
+        except asyncio.TimeoutError:
+            pass
+        lats, errs = stats.take_window()
+        lag_p99 = 0.0
+        if lag_hist is not None:
+            lag_now = lag_hist.combined_buckets()
+            delta = [b - a for a, b in zip(lag_prev, lag_now)]
+            lag_prev = lag_now
+            lag_p99 = bucket_quantile(lag_hist.uppers, delta, 0.99)
+        task_now = int(registry.total("repro_net_task_errors_total"))
+        series.append({
+            "t": round(time.perf_counter() - t0, 3),
+            "ops": len(lats),
+            "ops_per_sec": round(len(lats) / interval, 1),
+            "p50_ms": round(percentile(lats, 0.50) * 1e3, 3),
+            "p99_ms": round(percentile(lats, 0.99) * 1e3, 3),
+            "convergence_lag_p99_ms": round(lag_p99 * 1e3, 3),
+            "task_errors": task_now - task_prev,
+            "errors": errs,
+        })
+        task_prev = task_now
 
 
 async def run_load_async(
@@ -95,10 +217,13 @@ async def run_load_async(
     replicas: int = 3,
     sync_interval: float = 0.1,
     settle_timeout: float = 20.0,
+    soak: bool = False,
+    report_interval: float = 1.0,
 ) -> dict[str, Any]:
-    """Run one load experiment; returns the summary document."""
+    """Run one load experiment; returns a ``repro-net-report-v1`` doc."""
     from repro.core.universal import UniversalReplica
     from repro.net.harness import LocalCluster
+    from repro.obs.report import NET_REPORT_FORMAT
     from repro.specs import SetSpec
 
     spec = SetSpec()
@@ -113,9 +238,8 @@ async def run_load_async(
         buckets=LATENCY_BUCKETS,
     ).labels()
     await cluster.start()
-    latencies: list[float] = []
-    errors: list[str] = []
-    counters = {"updates": 0, "queries": 0}
+    stats = RunStats()
+    series: list[dict[str, Any]] = []
     stop = asyncio.Event()
     clients = [cluster.client(u % replicas) for u in range(users)]
     try:
@@ -123,11 +247,15 @@ async def run_load_async(
             asyncio.ensure_future(_user(
                 u, clients[u],
                 start_delay=(u / users) * ramp,
-                stop=stop, latencies=latencies, errors=errors,
-                hist=hist, counters=counters,
+                stop=stop, stats=stats, hist=hist,
             ))
             for u in range(users)
         ]
+        if soak:
+            tasks.append(asyncio.ensure_future(_soak_reporter(
+                stop, stats, cluster.registry, series,
+                interval=report_interval,
+            )))
         t_start = time.perf_counter()
         await asyncio.sleep(ramp + duration)
         stop.set()
@@ -143,23 +271,39 @@ async def run_load_async(
         for client in clients:
             await client.close()
         await cluster.stop()
-    ops = len(latencies)
+    lag_hist = cluster.registry.get("repro_net_convergence_lag_seconds")
+    lag_p50 = lag_hist.quantile(0.50) if lag_hist is not None else 0.0
+    lag_p99 = lag_hist.quantile(0.99) if lag_hist is not None else 0.0
     return {
-        "format": "repro-net-load-v1",
-        "users": users,
-        "replicas": replicas,
-        "ramp_seconds": ramp,
-        "measured_seconds": round(elapsed, 3),
-        "ops": ops,
-        "updates": counters["updates"],
-        "queries": counters["queries"],
-        "errors": len(errors),
-        "error_samples": errors[:5],
-        "ops_per_sec": round(ops / elapsed, 1) if elapsed > 0 else 0.0,
-        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
-        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
-        "max_ms": round(max(latencies, default=0.0) * 1e3, 3),
-        "converged": converged,
+        "format": NET_REPORT_FORMAT,
+        "kind": "soak" if soak else "load",
+        "config": {
+            "users": users,
+            "replicas": replicas,
+            "duration_seconds": float(duration),
+            "ramp_seconds": float(ramp),
+            "sync_interval": float(sync_interval),
+        },
+        "summary": {
+            "ops": stats.ops,
+            "updates": stats.counters["updates"],
+            "queries": stats.counters["queries"],
+            "errors": len(stats.errors),
+            "error_samples": stats.errors[:5],
+            "measured_seconds": round(elapsed, 3),
+            "ops_per_sec": round(stats.ops / elapsed, 1) if elapsed > 0 else 0.0,
+            "p50_ms": round(percentile(stats.reservoir.samples, 0.50) * 1e3, 3),
+            "p99_ms": round(percentile(stats.reservoir.samples, 0.99) * 1e3, 3),
+            "max_ms": round(stats.max_latency * 1e3, 3),
+            "latency_samples_kept": len(stats.reservoir.samples),
+            "convergence_lag_p50_ms": round(lag_p50 * 1e3, 3),
+            "convergence_lag_p99_ms": round(lag_p99 * 1e3, 3),
+            "task_errors": int(
+                cluster.registry.total("repro_net_task_errors_total")
+            ),
+            "converged": converged,
+        },
+        "series": series,
         "metrics": cluster.registry.flat(),
     }
 
@@ -177,22 +321,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ramp", type=float, default=1.0,
                         help="seconds over which users arrive")
     parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--soak", action="store_true",
+                        help="emit a per-second time-series (ops/sec, window "
+                             "p50/p99, convergence-lag p99, task errors)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="soak reporting window in seconds")
     parser.add_argument("--check", action="store_true",
-                        help="exit nonzero unless >=500 ops/sec, no errors "
-                             "and the cluster converged")
+                        help="exit nonzero unless >=500 ops/sec, no errors, "
+                             "a valid report document and convergence")
     parser.add_argument("--out", default=None,
-                        help="write the JSON summary here")
+                        help="write the JSON report here")
     args = parser.parse_args(argv)
-    summary = run_load(users=args.users, duration=args.duration,
-                       ramp=args.ramp, replicas=args.replicas)
-    text = json.dumps(summary, indent=2, sort_keys=True)
+    report = run_load(users=args.users, duration=args.duration,
+                      ramp=args.ramp, replicas=args.replicas,
+                      soak=args.soak, report_interval=args.interval)
+    text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
     if args.check:
-        ok = (summary["ops_per_sec"] >= 500
+        from repro.obs.report import validate_net_report
+
+        problems = validate_net_report(report)
+        for problem in problems:
+            print(f"invalid report: {problem}", file=sys.stderr)
+        summary = report["summary"]
+        ok = (not problems
+              and summary["ops_per_sec"] >= 500
               and summary["errors"] == 0
+              and summary["task_errors"] == 0
               and summary["converged"] is True)
         return 0 if ok else 1
     return 0

@@ -331,24 +331,59 @@ def main(timer: Callable[[], float] | None = None) -> None:
     print("=" * 72)
     m = load("load_harness")
     net = m.run_load(users=30, duration=1.0, ramp=0.5)
+    s = net["summary"]
     save("net_load", format_table(
         ["metric", "value"],
-        [["users", net["users"]],
-         ["replicas", net["replicas"]],
-         ["ops", net["ops"]],
-         ["ops/sec", net["ops_per_sec"]],
-         ["p50 latency (ms)", net["p50_ms"]],
-         ["p99 latency (ms)", net["p99_ms"]],
-         ["errors", net["errors"]],
-         ["converged", net["converged"]]],
+        [["users", net["config"]["users"]],
+         ["replicas", net["config"]["replicas"]],
+         ["ops", s["ops"]],
+         ["ops/sec", s["ops_per_sec"]],
+         ["p50 latency (ms)", s["p50_ms"]],
+         ["p99 latency (ms)", s["p99_ms"]],
+         ["conv lag p99 (ms)", s["convergence_lag_p99_ms"]],
+         ["errors", s["errors"]],
+         ["converged", s["converged"]]],
         title="HTTP front-end, closed-loop users, ramped arrival"))
     universal["net_load"] = {
         **net["metrics"],
-        "ops_per_sec": net["ops_per_sec"],
-        "p50_ms": net["p50_ms"],
-        "p99_ms": net["p99_ms"],
-        "errors": net["errors"],
-        "converged": bool(net["converged"]),
+        "ops_per_sec": s["ops_per_sec"],
+        "p50_ms": s["p50_ms"],
+        "p99_ms": s["p99_ms"],
+        "convergence_lag_p99_ms": s["convergence_lag_p99_ms"],
+        "errors": s["errors"],
+        "converged": bool(s["converged"]),
+    }
+
+    print("=" * 72)
+    print("NET-SOAK — wall-clock time-series (ops/sec, latency, conv lag)")
+    print("=" * 72)
+    from repro.obs.report import validate_net_report
+
+    soak = m.run_load(users=30, duration=3.0, ramp=0.5, soak=True)
+    problems = validate_net_report(soak)
+    if problems:
+        raise RuntimeError(f"net soak report invalid: {problems}")
+    ss = soak["summary"]
+    save("net_soak", format_table(
+        ["t", "ops/sec", "p50 ms", "p99 ms", "conv lag p99 ms", "task errs"],
+        [[row["t"], row["ops_per_sec"], row["p50_ms"], row["p99_ms"],
+          row["convergence_lag_p99_ms"], row["task_errors"]]
+         for row in soak["series"]],
+        title=f"soak: {ss['ops']} ops, p99 {ss['p99_ms']} ms, "
+              f"conv-lag p99 {ss['convergence_lag_p99_ms']} ms, "
+              f"converged={ss['converged']}"))
+    save_json("net_soak_report.json", soak)
+    universal["net_soak"] = {
+        **soak["metrics"],
+        "ops_per_sec": ss["ops_per_sec"],
+        "p50_ms": ss["p50_ms"],
+        "p99_ms": ss["p99_ms"],
+        "convergence_lag_p50_ms": ss["convergence_lag_p50_ms"],
+        "convergence_lag_p99_ms": ss["convergence_lag_p99_ms"],
+        "task_errors": ss["task_errors"],
+        "errors": ss["errors"],
+        "converged": bool(ss["converged"]),
+        "series_windows": len(soak["series"]),
     }
 
     save_json("BENCH_universal.json", {
@@ -358,5 +393,21 @@ def main(timer: Callable[[], float] | None = None) -> None:
     print("all artifacts regenerated under benchmarks/results/")
 
 
+def cli(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", default=None, metavar="PREFIX",
+        help="cProfile the whole run; writes PREFIX.pstats and "
+             "PREFIX.collapsed (flamegraph.pl / speedscope input)")
+    args = parser.parse_args(argv)
+    from repro.obs.profiling import profiled
+
+    with profiled(args.profile):
+        main()
+    return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli())

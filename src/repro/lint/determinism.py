@@ -15,6 +15,12 @@ no uuid4/wall-clock anywhere").
 | SIM103 | no ordering decision built from bare ``set`` iteration          |
 | SIM104 | no ``id()``-based ordering (CPython address = nondeterminism)   |
 | SIM105 | instrumentation classes hold no wall-clock *references*         |
+
+SIM101/SIM105 are *scoped*: the networked backend and its wall-clock
+observability twin (:data:`WALL_CLOCK_DOMAINS`) legitimately live on real
+time — frames cross real sockets, convergence lag is a wall-clock
+quantity — so both rules skip those module subtrees entirely.  The
+simulated world keeps the full ban.
 """
 
 from __future__ import annotations
@@ -58,6 +64,27 @@ NUMPY_RANDOM_ALLOWED = frozenset(
 #: Builtins whose output order mirrors their input iteration order.
 ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
 
+#: Module subtrees sanctioned to read the wall clock.  ``repro.net`` is
+#: the asyncio backend (real sockets, real timers); ``repro.obs.wall``
+#: and ``repro.obs.log`` are its observability twins (wall-clock tracer,
+#: epoch-stamped JSON logs).  SIM101 and SIM105 do not fire inside these
+#: prefixes; everything else — the simulator, the replicas, the sim-side
+#: obs modules — keeps the determinism contract.
+WALL_CLOCK_DOMAINS: tuple[str, ...] = (
+    "repro.net",
+    "repro.obs.wall",
+    "repro.obs.log",
+)
+
+
+def _in_wall_domain(module: ModuleInfo) -> bool:
+    """Is this module inside a sanctioned wall-clock subtree?"""
+    name = module.name
+    return any(
+        name == domain or name.startswith(domain + ".")
+        for domain in WALL_CLOCK_DOMAINS
+    )
+
 
 def _finding(module: ModuleInfo, node: ast.AST, code: str, message: str) -> Finding:
     return Finding(
@@ -71,6 +98,8 @@ def _finding(module: ModuleInfo, node: ast.AST, code: str, message: str) -> Find
 
 @register("SIM101", "no wall-clock or ambient-entropy calls")
 def sim101_wall_clock(module: ModuleInfo) -> Iterator[Finding]:
+    if _in_wall_domain(module):
+        return
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -224,7 +253,12 @@ def sim105_instrumentation_wall_clock(module: ModuleInfo) -> Iterator[Finding]:
     telemetry silently mixes wall time into virtual-time artifacts: traces
     stop being a pure function of the seed.  Instrumentation must take
     timestamps as arguments (``Cluster.now``), never capture a clock.
+
+    The wall-clock domains (:data:`WALL_CLOCK_DOMAINS`) are exempt: a
+    ``WallTracer`` holding ``time.time`` is its entire point.
     """
+    if _in_wall_domain(module):
+        return
     for info in module.classes:
         if not info.node.name.endswith(INSTRUMENTATION_SUFFIXES):
             continue

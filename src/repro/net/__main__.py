@@ -59,12 +59,22 @@ async def _serve(args: argparse.Namespace) -> None:
     n = len(peers)
     if not 0 <= args.pid < n:
         raise SystemExit(f"--pid {args.pid} out of range for {n} peers")
+    if args.json_logs:
+        from repro.obs.log import configure
+
+        configure()
+    tracer = None
+    if args.trace_out:
+        from repro.obs.wall import WallTracer
+
+        tracer = WallTracer()
     host, peer_port = peers[args.pid]
     node = ReplicaNode(
         args.pid, n, make_factory(args.object, gc=args.gc),
         host=host,
         data_dir=args.data_dir,
         sync_interval=args.sync_interval,
+        **({"tracer": tracer} if tracer is not None else {}),
     )
     await node.listen(peer_port=peer_port, http_port=args.http_port)
     node.set_peers({pid: addr for pid, addr in enumerate(peers)})
@@ -79,6 +89,20 @@ async def _serve(args: argparse.Namespace) -> None:
         await asyncio.Event().wait()  # serve until interrupted
     finally:
         await node.stop()
+        if tracer is not None:
+            import json
+
+            from repro.obs.wall import wall_chrome_trace
+
+            # Shutdown-time write: the node is already stopped.
+            with open(args.trace_out, "w") as fh:  # uqlint: disable=ASY304 -- shutdown write
+                json.dump(
+                    wall_chrome_trace(
+                        tracer, trace_name=f"repro net replica {args.pid}"
+                    ),
+                    fh,
+                )
+            print(f"trace written to {args.trace_out}", flush=True)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -98,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--data-dir", default=None,
                        help="directory for the durable replica image")
     serve.add_argument("--sync-interval", type=float, default=0.25)
+    serve.add_argument("--json-logs", action="store_true",
+                       help="structured JSON log lines on stderr")
+    serve.add_argument("--trace-out", default=None,
+                       help="record a wall-clock trace; write the Perfetto "
+                            "document here on shutdown (merge per-node files "
+                            "with repro.obs.wall.merge_chrome_traces)")
 
     sub.add_parser("smoke", help="run the CI crash/recovery scenario",
                    add_help=False)

@@ -74,6 +74,39 @@ async def read_frame(reader: asyncio.StreamReader) -> Any | None:
     return decode_payload(body)
 
 
+# -- optional MSG-frame headers ------------------------------------------------
+#
+# Protocol MSG frames are ``(kind, src, payload)`` tuples; a node may
+# append one trailing dict of observability headers (trace propagation —
+# see ``repro.proto.wire.encode_trace_headers``).  The two helpers below
+# are the whole convention: headers are attached only when non-empty, so
+# an untraced node's frames stay byte-identical to the pre-header wire
+# format (the sim↔net differential test depends on that), and a receiver
+# ignores trailing elements beyond the headers dict (frames minted by a
+# future protocol version must not kill the link).
+
+
+def with_headers(frame: tuple[Any, ...], headers: dict[str, Any] | None) -> tuple[Any, ...]:
+    """Append a header dict to a MSG frame tuple; no-op when empty."""
+    if not headers:
+        return frame
+    return (*frame, headers)
+
+
+def split_headers(rest: tuple[Any, ...]) -> tuple[Any, dict[str, Any]]:
+    """Split a MSG frame's tail into ``(payload, headers)``.
+
+    ``rest`` is everything after the ``(kind, src)`` prefix.  A bare
+    payload yields empty headers; a non-dict in the header slot or extra
+    trailing elements are ignored (forward compatibility).
+    """
+    if not rest:
+        raise FrameError("MSG frame carries no payload")
+    payload = rest[0]
+    headers = rest[1] if len(rest) > 1 and isinstance(rest[1], dict) else {}
+    return payload, headers
+
+
 def write_frame(writer: asyncio.StreamWriter, value: Any) -> None:
     """Queue one frame on ``writer`` (no await: callers drain separately).
 

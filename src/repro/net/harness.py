@@ -25,10 +25,17 @@ from repro.core.adt import Update, _canonical
 from repro.net.http import HttpClient
 from repro.net.node import ReplicaNode
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.wall import WallTracer, merge_chrome_traces, wall_chrome_trace
 
 
 class LocalCluster:
-    """``n`` ReplicaNodes on 127.0.0.1 with ephemeral ports."""
+    """``n`` ReplicaNodes on 127.0.0.1 with ephemeral ports.
+
+    With ``trace=True`` every node records into its own
+    :class:`~repro.obs.wall.WallTracer`; :meth:`merged_trace` folds all
+    of them — including tracers of nodes that have since been killed and
+    restarted — into one Perfetto timeline.
+    """
 
     def __init__(
         self,
@@ -39,6 +46,7 @@ class LocalCluster:
         sync_interval: float = 0.1,
         http: bool = True,
         registry: MetricsRegistry | None = None,
+        trace: bool = False,
     ) -> None:
         self.n = n
         self._factory = replica_factory
@@ -46,6 +54,11 @@ class LocalCluster:
         self.sync_interval = sync_interval
         self.http = http
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+        #: every tracer ever built, in boot order — a killed node's
+        #: pre-crash spans must survive into the merged timeline, so
+        #: restart appends a new tracer instead of replacing the old one.
+        self.tracers: list[WallTracer] = []
         self.nodes: dict[int, ReplicaNode] = {}
         self.dead: set[int] = set()
 
@@ -136,14 +149,30 @@ class LocalCluster:
             await asyncio.sleep(self.sync_interval / 2)
         raise TimeoutError(f"no convergence within {timeout}s: {self.states()!r}")
 
+    # -- tracing ----------------------------------------------------------------------
+
+    def merged_trace(self) -> dict[str, Any]:
+        """All nodes' trace records as one Perfetto timeline document."""
+        if not self.trace:
+            raise RuntimeError("cluster started with trace=False")
+        return merge_chrome_traces(
+            wall_chrome_trace(t, trace_name=f"repro net node (boot {i})")
+            for i, t in enumerate(self.tracers)
+        )
+
     # -- internals ----------------------------------------------------------------------
 
     def _build_node(self, pid: int) -> ReplicaNode:
+        tracer = None
+        if self.trace:
+            tracer = WallTracer()
+            self.tracers.append(tracer)
         return ReplicaNode(
             pid, self.n, self._factory,
             data_dir=self.data_dir,
             sync_interval=self.sync_interval,
             registry=self.registry,
+            **({"tracer": tracer} if tracer is not None else {}),
         )
 
     def _address_book(self) -> dict[int, tuple[str, int]]:

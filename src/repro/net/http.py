@@ -9,12 +9,15 @@ outputs like frozensets survive.
 
 Routes::
 
-    GET  /healthz        -> {"ok": true, "pid": 0, "n": 3}
+    GET  /healthz        -> {"ok": true, "pid": 0, "n": 3,
+                             "task_errors": {"count": 0, "last": null}}
     GET  /state          -> {"state": <encoded local state>}
     GET  /witness        -> {"witness": {...}}   (timestamp, visibility, of the
                             last local op whose witness was not already claimed;
                             POST /update claims its own in the response)
-    GET  /metrics        -> {"metrics": {...}}   (registry.flat())
+    GET  /metrics        -> {"metrics": {...}}   (registry.flat()); with
+                            ``Accept: text/plain`` or ``?format=text`` the
+                            Prometheus text exposition instead (scrapable)
     POST /update         <- {"name": "insert", "args": [1]}
     POST /query          <- {"name": "contains", "args": [1]}
     GET  /query/<name>   -> shorthand for a zero-argument query
@@ -23,6 +26,13 @@ Updates complete locally (wait-free) — a 200 means the update was applied
 and broadcast, not that any peer acknowledged it.  That *is* the paper's
 contract: update consistency trades immediate agreement for wait-free
 termination, and convergence is the network's job.
+
+The front-end is also where traces begin: every ``POST /update`` mints a
+:class:`~repro.obs.wall.TraceContext` (honouring a client-supplied
+``X-Trace-Id``) and stamps the submit wall time — the zero point each
+replica measures its convergence lag from.  The trace id comes back in
+both the JSON response (``"trace"``) and an ``X-Trace-Id`` response
+header.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ import json
 from typing import TYPE_CHECKING, Any
 
 from repro.core.adt import Update
+from repro.obs.wall import TraceContext, wall_now
 from repro.proto.wire import decode_value, encode_value
 
 if TYPE_CHECKING:
@@ -39,6 +50,9 @@ if TYPE_CHECKING:
 
 #: request bodies beyond this are rejected (absurd for an object op).
 MAX_BODY = 1 * 1024 * 1024
+
+#: the Prometheus text-exposition content type (format v0.0.4).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
@@ -61,15 +75,21 @@ async def _serve_connection(node: "ReplicaNode", reader, writer) -> None:
             if request is None:
                 break
             method, path, headers, body = request
-            status, doc = _route(node, method, path, body)
-            payload = json.dumps(doc).encode("utf-8")
+            status, payload, content_type, extra = _route(
+                node, method, path, body, headers
+            )
             keep = headers.get("connection", "keep-alive").lower() != "close"
+            extra_lines = "".join(
+                f"{name}: {value}\r\n" for name, value in extra.items()
+            )
             writer.write(
                 b"HTTP/1.1 %d %s\r\n"
-                b"Content-Type: application/json\r\n"
+                b"Content-Type: %s\r\n"
                 b"Content-Length: %d\r\n"
+                b"%s"
                 b"Connection: %s\r\n\r\n"
-                % (status, _REASONS[status].encode(), len(payload),
+                % (status, _REASONS[status].encode(), content_type.encode(),
+                   len(payload), extra_lines.encode("latin-1"),
                    b"keep-alive" if keep else b"close")
             )
             writer.write(payload)
@@ -105,35 +125,78 @@ async def _read_request(reader):
     return method, path, headers, body
 
 
-def _route(node: "ReplicaNode", method: str, path: str, body: bytes):
-    """Dispatch one request; returns ``(status, json_document)``."""
+def _wants_prometheus_text(headers: dict[str, str], query: str) -> bool:
+    """Content negotiation for ``/metrics``: explicit ``?format=text`` or
+    an ``Accept`` header asking for ``text/plain`` (what Prometheus's
+    scraper sends) selects the text exposition."""
+    if "format=text" in query.split("&"):
+        return True
+    return "text/plain" in headers.get("accept", "")
+
+
+def _route(
+    node: "ReplicaNode",
+    method: str,
+    path: str,
+    body: bytes,
+    headers: dict[str, str] | None = None,
+):
+    """Dispatch one request.
+
+    Returns ``(status, body_bytes, content_type, extra_headers)`` —
+    almost every route speaks JSON; the Prometheus text exposition of
+    ``/metrics`` is the one non-JSON body.
+    """
+    headers = headers or {}
+    path, _, query = path.partition("?")
+    if method == "GET" and path == "/metrics" and _wants_prometheus_text(headers, query):
+        text = node.registry.to_prometheus_text()
+        return 200, text.encode("utf-8"), PROM_CONTENT_TYPE, {}
+    status, doc, extra = _route_json(node, method, path, body, headers)
+    return status, json.dumps(doc).encode("utf-8"), "application/json", extra
+
+
+def _route_json(
+    node: "ReplicaNode",
+    method: str,
+    path: str,
+    body: bytes,
+    headers: dict[str, str],
+):
+    """The JSON routes; returns ``(status, json_document, extra_headers)``."""
     from repro.net.node import NodeStoppedError
 
-    path = path.split("?", 1)[0]
     try:
         if method == "GET":
             if path == "/healthz":
-                return 200, {"ok": True, "pid": node.pid, "n": node.n}
+                errors = node.task_errors
+                return 200, {
+                    "ok": True, "pid": node.pid, "n": node.n,
+                    "task_errors": {
+                        "count": len(errors),
+                        "last": repr(errors[-1]) if errors else None,
+                    },
+                }, {}
             if path == "/state":
-                return 200, {"state": encode_value(node.local_state())}
+                return 200, {"state": encode_value(node.local_state())}, {}
             if path == "/witness":
-                return 200, {"witness": encode_value(node.witness_meta())}
+                return 200, {"witness": encode_value(node.witness_meta())}, {}
             if path == "/metrics":
-                return 200, {"metrics": node.registry.flat()}
+                return 200, {"metrics": node.registry.flat()}, {}
             if path.startswith("/query/"):
                 name = path[len("/query/"):]
                 output = node.query(name)
-                return 200, {"output": encode_value(output)}
-            return 404, {"error": f"no route {path}"}
+                return 200, {"output": encode_value(output)}, {}
+            return 404, {"error": f"no route {path}"}, {}
         if method == "POST":
             if path not in ("/update", "/query"):
-                return 404, {"error": f"no route {path}"}
+                return 404, {"error": f"no route {path}"}, {}
             try:
                 doc = json.loads(body.decode("utf-8") or "{}")
                 name = doc["name"]
                 args = tuple(decode_value(doc.get("args", [])))
             except (ValueError, KeyError, TypeError) as exc:
-                return 400, {"error": f"bad request body: {exc}"}
+                return 400, {"error": f"bad request body: {exc}"}, {}
             if path == "/update":
                 update = Update(name, args)
                 spec = getattr(node.core.replica, "spec", None)
@@ -143,17 +206,27 @@ def _route(node: "ReplicaNode", method: str, path: str, body: bytes):
                     # lazy replay), so a typo'd name would otherwise poison
                     # the log and break every later query.
                     spec.apply(spec.initial_state(), update)
-                meta = node.submit(update)
+                trace_id = headers.get("x-trace-id") or node.mint_trace_id()
+                ctx = TraceContext(trace_id, wall_now())
+                meta = node.submit(update, ctx=ctx)
+                if node.tracer.enabled:
+                    node.tracer.span(
+                        "http.update", ctx.t0, wall_now(), pid=node.pid,
+                        attrs={"trace": trace_id, "update": name},
+                    )
                 ts = meta.get("timestamp")
-                return 200, {"ok": True,
-                             "timestamp": None if ts is None else list(ts)}
+                return 200, {
+                    "ok": True,
+                    "timestamp": None if ts is None else list(ts),
+                    "trace": trace_id,
+                }, {"X-Trace-Id": trace_id}
             output = node.query(name, args)
-            return 200, {"output": encode_value(output)}
-        return 405, {"error": f"method {method} not allowed"}
+            return 200, {"output": encode_value(output)}, {}
+        return 405, {"error": f"method {method} not allowed"}, {}
     except NodeStoppedError as exc:
-        return 503, {"error": str(exc)}
+        return 503, {"error": str(exc)}, {}
     except Exception as exc:  # spec rejections (unknown op, bad args) land here
-        return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        return 400, {"error": f"{type(exc).__name__}: {exc}"}, {}
 
 
 # -- a matching client (smoke tests, load harness) ------------------------------
@@ -174,17 +247,26 @@ class HttpClient:
                 self.host, self.port
             )
 
-    async def request(
-        self, method: str, path: str, doc: Any | None = None
-    ) -> tuple[int, Any]:
-        """One request/response on the persistent connection."""
+    async def request_full(
+        self,
+        method: str,
+        path: str,
+        doc: Any | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request/response; returns status, response headers (names
+        lower-cased) and the raw body bytes."""
         await self._ensure()
         assert self._reader is not None and self._writer is not None
         body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         self._writer.write(
             b"%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n"
-            b"Content-Type: application/json\r\n\r\n"
-            % (method.encode(), path.encode(), self.host.encode(), len(body))
+            b"Content-Type: application/json\r\n%s\r\n"
+            % (method.encode(), path.encode(), self.host.encode(), len(body),
+               extra.encode("latin-1"))
         )
         if body:
             self._writer.write(body)
@@ -193,15 +275,22 @@ class HttpClient:
         if not status_line:
             raise ConnectionError("server closed the connection")
         status = int(status_line.split()[1])
-        length = 0
+        response_headers: dict[str, str] = {}
         while True:
             raw = await self._reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
             name, _, value = raw.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0") or "0")
         payload = await self._reader.readexactly(length) if length else b"{}"
+        return status, response_headers, payload
+
+    async def request(
+        self, method: str, path: str, doc: Any | None = None
+    ) -> tuple[int, Any]:
+        """One request/response on the persistent connection."""
+        status, _, payload = await self.request_full(method, path, doc)
         return status, json.loads(payload.decode("utf-8"))
 
     async def update(self, name: str, *args: Any) -> Any:

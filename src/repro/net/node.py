@@ -23,17 +23,34 @@ the sim.  :meth:`submit` and :meth:`query` never await: a burst of
 operations issued in one event-loop turn interleaves with no delivery,
 which is what makes the sim↔net differential test's Lamport stamps
 deterministic.
+
+Observability (all optional, all off the hot path when disabled): a
+:class:`~repro.obs.wall.WallTracer` records each traced update's local
+and remote apply spans; trace contexts propagate as MSG-frame headers
+(:func:`repro.net.framing.with_headers`) so one client update's spans
+link across every node; convergence lag, peer RTT, outbox depth and
+dirty-flush latency land in the shared metrics registry.  An untraced
+node emits byte-identical frames to the pre-observability wire format.
 """
 
 from __future__ import annotations
 
 import asyncio
-import logging
 import os
+import time
 from typing import Any, Callable, Hashable
 
-from repro.net.framing import FrameError, read_frame, write_frame
+from repro.net.framing import (
+    FrameError,
+    read_frame,
+    split_headers,
+    with_headers,
+    write_frame,
+)
+from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.obs.wall import TraceContext, wall_now
 from repro.proto.core import ProtocolCore
 from repro.proto.effects import (
     Broadcast,
@@ -43,12 +60,38 @@ from repro.proto.effects import (
     Send,
     Timer,
 )
+from repro.proto.wire import (
+    decode_trace_headers,
+    encode_trace_headers,
+    encode_ts_key,
+)
 
-_LOG = logging.getLogger("repro.net.node")
+_LOG = get_logger("repro.net.node")
 
 #: frame kinds on the peer wire (the body of every peer frame is a tuple).
 HELLO = "hello"
 MSG = "msg"
+#: RTT probes, piggybacked on the anti-entropy cadence.  A PING travels
+#: on the sender's outbound link; the PONG answers over the *receiver's*
+#: outbound link (outbound connections are write-only), so the measured
+#: RTT covers the same two links an update-and-its-sync-response pair
+#: crosses.  Nodes that predate these kinds silently ignore them.
+PING = "ping"
+PONG = "pong"
+
+#: Convergence-lag histogram buckets: from sub-millisecond same-burst
+#: applies up to multi-second partition repairs (seconds).
+CONVERGENCE_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+#: Bound on the per-node recent-trace index (timestamp -> trace context).
+#: Oldest entries fall off first; an evicted trace merely stops being
+#: re-announced on sync responses — already-recorded spans are untouched.
+TRACE_RECENT_CAP = 512
+#: How many of the most recent traces ride each directed send.  Directed
+#: sends are the anti-entropy/state-transfer path, which is how a trace
+#: context reaches a node that was down when the update was broadcast.
+TRACE_SEND_CAP = 64
 
 #: The effect contract (checked by uqlint EFX401): this backend dispatches
 #: on every member of the closed ``repro.proto.effects.Effect`` union.
@@ -89,6 +132,7 @@ class ReplicaNode:
         sync_interval: float = 0.25,
         flush_interval: float = 0.05,
         registry: MetricsRegistry | None = None,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.pid = pid
         self.n = n
@@ -98,6 +142,7 @@ class ReplicaNode:
         self.data_dir = data_dir
         self.sync_interval = sync_interval
         self.flush_interval = flush_interval
+        self.tracer = tracer
         self.peers: dict[int, tuple[str, int]] = {}
         self.peer_port: int | None = None
         self.http_port: int | None = None
@@ -110,7 +155,20 @@ class ReplicaNode:
         #: notices is a replica that silently stops converging.
         self.task_errors: list[BaseException] = []
         self._dirty = False
+        self._dirty_since: float | None = None
         self._stopped = False
+        self._log = _LOG.bind(pid=pid)
+        #: protocol timestamp -> (trace_id, submit wall time), insertion
+        #: ordered and bounded (:data:`TRACE_RECENT_CAP`).  Doubles as the
+        #: "visibility already recorded here" set and as the payload of
+        #: sync-response trace headers.
+        self._trace_recent: dict[tuple[int, int], tuple[str, float]] = {}
+        #: trace headers to attach to the frames the *current* effect
+        #: batch produces (set around traced submit/deliver calls only).
+        self._out_traces: dict[tuple[int, int], tuple[str, float]] | None = None
+        self._ping_seq = 0
+        self._ping_pending: dict[int, tuple[int, float]] = {}
+        self._trace_seq = 0
         m = self.registry
         self._sent = m.counter(
             "repro_net_frames_sent_total", help="peer frames queued on TCP links",
@@ -129,6 +187,28 @@ class ReplicaNode:
             "repro_net_task_errors_total",
             help="background tasks that died with a non-cancellation error",
         ).labels()
+        self._conv_lag = m.histogram(
+            "repro_net_convergence_lag_seconds",
+            help="wall time from front-end submit to first local visibility",
+            label_names=("pid",),
+            buckets=CONVERGENCE_BUCKETS,
+        ).labels(pid=str(pid))
+        self._rtt_gauge = m.gauge(
+            "repro_net_peer_rtt_seconds",
+            help="last measured peer-link round-trip time (sync-tick pings)",
+            label_names=("pid", "peer"),
+        )
+        self._outbox_gauge = m.gauge(
+            "repro_net_outbox_depth_bytes",
+            help="bytes queued on outbound peer links (transport write buffers)",
+            label_names=("pid",),
+        ).labels(pid=str(pid))
+        self._flush_latency = m.histogram(
+            "repro_net_dirty_flush_latency_seconds",
+            help="time from first unflushed Persist to the snapshot hitting disk",
+            label_names=("pid",),
+            buckets=CONVERGENCE_BUCKETS,
+        ).labels(pid=str(pid))
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -200,12 +280,48 @@ class ReplicaNode:
 
     # -- application surface (wait-free, synchronous) -------------------------------
 
-    def submit(self, update: Any) -> dict[str, Any]:
+    def submit(self, update: Any, *, ctx: TraceContext | None = None) -> dict[str, Any]:
         """Issue one update locally; returns the replica's witness metadata
-        (timestamp etc.).  Never awaits."""
+        (timestamp etc.).  Never awaits.
+
+        With a :class:`~repro.obs.wall.TraceContext` (minted by the HTTP
+        front-end), the update's trace rides every outgoing frame the
+        submit produces, a ``update.local_apply`` span is recorded, and
+        this node's convergence lag (submit wall time to local
+        visibility) is observed.  Without one, the wire bytes are
+        identical to an untraced build — the sim↔net differential test
+        depends on that.
+        """
         self._check_running()
-        self._apply_effects(self.core.submit(update))
-        return self.core.witness_meta()
+        if ctx is None:
+            self._apply_effects(self.core.submit(update))
+            return self.core.witness_meta()
+        t_start = wall_now()
+        effects = self.core.submit(update)
+        meta = self.core.witness_meta()
+        ts = self._timestamp_key(meta.get("timestamp"))
+        if ts is not None:
+            self._remember_trace(ts, ctx.trace_id, ctx.t0)
+            self._out_traces = {ts: (ctx.trace_id, ctx.t0)}
+        try:
+            self._apply_effects(effects)
+        finally:
+            self._out_traces = None
+        now = wall_now()
+        lag = max(0.0, now - ctx.t0)
+        self._conv_lag.observe(lag)
+        if self.tracer.enabled:
+            attrs: dict[str, Any] = {"trace": ctx.trace_id}
+            if ts is not None:
+                attrs["ts"] = encode_ts_key(ts)
+            self.tracer.span(
+                "update.local_apply", t_start, now, pid=self.pid, attrs=attrs
+            )
+            self.tracer.event(
+                "update.visible", now, pid=self.pid,
+                attrs={**attrs, "lag_s": round(lag, 6)},
+            )
+        return meta
 
     def query(self, name: str, args: tuple[Hashable, ...] = ()) -> Any:
         """Answer one query from local state.  Never awaits."""
@@ -226,6 +342,16 @@ class ReplicaNode:
         self._check_running()
         self._apply_effects(self.core.sync_tick())
 
+    def mint_trace_id(self) -> str:
+        """A fresh trace id, unique per (node, incarnation): ``t<pid>-<seq>``.
+
+        Deterministic — no randomness, so two runs of the same scripted
+        scenario mint the same ids, and a trace id alone names the
+        front-end that accepted the update.
+        """
+        self._trace_seq += 1
+        return f"t{self.pid:x}-{self._trace_seq:x}"
+
     # -- the effect interpreter ------------------------------------------------------
 
     def _apply_effects(self, effects: tuple[Effect, ...]) -> None:
@@ -233,16 +359,23 @@ class ReplicaNode:
             cls = eff.__class__
             if cls is Broadcast:
                 for dst in self.peers:
-                    self._ship(dst, eff.payload)
+                    self._ship(dst, eff.payload, self._out_traces)
             elif cls is Send:
-                self._ship(eff.dst, eff.payload)
+                self._ship(eff.dst, eff.payload, self._send_traces())
             elif cls is Timer:
                 self._spawn(self._one_shot_tick(eff.kind))
             elif cls is Persist:
+                if not self._dirty:
+                    self._dirty_since = time.monotonic()
                 self._dirty = True  # the flusher owns the disk
             # QueryAnswered: already consumed synchronously by query().
 
-    def _ship(self, dst: int, payload: Any) -> None:
+    def _ship(
+        self,
+        dst: int,
+        payload: Any,
+        traces: dict[tuple[int, int], tuple[str, float]] | None = None,
+    ) -> None:
         writer = self._writers.get(dst)
         if writer is not None and writer.is_closing():
             self._writers.pop(dst, None)  # stale link (peer died/moved)
@@ -251,12 +384,48 @@ class ReplicaNode:
             self._drops.inc()
             self._spawn(self._dial(dst))  # repair the link for next time
             return
+        frame: tuple[Any, ...] = (MSG, self.pid, payload)
+        if traces:
+            frame = with_headers(frame, encode_trace_headers(traces))
         try:
-            write_frame(writer, (MSG, self.pid, payload))
+            write_frame(writer, frame)
             self._sent.inc()
         except (ConnectionError, RuntimeError):
             self._drops.inc()
             self._writers.pop(dst, None)
+
+    # -- trace propagation -----------------------------------------------------------
+
+    @staticmethod
+    def _timestamp_key(raw: Any) -> tuple[int, int] | None:
+        """Normalize witness-metadata timestamps to a ``(clock, pid)`` key
+        (CRDT baselines expose no Lamport timestamp — their updates simply
+        go untraced on the wire)."""
+        if isinstance(raw, (tuple, list)) and len(raw) == 2:
+            try:
+                return int(raw[0]), int(raw[1])
+            except (TypeError, ValueError):
+                return None
+        return None
+
+    def _remember_trace(self, ts: tuple[int, int], trace_id: str, t0: float) -> None:
+        self._trace_recent.pop(ts, None)  # refresh recency on re-announce
+        self._trace_recent[ts] = (trace_id, t0)
+        while len(self._trace_recent) > TRACE_RECENT_CAP:
+            del self._trace_recent[next(iter(self._trace_recent))]
+
+    def _send_traces(self) -> dict[tuple[int, int], tuple[str, float]] | None:
+        """Trace headers for a directed send: the in-flight batch's traces
+        plus the tail of the recent index.  Directed sends are the sync
+        response / state transfer path — attaching recently seen traces is
+        what lets a node that was down during the broadcast still join an
+        update's span tree when anti-entropy repairs it."""
+        out = dict(self._out_traces) if self._out_traces else {}
+        if self._trace_recent:
+            recent = list(self._trace_recent.items())[-TRACE_SEND_CAP:]
+            for ts, ctx in recent:
+                out.setdefault(ts, ctx)
+        return out or None
 
     # -- peer links ------------------------------------------------------------------
 
@@ -285,16 +454,87 @@ class ReplicaNode:
                     frame = await read_frame(reader)
                 except FrameError:
                     break
-                if frame is None:
+                if frame is None or self._stopped:
+                    # A frame that raced a kill() is dropped, same as the
+                    # crash model drops messages to a crashed replica.
                     break
                 kind = frame[0]
                 if kind == MSG:
-                    _, src, payload = frame
+                    src = int(frame[1])
+                    payload, headers = split_headers(frame[2:])
                     self._received.inc()
-                    self._apply_effects(self.core.deliver(int(src), payload))
+                    self._deliver_traced(src, payload, headers)
+                elif kind == PING:
+                    # Answer over our outbound link to the pinger (this
+                    # inbound stream's writer belongs to *their* dialer).
+                    self._ship_raw(int(frame[1]), (PONG, self.pid, frame[2]))
+                elif kind == PONG:
+                    self._note_pong(int(frame[1]), frame[2])
                 # HELLO (or anything unknown) needs no reply.
         finally:
             writer.close()
+
+    def _deliver_traced(self, src: int, payload: Any, headers: dict[str, Any]) -> None:
+        """Deliver one peer payload, honouring any trace headers it carries.
+
+        Traces on the frame propagate onto whatever frames the delivery
+        itself produces (relays, sync responses).  For each trace this
+        node has not yet seen, the delivery is recorded as that trace's
+        ``update.remote_apply`` span and the node's convergence lag —
+        wall time since the front-end stamped ``t0`` — is observed.
+        """
+        traces = decode_trace_headers(headers) if headers else {}
+        if not traces:
+            self._apply_effects(self.core.deliver(src, payload))
+            return
+        fresh = {ts: tc for ts, tc in traces.items() if ts not in self._trace_recent}
+        t_start = wall_now()
+        self._out_traces = traces
+        try:
+            self._apply_effects(self.core.deliver(src, payload))
+        finally:
+            self._out_traces = None
+        now = wall_now()
+        for ts, (trace_id, t0) in fresh.items():
+            self._remember_trace(ts, trace_id, t0)
+            lag = max(0.0, now - t0)
+            self._conv_lag.observe(lag)
+            if self.tracer.enabled:
+                attrs = {"trace": trace_id, "ts": encode_ts_key(ts), "src": src}
+                self.tracer.span(
+                    "update.remote_apply", t_start, now, pid=self.pid, attrs=attrs
+                )
+                self.tracer.event(
+                    "update.visible", now, pid=self.pid,
+                    attrs={**attrs, "lag_s": round(lag, 6)},
+                )
+
+    # -- peer-link RTT probes ----------------------------------------------------------
+
+    def _ship_raw(self, dst: int, frame: tuple[Any, ...]) -> None:
+        """Best-effort frame on the outbound link; no drop accounting, no
+        redial — probes must not perturb the link-repair machinery."""
+        writer = self._writers.get(dst)
+        if writer is None or writer.is_closing():
+            return
+        try:
+            write_frame(writer, frame)
+        except (ConnectionError, RuntimeError):
+            self._writers.pop(dst, None)
+
+    def _ping_peers(self) -> None:
+        for dst in list(self._writers):
+            self._ping_seq += 1
+            self._ping_pending[dst] = (self._ping_seq, time.monotonic())
+            self._ship_raw(dst, (PING, self.pid, self._ping_seq))
+
+    def _note_pong(self, src: int, seq: Any) -> None:
+        pending = self._ping_pending.get(src)
+        if pending is None or pending[0] != seq:
+            return  # stale or duplicated echo
+        del self._ping_pending[src]
+        rtt = time.monotonic() - pending[1]
+        self._rtt_gauge.labels(pid=str(self.pid), peer=str(src)).set(rtt)
 
     # -- periodic work -----------------------------------------------------------------
 
@@ -303,6 +543,14 @@ class ReplicaNode:
             await asyncio.sleep(self.sync_interval)
             if self.core.sync_capable:
                 self._apply_effects(self.core.sync_tick())
+            self._ping_peers()
+            self._outbox_gauge.set(
+                sum(
+                    w.transport.get_write_buffer_size()
+                    for w in self._writers.values()
+                    if not w.is_closing()
+                )
+            )
 
     async def _one_shot_tick(self, kind: str) -> None:
         await asyncio.sleep(self.sync_interval / 2)
@@ -327,6 +575,9 @@ class ReplicaNode:
             os.fsync(fh.fileno())
         os.replace(tmp, path)
         self._dirty = False
+        if self._dirty_since is not None:
+            self._flush_latency.observe(time.monotonic() - self._dirty_since)
+            self._dirty_since = None
         self._flushes.inc()
 
     # -- internals ----------------------------------------------------------------------
@@ -356,12 +607,7 @@ class ReplicaNode:
             return
         self.task_errors.append(exc)
         self._task_errors.inc()
-        _LOG.error(
-            "node %d background task %s crashed: %r",
-            self.pid,
-            task.get_name(),
-            exc,
-        )
+        self._log.error("task_crashed", task=task.get_name(), error=exc)
 
     def _check_running(self) -> None:
         if self._stopped:

@@ -45,8 +45,14 @@ async def run_smoke(
     sync_interval: float = 0.05,
     settle_timeout: float = 15.0,
     data_dir: str | None = None,
+    trace_out: str | None = None,
 ) -> dict[str, Any]:
-    """Run the scenario; returns the report document (``ok`` = verdict)."""
+    """Run the scenario; returns the report document (``ok`` = verdict).
+
+    With ``trace_out`` the cluster runs traced and the merged multi-node
+    Perfetto timeline is written there — crash and recovery included, so
+    the file shows one update's spans hopping nodes around the kill.
+    """
     spec = SetSpec()
     tmp = None
     if data_dir is None:
@@ -57,6 +63,7 @@ async def run_smoke(
         lambda pid, n: UniversalReplica(pid, n, spec),
         data_dir=data_dir,
         sync_interval=sync_interval,
+        trace=trace_out is not None,
     )
     report: dict[str, Any] = {"format": REPORT_FORMAT, "ok": False,
                               "replicas": replicas, "ops_requested": ops}
@@ -86,11 +93,12 @@ async def run_smoke(
                 inserted_at[pid].append(value)
             issued += 1
 
-        # Phase 1: everyone serves traffic.
-        start = time.perf_counter()  # uqlint: disable=SIM101 -- real transport, real clock
+        # Phase 1: everyone serves traffic.  (repro.net is a sanctioned
+        # wall-clock domain: real transport, real clock.)
+        start = time.perf_counter()
         for i in range(ops):
             await one_op(i, list(range(replicas)))
-        phase1 = time.perf_counter() - start  # uqlint: disable=SIM101 -- real transport, real clock
+        phase1 = time.perf_counter() - start
 
         # Phase 2: crash the last replica mid-run; survivors keep going.
         victim = replicas - 1
@@ -101,10 +109,10 @@ async def run_smoke(
             await one_op(i, survivors)
 
         # Phase 3: recover from the on-disk image and re-converge.
-        recover_start = time.perf_counter()  # uqlint: disable=SIM101 -- real transport, real clock
+        recover_start = time.perf_counter()
         node = await cluster.restart(victim)
         await cluster.settle(timeout=settle_timeout)
-        recover_time = time.perf_counter() - recover_start  # uqlint: disable=SIM101 -- real transport, real clock
+        recover_time = time.perf_counter() - recover_start
 
         states = cluster.states()
         converged = cluster.converged()
@@ -124,6 +132,19 @@ async def run_smoke(
             },
             metrics=cluster.registry.flat(),
         )
+        if trace_out is not None:
+            doc = cluster.merged_trace()
+            # One-shot write after the workload is done; nothing else is
+            # being served on the loop.
+            with open(trace_out, "w") as fh:  # uqlint: disable=ASY304 -- post-run write
+                json.dump(doc, fh)
+            report["trace"] = {
+                "out": trace_out,
+                "events": sum(
+                    1 for e in doc["traceEvents"] if e.get("ph") != "M"
+                ),
+                "tracers_merged": len(cluster.tracers),
+            }
         return report
     except (TimeoutError, RuntimeError, OSError) as exc:
         report["error"] = f"{type(exc).__name__}: {exc}"
@@ -145,10 +166,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sync-interval", type=float, default=0.05)
     parser.add_argument("--out", default=None,
                         help="write the JSON report here (default: stdout only)")
+    parser.add_argument("--trace-out", default=None,
+                        help="run traced; write the merged Perfetto trace here")
     args = parser.parse_args(argv)
     report = asyncio.run(
         run_smoke(ops=args.ops, replicas=args.replicas,
-                  sync_interval=args.sync_interval)
+                  sync_interval=args.sync_interval, trace_out=args.trace_out)
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)

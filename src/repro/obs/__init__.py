@@ -21,11 +21,13 @@ imports the cluster) back in would create a cycle.  Import the report
 layer explicitly: ``from repro.obs.report import run_report``.
 """
 
+from repro.obs.log import StructLogger, get_logger
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
 )
 from repro.obs.tracer import (
     CLUSTER_TRACK,
@@ -36,12 +38,21 @@ from repro.obs.tracer import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.wall import (
+    TraceContext,
+    WallTracer,
+    merge_chrome_traces,
+    trace_ids,
+    wall_chrome_trace,
+    wall_now,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
     "CLUSTER_TRACK",
     "NULL_TRACER",
     "NullTracer",
@@ -49,4 +60,12 @@ __all__ = [
     "TraceRecord",
     "to_chrome_trace",
     "write_chrome_trace",
+    "StructLogger",
+    "get_logger",
+    "TraceContext",
+    "WallTracer",
+    "merge_chrome_traces",
+    "trace_ids",
+    "wall_chrome_trace",
+    "wall_now",
 ]

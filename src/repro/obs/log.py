@@ -1,0 +1,120 @@
+"""Structured JSON logging with trace-id correlation (``repro.obs.log``).
+
+The networked backend used to log through ad-hoc
+``logging.getLogger(...).error("node %d ... %r", ...)`` calls — fine for
+a terminal, useless for correlating one update's journey across three
+replica processes.  This module replaces them with one-line JSON events:
+
+    {"ts": 1754700000.123456, "level": "error", "logger": "repro.net.node",
+     "event": "task_crashed", "pid": 2, "error": "RuntimeError('boom')",
+     "trace": "t0-2f"}
+
+* :func:`get_logger` returns a :class:`StructLogger` — a thin wrapper
+  over the stdlib logger of the same name, so level configuration,
+  handler routing and capture in tests all keep working.
+* :meth:`StructLogger.bind` attaches contextual fields (``pid``, and the
+  propagated ``trace`` id wherever one is in scope) to every subsequent
+  event; binding returns a new logger, so handlers can be shared freely.
+* :func:`configure` installs a message-only stream handler on the
+  ``repro`` root, for CLIs that want the JSON lines on stderr verbatim.
+
+Events are plain ``dict -> json.dumps`` with ``sort_keys`` (stable field
+order for log diffing) and ``default=repr`` (an exception object in a
+field never kills the log call).  The ``ts`` field is epoch seconds from
+:func:`repro.obs.wall.wall_now` — this module is part of the sanctioned
+wall-clock domain (see ``WALL_CLOCK_DOMAINS`` in
+:mod:`repro.lint.determinism`); simulator code must keep using the
+virtual-time tracer instead.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Mapping, TextIO
+
+from repro.obs.wall import wall_now
+
+_LEVELS = {
+    logging.DEBUG: "debug",
+    logging.INFO: "info",
+    logging.WARNING: "warning",
+    logging.ERROR: "error",
+}
+
+
+class StructLogger:
+    """A stdlib logger wrapper emitting one JSON object per event."""
+
+    __slots__ = ("_logger", "_fields")
+
+    def __init__(
+        self, name_or_logger: str | logging.Logger, fields: Mapping[str, Any] | None = None
+    ) -> None:
+        self._logger = (
+            logging.getLogger(name_or_logger)
+            if isinstance(name_or_logger, str)
+            else name_or_logger
+        )
+        self._fields: dict[str, Any] = dict(fields or {})
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def bind(self, **fields: Any) -> "StructLogger":
+        """A new logger with ``fields`` merged into every future event."""
+        return StructLogger(self._logger, {**self._fields, **fields})
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        doc: dict[str, Any] = {
+            "ts": round(wall_now(), 6),
+            "level": _LEVELS.get(level, logging.getLevelName(level).lower()),
+            "logger": self._logger.name,
+            "event": event,
+        }
+        doc.update(self._fields)
+        doc.update(fields)
+        self._logger.log(level, json.dumps(doc, sort_keys=True, default=repr))
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log(logging.DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(logging.INFO, event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(logging.WARNING, event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(logging.ERROR, event, **fields)
+
+
+def get_logger(name: str, **fields: Any) -> StructLogger:
+    """The structured logger for ``name``, with optional bound fields."""
+    return StructLogger(name, fields)
+
+
+def configure(
+    level: int | str = logging.INFO, stream: TextIO | None = None
+) -> logging.Handler:
+    """Route ``repro.*`` structured events to ``stream`` (default stderr).
+
+    The handler's format is the bare message — each event is already a
+    complete JSON document, so any prefix would just break ``jq``.
+    Idempotent per stream: calling twice replaces the previous handler
+    installed here rather than duplicating output lines.
+    """
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.set_name("repro-obs-json")
+    for existing in list(root.handlers):
+        if existing.get_name() == handler.get_name():
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -106,6 +106,10 @@ class HistogramSeries:
         out.append((float("inf"), self.count))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile of this series (0.0 when empty)."""
+        return bucket_quantile(self.uppers, self.bucket_counts, q)
+
 
 class _Metric:
     """Shared machinery: a named family of labeled series."""
@@ -230,6 +234,23 @@ class Histogram(_Metric):
 
     def total_sum(self) -> float:
         return sum(s.sum for s in self._series.values())
+
+    def combined_buckets(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts summed over every series.
+
+        The soak harness diffs two of these snapshots to compute a
+        *windowed* quantile (e.g. convergence-lag p99 for the last
+        second) without the histogram having to remember raw samples.
+        """
+        totals = [0] * (len(self.uppers) + 1)
+        for series in self._series.values():
+            for i, c in enumerate(series.bucket_counts):
+                totals[i] += c
+        return totals
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile over all series combined."""
+        return bucket_quantile(self.uppers, self.combined_buckets(), q)
 
 
 class MetricsRegistry:
@@ -400,6 +421,38 @@ class MetricsRegistry:
                 if isinstance(series, HistogramSeries):
                     continue
                 yield name, dict(zip(metric.label_names, series.labels)), series.value
+
+
+def bucket_quantile(
+    uppers: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Prometheus-style quantile estimate from bucketed counts.
+
+    ``counts`` are per-bucket (non-cumulative) observation counts, one
+    slot per ``uppers`` entry plus a trailing ``+Inf`` slot — exactly
+    :attr:`HistogramSeries.bucket_counts` (so a *windowed* quantile is
+    just ``bucket_quantile(uppers, [b - a for a, b in zip(old, new)], q)``
+    over two snapshots).  Linear interpolation inside the target bucket,
+    the standard ``histogram_quantile`` behaviour: observations landing
+    in the ``+Inf`` bucket clamp to the highest finite bound, and an
+    empty window returns 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    running = 0.0
+    for i, upper in enumerate(uppers):
+        prev = running
+        running += counts[i]
+        if running >= rank:
+            lower = uppers[i - 1] if i > 0 else 0.0
+            if counts[i] == 0:
+                return upper
+            return lower + (upper - lower) * ((rank - prev) / counts[i])
+    return uppers[-1] if uppers else 0.0
 
 
 def _render_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:

@@ -1,0 +1,94 @@
+"""cProfile hooks for the benchmark harnesses (``--profile``).
+
+The ROADMAP's next raw-speed item is a *profiled* sim-scheduler rewrite;
+this module gives ``benchmarks/run_all.py`` and
+``benchmarks/bench_throughput.py`` a shared ``--profile`` implementation
+so the profiles that motivate that rewrite are one flag away and land in
+two formats:
+
+* ``<prefix>.pstats`` — the raw :mod:`pstats` dump, for
+  ``python -m pstats`` / snakeviz-style explorers;
+* ``<prefix>.collapsed`` — collapsed-stack lines (``caller;callee
+  microseconds``), the input format of Brendan Gregg's ``flamegraph.pl``
+  and of every web flamegraph viewer that accepts it (e.g. speedscope).
+
+cProfile records caller/callee *pairs*, not full call stacks, so the
+collapsed output is a two-level approximation: each line charges a
+callee's per-edge cumulative time to its immediate caller.  That is
+exactly the granularity needed to rank inner-loop suspects (the
+checkpoint replay fold, the event-queue pop, the frame codec) even
+though deep flame towers collapse to two frames.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def _frame_name(func: tuple[str, int, str]) -> str:
+    """``file:line(function)`` with path noise trimmed, semicolons safe."""
+    filename, lineno, name = func
+    if filename == "~":  # builtins have no file
+        return name.replace(";", ",")
+    short = "/".join(filename.replace("\\", "/").split("/")[-2:])
+    return f"{short}:{lineno}:{name}".replace(";", ",")
+
+
+def collapsed_stacks(stats: pstats.Stats) -> str:
+    """Render profiler stats as flamegraph-compatible collapsed lines.
+
+    Root functions (no recorded caller) are charged their own total
+    time; every caller→callee edge is charged the cumulative time
+    cProfile attributes to that edge, in integer microseconds (zero-cost
+    edges are dropped — flamegraph.pl ignores zero-weight lines anyway).
+    Output is sorted, so two runs of the same profile diff cleanly.
+    """
+    lines: list[str] = []
+    for func, (_cc, _nc, tt, _ct, callers) in stats.stats.items():  # type: ignore[attr-defined]
+        name = _frame_name(func)
+        if not callers:
+            weight = int(tt * 1e6)
+            if weight > 0:
+                lines.append(f"{name} {weight}")
+            continue
+        for caller, (_cc2, _nc2, _tt2, ct2) in callers.items():
+            weight = int(ct2 * 1e6)
+            if weight > 0:
+                lines.append(f"{_frame_name(caller)};{name} {weight}")
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+def write_profile(profile: cProfile.Profile, prefix: str) -> tuple[str, str]:
+    """Write ``<prefix>.pstats`` + ``<prefix>.collapsed``; return paths."""
+    pstats_path = f"{prefix}.pstats"
+    collapsed_path = f"{prefix}.collapsed"
+    profile.dump_stats(pstats_path)
+    stats = pstats.Stats(profile)
+    with open(collapsed_path, "w") as fh:
+        fh.write(collapsed_stacks(stats))
+    return pstats_path, collapsed_path
+
+
+@contextmanager
+def profiled(prefix: str | None) -> Iterator[cProfile.Profile | None]:
+    """Profile the enclosed block when ``prefix`` is set; no-op otherwise.
+
+    The ``None`` fast path keeps call sites branch-free::
+
+        with profiled(args.profile):
+            run_everything()
+    """
+    if prefix is None:
+        yield None
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        pstats_path, collapsed_path = write_profile(profile, prefix)
+        print(f"[profile: {pstats_path} + {collapsed_path} (flamegraph-compatible)]")

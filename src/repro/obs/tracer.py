@@ -146,7 +146,9 @@ def to_chrome_trace(
     tracer: NullTracer,
     *,
     time_scale: float = 1_000_000.0,
+    time_origin: float = 0.0,
     trace_name: str = "repro simulated run",
+    clock: str = "virtual",
 ) -> dict[str, Any]:
     """Fold a tracer's records into the Chrome trace-event JSON format.
 
@@ -154,6 +156,10 @@ def to_chrome_trace(
     events with no owning replica).  ``time_scale`` maps virtual-time
     units to microseconds — the default renders one virtual unit as one
     second, which keeps typical simulated runs readable in the UI.
+    ``time_origin`` is subtracted from every timestamp before scaling
+    (wall-clock tracers pass their epoch origin so documents start near
+    zero — see :func:`repro.obs.wall.wall_chrome_trace`); ``clock``
+    labels the document's timebase in ``otherData``.
     """
     records = tracer.records()
     events: list[dict[str, Any]] = []
@@ -175,7 +181,7 @@ def to_chrome_trace(
             "cat": record.category,
             "pid": record.pid,
             "tid": 0,
-            "ts": record.start * time_scale,
+            "ts": (record.start - time_origin) * time_scale,
             "args": dict(record.attrs),
         }
         if record.end is None:
@@ -188,7 +194,7 @@ def to_chrome_trace(
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"clock": "virtual", "name": trace_name},
+        "otherData": {"clock": clock, "name": trace_name},
     }
 
 

@@ -1,0 +1,164 @@
+"""Wall-clock tracing for the networked backend, Perfetto-exportable.
+
+:mod:`repro.obs.tracer` deliberately speaks only *virtual* time — a trace
+of a seeded simulator run is a pure function of the seed.  The asyncio
+backend (:mod:`repro.net`) has no virtual clock: frames cross real
+sockets, timers fire on the event loop, and the only meaningful
+timestamps are wall-clock ones.  This module is the real-time twin:
+
+* :class:`WallTracer` — a :class:`~repro.obs.tracer.SimTracer` whose
+  records are stamped with epoch seconds by its callers (via
+  :func:`wall_now`); it shares :class:`~repro.obs.tracer.TraceRecord`
+  and the Chrome/Perfetto export with the sim tracer, so the same
+  tooling reads both.
+* :class:`TraceContext` — the propagated per-update context: a trace id
+  minted at the HTTP front-end plus the submit wall time.  It rides the
+  peer frames as a header field (see :mod:`repro.net.framing`), which is
+  what links one client update's spans — HTTP parse, local apply, peer
+  broadcast, remote applies, visibility — into a single causal tree
+  across every node that sees the update.
+* :func:`wall_chrome_trace` / :func:`merge_chrome_traces` — export one
+  node's trace, then merge many nodes' exports into one timeline.  Each
+  export remembers its epoch origin in ``otherData`` so the merge can
+  re-align documents produced by tracers born at different instants (or
+  in different processes).
+
+Clock semantics: trace timestamps and convergence-lag arithmetic use
+:func:`wall_now` (``time.time``), the one clock comparable *across*
+processes (to NTP accuracy on multi-host meshes; exact on localhost).
+Same-process durations (RTT echoes, flush latency) use
+``time.monotonic`` at their call sites instead.
+
+This module is a sanctioned wall-clock domain for uqlint (SIM101/SIM105
+do not apply here — see ``WALL_CLOCK_DOMAINS`` in
+:mod:`repro.lint.determinism`); the simulated world must never import it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, NamedTuple
+
+from repro.obs.tracer import SimTracer, to_chrome_trace
+
+#: The sanctioned wall clock of the net path: epoch seconds, comparable
+#: across processes.  Held as a reference so tests can monkeypatch one
+#: name and freeze every trace/lag computation at once.
+wall_now = time.time
+
+
+class TraceContext(NamedTuple):
+    """The per-update context propagated through peer frames.
+
+    ``trace_id`` is minted at the HTTP front-end (or supplied by the
+    client as ``X-Trace-Id``); ``t0`` is the submit wall time stamped at
+    the front-end, the zero point every replica's convergence lag is
+    measured from.
+    """
+
+    trace_id: str
+    t0: float
+
+    def as_wire(self) -> list[Any]:
+        """The JSON-friendly header encoding (see ``proto.wire``)."""
+        return [self.trace_id, self.t0]
+
+
+class WallTracer(SimTracer):
+    """In-memory recording tracer for the real-time (net) world.
+
+    Identical record/export machinery to :class:`SimTracer`; the only
+    additions are :meth:`now` (so instrumented sites never import
+    ``time`` themselves) and the epoch origin used to re-align merged
+    multi-node timelines.
+    """
+
+    __slots__ = ("epoch0",)
+
+    #: Consumed by the Chrome-trace export and by the lint scoping: this
+    #: tracer's timestamps are epoch seconds, not virtual time.
+    clock_domain = "wall"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.epoch0 = wall_now()
+
+    def now(self) -> float:
+        """Current wall time (epoch seconds) — what callers stamp with."""
+        return wall_now()
+
+
+def wall_chrome_trace(
+    tracer: WallTracer, *, trace_name: str = "repro net run"
+) -> dict[str, Any]:
+    """One node's records as a Chrome trace-event document.
+
+    Timestamps are rebased to the tracer's ``epoch0`` (so a lone document
+    starts near zero) and the origin is recorded in ``otherData`` for
+    :func:`merge_chrome_traces` to undo.
+    """
+    doc = to_chrome_trace(
+        tracer,
+        time_scale=1e6,
+        time_origin=tracer.epoch0,
+        trace_name=trace_name,
+        clock="wall",
+    )
+    doc["otherData"]["epoch_origin"] = tracer.epoch0
+    return doc
+
+
+def merge_chrome_traces(docs: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold per-node Chrome trace documents into one Perfetto timeline.
+
+    Every document's events are shifted onto the earliest epoch origin
+    among the inputs, process-name metadata is deduplicated by pid (the
+    pre- and post-restart tracer of one node both describe the same
+    track), and the result sorts by timestamp — one file, one timeline,
+    every node's spans on its own track.
+    """
+    docs = list(docs)
+    origins = [
+        float(doc.get("otherData", {}).get("epoch_origin", 0.0)) for doc in docs
+    ]
+    base = min(origins, default=0.0)
+    metas: dict[tuple[int, str], dict[str, Any]] = {}
+    events: list[dict[str, Any]] = []
+    for doc, origin in zip(docs, origins):
+        shift = (origin - base) * 1e6
+        for entry in doc.get("traceEvents", []):
+            if entry.get("ph") == "M":
+                metas.setdefault((entry["pid"], entry["name"]), entry)
+            else:
+                moved = dict(entry)
+                moved["ts"] = moved.get("ts", 0.0) + shift
+                events.append(moved)
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": [metas[k] for k in sorted(metas)] + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "wall",
+            "epoch_origin": base,
+            "merged_documents": len(docs),
+            "name": "repro net merged trace",
+        },
+    }
+
+
+def trace_ids(doc: dict[str, Any]) -> dict[str, list[dict[str, Any]]]:
+    """Group a (merged) trace document's events by their ``trace`` attr.
+
+    The cross-node assertion surface: one client update must land every
+    one of its spans — front-end, local apply, remote applies,
+    visibility — under a single trace id, whichever node emitted them.
+    Events without a ``trace`` attr (RTT pings, flushes) are skipped.
+    """
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for entry in doc.get("traceEvents", []):
+        if entry.get("ph") == "M":
+            continue
+        trace = entry.get("args", {}).get("trace")
+        if trace is not None:
+            groups.setdefault(str(trace), []).append(entry)
+    return groups

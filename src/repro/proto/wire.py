@@ -113,6 +113,69 @@ def decode_payload(data: bytes) -> Any:
     return decode_value(json.loads(data.decode("utf-8")))
 
 
+# -- peer-frame trace headers --------------------------------------------------
+#
+# The networked backend's MSG frames may carry an optional trailing header
+# dict next to the protocol payload (see ``repro.net.framing``).  Headers
+# are observability metadata — trace propagation today, whatever comes
+# next tomorrow — so the codec here is deliberately lax on decode: unknown
+# header fields and malformed entries are *ignored*, never fatal.  A new
+# node talking to an old one (or vice versa) must keep replicating even if
+# one side does not understand the other's telemetry.
+
+#: The one header field this version understands: a map from timestamp
+#: key (``"clock.pid"``) to ``[trace_id, submit_wall_time]``.
+TRACES_HEADER = "traces"
+
+
+def encode_ts_key(timestamp: Any) -> str:
+    """A ``(clock, pid)`` protocol timestamp as a JSON-object key."""
+    clock, pid = timestamp
+    return f"{int(clock)}.{int(pid)}"
+
+
+def decode_ts_key(key: str) -> tuple[int, int]:
+    """Inverse of :func:`encode_ts_key`."""
+    clock_text, _, pid_text = key.partition(".")
+    return int(clock_text), int(pid_text)
+
+
+def encode_trace_headers(
+    traces: dict[tuple[int, int], tuple[str, float]],
+) -> dict[str, Any]:
+    """Build the frame-header dict carrying ``traces`` (may be empty)."""
+    return {
+        TRACES_HEADER: {
+            encode_ts_key(ts): [str(trace_id), float(t0)]
+            for ts, (trace_id, t0) in traces.items()
+        }
+    }
+
+
+def decode_trace_headers(headers: Any) -> dict[tuple[int, int], tuple[str, float]]:
+    """Extract the trace map from a frame-header dict, forgivingly.
+
+    Anything that is not shaped like this version's ``traces`` field —
+    a non-dict header, unknown sibling fields, entries whose key or value
+    does not parse — is skipped without error (forward compatibility with
+    header fields minted by newer nodes).
+    """
+    out: dict[tuple[int, int], tuple[str, float]] = {}
+    if not isinstance(headers, dict):
+        return out
+    traces = headers.get(TRACES_HEADER)
+    if not isinstance(traces, dict):
+        return out
+    for key, value in traces.items():
+        try:
+            ts = decode_ts_key(str(key))
+            trace_id, t0 = value
+            out[ts] = (str(trace_id), float(t0))
+        except (ValueError, TypeError):
+            continue
+    return out
+
+
 # -- the durable replica image -------------------------------------------------
 
 

@@ -1,0 +1,79 @@
+"""SIM101/SIM105 scoping: the sanctioned wall-clock domains.
+
+The networked backend and its observability twins legitimately live on
+real time; the determinism rules must skip exactly those subtrees and
+nothing else.
+"""
+
+from __future__ import annotations
+
+from repro.lint.determinism import WALL_CLOCK_DOMAINS
+from repro.lint.engine import lint_source, module_name_for
+
+WALL_CLOCK_SOURCE = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+INSTRUMENTED_SOURCE = """\
+import time
+
+class LagTracer:
+    clock = time.monotonic  # a captured reference, not a call
+
+    def record(self, value):
+        return self.clock
+"""
+
+
+def codes_for(source: str, path: str) -> set[str]:
+    return {f.code for f in lint_source(source, path)}
+
+
+class TestDomainScoping:
+    def test_sim_code_keeps_the_wall_clock_ban(self):
+        codes = codes_for(WALL_CLOCK_SOURCE, "src/repro/sim/sched.py")
+        assert "SIM101" in codes
+
+    def test_net_modules_are_exempt(self):
+        assert codes_for(WALL_CLOCK_SOURCE, "src/repro/net/node.py") == set()
+        assert codes_for(WALL_CLOCK_SOURCE, "src/repro/net/sub/deep.py") == set()
+
+    def test_wall_obs_twins_are_exempt(self):
+        assert codes_for(WALL_CLOCK_SOURCE, "src/repro/obs/wall.py") == set()
+        assert codes_for(WALL_CLOCK_SOURCE, "src/repro/obs/log.py") == set()
+
+    def test_sim_side_obs_stays_banned(self):
+        # repro.obs.tracer / metrics speak virtual time; no exemption.
+        codes = codes_for(WALL_CLOCK_SOURCE, "src/repro/obs/tracer.py")
+        assert "SIM101" in codes
+
+    def test_prefix_match_is_on_module_boundaries(self):
+        # "repro.network" must NOT inherit "repro.net"'s exemption.
+        codes = codes_for(WALL_CLOCK_SOURCE, "src/repro/network.py")
+        assert "SIM101" in codes
+
+    def test_sim105_follows_the_same_scope(self):
+        in_sim = {
+            f.code
+            for f in lint_source(INSTRUMENTED_SOURCE, "src/repro/sim/loop.py")
+        }
+        in_net = {
+            f.code
+            for f in lint_source(INSTRUMENTED_SOURCE, "src/repro/net/node.py")
+        }
+        assert "SIM105" in in_sim
+        assert "SIM105" not in in_net
+
+    def test_domains_resolve_to_real_modules(self):
+        # Guard against a rename leaving a stale domain entry behind.
+        import importlib
+
+        for domain in WALL_CLOCK_DOMAINS:
+            assert importlib.import_module(domain)
+
+    def test_module_name_for_matches_repo_convention(self):
+        assert module_name_for("src/repro/net/node.py") == "repro.net.node"
+        assert module_name_for("src/repro/obs/wall.py") == "repro.obs.wall"

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import asyncio
+import json
 
 from repro.core.universal import UniversalReplica
 from repro.net.harness import LocalCluster
+from repro.net.http import PROM_CONTENT_TYPE
 from repro.proto.wire import decode_value
 from repro.specs.map_spec import MapSpec
 from repro.specs.set_spec import SetSpec
@@ -101,5 +103,88 @@ def test_zero_arg_query_shorthand():
         status, doc = await clients[0].request("GET", "/query/read")
         assert status == 200
         assert doc["output"] == {"@": "frozenset", "items": [2]}
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_metrics_prometheus_text_via_accept_header():
+    async def scenario(cluster, clients):
+        await clients[0].update("insert", 1)
+        status, headers, body = await clients[0].request_full(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert headers["content-type"] == PROM_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE repro_net_frames_sent_total counter" in text
+        assert 'repro_net_convergence_lag_seconds_bucket{pid="0",le=' in text
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_metrics_prometheus_text_via_query_param():
+    async def scenario(cluster, clients):
+        status, headers, body = await clients[0].request_full(
+            "GET", "/metrics?format=text"
+        )
+        assert status == 200
+        assert headers["content-type"] == PROM_CONTENT_TYPE
+        assert b"# TYPE" in body
+        # Without negotiation the JSON document is unchanged.
+        status, headers, body = await clients[0].request_full("GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert "metrics" in json.loads(body.decode("utf-8"))
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_metrics_text_escapes_label_values():
+    async def scenario(cluster, clients):
+        gauge = cluster.registry.gauge(
+            "repro_test_escaping", "label escaping probe", label_names=("path",)
+        )
+        gauge.labels(path='C:\\tmp\n"quoted"').set(1)
+        _, _, body = await clients[0].request_full(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        line = next(
+            ln for ln in body.decode("utf-8").splitlines()
+            if ln.startswith("repro_test_escaping{")
+        )
+        assert line == 'repro_test_escaping{path="C:\\\\tmp\\n\\"quoted\\""} 1'
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_healthz_surfaces_task_errors():
+    async def scenario(cluster, clients):
+        status, doc = await clients[2].request("GET", "/healthz")
+        assert status == 200
+        assert doc["task_errors"] == {"count": 0, "last": None}
+        # A crashed background task shows up in the health document.
+        node = cluster.nodes[2]
+        node.task_errors.append(RuntimeError("sync loop died"))
+        status, doc = await clients[2].request("GET", "/healthz")
+        assert doc["ok"] is True  # health reports, it does not flap
+        assert doc["task_errors"]["count"] == 1
+        assert "sync loop died" in doc["task_errors"]["last"]
+
+    with_cluster(SetSpec, scenario)
+
+
+def test_update_returns_trace_id_header():
+    async def scenario(cluster, clients):
+        status, headers, body = await clients[0].request_full(
+            "POST", "/update", {"name": "insert", "args": [4]}
+        )
+        assert status == 200
+        doc = json.loads(body.decode("utf-8"))
+        assert doc["trace"] == headers["x-trace-id"]
+        # Distinct updates get distinct minted ids.
+        _, headers2, _ = await clients[0].request_full(
+            "POST", "/update", {"name": "insert", "args": [5]}
+        )
+        assert headers2["x-trace-id"] != headers["x-trace-id"]
 
     with_cluster(SetSpec, scenario)

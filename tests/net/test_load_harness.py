@@ -1,0 +1,132 @@
+"""Unit tests for the load harness's bounded-memory accounting.
+
+The harness itself (simulated users over real sockets) runs in the CI
+net-smoke job; what belongs in the tier-1 suite is the arithmetic that
+must stay correct for any run length: the deterministic stride-decimation
+reservoir that bounds the raw-latency memory, the exact window
+percentiles, and the report document shape.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.obs.report import validate_net_report
+
+_PATH = pathlib.Path(__file__).parents[2] / "benchmarks" / "load_harness.py"
+_SPEC = importlib.util.spec_from_file_location("load_harness", _PATH)
+load_harness = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(load_harness)
+
+Reservoir = load_harness.Reservoir
+RunStats = load_harness.RunStats
+percentile = load_harness.percentile
+
+
+class TestReservoir:
+    def test_short_stream_kept_verbatim(self):
+        r = Reservoir(cap=16)
+        for i in range(10):
+            r.add(float(i))
+        assert r.samples == [float(i) for i in range(10)]
+        assert r.seen == 10 and r.stride == 1
+
+    def test_memory_is_bounded_for_any_stream_length(self):
+        r = Reservoir(cap=64)
+        for i in range(100_000):
+            r.add(float(i))
+        assert len(r.samples) < 64
+        assert r.seen == 100_000
+
+    def test_decimation_keeps_a_roughly_even_subsample(self):
+        r = Reservoir(cap=8)
+        for i in range(32):
+            r.add(float(i))
+        # Survivors arrive in order and spread across the whole stream —
+        # gaps stay within half a stride of uniform (halving boundaries
+        # shift the phase slightly; nothing ever clusters).
+        assert r.samples == sorted(r.samples)
+        gaps = [b - a for a, b in zip(r.samples, r.samples[1:])]
+        assert all(r.stride / 2 <= g <= r.stride * 1.5 for g in gaps)
+        assert r.samples[0] < 8 and r.samples[-1] >= 32 - r.stride
+
+    def test_deterministic_no_rng(self):
+        a, b = Reservoir(cap=32), Reservoir(cap=32)
+        for i in range(10_000):
+            a.add(i * 0.001)
+            b.add(i * 0.001)
+        assert a.samples == b.samples and a.stride == b.stride
+
+    def test_percentiles_track_the_full_stream(self):
+        r = Reservoir(cap=256)
+        n = 50_000
+        for i in range(n):
+            r.add(float(i))
+        # Exact p99 of 0..n-1 is ~0.99*n; the decimated sample must agree
+        # within one stride's worth of resolution.
+        approx = percentile(r.samples, 0.99)
+        assert abs(approx - 0.99 * n) < n * 0.02
+
+    def test_rejects_degenerate_cap(self):
+        with pytest.raises(ValueError, match="cap must be >= 2"):
+            Reservoir(cap=1)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_exact_nearest_rank(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_input_not_mutated(self):
+        samples = [3.0, 1.0, 2.0]
+        percentile(samples, 0.5)
+        assert samples == [3.0, 1.0, 2.0]
+
+
+class TestRunStats:
+    def test_observe_feeds_window_and_reservoir(self):
+        stats = RunStats()
+        for dt in (0.001, 0.005, 0.003):
+            stats.observe(dt)
+        assert stats.ops == 3
+        assert stats.max_latency == 0.005
+        assert stats.window_lats == [0.001, 0.005, 0.003]
+        assert stats.reservoir.seen == 3
+
+    def test_take_window_drains_without_touching_totals(self):
+        stats = RunStats()
+        stats.observe(0.002)
+        stats.window_errors = 1
+        lats, errs = stats.take_window()
+        assert (lats, errs) == ([0.002], 1)
+        assert stats.window_lats == [] and stats.window_errors == 0
+        assert stats.ops == 1 and stats.reservoir.seen == 1
+        assert stats.take_window() == ([], 0)
+
+
+class TestHarnessEndToEnd:
+    def test_soak_run_emits_valid_report(self):
+        report = load_harness.run_load(
+            users=8, duration=1.2, ramp=0.2, replicas=2,
+            sync_interval=0.05, soak=True, report_interval=0.4,
+        )
+        assert validate_net_report(report) == []
+        assert report["kind"] == "soak"
+        summary = report["summary"]
+        assert summary["ops"] > 0
+        assert summary["ops"] == summary["updates"] + summary["queries"]
+        assert summary["errors"] == 0 and summary["task_errors"] == 0
+        assert summary["converged"] is True
+        # The soak series produced at least one whole window, and its op
+        # counts are a partition of (a prefix of) the run's total.
+        assert len(report["series"]) >= 1
+        assert sum(row["ops"] for row in report["series"]) <= summary["ops"]
+        assert summary["latency_samples_kept"] <= load_harness.RESERVOIR_CAP

@@ -1,0 +1,79 @@
+"""The --profile hooks: pstats dump + collapsed-stack export."""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+from repro.obs.profiling import collapsed_stacks, profiled, write_profile
+
+
+def _busy(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += _inner(i)
+    return total
+
+
+def _inner(i: int) -> int:
+    return sum(range(i % 50))
+
+
+def _profile_of(fn) -> cProfile.Profile:
+    profile = cProfile.Profile()
+    profile.enable()
+    fn()
+    profile.disable()
+    return profile
+
+
+class TestCollapsedStacks:
+    def test_edges_are_caller_semicolon_callee_weight(self):
+        stats = pstats.Stats(_profile_of(lambda: _busy(2000)))
+        text = collapsed_stacks(stats)
+        edge_lines = [ln for ln in text.splitlines() if ";" in ln]
+        assert any("_busy" in ln and "_inner" in ln for ln in edge_lines)
+        for line in text.splitlines():
+            frames, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0  # zero-cost edges are dropped
+            assert frames.count(";") <= 1  # two-level approximation
+
+    def test_output_is_sorted_for_diffing(self):
+        stats = pstats.Stats(_profile_of(lambda: _busy(500)))
+        lines = collapsed_stacks(stats).splitlines()
+        assert lines == sorted(lines)
+
+    def test_empty_profile_renders_empty(self):
+        profile = cProfile.Profile()
+        profile.enable()
+        profile.disable()
+        text = collapsed_stacks(pstats.Stats(profile))
+        # Either nothing ran or only profiler teardown did; no crash.
+        assert isinstance(text, str)
+
+
+class TestWriteProfile:
+    def test_writes_both_artifacts(self, tmp_path):
+        prefix = str(tmp_path / "bench")
+        paths = write_profile(_profile_of(lambda: _busy(500)), prefix)
+        assert paths == (f"{prefix}.pstats", f"{prefix}.collapsed")
+        # The pstats dump loads back; the collapsed file is line-oriented.
+        loaded = pstats.Stats(paths[0])
+        assert loaded.total_calls > 0
+        content = (tmp_path / "bench.collapsed").read_text()
+        assert all(" " in ln for ln in content.splitlines())
+
+
+class TestProfiledContextManager:
+    def test_none_prefix_is_a_no_op(self):
+        with profiled(None) as profile:
+            assert profile is None
+
+    def test_prefix_writes_artifacts_on_exit(self, tmp_path, capsys):
+        prefix = str(tmp_path / "run")
+        with profiled(prefix) as profile:
+            assert profile is not None
+            _busy(200)
+        assert (tmp_path / "run.pstats").exists()
+        assert (tmp_path / "run.collapsed").exists()
+        assert "flamegraph-compatible" in capsys.readouterr().out

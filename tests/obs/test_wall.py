@@ -1,0 +1,175 @@
+"""Wall-clock tracing: WallTracer, the merged export, structured logging."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import log as obs_log
+from repro.obs.wall import (
+    TraceContext,
+    WallTracer,
+    merge_chrome_traces,
+    trace_ids,
+    wall_chrome_trace,
+)
+
+
+class TestWallTracer:
+    def test_is_an_enabled_tracer_with_epoch_origin(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.wall.wall_now", lambda: 1000.0)
+        t = WallTracer()
+        assert t.enabled is True
+        assert t.epoch0 == 1000.0
+        assert t.now() == 1000.0
+        assert t.clock_domain == "wall"
+
+    def test_export_rebases_to_epoch_origin(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.wall.wall_now", lambda: 1000.0)
+        t = WallTracer()
+        t.span("update.local_apply", 1000.5, 1000.75, pid=0,
+               attrs={"trace": "t0-1"})
+        doc = wall_chrome_trace(t, trace_name="node 0")
+        assert doc["otherData"]["epoch_origin"] == 1000.0
+        assert doc["otherData"]["clock"] == "wall"
+        (span,) = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        # Timestamps start near zero, not at 1970-sized microsecond counts.
+        assert span["ts"] == 0.5e6
+        assert span["dur"] == 0.25e6
+
+
+class TestMergeChromeTraces:
+    def _doc(self, epoch0, records):
+        tracer = WallTracer()
+        tracer.epoch0 = epoch0
+        for name, start, end, pid, attrs in records:
+            tracer.span(name, start, end, pid=pid, attrs=attrs)
+        return wall_chrome_trace(tracer, trace_name=f"node@{epoch0}")
+
+    def test_realigns_documents_born_at_different_instants(self):
+        # Node 1's tracer was born 2 seconds after node 0's; the same
+        # wall instant must land at the same merged timestamp.
+        d0 = self._doc(100.0, [("a", 103.0, 104.0, 0, {"trace": "t"})])
+        d1 = self._doc(102.0, [("b", 103.0, 104.0, 1, {"trace": "t"})])
+        merged = merge_chrome_traces([d0, d1])
+        spans = [e for e in merged["traceEvents"] if e["ph"] != "M"]
+        assert {e["name"] for e in spans} == {"a", "b"}
+        assert spans[0]["ts"] == spans[1]["ts"] == 3e6
+        assert merged["otherData"]["epoch_origin"] == 100.0
+        assert merged["otherData"]["merged_documents"] == 2
+
+    def test_dedupes_process_metadata_by_pid(self):
+        # Pre- and post-restart tracers of one node describe one track.
+        d0 = self._doc(100.0, [("a", 100.0, 101.0, 2, None)])
+        d1 = self._doc(105.0, [("b", 105.0, 106.0, 2, None)])
+        merged = merge_chrome_traces([d0, d1])
+        metas = [e for e in merged["traceEvents"] if e["ph"] == "M"]
+        assert len([m for m in metas if m["pid"] == 2]) == 1
+
+    def test_events_sorted_across_documents(self):
+        d0 = self._doc(100.0, [("late", 109.0, 110.0, 0, None)])
+        d1 = self._doc(100.0, [("early", 101.0, 102.0, 1, None)])
+        merged = merge_chrome_traces([d0, d1])
+        body = [e for e in merged["traceEvents"] if e["ph"] != "M"]
+        assert [e["name"] for e in body] == ["early", "late"]
+
+    def test_empty_merge(self):
+        merged = merge_chrome_traces([])
+        assert merged["traceEvents"] == []
+        assert merged["otherData"]["merged_documents"] == 0
+
+
+class TestTraceIds:
+    def test_groups_by_trace_attr_and_skips_untraced(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "M", "pid": 0, "name": "process_name"},
+                {"ph": "X", "pid": 0, "name": "a", "ts": 1,
+                 "args": {"trace": "t1"}},
+                {"ph": "i", "pid": 1, "name": "b", "ts": 2,
+                 "args": {"trace": "t1"}},
+                {"ph": "X", "pid": 1, "name": "c", "ts": 3,
+                 "args": {"trace": "t2"}},
+                {"ph": "i", "pid": 1, "name": "ping", "ts": 4, "args": {}},
+            ]
+        }
+        groups = trace_ids(doc)
+        assert set(groups) == {"t1", "t2"}
+        assert [e["name"] for e in groups["t1"]] == ["a", "b"]
+
+
+class TestTraceContext:
+    def test_wire_encoding(self):
+        ctx = TraceContext("t3-a", 1754700000.5)
+        assert ctx.as_wire() == ["t3-a", 1754700000.5]
+        assert ctx.trace_id == "t3-a" and ctx.t0 == 1754700000.5
+
+
+class TestStructLogger:
+    def _capture(self, name):
+        logger = logging.getLogger(name)
+        logger.setLevel(logging.DEBUG)
+        buf = io.StringIO()
+        handler = logging.StreamHandler(buf)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        return buf, handler
+
+    def test_events_are_json_with_bound_fields(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.log.wall_now", lambda: 1000.125)
+        buf, handler = self._capture("repro.test.wall")
+        try:
+            log = obs_log.get_logger("repro.test.wall").bind(pid=2)
+            log.info("update_applied", trace="t0-1", lag_s=0.004)
+            doc = json.loads(buf.getvalue())
+            assert doc == {
+                "ts": 1000.125, "level": "info", "logger": "repro.test.wall",
+                "event": "update_applied", "pid": 2, "trace": "t0-1",
+                "lag_s": 0.004,
+            }
+        finally:
+            logging.getLogger("repro.test.wall").removeHandler(handler)
+
+    def test_bind_returns_new_logger(self):
+        base = obs_log.get_logger("repro.test.bind")
+        bound = base.bind(pid=1)
+        assert bound is not base
+        assert bound.bind(peer=2)._fields == {"pid": 1, "peer": 2}
+        assert base._fields == {}
+
+    def test_non_json_fields_fall_back_to_repr(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.log.wall_now", lambda: 1.0)
+        buf, handler = self._capture("repro.test.repr")
+        try:
+            obs_log.get_logger("repro.test.repr").error(
+                "task_crashed", error=RuntimeError("boom")
+            )
+            doc = json.loads(buf.getvalue())
+            assert doc["error"] == "RuntimeError('boom')"
+        finally:
+            logging.getLogger("repro.test.repr").removeHandler(handler)
+
+    def test_configure_is_idempotent_per_stream(self):
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        try:
+            first = obs_log.configure(stream=io.StringIO())
+            second = obs_log.configure(stream=io.StringIO())
+            installed = [
+                h for h in root.handlers if h.get_name() == "repro-obs-json"
+            ]
+            assert installed == [second] and first not in root.handlers
+        finally:
+            for h in list(root.handlers):
+                if h not in before:
+                    root.removeHandler(h)
+
+    def test_disabled_level_emits_nothing(self):
+        buf, handler = self._capture("repro.test.level")
+        logging.getLogger("repro.test.level").setLevel(logging.WARNING)
+        try:
+            obs_log.get_logger("repro.test.level").debug("noise")
+            assert buf.getvalue() == ""
+        finally:
+            logging.getLogger("repro.test.level").removeHandler(handler)

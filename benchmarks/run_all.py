@@ -306,6 +306,29 @@ def main(timer: Callable[[], float] | None = None) -> None:
               f"(n={m.N}, {m.OPS} updates, seed={m.SEED})"))
 
     print("=" * 72)
+    print("STOR — storage engine: journal appends vs full-image rewrites")
+    print("=" * 72)
+    m = load("bench_storage")
+    wc = m.write_cost()
+    save("storage_write_cost", format_table(
+        ["updates", "journal B/flush", "snapshot B/flush"],
+        [[i, jb, sb] for (i, jb), (_, sb) in zip(
+            wc["journal_bytes_per_flush"], wc["snapshot_bytes_per_flush"])],
+        title="bytes written per flush: incremental journal vs "
+              f"full-image rewrite ({m.WRITE_OPS} updates)"))
+    universal["storage_write_cost"] = {
+        k: wc[k] for k in ("journal_first", "journal_last",
+                           "snapshot_first", "snapshot_last")
+    }
+    rec = m.recovery_scale()
+    save("storage_recovery", format_table(
+        ["metric", "value"],
+        [[k, rec[k]] for k in sorted(rec)],
+        title=f"recovery from a {rec['ops']}-update journal "
+              "(digest chain verified end to end)"))
+    universal["storage_recovery"] = rec
+
+    print("=" * 72)
     print("OBS — traced chaos run, machine-readable report")
     print("=" * 72)
     from repro.obs.report import run_report

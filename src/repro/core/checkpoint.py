@@ -47,7 +47,12 @@ from typing import Any, Hashable, Sequence
 
 from repro.core.adt import UQADT
 from repro.core.ckpt_tree import CheckpointTree
-from repro.core.sync import StateHandoff, StateTransferRequired, SyncDigest
+from repro.core.sync import (
+    StateHandoff,
+    StateTransferRequired,
+    SyncDigest,
+    handoff_digest,
+)
 from repro.core.universal import Stamped, UniversalReplica
 from repro.obs.metrics import MetricsRegistry
 
@@ -440,17 +445,26 @@ class GarbageCollectedReplica(CheckpointedReplica):
                     "accept one (a v1 requester, or a replica without a "
                     "base state)"
                 )
+            # The handoff travels under the same integrity discipline the
+            # base segment has on disk: a digest over its canonical
+            # content, which StateHandoff.parse verifies on the receiver
+            # before install_gc_state ever sees the payload.
             handoff = StateHandoff(
                 base=self._base,
                 clock_floor=floor,
                 frontier=self._gc_frontier,
                 heard=tuple(self.heard),
+                digest=handoff_digest(
+                    self._base, floor, self._gc_frontier, tuple(self.heard)
+                ),
             )
             self.send_to(requester, handoff.payload(self.pid))
             self._state_transfers.inc()
         super()._serve_sync(requester, digest)
 
     def _on_sync_state(self, src: int, payload: tuple) -> Sequence[Any]:
+        # parse() refuses a handoff whose digest does not verify — a
+        # damaged base segment must not be folded into local state.
         sender, handoff = StateHandoff.parse(payload)
         if self.install_gc_state(
             base=handoff.base,

@@ -48,11 +48,17 @@ triples):
   — state transfer: the responder's compacted base state and the
   completeness floor it certifies, sent when the requester is missing
   updates the responder has already folded away and can no longer
-  enumerate.
+  enumerate.  Since the storage engine landed, the payload also carries
+  a ``digest`` — the same integrity-tag idea as the journal's rolling
+  digest chain, computed over the canonical handoff content — which the
+  receiver verifies before installing (a truncated or bit-rotted base
+  handoff is refused, not silently folded in).  Payloads without the
+  field (older senders) still parse.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -215,14 +221,60 @@ def pages(entries: list, page_size: int) -> Iterator[tuple]:
         yield tuple(entries[start:start + page_size])
 
 
+def _stable_repr(value: object) -> str:
+    """A process-independent textual form of common state shapes.
+
+    ``repr`` alone is not enough: frozenset/dict iteration order depends
+    on the string hash seed, which differs between the two *processes* a
+    networked handoff crosses.  Sets and dict items are therefore sorted
+    by their own stable form; lists and tuples keep order.
+    """
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_stable_repr(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(
+            _stable_repr(k) + ":" + _stable_repr(v) for k, v in value.items()
+        )
+        return "{" + ",".join(items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_stable_repr(v) for v in value) + ")"
+    return repr(value)
+
+
+def handoff_digest(
+    base: object,
+    clock_floor: int,
+    frontier: tuple[int, int] | None,
+    heard: Iterable[int],
+) -> str:
+    """Integrity tag of a state-transfer handoff.
+
+    Hashes a canonical, process-independent form of the handoff content
+    (insertion order and container identity must not leak into the tag —
+    the receiver recomputes it from a decoded payload).  This is the
+    anti-entropy twin of the journal's rolling digest: the compacted base
+    travels between replicas with the same tamper evidence it has on
+    disk.
+    """
+    canon = _stable_repr((base, int(clock_floor), frontier, tuple(heard)))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass(frozen=True)
 class StateHandoff:
-    """Decoded contents of a ``SYNC_STATE`` payload."""
+    """Decoded contents of a ``SYNC_STATE`` payload.
+
+    ``digest`` is the sender's :func:`handoff_digest` over the other
+    fields; ``None`` only for payloads from pre-digest senders.
+    """
 
     base: object
     clock_floor: int
     frontier: tuple[int, int] | None
     heard: tuple[int, ...] = field(default=())
+    #: integrity metadata, not identity — two handoffs with the same
+    #: content are equal whether or not a digest travelled with them.
+    digest: str | None = field(default=None, compare=False)
 
     def payload(self, sender: int) -> tuple:
         return (SYNC_STATE, sender, {
@@ -230,6 +282,9 @@ class StateHandoff:
             "clock_floor": self.clock_floor,
             "frontier": self.frontier,
             "heard": tuple(self.heard),
+            "digest": self.digest if self.digest is not None else handoff_digest(
+                self.base, self.clock_floor, self.frontier, self.heard
+            ),
         })
 
     @classmethod
@@ -243,10 +298,20 @@ class StateHandoff:
             raise SyncProtocolError(f"malformed state transfer: {payload!r}")
         state = payload[2]
         frontier = state.get("frontier")
-        return int(payload[1]), cls(
+        handoff = cls(
             base=state["base"],
             clock_floor=int(state["clock_floor"]),
             frontier=None if frontier is None else
             (int(frontier[0]), int(frontier[1])),
             heard=tuple(int(h) for h in state.get("heard", ())),
+            digest=None if state.get("digest") is None else str(state["digest"]),
         )
+        if handoff.digest is not None and handoff.digest != handoff_digest(
+            handoff.base, handoff.clock_floor, handoff.frontier, handoff.heard
+        ):
+            raise SyncProtocolError(
+                f"state transfer from {payload[1]} failed its integrity "
+                f"digest ({handoff.digest}): refusing to install a damaged "
+                "base segment"
+            )
+        return int(payload[1]), handoff

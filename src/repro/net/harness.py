@@ -47,6 +47,7 @@ class LocalCluster:
         http: bool = True,
         registry: MetricsRegistry | None = None,
         trace: bool = False,
+        node_kwargs: dict[str, Any] | None = None,
     ) -> None:
         self.n = n
         self._factory = replica_factory
@@ -55,6 +56,10 @@ class LocalCluster:
         self.http = http
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace
+        #: extra keyword arguments for every ReplicaNode the harness
+        #: builds (e.g. ``{"on_corrupt": "quarantine"}``) — applied on
+        #: first boot and on every restart.
+        self.node_kwargs = dict(node_kwargs or {})
         #: every tracer ever built, in boot order — a killed node's
         #: pre-crash spans must survive into the merged timeline, so
         #: restart appends a new tracer instead of replacing the old one.
@@ -173,6 +178,7 @@ class LocalCluster:
             sync_interval=self.sync_interval,
             registry=self.registry,
             **({"tracer": tracer} if tracer is not None else {}),
+            **self.node_kwargs,
         )
 
     def _address_book(self) -> dict[int, tuple[str, int]]:

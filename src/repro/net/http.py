@@ -10,7 +10,9 @@ outputs like frozensets survive.
 Routes::
 
     GET  /healthz        -> {"ok": true, "pid": 0, "n": 3,
-                             "task_errors": {"count": 0, "last": null}}
+                             "task_errors": {"count": 0, "last": null},
+                             "storage": {"backend": "journal",
+                                         "corrupt_image": null, ...}}
     GET  /state          -> {"state": <encoded local state>}
     GET  /witness        -> {"witness": {...}}   (timestamp, visibility, of the
                             last local op whose witness was not already claimed;
@@ -176,6 +178,10 @@ def _route_json(
                         "count": len(errors),
                         "last": repr(errors[-1]) if errors else None,
                     },
+                    # Durable-storage health: journal stats plus the last
+                    # corrupt-image error (how a quarantined boot shows up
+                    # to an operator without grepping logs).
+                    "storage": node.storage_info(),
                 }, {}
             if path == "/state":
                 return 200, {"state": encode_value(node.local_state())}, {}

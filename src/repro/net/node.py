@@ -11,9 +11,17 @@ algorithms, and the node's only job is to interpret the returned effects:
   dead peer is dropped, exactly the asynchronous-network model the paper
   assumes, and the periodic anti-entropy tick repairs the divergence.
 * :class:`~repro.proto.effects.Persist` — mark the durable image dirty; a
-  background task rewrites the snapshot file (atomic tmp+rename) on a
+  background task appends the changed cells to the node's journal
+  (:class:`~repro.storage.engine.JournalStore` — write-ahead clock cell
+  first, then new log entries, each frame CRC'd and digest-chained) on a
   short throttle.  :meth:`kill` skips the final flush — a crash loses the
-  unflushed tail, which is precisely the ``fsync_point`` recovery model.
+  unflushed tail, which is precisely the ``fsync_point`` recovery model,
+  and the journal's torn-tail truncation makes it physically true.
+  Legacy v1/v2 JSON snapshot images are still read (and migrated to a
+  journal) at boot; a corrupt image raises a typed
+  :class:`~repro.storage.journal.CorruptImageError` — or, with
+  ``on_corrupt="quarantine"``, sets the file aside and rejoins empty via
+  anti-entropy, surfacing the damage on ``/healthz``.
 * :class:`~repro.proto.effects.Timer` — schedule a one-shot follow-up
   :meth:`~repro.proto.core.ProtocolCore.sync_tick`.
 
@@ -65,6 +73,7 @@ from repro.proto.wire import (
     encode_trace_headers,
     encode_ts_key,
 )
+from repro.storage import CorruptImageError, JournalStore, fsync_dir
 
 _LOG = get_logger("repro.net.node")
 
@@ -131,9 +140,14 @@ class ReplicaNode:
         data_dir: str | None = None,
         sync_interval: float = 0.25,
         flush_interval: float = 0.05,
+        on_corrupt: str = "raise",
         registry: MetricsRegistry | None = None,
         tracer: NullTracer = NULL_TRACER,
     ) -> None:
+        if on_corrupt not in ("raise", "quarantine"):
+            raise ValueError(
+                f"on_corrupt must be 'raise' or 'quarantine', got {on_corrupt!r}"
+            )
         self.pid = pid
         self.n = n
         self.host = host
@@ -154,6 +168,14 @@ class ReplicaNode:
         #: done-callback collects them; a crashed sync loop that nobody
         #: notices is a replica that silently stops converging.
         self.task_errors: list[BaseException] = []
+        #: durable-image policy and state: ``on_corrupt`` picks between
+        #: failing the boot (``"raise"``, the default — operators decide)
+        #: and quarantining the damaged file to boot empty and rejoin via
+        #: anti-entropy; either way the error lands on
+        #: :attr:`corrupt_image` and ``/healthz``.
+        self.on_corrupt = on_corrupt
+        self.corrupt_image: CorruptImageError | None = None
+        self._store: JournalStore | None = None
         self._dirty = False
         self._dirty_since: float | None = None
         self._stopped = False
@@ -182,6 +204,14 @@ class ReplicaNode:
         ).labels()
         self._flushes = m.counter(
             "repro_net_snapshot_flushes_total", help="durable images written",
+        ).labels()
+        self._journal_records = m.counter(
+            "repro_net_journal_records_total",
+            help="records appended to the durable journal",
+        ).labels()
+        self._journal_compactions = m.counter(
+            "repro_net_journal_compactions_total",
+            help="journal generations rewritten (GC-floor compaction)",
         ).labels()
         self._task_errors = m.counter(
             "repro_net_task_errors_total",
@@ -214,9 +244,17 @@ class ReplicaNode:
 
     @property
     def snapshot_path(self) -> str | None:
+        """The *legacy* v1/v2 JSON image path — still read at boot (and
+        migrated into the journal), never written any more."""
         if self.data_dir is None:
             return None
         return os.path.join(self.data_dir, f"replica-{self.pid}.json")
+
+    @property
+    def journal_path(self) -> str | None:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, f"replica-{self.pid}.journal")
 
     async def listen(self, *, peer_port: int = 0, http_port: int | None = 0) -> None:
         """Bind the peer socket (and the HTTP front-end unless disabled)."""
@@ -238,18 +276,85 @@ class ReplicaNode:
 
     async def start(self) -> None:
         """Connect to peers, recover from disk if an image exists, start
-        the periodic anti-entropy tick and the snapshot flusher."""
+        the periodic anti-entropy tick and the journal flusher."""
         await self.connect()
-        path = self.snapshot_path
-        if path is not None and os.path.exists(path):
-            # Boot-time one-shot read: start() runs before any traffic is
-            # served, so nothing else is on the loop to stall yet.
-            with open(path) as fh:  # uqlint: disable=ASY304 -- boot-time read
-                self._apply_effects(self.core.recover(fh.read()))
+        if self.data_dir is not None:
+            # Boot-time one-shot disk work: start() runs before any
+            # traffic is served, so nothing else is on the loop to stall.
+            os.makedirs(self.data_dir, exist_ok=True)
+            self._recover_from_disk()
         self._spawn(self._sync_loop())
         if self.data_dir is not None:
-            os.makedirs(self.data_dir, exist_ok=True)
             self._spawn(self._flush_loop())
+
+    def _recover_from_disk(self) -> None:
+        """Open the journal and recover whatever the disk holds.
+
+        Precedence: an existing journal wins; otherwise a legacy v1/v2
+        JSON snapshot is read and immediately migrated into a fresh
+        journal.  Every failure mode — torn beyond repair, bit-flipped
+        frames, undecodable JSON, a restore that rejects the image — is
+        normalised to :class:`~repro.storage.journal.CorruptImageError`
+        and handled per :attr:`on_corrupt`.
+        """
+        assert self.journal_path is not None
+        try:
+            self._store = JournalStore(self.journal_path, self.pid)
+            image = self._store.open()
+            source = self.journal_path
+            if image is None:
+                image, source = self._read_legacy_snapshot()
+        except CorruptImageError as exc:
+            self._quarantine_or_raise(exc)
+            return
+        if image is None:
+            return
+        try:
+            self._apply_effects(self.core.recover(image))
+        except ValueError as exc:
+            # A parseable image the codec still rejects (digest mismatch,
+            # foreign pid, unknown format): same corruption policy.
+            self._quarantine_or_raise(CorruptImageError(source, 0, str(exc)))
+            return
+        if source != self.journal_path:
+            # Migrated from a legacy JSON image: seed the journal now so
+            # the next boot (and every flush) is journal-native.  The
+            # legacy file is left in place untouched — the journal takes
+            # precedence from here on.
+            self._flush_snapshot()
+
+    def _read_legacy_snapshot(self) -> tuple[str | None, str]:
+        """The v1/v2 JSON image, if one exists (pre-journal data dirs)."""
+        path = self.snapshot_path
+        assert path is not None
+        if not os.path.exists(path):
+            return None, path
+        with open(path, encoding="utf-8") as fh:
+            return fh.read(), path
+
+    def _quarantine_or_raise(self, exc: CorruptImageError) -> None:
+        """Apply the :attr:`on_corrupt` policy to a damaged image."""
+        self.corrupt_image = exc
+        self._log.error(
+            "corrupt_image", path=exc.path, offset=exc.offset, error=exc.reason
+        )
+        if self.on_corrupt == "raise":
+            if self._store is not None:
+                self._store.close()
+                self._store = None
+            raise exc
+        # Quarantine: set the damaged file aside (keeping the evidence),
+        # reopen a fresh journal and rejoin empty — anti-entropy pulls
+        # back everything the cluster still has.
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        if os.path.exists(exc.path):
+            os.replace(exc.path, exc.path + ".corrupt")
+            fsync_dir(os.path.dirname(exc.path) or ".")
+        assert self.journal_path is not None
+        self._store = JournalStore(self.journal_path, self.pid)
+        self._store.open()
 
     async def connect(self) -> None:
         """Dial every peer not currently connected (best-effort)."""
@@ -268,6 +373,12 @@ class ReplicaNode:
         """Abrupt crash: close everything, *without* a final flush — the
         unflushed tail of the log is lost, as a real power cut loses it."""
         self._stopped = True
+        if self._store is not None:
+            # Nothing is buffered between flushes (every sync() ends in
+            # flush+fsync), so closing the fd loses exactly the updates
+            # that were never appended — the crash model's lost tail.
+            self._store.close()
+            self._store = None
         for task in self._tasks:
             task.cancel()
         self._tasks.clear()
@@ -564,21 +675,45 @@ class ReplicaNode:
                 self._flush_snapshot()
 
     def _flush_snapshot(self) -> None:
-        path = self.snapshot_path
-        if path is None:
+        """Flush the durable image: append the changed journal cells.
+
+        Unlike the old rewrite-the-whole-JSON-image flusher, cost is flat
+        in the log length — the clock cell (if it advanced) plus the
+        entries that arrived since the last flush; compaction (a full
+        atomic rewrite) only happens when the GC floor moved.
+        """
+        if self.journal_path is None:
             return
-        os.makedirs(self.data_dir, exist_ok=True)  # type: ignore[arg-type]
-        tmp = path + ".tmp"
-        with open(tmp, "w") as fh:
-            fh.write(self.core.snapshot())
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        if self._store is None:
+            # Flush before start() (stop() on a never-started node):
+            # create the journal on demand.
+            os.makedirs(self.data_dir, exist_ok=True)  # type: ignore[arg-type]
+            self._store = JournalStore(self.journal_path, self.pid)
+            self._store.open()
+        stats = self._store.sync(self.core.replica)
+        self._journal_records.inc(stats["appended"])
+        if stats["compacted"]:
+            self._journal_compactions.inc()
         self._dirty = False
         if self._dirty_since is not None:
             self._flush_latency.observe(time.monotonic() - self._dirty_since)
             self._dirty_since = None
         self._flushes.inc()
+
+    def storage_info(self) -> dict[str, Any]:
+        """The ``/healthz`` storage section: backend, journal stats, and
+        the last corrupt-image error (if any)."""
+        info: dict[str, Any] = {
+            "backend": "journal" if self.data_dir is not None else "none",
+            "corrupt_image": None if self.corrupt_image is None else {
+                "path": self.corrupt_image.path,
+                "offset": self.corrupt_image.offset,
+                "reason": self.corrupt_image.reason,
+            },
+        }
+        if self._store is not None:
+            info["journal"] = self._store.info()
+        return info
 
     # -- internals ----------------------------------------------------------------------
 

@@ -212,11 +212,14 @@ class ProtocolCore:
 
     # -- durable image -------------------------------------------------------------
 
-    def snapshot(self, *, fsync_point: int | None = None) -> str:
+    def snapshot(self, *, fsync_point: int | None = None, version: int = 2) -> str:
         """The replica's current durable image (what a real deployment
         would have fsynced); ``fsync_point`` models a crash that beat the
-        last log fsync."""
-        return wire.replica_snapshot(self.replica, fsync_point=fsync_point)
+        last log fsync.  ``version=3`` emits the digest-chained journal
+        image instead of the monolithic v2 document."""
+        return wire.replica_snapshot(
+            self.replica, fsync_point=fsync_point, version=version
+        )
 
     # -- introspection (read-only passthroughs) ------------------------------------
 

@@ -24,14 +24,20 @@ wire-compatible.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.adt import Query, Update
 
 #: durable replica image formats (see :func:`replica_snapshot`).
 REPLICA_FORMAT = "repro-replica-log-v2"
 REPLICA_FORMAT_V1 = "repro-replica-log-v1"
+#: v3: a journal image — an ordered record sequence (meta, compacted
+#: base, write-ahead clock cell, one record per update) threaded on a
+#: rolling digest chain.  This is the textual twin of the on-disk binary
+#: journal (:mod:`repro.storage.journal`); both speak the same records.
+REPLICA_FORMAT_V3 = "repro-replica-journal-v3"
 
 
 def encode_value(value: Any) -> Any:
@@ -176,10 +182,149 @@ def decode_trace_headers(headers: Any) -> dict[tuple[int, int], tuple[str, float
     return out
 
 
+# -- the v3 journal record vocabulary ------------------------------------------
+#
+# A v3 durable image is not a monolithic document but an ordered sequence
+# of *journal records* — the same records the on-disk binary journal
+# (:mod:`repro.storage.journal`) appends one fsync at a time:
+#
+#   {"r": "meta",  "format": ..., "pid": p}            file/image header
+#   {"r": "base",  "c": n, "base": ..., "clock_floor": f,
+#                  "frontier": ..., "heard": ...}      compacted GC segment
+#   {"r": "clock", "c": n, "value": v}                 write-ahead clock cell
+#   {"r": "heard", "c": n, "h": ...}                   heard-vector advance
+#   {"r": "entry", "c": n, "k": "cl.pid", "e": ...}    one logged update
+#
+# ``c`` is the journal's update counter: a per-generation monotone serial
+# that the engine's current-state k/v map references (key -> (counter,
+# record)), and whose order refines the Lamport ``(clock, pid)`` total
+# order the log itself is sorted by.  Every record also carries ``d``, a
+# prefix of the rolling digest *before* the record — so the sequence
+# forms a hash chain ``H = sha256(H' | sha256(record))`` from a per-pid
+# genesis value, and a reordered, spliced or bit-flipped image fails
+# verification even when each record is individually well-formed.
+
+#: bytes of the hex rolling digest each record carries as its ``d`` link.
+DIGEST_LINK_HEX = 16
+
+
+def genesis_digest(pid: int) -> bytes:
+    """The rolling digest's seed for process ``pid``'s journal."""
+    return hashlib.sha256(f"{REPLICA_FORMAT_V3}:{int(pid)}".encode("utf-8")).digest()
+
+
+def encode_record(record: dict) -> bytes:
+    """One journal record as canonical UTF-8 JSON bytes (what the binary
+    journal frames and the digest chain hashes)."""
+    return json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def advance_digest(digest: bytes, payload: bytes) -> bytes:
+    """One step of the rolling digest: ``H(H' | H(record))``."""
+    return hashlib.sha256(digest + hashlib.sha256(payload).digest()).digest()
+
+
+def chain_record(digest: bytes, record: dict) -> tuple[bytes, dict]:
+    """Stamp ``record`` with the current chain link and advance the digest.
+
+    Returns ``(new_digest, stamped_record)``; the stamped record's ``d``
+    field is the hex prefix of ``digest`` (the chain state *before* this
+    record), so a verifier replaying from :func:`genesis_digest` can check
+    every link without trusting any record's own claims.
+    """
+    stamped = dict(record)
+    stamped["d"] = digest.hex()[:DIGEST_LINK_HEX]
+    return advance_digest(digest, encode_record(stamped)), stamped
+
+
+def verify_chain(pid: int, records: Iterable[dict]) -> str:
+    """Replay the digest chain over ``records``; returns the final digest
+    (hex).  Raises :class:`ValueError` at the first broken link."""
+    digest = genesis_digest(pid)
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            raise ValueError(f"journal record {i} is not an object")
+        if rec.get("d") != digest.hex()[:DIGEST_LINK_HEX]:
+            raise ValueError(
+                f"digest chain mismatch at record {i} "
+                f"(r={rec.get('r')!r}): image is corrupt, reordered or "
+                "spliced from another journal"
+            )
+        digest = advance_digest(digest, encode_record(rec))
+    return digest.hex()
+
+
+def journal_records(
+    replica: Any, *, fsync_point: int | None = None
+) -> tuple[list[dict], bool]:
+    """The (unstamped) v3 record sequence for ``replica``'s durable state.
+
+    Shared by :func:`replica_snapshot` (one-shot image) and the storage
+    engine's compaction rewrite (fresh journal generation).  Returns
+    ``(records, complete)`` where ``complete`` is False when
+    ``fsync_point`` truncated the entry tail.  The write-ahead rule is
+    encoded in the order: the clock cell precedes every entry, and the
+    compacted base — an atomically-rewritten segment the fsync point
+    never truncates — precedes both.
+    """
+    entries = list(replica.updates)
+    complete = True
+    if fsync_point is not None:
+        if fsync_point < 0:
+            raise ValueError(f"fsync point must be non-negative, got {fsync_point}")
+        entries = entries[:fsync_point]
+        complete = len(entries) == len(replica.updates)
+    records: list[dict] = [
+        {"r": "meta", "format": REPLICA_FORMAT_V3, "pid": replica.pid}
+    ]
+    counter = 0
+    durable_gc = getattr(replica, "durable_gc_state", None)
+    if durable_gc is not None:
+        gc = durable_gc()
+        counter += 1
+        records.append({
+            "r": "base", "c": counter,
+            "base": encode_value(gc["base"]),
+            "clock_floor": int(gc["clock_floor"]),
+            "frontier": encode_value(gc["frontier"]),
+            "heard": encode_value(tuple(gc["heard"])),
+        })
+    counter += 1
+    records.append({"r": "clock", "c": counter, "value": replica.clock.value})
+    for cl, j, update in entries:
+        counter += 1
+        records.append({
+            "r": "entry", "c": counter,
+            "k": encode_ts_key((cl, j)),
+            "e": encode_value((cl, j, update)),
+        })
+    return records, complete
+
+
+def journal_image(
+    pid: int, records: list[dict], digest: str, *, complete: bool = True
+) -> str:
+    """Assemble a v3 image document from already-chained records.
+
+    The storage engine calls this with the records it read (and verified)
+    off the binary journal; :func:`restore_replica` re-verifies the chain
+    end to end, so recovery never trusts the reader's bookkeeping.
+    """
+    return json.dumps({
+        "format": REPLICA_FORMAT_V3,
+        "pid": int(pid),
+        "complete": bool(complete),
+        "digest": digest,
+        "records": records,
+    })
+
+
 # -- the durable replica image -------------------------------------------------
 
 
-def replica_snapshot(replica: Any, *, fsync_point: int | None = None) -> str:
+def replica_snapshot(
+    replica: Any, *, fsync_point: int | None = None, version: int = 2
+) -> str:
     """Serialize a replica's durable state (update log + Lamport clock).
 
     ``fsync_point`` caps how many log entries survived the crash (``None``
@@ -201,7 +346,25 @@ def replica_snapshot(replica: Any, *, fsync_point: int | None = None) -> str:
       crash+recover silently rewinds every collected update — the
       compacted base is modeled as an atomically-rewritten segment, so
       the fsync point never truncates it.
+
+    ``version=3`` emits the journal image instead: the
+    :func:`journal_records` sequence threaded on the rolling digest
+    chain — same durable truth, but shaped like the on-disk binary
+    journal, so recovery is a verified record replay rather than a
+    monolithic document load.
     """
+    if version == 3:
+        records, complete = journal_records(replica, fsync_point=fsync_point)
+        digest = genesis_digest(replica.pid)
+        stamped = []
+        for rec in records:
+            digest, s = chain_record(digest, rec)
+            stamped.append(s)
+        return journal_image(
+            replica.pid, stamped, digest.hex(), complete=complete
+        )
+    if version != 2:
+        raise ValueError(f"unknown replica image version {version!r}")
     entries = list(replica.updates)
     if fsync_point is not None:
         if fsync_point < 0:
@@ -236,8 +399,17 @@ def restore_replica(replica: Any, text: str) -> int:
     (``finish_restore``): trusted verbatim from a complete snapshot,
     rewound to what the surviving prefix proves after a truncated one.
     Returns the number of log entries restored.
+
+    v3 journal images are accepted too: the digest chain is verified end
+    to end first (a broken link raises :class:`ValueError`), then the
+    records are replayed in journal order — clock cells merge, base
+    records install, entries fold through ``load_log`` — which gives the
+    identical restore semantics whether the image came from a one-shot
+    snapshot or an incrementally grown journal.
     """
     doc = json.loads(text)
+    if isinstance(doc, dict) and doc.get("format") == REPLICA_FORMAT_V3:
+        return _restore_v3(replica, doc)
     if not isinstance(doc, dict) or doc.get("format") not in (
         REPLICA_FORMAT, REPLICA_FORMAT_V1,
     ):
@@ -249,18 +421,11 @@ def restore_replica(replica: Any, text: str) -> int:
     replica.clock.merge(int(doc["clock"]))
     gc_doc = doc.get("gc")
     if gc_doc is not None:
-        install = getattr(replica, "install_gc_state", None)
-        if install is None:
-            raise ValueError(
-                "snapshot carries a compacted base state (GC section) but "
-                f"the target replica ({type(replica).__name__}) cannot "
-                "install one; restore into a GarbageCollectedReplica"
-            )
-        frontier = decode_value(gc_doc["frontier"])
-        install(
+        _install_base(
+            replica,
             base=decode_value(gc_doc["base"]),
             clock_floor=int(gc_doc["clock_floor"]),
-            frontier=None if frontier is None else tuple(frontier),
+            frontier=decode_value(gc_doc["frontier"]),
         )
     loaded = replica.load_log(decode_value(e) for e in doc["entries"])
     finish = getattr(replica, "finish_restore", None)
@@ -269,6 +434,92 @@ def restore_replica(replica: Any, text: str) -> int:
         stored_heard = gc_doc.get("heard") if gc_doc is not None else None
         finish(
             int(doc["clock"]),
+            heard=decode_value(stored_heard)
+            if complete and stored_heard is not None else None,
+        )
+    return loaded
+
+
+def _install_base(replica: Any, *, base: Any, clock_floor: int, frontier: Any) -> None:
+    """Install a compacted base segment into ``replica`` (v2 ``gc``
+    section or v3 ``base`` record), refusing targets that cannot."""
+    install = getattr(replica, "install_gc_state", None)
+    if install is None:
+        raise ValueError(
+            "image carries a compacted base state but the target replica "
+            f"({type(replica).__name__}) cannot install one; restore into "
+            "a GarbageCollectedReplica"
+        )
+    install(
+        base=base,
+        clock_floor=int(clock_floor),
+        frontier=None if frontier is None else tuple(frontier),
+    )
+
+
+def _restore_v3(replica: Any, doc: dict) -> int:
+    """Replay a v3 journal image into a fresh replica (see
+    :func:`restore_replica`).  The chain is verified before any record
+    touches replica state."""
+    pid = int(doc["pid"])
+    if pid != replica.pid:
+        raise ValueError(f"snapshot belongs to process {pid}, not {replica.pid}")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("v3 journal image carries no records")
+    digest = verify_chain(pid, records)
+    if doc.get("digest") != digest:
+        raise ValueError(
+            f"rolling digest mismatch: image claims {doc.get('digest')!r}, "
+            f"chain replays to {digest!r}"
+        )
+    meta = records[0]
+    if meta.get("r") != "meta" or meta.get("format") != REPLICA_FORMAT_V3:
+        raise ValueError("v3 journal image does not start with a meta record")
+    if int(meta.get("pid", pid)) != pid:
+        raise ValueError(
+            f"journal meta belongs to process {meta.get('pid')}, not {pid}"
+        )
+    # One pass to collect the current-state cells: the clock cell is
+    # write-ahead (the max of every cell ever appended), the last base
+    # record wins (floors are monotone), entries keep journal order —
+    # ``load_log`` dedups re-appends.
+    clock = 0
+    base_rec: dict | None = None
+    heard_rec: dict | None = None
+    entry_recs: list[dict] = []
+    for rec in records[1:]:
+        kind = rec.get("r")
+        if kind == "clock":
+            clock = max(clock, int(rec["value"]))
+        elif kind == "base":
+            base_rec = rec
+        elif kind == "heard":
+            heard_rec = rec
+        elif kind == "entry":
+            entry_recs.append(rec)
+        # unknown record kinds: skip (forward compatibility)
+    replica.clock.merge(clock)
+    if base_rec is not None:
+        _install_base(
+            replica,
+            base=decode_value(base_rec["base"]),
+            clock_floor=int(base_rec["clock_floor"]),
+            frontier=decode_value(base_rec["frontier"]),
+        )
+    loaded = replica.load_log(decode_value(r["e"]) for r in entry_recs)
+    finish = getattr(replica, "finish_restore", None)
+    if finish is not None:
+        complete = bool(doc.get("complete", False))
+        # ``heard`` records (appended by the storage engine when the
+        # vector advances between compactions) supersede the base
+        # record's copy — last wins, heard is per-component monotone.
+        if heard_rec is not None:
+            stored_heard = heard_rec.get("h")
+        else:
+            stored_heard = base_rec.get("heard") if base_rec is not None else None
+        finish(
+            clock,
             heard=decode_value(stored_heard)
             if complete and stored_heard is not None else None,
         )

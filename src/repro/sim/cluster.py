@@ -482,16 +482,20 @@ class Cluster:
         truncated to ``fsync_point`` entries if the crash beat the last
         fsync (``None`` = everything survived; the Lamport clock always
         survives, see :func:`~repro.proto.wire.replica_snapshot`).  The
-        core rebuilds a fresh replica from the factory, reloads it, and
-        rejoins by broadcasting an anti-entropy sync request — peers send
-        back what it missed while down, and pull anything only its log
-        still has (its own pre-crash updates whose broadcast was lost).
+        image is the v3 *journal* format — the digest-chained record
+        sequence the real storage engine (:mod:`repro.storage`) reads off
+        disk, so every chaos/fuzz recovery in the simulator also verifies
+        the chain the networked backend depends on.  The core rebuilds a
+        fresh replica from the factory, reloads it, and rejoins by
+        broadcasting an anti-entropy sync request — peers send back what
+        it missed while down, and pull anything only its log still has
+        (its own pre-crash updates whose broadcast was lost).
         """
         self._check_pid(pid)
         if pid not in self.crashed:
             raise ValueError(f"process {pid} is not crashed")
         core = self.cores[pid]
-        snapshot = core.snapshot(fsync_point=fsync_point)
+        snapshot = core.snapshot(fsync_point=fsync_point, version=3)
         effects = core.recover(snapshot)
         self.crashed.discard(pid)
         self._recovered.inc()

@@ -85,25 +85,29 @@ def trace_from_json(text: str) -> Trace:
         label = decode_value(rec["label"])
         if not isinstance(label, (Update, Query)):
             raise ValueError(f"record {rec.get('eid')}: label is not an operation")
+        meta = decode_value(rec["meta"])
+        if not isinstance(meta, dict):
+            raise ValueError(f"record {rec.get('eid')}: meta is not a mapping")
         trace.append(
             OpRecord(
                 eid=int(rec["eid"]),
                 pid=int(rec["pid"]),
                 label=label,
                 time=float(rec["time"]),
-                meta=decode_value(rec["meta"]),
+                meta=meta,
             )
         )
     return trace
 
 
 def save_trace(trace: Trace, path) -> None:
-    """Write ``trace`` to ``path`` as indented JSON."""
-    with open(path, "w") as fh:
+    """Write ``trace`` to ``path`` as indented JSON (always UTF-8 — the
+    platform default encoding must not leak into durable artifacts)."""
+    with open(path, "w", encoding="utf-8") as fh:
         fh.write(trace_to_json(trace, indent=2))
 
 
 def load_trace(path) -> Trace:
     """Read a trace previously written by :func:`save_trace`."""
-    with open(path) as fh:
+    with open(path, encoding="utf-8") as fh:
         return trace_from_json(fh.read())

@@ -1,0 +1,245 @@
+"""Crash consistency of the networked backend's storage engine.
+
+The journal/engine unit tests (``tests/storage``) pin the byte-level
+contract; here the same fates — torn tail, bit rot, interrupted
+compaction, legacy images — hit a *running node*: recovery must feed the
+survivors' state back through anti-entropy, corruption must surface as a
+typed error (or a quarantine + empty rejoin), and ``/healthz`` must tell
+the operator which of those happened.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.core.universal import UniversalReplica
+from repro.net.harness import LocalCluster
+from repro.proto.wire import replica_snapshot
+from repro.specs.set_spec import SetSpec, insert
+from repro.storage import CorruptImageError
+
+SPEC = SetSpec()
+
+
+def make_cluster(tmp_path, *, http=False, n=3, **node_kwargs):
+    return LocalCluster(
+        n,
+        lambda pid, k: UniversalReplica(pid, k, SPEC),
+        data_dir=str(tmp_path),
+        sync_interval=0.05,
+        http=http,
+        node_kwargs=node_kwargs or None,
+    )
+
+
+async def seed_and_flush(cluster, values):
+    """Spread ``values`` across the cluster and let every flusher write."""
+    for i, v in enumerate(values):
+        cluster.submit(i % cluster.n, insert(v))
+    await cluster.settle(timeout=10)
+    await asyncio.sleep(0.2)  # dirty-flag flush interval
+
+
+def journal_of(tmp_path, pid):
+    return str(tmp_path / f"replica-{pid}.journal")
+
+
+def test_torn_journal_tail_recovers_prefix_and_rejoins(tmp_path):
+    async def scenario():
+        cluster = make_cluster(tmp_path)
+        await cluster.start()
+        try:
+            await seed_and_flush(cluster, range(6))
+            cluster.kill(2)
+            # a crash that beat the last fsync: chop mid-record
+            path = journal_of(tmp_path, 2)
+            with open(path, "r+b") as fh:
+                fh.truncate(os.path.getsize(path) - 5)
+            node = await cluster.restart(2)
+            await cluster.settle(timeout=10)
+            # the torn record was truncated, the survivors repaired the gap
+            assert node.storage_info()["journal"]["truncated_tail"]
+            assert cluster.states() == {p: set(range(6)) for p in range(3)}
+            assert node.storage_info()["corrupt_image"] is None
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_corrupt_journal_raises_typed_error_at_boot(tmp_path):
+    async def scenario():
+        cluster = make_cluster(tmp_path)
+        await cluster.start()
+        try:
+            await seed_and_flush(cluster, range(6))
+            cluster.kill(2)
+            path = journal_of(tmp_path, 2)
+            raw = bytearray(open(path, "rb").read())
+            raw[20] ^= 0xFF  # early frame, fsynced long ago — not a tear
+            open(path, "wb").write(bytes(raw))
+            with pytest.raises(CorruptImageError) as info:
+                await cluster.restart(2)
+            assert info.value.path == path
+            cluster.kill(2)  # discard the half-booted node
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_quarantine_mode_sets_file_aside_and_rejoins_empty(tmp_path):
+    async def scenario():
+        cluster = make_cluster(tmp_path, http=True, on_corrupt="quarantine")
+        await cluster.start()
+        client = None
+        try:
+            await seed_and_flush(cluster, range(6))
+            cluster.kill(2)
+            path = journal_of(tmp_path, 2)
+            raw = bytearray(open(path, "rb").read())
+            raw[20] ^= 0xFF
+            open(path, "wb").write(bytes(raw))
+            node = await cluster.restart(2)
+            # the evidence was set aside, a fresh journal took its place
+            assert os.path.exists(path + ".corrupt")
+            assert node.corrupt_image is not None
+            await cluster.settle(timeout=10)
+            assert cluster.states() == {p: set(range(6)) for p in range(3)}
+            # the operator can see what happened
+            client = cluster.client(2)
+            status, doc = await client.request("GET", "/healthz")
+            assert status == 200
+            storage = doc["storage"]
+            assert storage["corrupt_image"]["path"] == path
+            assert "CRC" in storage["corrupt_image"]["reason"]
+            assert storage["backend"] == "journal"
+        finally:
+            if client is not None:
+                await client.close()
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_legacy_json_image_migrates_into_the_journal(tmp_path):
+    # a pre-journal data dir: node 0 has only a v2 JSON snapshot
+    offline = UniversalReplica(0, 3, SPEC)
+    for v in (10, 11, 12):
+        offline.on_update(insert(v))
+    legacy = tmp_path / "replica-0.json"
+    legacy.write_text(replica_snapshot(offline, version=2), encoding="utf-8")
+
+    async def scenario():
+        cluster = make_cluster(tmp_path)
+        await cluster.start()
+        try:
+            await cluster.settle(timeout=10)
+            # the legacy state came back and replicated out
+            assert cluster.states() == {p: {10, 11, 12} for p in range(3)}
+            # ... and was migrated: the journal now exists and wins
+            assert os.path.exists(journal_of(tmp_path, 0))
+            assert os.path.exists(legacy)  # evidence left untouched
+            await asyncio.sleep(0.2)
+            cluster.kill(0)
+            node = await cluster.restart(0)
+            await cluster.settle(timeout=10)
+            assert node.storage_info()["backend"] == "journal"
+            assert cluster.states()[0] == {10, 11, 12}
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_corrupt_legacy_image_is_a_typed_error_too(tmp_path):
+    (tmp_path / "replica-1.json").write_text(
+        '{"format": "repro-replica-v2", "pid": 1, "clock": troll',
+        encoding="utf-8",
+    )
+
+    async def scenario():
+        cluster = make_cluster(tmp_path)
+        with pytest.raises(CorruptImageError) as info:
+            await cluster.start()
+        assert info.value.path.endswith("replica-1.json")
+        for pid in range(cluster.n):
+            cluster.kill(pid)
+
+    asyncio.run(scenario())
+
+
+def test_stale_compaction_tmp_is_discarded_at_boot(tmp_path):
+    async def scenario():
+        cluster = make_cluster(tmp_path)
+        await cluster.start()
+        try:
+            await seed_and_flush(cluster, range(4))
+            cluster.kill(1)
+            # crash between writing journal.tmp and the rename
+            tmp = journal_of(tmp_path, 1) + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(b"half-written next generation")
+            await cluster.restart(1)
+            await cluster.settle(timeout=10)
+            assert not os.path.exists(tmp)
+            assert cluster.states() == {p: set(range(4)) for p in range(3)}
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_flushes_append_instead_of_rewriting(tmp_path):
+    async def scenario():
+        cluster = make_cluster(tmp_path)
+        await cluster.start()
+        try:
+            await seed_and_flush(cluster, range(3))
+            grown = [os.path.getsize(journal_of(tmp_path, 0))]
+            for v in (100, 101, 102):
+                cluster.submit(0, insert(v))
+                await cluster.settle(timeout=10)
+                await asyncio.sleep(0.2)
+                grown.append(os.path.getsize(journal_of(tmp_path, 0)))
+            # strictly growing (appends), and each step is a few cells,
+            # not a whole-image rewrite
+            steps = [b - a for a, b in zip(grown, grown[1:])]
+            assert all(s > 0 for s in steps)
+            assert max(steps) < grown[0]
+            info = cluster.nodes[0].storage_info()["journal"]
+            assert info["compactions"] == 0
+            assert info["records"] == info["appends"]
+        finally:
+            await cluster.stop()
+
+    asyncio.run(scenario())
+
+
+def test_healthz_reports_journal_storage(tmp_path):
+    async def scenario():
+        cluster = make_cluster(tmp_path, http=True)
+        await cluster.start()
+        client = None
+        try:
+            await seed_and_flush(cluster, range(3))
+            client = cluster.client(0)
+            status, doc = await client.request("GET", "/healthz")
+            assert status == 200
+            storage = doc["storage"]
+            assert storage["backend"] == "journal"
+            assert storage["corrupt_image"] is None
+            assert storage["journal"]["records"] > 0
+            assert storage["journal"]["digest"]
+            # the reported digest is the journal's real rolling digest
+            assert storage["journal"]["digest"] == \
+                cluster.nodes[0]._store.digest_hex
+        finally:
+            if client is not None:
+                await client.close()
+            await cluster.stop()
+
+    asyncio.run(scenario())

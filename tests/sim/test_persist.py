@@ -196,3 +196,118 @@ class TestReplicaSnapshot:
         assert doc["format"].startswith("repro-replica-log")
         assert doc["pid"] == 0
         assert len(doc["entries"]) == 5
+
+    def test_non_dict_meta_rejected(self):
+        import json
+
+        doc = {
+            "format": "repro-trace-v1",
+            "records": [{"eid": 3, "pid": 0, "time": 0.0,
+                         "label": encode_value(S.insert(1)),
+                         "meta": [1, 2]}],
+        }
+        with pytest.raises(ValueError, match="record 3: meta is not a mapping"):
+            trace_from_json(json.dumps(doc))
+
+
+class TestJournalImage:
+    """The v3 digest-chained image (what the storage engine persists)."""
+
+    def make_replica(self, n_updates=4):
+        r = UniversalReplica(0, 3, SPEC)
+        for i in range(n_updates):
+            r.on_update(S.insert(i))
+        r.on_message(1, (100, 1, S.insert(99)))
+        return r
+
+    def test_round_trip_restores_log_and_clock(self):
+        old = self.make_replica()
+        text = replica_snapshot(old, version=3)
+        fresh = UniversalReplica(0, 3, SPEC)
+        assert restore_replica(fresh, text) == 5
+        assert fresh.log_length == old.log_length
+        assert fresh.clock.value == old.clock.value
+        assert fresh.on_query("read") == old.on_query("read")
+
+    def test_gc_replica_round_trip_restores_base_and_heard(self):
+        from repro.core.checkpoint import GarbageCollectedReplica
+
+        old = GarbageCollectedReplica(0, 1, SPEC, checkpoint_interval=2)
+        for i in range(8):
+            old.on_update(S.insert(i))
+        old.collect_garbage()
+        fresh = GarbageCollectedReplica(0, 1, SPEC, checkpoint_interval=2)
+        restore_replica(fresh, replica_snapshot(old, version=3))
+        assert fresh.local_state() == old.local_state()
+        assert fresh.gc_clock_floor == old.gc_clock_floor
+        assert tuple(fresh.heard) == tuple(old.heard)
+
+    def test_fsync_point_semantics_match_v2(self):
+        old = self.make_replica()
+        for version in (2, 3):
+            fresh = UniversalReplica(0, 3, SPEC)
+            restore_replica(
+                fresh, replica_snapshot(old, fsync_point=2, version=version)
+            )
+            assert fresh.log_length == 2
+            assert fresh.clock.value == old.clock.value
+
+    def test_tampered_record_breaks_the_chain(self):
+        import json
+
+        doc = json.loads(replica_snapshot(self.make_replica(), version=3))
+        for rec in doc["records"]:
+            if rec["r"] == "clock":
+                rec["value"] += 1  # CRC-level tools would miss this
+        with pytest.raises(ValueError, match="digest chain"):
+            restore_replica(UniversalReplica(0, 3, SPEC), json.dumps(doc))
+
+    def test_tampered_top_level_digest_rejected(self):
+        import json
+
+        doc = json.loads(replica_snapshot(self.make_replica(), version=3))
+        doc["digest"] = "0" * len(doc["digest"])
+        with pytest.raises(ValueError, match="digest mismatch"):
+            restore_replica(UniversalReplica(0, 3, SPEC), json.dumps(doc))
+
+    def test_reordered_records_rejected(self):
+        import json
+
+        doc = json.loads(replica_snapshot(self.make_replica(), version=3))
+        doc["records"][-1], doc["records"][-2] = (
+            doc["records"][-2], doc["records"][-1],
+        )
+        with pytest.raises(ValueError, match="digest chain"):
+            restore_replica(UniversalReplica(0, 3, SPEC), json.dumps(doc))
+
+    def test_heard_record_supersedes_the_base_copy(self):
+        import json
+
+        from repro.core.checkpoint import GarbageCollectedReplica
+        from repro.proto.wire import (
+            chain_record,
+            genesis_digest,
+            journal_image,
+            journal_records,
+        )
+
+        old = GarbageCollectedReplica(0, 1, SPEC, checkpoint_interval=2)
+        for i in range(4):
+            old.on_update(S.insert(i))
+        records, _ = journal_records(old)
+        # the engine appends heard advances between compactions; the
+        # freshest record must win over the base segment's stale copy
+        newer = (old.clock.value,)
+        records.append({"r": "heard", "c": 99, "h": encode_value(newer)})
+        digest = genesis_digest(0)
+        stamped = []
+        for rec in records:
+            digest, rec = chain_record(digest, rec)
+            stamped.append(rec)
+        fresh = GarbageCollectedReplica(0, 1, SPEC, checkpoint_interval=2)
+        restore_replica(fresh, journal_image(0, stamped, digest.hex()))
+        assert tuple(fresh.heard) == newer
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            replica_snapshot(self.make_replica(), version=7)
